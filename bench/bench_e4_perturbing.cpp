@@ -1,0 +1,92 @@
+// E4 — Appendix A: the doubly-perturbing classification, mechanically.
+//
+// Paper claims (Lemmas 3-8 + §5 remarks):
+//   * read/write, counter, CAS, fetch-and-add and FIFO queue are
+//     doubly-perturbing (concrete witnesses);
+//   * the max register is NOT doubly-perturbing (no witness exists);
+//   * the bounded counter is doubly-perturbing but not perturbable — an
+//     operation can change an observer's response at most cap times.
+#include "bench_util.hpp"
+#include "theory/perturbing.hpp"
+
+namespace {
+
+using namespace detect;
+using theory::abstract_op;
+
+void check_row(const char* name, const hist::spec& init,
+               const theory::dp_witness& w) {
+  auto c = theory::check_witness(init, w);
+  bench::row({name, c.cond1 ? "yes" : "NO", c.cond2 ? "yes" : "NO",
+              c.ok ? "doubly-perturbing" : "FAILED"},
+             22);
+}
+
+}  // namespace
+
+int main() {
+  using bench::row;
+  using bench::rule;
+
+  std::printf("E4 — Doubly-perturbing certificates (Definition 3)\n\n");
+  std::printf("(a) Witness verification for Lemmas 3, 5, 6, 7, 8\n");
+  row({"object", "cond 1", "cond 2", "verdict"}, 22);
+  rule(4, 22);
+  check_row("read/write (L3)", hist::register_spec(0),
+            theory::register_witness());
+  check_row("counter (L5)", hist::counter_spec(0), theory::counter_witness());
+  check_row("bounded ctr {0..2}", hist::counter_spec(0, 2),
+            theory::counter_witness());
+  check_row("CAS (L6)", hist::cas_spec(0), theory::cas_witness());
+  check_row("fetch-and-add (L7)", hist::counter_spec(0), theory::faa_witness());
+  check_row("FIFO queue (L8)", hist::queue_spec(), theory::queue_witness());
+
+  std::printf("\n(b) Lemma 4: exhaustive witness search for the max register\n");
+  {
+    std::vector<abstract_op> universe;
+    for (int pid : {0, 1}) {
+      for (hist::value_t v : {1, 2, 3}) {
+        universe.push_back({pid, hist::opcode::max_write, v, 0});
+      }
+      universe.push_back({pid, hist::opcode::max_read, 0, 0});
+    }
+    auto res = theory::search_witness(hist::max_register_spec(0), universe,
+                                      /*max_h1=*/2, /*max_ext=*/2);
+    std::printf(
+        "  candidates explored: %llu, witness found: %s (expected: none)\n",
+        static_cast<unsigned long long>(res.explored),
+        res.found ? res.witness.to_string().c_str() : "none");
+  }
+
+  std::printf(
+      "\n(c) Perturbation budget: how many re-invocations of the same op keep\n"
+      "    changing an observer's response (10 rounds)\n");
+  row({"object", "op", "perturbs", "interpretation"}, 22);
+  rule(4, 22);
+  {
+    abstract_op inc{0, hist::opcode::ctr_add, 1, 0};
+    abstract_op rd{1, hist::opcode::ctr_read, 0, 0};
+    int unbounded = theory::count_successive_perturbs(hist::counter_spec(0), {},
+                                                      inc, rd, 10);
+    int bounded = theory::count_successive_perturbs(hist::counter_spec(0, 2),
+                                                    {}, inc, rd, 10);
+    abstract_op wm{0, hist::opcode::max_write, 5, 0};
+    abstract_op mr{1, hist::opcode::max_read, 0, 0};
+    int maxreg = theory::count_successive_perturbs(hist::max_register_spec(0),
+                                                   {}, wm, mr, 10);
+    row({"counter", "inc", std::to_string(unbounded), "perturbable"}, 22);
+    row({"bounded ctr {0..2}", "inc", std::to_string(bounded),
+         "NOT perturbable"},
+        22);
+    row({"max register", "writeMax(5)", std::to_string(maxreg),
+         "NOT doubly-pert."},
+        22);
+  }
+
+  std::printf(
+      "\nShape check: all five Lemma witnesses verify; no witness exists for\n"
+      "the max register in the bounded universe; the bounded counter stops\n"
+      "perturbing after its cap (doubly-perturbing =/= perturbable, the\n"
+      "classes are incomparable as §5 notes).\n");
+  return 0;
+}

@@ -1,0 +1,223 @@
+// E6 — The runtime cost of detectability (google-benchmark).
+//
+// The paper notes (§6) that detectability "comes with a price tag in terms
+// of space complexity and the need to provide auxiliary state"; this
+// experiment quantifies the *time* overhead on real threads: plain objects
+// vs Algorithms 1-2 vs the unbounded-id baselines, free-running (no
+// simulator hook, emulated NVM in private-cache mode).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "baselines/attiya_register.hpp"
+#include "baselines/bendavid_cas.hpp"
+#include "baselines/plain.hpp"
+#include "core/detectable_cas.hpp"
+#include "core/detectable_register.hpp"
+#include "core/max_register.hpp"
+#include "core/rmw.hpp"
+
+namespace {
+
+using namespace detect;
+
+constexpr int k_max_threads = 16;
+
+// Shared per-benchmark state: rebuilt by thread 0 at the start of each run.
+struct bench_world {
+  nvm::pmem_domain dom;
+  core::announcement_board board{k_max_threads, dom};
+};
+
+bench_world* g_world = nullptr;
+
+template <typename Obj>
+struct holder {
+  static Obj* obj;
+};
+template <typename Obj>
+Obj* holder<Obj>::obj = nullptr;
+
+template <typename Obj, typename Make>
+void setup(benchmark::State& state, Make make) {
+  if (state.thread_index() == 0) {
+    g_world = new bench_world;
+    holder<Obj>::obj = make(*g_world).release();
+  }
+}
+
+template <typename Obj>
+void teardown(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    delete holder<Obj>::obj;
+    holder<Obj>::obj = nullptr;
+    delete g_world;
+    g_world = nullptr;
+  }
+}
+
+// --- register workloads -----------------------------------------------------
+
+void bm_plain_register(benchmark::State& state) {
+  setup<base::plain_register>(state, [](bench_world& w) {
+    return std::make_unique<base::plain_register>(0, w.dom);
+  });
+  int pid = state.thread_index();
+  hist::op_desc wr{0, hist::opcode::reg_write, pid, 0, 0};
+  hist::op_desc rd{0, hist::opcode::reg_read, 0, 0, 0};
+  for (auto _ : state) {
+    holder<base::plain_register>::obj->invoke(pid, wr);
+    benchmark::DoNotOptimize(holder<base::plain_register>::obj->invoke(pid, rd));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  teardown<base::plain_register>(state);
+}
+
+void bm_detectable_register(benchmark::State& state) {
+  setup<core::detectable_register>(state, [](bench_world& w) {
+    return std::make_unique<core::detectable_register>(k_max_threads, w.board,
+                                                       0, w.dom);
+  });
+  int pid = state.thread_index();
+  hist::op_desc wr{0, hist::opcode::reg_write, pid, 0, 0};
+  hist::op_desc rd{0, hist::opcode::reg_read, 0, 0, 0};
+  auto& ann = g_world->board.of(pid);
+  for (auto _ : state) {
+    // Caller-side auxiliary resets are part of the protocol being measured.
+    ann.resp.store(hist::k_bottom);
+    ann.cp.store(0);
+    holder<core::detectable_register>::obj->invoke(pid, wr);
+    ann.resp.store(hist::k_bottom);
+    ann.cp.store(0);
+    benchmark::DoNotOptimize(
+        holder<core::detectable_register>::obj->invoke(pid, rd));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  teardown<core::detectable_register>(state);
+}
+
+void bm_attiya_register(benchmark::State& state) {
+  setup<base::attiya_register>(state, [](bench_world& w) {
+    return std::make_unique<base::attiya_register>(k_max_threads, w.board, 0,
+                                                   w.dom);
+  });
+  int pid = state.thread_index();
+  hist::op_desc wr{0, hist::opcode::reg_write, pid, 0, 0};
+  hist::op_desc rd{0, hist::opcode::reg_read, 0, 0, 0};
+  auto& ann = g_world->board.of(pid);
+  for (auto _ : state) {
+    ann.resp.store(hist::k_bottom);
+    ann.cp.store(0);
+    holder<base::attiya_register>::obj->invoke(pid, wr);
+    ann.resp.store(hist::k_bottom);
+    ann.cp.store(0);
+    benchmark::DoNotOptimize(holder<base::attiya_register>::obj->invoke(pid, rd));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  teardown<base::attiya_register>(state);
+}
+
+// --- CAS workloads ------------------------------------------------------------
+
+void bm_plain_cas(benchmark::State& state) {
+  setup<base::plain_cas>(state, [](bench_world& w) {
+    return std::make_unique<base::plain_cas>(0, w.dom);
+  });
+  int pid = state.thread_index();
+  for (auto _ : state) {
+    hist::op_desc rd{0, hist::opcode::cas_read, 0, 0, 0};
+    hist::value_t cur = holder<base::plain_cas>::obj->invoke(pid, rd);
+    hist::op_desc op{0, hist::opcode::cas, cur, cur + 1, 0};
+    benchmark::DoNotOptimize(holder<base::plain_cas>::obj->invoke(pid, op));
+  }
+  state.SetItemsProcessed(state.iterations());
+  teardown<base::plain_cas>(state);
+}
+
+void bm_detectable_cas(benchmark::State& state) {
+  setup<core::detectable_cas>(state, [](bench_world& w) {
+    return std::make_unique<core::detectable_cas>(k_max_threads, w.board, 0,
+                                                  w.dom);
+  });
+  int pid = state.thread_index();
+  auto& ann = g_world->board.of(pid);
+  for (auto _ : state) {
+    hist::op_desc rd{0, hist::opcode::cas_read, 0, 0, 0};
+    ann.resp.store(hist::k_bottom);
+    ann.cp.store(0);
+    hist::value_t cur = holder<core::detectable_cas>::obj->invoke(pid, rd);
+    hist::op_desc op{0, hist::opcode::cas, cur, cur + 1, 0};
+    ann.resp.store(hist::k_bottom);
+    ann.cp.store(0);
+    benchmark::DoNotOptimize(holder<core::detectable_cas>::obj->invoke(pid, op));
+  }
+  state.SetItemsProcessed(state.iterations());
+  teardown<core::detectable_cas>(state);
+}
+
+void bm_bendavid_cas(benchmark::State& state) {
+  setup<base::bendavid_cas>(state, [](bench_world& w) {
+    return std::make_unique<base::bendavid_cas>(k_max_threads, w.board, 0,
+                                                w.dom);
+  });
+  int pid = state.thread_index();
+  auto& ann = g_world->board.of(pid);
+  for (auto _ : state) {
+    hist::op_desc rd{0, hist::opcode::cas_read, 0, 0, 0};
+    ann.resp.store(hist::k_bottom);
+    ann.cp.store(0);
+    hist::value_t cur = holder<base::bendavid_cas>::obj->invoke(pid, rd);
+    hist::op_desc op{0, hist::opcode::cas, cur, cur + 1, 0};
+    ann.resp.store(hist::k_bottom);
+    ann.cp.store(0);
+    benchmark::DoNotOptimize(holder<base::bendavid_cas>::obj->invoke(pid, op));
+  }
+  state.SetItemsProcessed(state.iterations());
+  teardown<base::bendavid_cas>(state);
+}
+
+// --- counter / max register ---------------------------------------------------
+
+void bm_detectable_counter(benchmark::State& state) {
+  setup<core::detectable_counter>(state, [](bench_world& w) {
+    return std::make_unique<core::detectable_counter>(k_max_threads, w.board, 0,
+                                                      w.dom);
+  });
+  int pid = state.thread_index();
+  auto& ann = g_world->board.of(pid);
+  hist::op_desc op{0, hist::opcode::ctr_add, 1, 0, 0};
+  for (auto _ : state) {
+    ann.resp.store(hist::k_bottom);
+    ann.cp.store(0);
+    benchmark::DoNotOptimize(holder<core::detectable_counter>::obj->invoke(pid, op));
+  }
+  state.SetItemsProcessed(state.iterations());
+  teardown<core::detectable_counter>(state);
+}
+
+void bm_max_register(benchmark::State& state) {
+  setup<core::max_register>(state, [](bench_world& w) {
+    return std::make_unique<core::max_register>(k_max_threads, w.board, w.dom);
+  });
+  int pid = state.thread_index();
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    hist::op_desc op{0, hist::opcode::max_write, ++v, 0, 0};
+    benchmark::DoNotOptimize(holder<core::max_register>::obj->invoke(pid, op));
+  }
+  state.SetItemsProcessed(state.iterations());
+  teardown<core::max_register>(state);
+}
+
+}  // namespace
+
+BENCHMARK(bm_plain_register)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(bm_detectable_register)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(bm_attiya_register)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(bm_plain_cas)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(bm_detectable_cas)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(bm_bendavid_cas)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(bm_detectable_counter)->Threads(1)->Threads(2)->UseRealTime();
+BENCHMARK(bm_max_register)->Threads(1)->Threads(2)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// E7 — Persistency-instruction cost in the shared-cache model (§6).
+//
+// Paper claim: the algorithms are stated in the private-cache model; the
+// syntactic transformation of Izraelevitz et al. ports them to the realistic
+// shared-cache model by adding explicit flush/fence instructions, preserving
+// correctness and space complexity. The added cost is persistency
+// instructions — counted here per operation for every algorithm.
+#include "baselines/attiya_register.hpp"
+#include "baselines/bendavid_cas.hpp"
+#include "bench_util.hpp"
+#include "core/detectable_cas.hpp"
+#include "core/detectable_register.hpp"
+#include "core/max_register.hpp"
+#include "core/queue.hpp"
+#include "core/runtime.hpp"
+#include "history/log.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace detect;
+
+struct cost {
+  double flushes_per_op = 0;
+  double fences_per_op = 0;
+  double shared_per_op = 0;
+};
+
+template <typename MakeObject>
+cost measure(int nprocs, MakeObject make_object,
+             const std::vector<hist::op_desc>& per_proc_script,
+             bool shared_cache) {
+  sim::world w(nprocs, {.max_steps = 10'000'000});
+  if (shared_cache) {
+    w.domain().set_model(nvm::cache_model::shared_cache);
+    w.domain().set_auto_persist(true);
+  }
+  core::announcement_board board(nprocs, w.domain());
+  hist::log lg;
+  core::runtime rt(w, lg, board);
+  auto obj = make_object(nprocs, board, w.domain());
+  rt.register_object(0, *obj);
+  w.domain().persist_all();
+  w.domain().counters().reset();
+  for (int p = 0; p < nprocs; ++p) rt.set_script(p, per_proc_script);
+  sim::round_robin_scheduler sched;
+  rt.run(sched);
+  auto s = w.domain().counters().snapshot();
+  double ops = static_cast<double>(nprocs * per_proc_script.size());
+  return {static_cast<double>(s.flushes) / ops,
+          static_cast<double>(s.fences) / ops,
+          static_cast<double>(s.shared_total()) / ops};
+}
+
+std::vector<hist::op_desc> writes(int m) {
+  std::vector<hist::op_desc> v;
+  for (int i = 0; i < m; ++i) v.push_back({0, hist::opcode::reg_write, i, 0, 0});
+  return v;
+}
+std::vector<hist::op_desc> cases(int m) {
+  std::vector<hist::op_desc> v;
+  for (int i = 0; i < m; ++i)
+    v.push_back({0, hist::opcode::cas, i % 3, (i + 1) % 3, 0});
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  using bench::fmt;
+  using bench::row;
+  using bench::rule;
+
+  std::printf(
+      "E7 — Persistency instructions per operation after the shared-cache\n"
+      "transformation (N = 4 processes, 50 ops/process; private-cache issues\n"
+      "none by construction)\n\n");
+  row({"algorithm", "flush/op", "fence/op", "sharedacc/op"}, 18);
+  rule(4, 18);
+
+  auto report = [&](const char* name, cost c) {
+    row({name, fmt(c.flushes_per_op, 1), fmt(c.fences_per_op, 1),
+         fmt(c.shared_per_op, 1)},
+        18);
+  };
+
+  report("alg1 write",
+         measure(
+             4,
+             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
+               return std::make_unique<core::detectable_register>(n, b, 0, d);
+             },
+             writes(50), true));
+  report("attiya write",
+         measure(
+             4,
+             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
+               return std::make_unique<base::attiya_register>(n, b, 0, d);
+             },
+             writes(50), true));
+  report("alg2 cas",
+         measure(
+             4,
+             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
+               return std::make_unique<core::detectable_cas>(n, b, 0, d);
+             },
+             cases(50), true));
+  report("bendavid cas",
+         measure(
+             4,
+             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
+               return std::make_unique<base::bendavid_cas>(n, b, 0, d);
+             },
+             cases(50), true));
+  report("alg3 wmax",
+         measure(
+             4,
+             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
+               return std::make_unique<core::max_register>(n, b, d);
+             },
+             [] {
+               std::vector<hist::op_desc> v;
+               for (int i = 0; i < 50; ++i)
+                 v.push_back({0, hist::opcode::max_write, i, 0, 0});
+               return v;
+             }(),
+             true));
+
+  std::printf("\nFor contrast, the same workloads in the private-cache model:\n");
+  row({"algorithm", "flush/op", "fence/op", "sharedacc/op"}, 18);
+  rule(4, 18);
+  report("alg1 write (pc)",
+         measure(
+             4,
+             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
+               return std::make_unique<core::detectable_register>(n, b, 0, d);
+             },
+             writes(50), false));
+  report("alg2 cas (pc)",
+         measure(
+             4,
+             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
+               return std::make_unique<core::detectable_cas>(n, b, 0, d);
+             },
+             cases(50), false));
+
+  std::printf(
+      "\nShape check: in the shared-cache model every access carries one\n"
+      "flush+fence (the transform), so flush/op tracks accesses/op; alg1's\n"
+      "O(N) toggle loop dominates its writes, alg2 stays constant; the\n"
+      "private-cache rows issue zero persistency instructions.\n");
+  return 0;
+}

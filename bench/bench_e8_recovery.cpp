@@ -1,0 +1,108 @@
+// E8 — Crash-recovery behaviour under increasing crash rates.
+//
+// For each crash rate, run mixed workloads over Algorithms 1-3 + the queue,
+// with every run verified for durable linearizability + detectability, and
+// report: completed operations, crashes survived, recovery verdicts
+// (linearized vs fail), and verification outcome. This is the "system" view
+// of detectability: after every crash each client knows exactly whether its
+// interrupted operation took effect.
+#include "bench_util.hpp"
+#include "core/detectable_cas.hpp"
+#include "core/detectable_register.hpp"
+#include "core/queue.hpp"
+#include "core/runtime.hpp"
+#include "history/checker.hpp"
+#include "history/log.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace detect;
+
+struct outcome {
+  std::uint64_t completed_ops = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t verdict_linearized = 0;
+  std::uint64_t verdict_fail = 0;
+  int runs_checked = 0;
+  int runs_ok = 0;
+};
+
+outcome sweep(double crash_rate, int seeds) {
+  outcome out;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    sim::world w(3, {.max_steps = 1'000'000});
+    core::announcement_board board(3, w.domain());
+    hist::log lg;
+    core::runtime rt(w, lg, board);
+    core::detectable_register reg(3, board, 0, w.domain());
+    core::detectable_cas cas(3, board, 0, w.domain());
+    core::detectable_queue q(3, board, 64, w.domain());
+    rt.register_object(0, reg);
+    rt.register_object(1, cas);
+    rt.register_object(2, q);
+    rt.set_fail_policy(core::runtime::fail_policy::retry);
+    rt.set_script(0, {{0, hist::opcode::reg_write, 1, 0, 0},
+                      {1, hist::opcode::cas, 0, 1, 0},
+                      {2, hist::opcode::enq, 7, 0, 0},
+                      {0, hist::opcode::reg_read, 0, 0, 0}});
+    rt.set_script(1, {{2, hist::opcode::enq, 9, 0, 0},
+                      {1, hist::opcode::cas, 1, 2, 0},
+                      {2, hist::opcode::deq, 0, 0, 0},
+                      {0, hist::opcode::reg_write, 5, 0, 0}});
+    rt.set_script(2, {{0, hist::opcode::reg_read, 0, 0, 0},
+                      {2, hist::opcode::deq, 0, 0, 0},
+                      {1, hist::opcode::cas_read, 0, 0, 0},
+                      {2, hist::opcode::enq, 3, 0, 0}});
+    sim::random_scheduler sched(static_cast<std::uint64_t>(seed) * 48271u);
+    sim::random_crashes crashes(static_cast<std::uint64_t>(seed) * 16807u,
+                                crash_rate, 10);
+    auto rep = rt.run(sched, &crashes);
+    out.crashes += rep.crashes;
+    for (const auto& e : lg.snapshot()) {
+      if (e.kind == hist::event_kind::response) ++out.completed_ops;
+      if (e.kind == hist::event_kind::recover_result) {
+        if (e.verdict == hist::recovery_verdict::linearized) {
+          ++out.verdict_linearized;
+        } else {
+          ++out.verdict_fail;
+        }
+      }
+    }
+    hist::multi_spec spec;
+    spec.add_object(0, std::make_unique<hist::register_spec>(0));
+    spec.add_object(1, std::make_unique<hist::cas_spec>(0));
+    spec.add_object(2, std::make_unique<hist::queue_spec>());
+    auto cr = hist::check_durable_linearizability(lg.snapshot(), spec);
+    ++out.runs_checked;
+    if (cr.ok) ++out.runs_ok;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using bench::fmt;
+  using bench::row;
+  using bench::rule;
+
+  std::printf(
+      "E8 — Recovery behaviour vs crash rate (3 procs x 4 mixed ops, retry\n"
+      "policy, 40 seeds per rate; every run checked for durable\n"
+      "linearizability + detectability)\n\n");
+  row({"crash rate", "crashes", "resp ops", "rec:linear", "rec:fail",
+       "verified"});
+  rule(6);
+  for (double rate : {0.0, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    outcome o = sweep(rate, 40);
+    row({fmt(rate, 3), bench::fmt_u(o.crashes), bench::fmt_u(o.completed_ops),
+         bench::fmt_u(o.verdict_linearized), bench::fmt_u(o.verdict_fail),
+         std::to_string(o.runs_ok) + "/" + std::to_string(o.runs_checked)});
+  }
+  std::printf(
+      "\nShape check: every run verifies at every crash rate; as the rate\n"
+      "grows, recovery verdicts (both kinds) grow while directly-completed\n"
+      "responses shrink — yet no operation is ever lost or duplicated.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the experiment binaries: fixed-width table printing and
+// a tiny free-running workload driver (no simulator, real threads).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace detect::bench {
+
+/// Print a row of fixed-width columns.
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline void rule(std::size_t cols, int width = 14) {
+  std::printf("%s\n", std::string(cols * static_cast<std::size_t>(width), '-').c_str());
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace detect::bench

@@ -1,0 +1,159 @@
+// Unbounded-space detectable read/write register in the style of Attiya,
+// Ben-Baruch & Hendler [3] — the baseline Algorithm 1 improves on.
+//
+// Every write carries a globally unique identifier ⟨pid, seq⟩ with a
+// per-process unbounded sequence number; uniqueness kills ABA outright, which
+// is exactly why the paper calls the approach unbounded-space. Detectability
+// of an overwritten write uses a helping record: before replacing the value
+// tagged ⟨q, s⟩, the overwriter raises written[q] to s (monotone CAS-max).
+// Since written[q] is raised only after ⟨q, s⟩ was *observed in R*, a raised
+// record proves q's write was linearized; conversely every overwrite first
+// raises the record, so a linearized-then-replaced write is always covered.
+//
+// Simplification vs [3] (documented in DESIGN.md): [3] builds from read/write
+// primitives with a helping matrix; we compress the helping protocol with a
+// CAS on R. The space behaviour — identifiers grow without bound with the
+// operation count, measured by `ids_minted()` — is preserved, which is what
+// experiment E1 contrasts with Algorithm 1's flat footprint.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/object.hpp"
+#include "nvm/pcell.hpp"
+#include "nvm/pvar.hpp"
+
+namespace detect::base {
+
+using core::ann_fields;
+using core::announcement_board;
+using core::recovery_result;
+using hist::value_t;
+
+/// ⟨value, tag⟩ where tag = ⟨pid+1, seq⟩ (tag 0 = the initial value).
+struct tagged_word {
+  value_t val = 0;
+  std::uint64_t tag = 0;
+
+  friend bool operator==(const tagged_word&, const tagged_word&) = default;
+};
+static_assert(sizeof(tagged_word) == 16);
+
+inline std::uint64_t make_tag(int pid, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(pid + 1) << 48) | seq;
+}
+inline int tag_pid(std::uint64_t tag) {
+  return static_cast<int>(tag >> 48) - 1;
+}
+inline std::uint64_t tag_seq(std::uint64_t tag) {
+  return tag & ((std::uint64_t{1} << 48) - 1);
+}
+
+class attiya_register final : public core::detectable_object {
+ public:
+  attiya_register(int nprocs, announcement_board& board, value_t init,
+                  nvm::pmem_domain& dom)
+      : board_(&board), r_(tagged_word{init, 0}, dom) {
+    for (int p = 0; p < nprocs; ++p) {
+      written_.push_back(std::make_unique<nvm::pcell<std::uint64_t>>(0, dom));
+      seq_.push_back(std::make_unique<nvm::pvar<std::uint64_t>>(0, dom));
+      rd_.push_back(std::make_unique<nvm::pvar<std::uint64_t>>(0, dom));
+    }
+  }
+
+  value_t invoke(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::reg_write:
+        return write(pid, op.a);
+      case hist::opcode::reg_read:
+        return read(pid);
+      default:
+        throw std::invalid_argument("attiya_register: bad opcode");
+    }
+  }
+
+  recovery_result recover(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::reg_write:
+        return write_recover(pid);
+      case hist::opcode::reg_read:
+        return read_recover(pid);
+      default:
+        throw std::invalid_argument("attiya_register: bad opcode");
+    }
+  }
+
+  /// Total distinct write identifiers minted (E1's unbounded-space metric).
+  std::uint64_t ids_minted() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : seq_) total += s->peek();
+    return total;
+  }
+
+ private:
+  void record_overwrite(std::uint64_t victim_tag) {
+    if (victim_tag == 0) return;  // initial value, nobody to notify
+    int q = tag_pid(victim_tag);
+    std::uint64_t s = tag_seq(victim_tag);
+    nvm::pcell<std::uint64_t>& cell = *written_[static_cast<std::size_t>(q)];
+    std::uint64_t cur = cell.load();
+    while (cur < s) {
+      if (cell.compare_exchange(cur, s)) break;  // CAS-max, never regresses
+    }
+  }
+
+  value_t write(int p, value_t val) {
+    ann_fields& ann = board_->of(p);
+    std::uint64_t s = seq_[p]->load() + 1;
+    seq_[p]->store(s);
+    rd_[p]->store(s);
+    ann.cp.store(1);
+    for (;;) {
+      tagged_word cur = r_.load();
+      record_overwrite(cur.tag);  // truthful: cur.tag was observed in R
+      if (r_.compare_exchange(cur, tagged_word{val, make_tag(p, s)})) break;
+    }
+    ann.cp.store(2);
+    ann.resp.store(hist::k_ack);
+    return hist::k_ack;
+  }
+
+  recovery_result write_recover(int p) {
+    ann_fields& ann = board_->of(p);
+    if (ann.resp.load() != hist::k_bottom) {
+      return recovery_result::linearized(hist::k_ack);
+    }
+    if (ann.cp.load() == 0) return recovery_result::failed();
+    std::uint64_t s = rd_[p]->load();
+    tagged_word cur = r_.load();
+    if (cur.tag == make_tag(p, s) || written_[p]->load() >= s) {
+      ann.resp.store(hist::k_ack);
+      return recovery_result::linearized(hist::k_ack);
+    }
+    return recovery_result::failed();
+  }
+
+  value_t read(int p) {
+    ann_fields& ann = board_->of(p);
+    value_t v = r_.load().val;
+    ann.resp.store(v);
+    return v;
+  }
+
+  recovery_result read_recover(int p) {
+    ann_fields& ann = board_->of(p);
+    value_t v = ann.resp.load();
+    if (v != hist::k_bottom) return recovery_result::linearized(v);
+    return recovery_result::linearized(read(p));
+  }
+
+  announcement_board* board_;
+  nvm::pcell<tagged_word> r_;
+  std::vector<std::unique_ptr<nvm::pcell<std::uint64_t>>> written_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint64_t>>> seq_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint64_t>>> rd_;
+};
+
+}  // namespace detect::base

@@ -1,0 +1,6 @@
+// Translation unit anchoring the baselines library target and guaranteeing
+// every public header compiles standalone.
+#include "baselines/attiya_register.hpp"
+#include "baselines/bendavid_cas.hpp"
+#include "baselines/plain.hpp"
+#include "baselines/stripped.hpp"

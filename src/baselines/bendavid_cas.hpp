@@ -1,0 +1,133 @@
+// Unbounded-space recoverable CAS in the style of Ben-David, Blelloch,
+// Friedman & Wei [4] — the baseline Algorithm 2 improves on.
+//
+// Every successful CAS installs ⟨value, tag⟩ with a unique tag ⟨pid, seq⟩.
+// Before a process replaces a value tagged ⟨q, s⟩ it first raises done[q] to
+// s ("notify q that its CAS s succeeded"), so q's recovery can distinguish
+// "my CAS took effect and was later replaced" from "my CAS never happened".
+// The notification is truthful because the replacer raises done[q] only after
+// observing ⟨q, s⟩ installed in C. Identifiers grow without bound — the
+// space behaviour experiment E1 measures via `ids_minted()`.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/attiya_register.hpp"  // tagged_word, tag helpers
+#include "core/object.hpp"
+#include "nvm/pcell.hpp"
+#include "nvm/pvar.hpp"
+
+namespace detect::base {
+
+class bendavid_cas final : public core::detectable_object {
+ public:
+  bendavid_cas(int nprocs, announcement_board& board, value_t init,
+               nvm::pmem_domain& dom)
+      : board_(&board), c_(tagged_word{init, 0}, dom) {
+    for (int p = 0; p < nprocs; ++p) {
+      done_.push_back(std::make_unique<nvm::pcell<std::uint64_t>>(0, dom));
+      seq_.push_back(std::make_unique<nvm::pvar<std::uint64_t>>(0, dom));
+      rd_.push_back(std::make_unique<nvm::pvar<std::uint64_t>>(0, dom));
+    }
+  }
+
+  value_t invoke(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::cas:
+        return cas(pid, op.a, op.b);
+      case hist::opcode::cas_read:
+        return read(pid);
+      default:
+        throw std::invalid_argument("bendavid_cas: bad opcode");
+    }
+  }
+
+  recovery_result recover(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::cas:
+        return cas_recover(pid);
+      case hist::opcode::cas_read:
+        return read_recover(pid);
+      default:
+        throw std::invalid_argument("bendavid_cas: bad opcode");
+    }
+  }
+
+  std::uint64_t ids_minted() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : seq_) total += s->peek();
+    return total;
+  }
+
+ private:
+  void notify_replaced(std::uint64_t victim_tag) {
+    if (victim_tag == 0) return;
+    nvm::pcell<std::uint64_t>& cell =
+        *done_[static_cast<std::size_t>(tag_pid(victim_tag))];
+    std::uint64_t s = tag_seq(victim_tag);
+    std::uint64_t cur = cell.load();
+    while (cur < s) {
+      if (cell.compare_exchange(cur, s)) break;
+    }
+  }
+
+  value_t cas(int p, value_t old_v, value_t new_v) {
+    ann_fields& ann = board_->of(p);
+    std::uint64_t s = seq_[p]->load() + 1;
+    seq_[p]->store(s);
+    rd_[p]->store(s);
+    ann.cp.store(1);
+    for (;;) {
+      tagged_word cur = c_.load();
+      if (cur.val != old_v) {
+        ann.resp.store(hist::k_false);
+        return hist::k_false;
+      }
+      notify_replaced(cur.tag);  // truthful: cur.tag observed in C
+      if (c_.compare_exchange(cur, tagged_word{new_v, make_tag(p, s)})) {
+        ann.resp.store(hist::k_true);
+        return hist::k_true;
+      }
+    }
+  }
+
+  recovery_result cas_recover(int p) {
+    ann_fields& ann = board_->of(p);
+    value_t r = ann.resp.load();
+    if (r != hist::k_bottom) return recovery_result::linearized(r);
+    if (ann.cp.load() == 0) return recovery_result::failed();
+    std::uint64_t s = rd_[p]->load();
+    tagged_word cur = c_.load();
+    if (cur.tag == make_tag(p, s) || done_[p]->load() >= s) {
+      ann.resp.store(hist::k_true);
+      return recovery_result::linearized(hist::k_true);
+    }
+    // The CAS either failed or never executed; either way it wrote nothing
+    // observable (same reasoning as Algorithm 2's recovery).
+    return recovery_result::failed();
+  }
+
+  value_t read(int p) {
+    ann_fields& ann = board_->of(p);
+    value_t v = c_.load().val;
+    ann.resp.store(v);
+    return v;
+  }
+
+  recovery_result read_recover(int p) {
+    ann_fields& ann = board_->of(p);
+    value_t v = ann.resp.load();
+    if (v != hist::k_bottom) return recovery_result::linearized(v);
+    return recovery_result::linearized(read(p));
+  }
+
+  announcement_board* board_;
+  nvm::pcell<tagged_word> c_;
+  std::vector<std::unique_ptr<nvm::pcell<std::uint64_t>>> done_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint64_t>>> seq_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint64_t>>> rd_;
+};
+
+}  // namespace detect::base

@@ -1,0 +1,99 @@
+// Non-recoverable ("plain") counterparts, two roles:
+//   * performance baselines for E6 (the cost of detectability),
+//   * step-count baselines for E5 (instructions added by detection logic).
+//
+// Their recovery functions return fail unconditionally — they genuinely
+// cannot tell whether an interrupted operation was linearized. Never use
+// them under crash plans when checking detectability; that is the point.
+#pragma once
+
+#include <stdexcept>
+
+#include "core/object.hpp"
+#include "nvm/pcell.hpp"
+
+namespace detect::base {
+
+class plain_register final : public core::detectable_object {
+ public:
+  plain_register(value_t init, nvm::pmem_domain& dom) : r_(init, dom) {}
+
+  value_t invoke(int, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::reg_write:
+        r_.store(op.a);
+        return hist::k_ack;
+      case hist::opcode::reg_read:
+        return r_.load();
+      default:
+        throw std::invalid_argument("plain_register: bad opcode");
+    }
+  }
+
+  recovery_result recover(int, const hist::op_desc&) override {
+    return recovery_result::failed();  // not detectable
+  }
+
+  bool wants_aux_reset() const override { return false; }
+
+ private:
+  nvm::pcell<value_t> r_;
+};
+
+class plain_cas final : public core::detectable_object {
+ public:
+  plain_cas(value_t init, nvm::pmem_domain& dom) : c_(init, dom) {}
+
+  value_t invoke(int, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::cas: {
+        value_t expect = op.a;
+        return c_.compare_exchange(expect, op.b) ? hist::k_true : hist::k_false;
+      }
+      case hist::opcode::cas_read:
+        return c_.load();
+      default:
+        throw std::invalid_argument("plain_cas: bad opcode");
+    }
+  }
+
+  recovery_result recover(int, const hist::op_desc&) override {
+    return recovery_result::failed();  // not detectable
+  }
+
+  bool wants_aux_reset() const override { return false; }
+
+ private:
+  nvm::pcell<value_t> c_;
+};
+
+class plain_counter final : public core::detectable_object {
+ public:
+  plain_counter(value_t init, nvm::pmem_domain& dom) : c_(init, dom) {}
+
+  value_t invoke(int, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::ctr_add: {
+        for (;;) {
+          value_t cur = c_.load();
+          if (c_.compare_exchange(cur, cur + op.a)) return cur;
+        }
+      }
+      case hist::opcode::ctr_read:
+        return c_.load();
+      default:
+        throw std::invalid_argument("plain_counter: bad opcode");
+    }
+  }
+
+  recovery_result recover(int, const hist::op_desc&) override {
+    return recovery_result::failed();  // not detectable
+  }
+
+  bool wants_aux_reset() const override { return false; }
+
+ private:
+  nvm::pcell<value_t> c_;
+};
+
+}  // namespace detect::base

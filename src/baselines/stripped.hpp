@@ -1,0 +1,36 @@
+// The Theorem-2 counterexample wrapper: run any detectable object *without*
+// its auxiliary state. The wrapper forwards everything but tells the runtime
+// not to reset Ann_p.resp / Ann_p.CP between invocations — i.e. no write to
+// NVM accessible to the operation occurs between successive invocations, and
+// the operation arguments stay exactly the abstract ones (Definition 1's two
+// channels both closed).
+//
+// Theorem 2 predicts this breaks detectability for doubly-perturbing objects:
+// the recovery of a *fresh, never-executed* invocation finds the previous
+// invocation's persisted response and wrongly reports "linearized".
+// Experiment E3 constructs the paper's Figure-2 schedule and shows the
+// resulting durable-linearizability violation — and that Algorithm 3 (max
+// register), which is not doubly-perturbing, survives the same treatment.
+#pragma once
+
+#include "core/object.hpp"
+
+namespace detect::base {
+
+class stripped final : public core::detectable_object {
+ public:
+  explicit stripped(core::detectable_object& inner) : inner_(&inner) {}
+
+  hist::value_t invoke(int pid, const hist::op_desc& op) override {
+    return inner_->invoke(pid, op);
+  }
+  core::recovery_result recover(int pid, const hist::op_desc& op) override {
+    return inner_->recover(pid, op);
+  }
+  bool wants_aux_reset() const override { return false; }
+
+ private:
+  core::detectable_object* inner_;
+};
+
+}  // namespace detect::base

@@ -1,0 +1,25 @@
+// Translation unit anchoring the core library target and guaranteeing every
+// public header compiles standalone.
+#include "core/announce.hpp"
+#include "core/detectable_cas.hpp"
+#include "core/detectable_register.hpp"
+#include "core/max_register.hpp"
+#include "core/nrl.hpp"
+#include "core/object.hpp"
+#include "core/queue.hpp"
+#include "core/rlock.hpp"
+#include "core/rmw.hpp"
+#include "core/runtime.hpp"
+#include "core/stack.hpp"
+
+namespace detect::core {
+
+// Lock-freedom sanity for Algorithm 2's 16-byte cell is checked at runtime by
+// benches (std::atomic<cas_word> may fall back to libatomic's locks without
+// -mcx16; the simulator serializes accesses, so correctness is unaffected).
+bool cas_word_is_lock_free() {
+  std::atomic<cas_word> probe{};
+  return probe.is_lock_free();
+}
+
+}  // namespace detect::core

@@ -1,0 +1,141 @@
+// Algorithm 2 — bounded-space detectable CAS object.
+//
+// O's state is one shared variable C holding ⟨value, vec⟩ where vec is an
+// N-bit vector, all zeros initially. A Cas(old, new) by p that should succeed
+// atomically installs `new` *and* flips vec[p]. Since p is the only process
+// ever touching vec[p] and the only mutation is that CAS, on recovery p
+// compares vec[p] against the flipped bit it persisted in RD_p before the
+// attempt: changed ⇒ the CAS was linearized (response true); unchanged ⇒ the
+// CAS either failed or was never executed, and in both cases the operation
+// can be declared not linearized (fail) because it wrote nothing any other
+// process could have read (Lemma 2).
+//
+// Space: Θ(N) bits beyond the value — which Theorem 1 shows is optimal.
+// The ⟨value, vec⟩ pair packs into a 16-byte cell (lock-free with cmpxchg16b),
+// bounding N at 64 in this representation; the paper's open problem (§6) asks
+// whether O(log N)-bit registers can do the job at all.
+//
+// Line numbers in comments refer to the paper's pseudo-code.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/object.hpp"
+#include "nvm/pcell.hpp"
+#include "nvm/pvar.hpp"
+
+namespace detect::core {
+
+/// The contents of C: O's value plus the N-bit flip vector.
+struct cas_word {
+  value_t val = 0;
+  std::uint64_t vec = 0;
+
+  friend bool operator==(const cas_word&, const cas_word&) = default;
+};
+static_assert(sizeof(cas_word) == 16);
+
+class detectable_cas final : public detectable_object {
+ public:
+  static constexpr int max_procs = 64;
+
+  detectable_cas(int nprocs, announcement_board& board, value_t init,
+                 nvm::pmem_domain& dom)
+      : n_(nprocs), board_(&board), c_(cas_word{init, 0}, dom) {
+    if (nprocs > max_procs) {
+      throw std::invalid_argument("detectable_cas: N exceeds vector width");
+    }
+    rd_.reserve(static_cast<std::size_t>(n_));
+    for (int p = 0; p < n_; ++p) {
+      rd_.push_back(std::make_unique<nvm::pvar<std::uint8_t>>(0, dom));
+    }
+  }
+
+  value_t invoke(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::cas:
+        return cas(pid, op.a, op.b);
+      case hist::opcode::cas_read:
+        return read(pid);
+      default:
+        throw std::invalid_argument("detectable_cas: bad opcode");
+    }
+  }
+
+  recovery_result recover(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::cas:
+        return cas_recover(pid, op.a, op.b);
+      case hist::opcode::cas_read:
+        return read_recover(pid);
+      default:
+        throw std::invalid_argument("detectable_cas: bad opcode");
+    }
+  }
+
+  /// Shared-memory footprint in bits beyond the value field (E1): the N-bit
+  /// flip vector.
+  std::size_t extra_shared_bits() const noexcept {
+    return static_cast<std::size_t>(n_);
+  }
+
+ private:
+  static std::uint64_t flip_bit(std::uint64_t vec, int p) {
+    return vec ^ (std::uint64_t{1} << p);
+  }
+
+  value_t cas(int p, value_t old_v, value_t new_v) {
+    ann_fields& ann = board_->of(p);
+    cas_word c = c_.load();                       // line 28
+    if (c.val != old_v) {                         // line 29: CAS failed
+      ann.resp.store(hist::k_false);              // line 30
+      return hist::k_false;                       // line 31
+    }
+    std::uint64_t newvec = flip_bit(c.vec, p);    // line 32
+    rd_[p]->store(                                // line 33: persist new bit
+        static_cast<std::uint8_t>((newvec >> p) & 1));
+    ann.cp.store(1);                              // line 34: set checkpoint
+    cas_word desired{new_v, newvec};
+    bool res = c_.compare_exchange(c, desired);   // line 35
+    ann.resp.store(res ? hist::k_true : hist::k_false);  // line 36
+    return res ? hist::k_true : hist::k_false;    // line 37
+  }
+
+  recovery_result cas_recover(int p, value_t /*old_v*/, value_t /*new_v*/) {
+    ann_fields& ann = board_->of(p);
+    value_t r = ann.resp.load();                  // lines 38-39
+    if (r != hist::k_bottom) return recovery_result::linearized(r);
+    if (ann.cp.load() == 0) {                     // lines 40-41
+      return recovery_result::failed();
+    }
+    cas_word c = c_.load();                       // line 42
+    if (static_cast<std::uint8_t>((c.vec >> p) & 1) != rd_[p]->load()) {
+      return recovery_result::failed();           // lines 43-44
+    }
+    ann.resp.store(hist::k_true);                 // line 45
+    return recovery_result::linearized(hist::k_true);  // line 46
+  }
+
+  value_t read(int p) {
+    ann_fields& ann = board_->of(p);
+    value_t v = c_.load().val;
+    ann.resp.store(v);
+    return v;
+  }
+
+  recovery_result read_recover(int p) {
+    ann_fields& ann = board_->of(p);
+    value_t v = ann.resp.load();
+    if (v != hist::k_bottom) return recovery_result::linearized(v);
+    return recovery_result::linearized(read(p));
+  }
+
+  int n_;
+  announcement_board* board_;
+  nvm::pcell<cas_word> c_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint8_t>>> rd_;
+};
+
+}  // namespace detect::core

@@ -1,0 +1,86 @@
+// Algorithm 3 — detectable max register using NO auxiliary state.
+//
+// The max register separates §5's impossibility: it is perturbable but not
+// doubly-perturbing (Lemma 4), and indeed its recovery functions simply
+// re-invoke the operation — no checkpoint resets, no ⊥-initialized response
+// field, no operation-argument identifiers. `wants_aux_reset()` is false and
+// the implementation never reads Ann_p.resp or Ann_p.CP.
+//
+// Representation: MR[N], process p owns entry MR[p]. Write-Max(v) raises
+// MR[p] if below v (idempotent, hence trivially re-invocable). Read performs
+// a double collect until two consecutive copies of MR agree — a valid
+// snapshot whose maximum was the register's value at some point inside the
+// read's interval. Wait-free writes; lock-free reads.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/object.hpp"
+#include "nvm/pcell.hpp"
+
+namespace detect::core {
+
+class max_register final : public detectable_object {
+ public:
+  max_register(int nprocs, announcement_board& board, nvm::pmem_domain& dom)
+      : n_(nprocs), board_(&board) {
+    mr_.reserve(static_cast<std::size_t>(n_));
+    for (int p = 0; p < n_; ++p) {
+      mr_.push_back(std::make_unique<nvm::pcell<value_t>>(0, dom));
+    }
+  }
+
+  value_t invoke(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::max_write:
+        return write_max(pid, op.a);
+      case hist::opcode::max_read:
+        return read(pid);
+      default:
+        throw std::invalid_argument("max_register: bad opcode");
+    }
+  }
+
+  recovery_result recover(int pid, const hist::op_desc& op) override {
+    // §5: "The recovery function of each of these operations simply
+    // re-invokes the operation."
+    return recovery_result::linearized(invoke(pid, op));
+  }
+
+  bool wants_aux_reset() const override { return false; }
+
+ private:
+  value_t write_max(int p, value_t val) {
+    if (mr_[p]->load() < val) {   // line 47
+      mr_[p]->store(val);         // line 48
+    }
+    return hist::k_ack;           // line 49
+  }
+
+  value_t read(int p) {
+    std::vector<value_t> a(static_cast<std::size_t>(n_), 0);  // line 50
+    collect(a);
+    std::vector<value_t> b(static_cast<std::size_t>(n_), 0);
+    for (;;) {                    // lines 51-52: until a clean double collect
+      collect(b);
+      if (a == b) break;
+      a.swap(b);
+    }
+    value_t res = *std::max_element(a.begin(), a.end());  // line 53
+    board_->of(p).resp.store(res);                        // line 54
+    return res;                                           // line 55
+  }
+
+  void collect(std::vector<value_t>& out) {
+    for (int i = 0; i < n_; ++i) out[static_cast<std::size_t>(i)] = mr_[i]->load();
+  }
+
+  int n_;
+  announcement_board* board_;
+  std::vector<std::unique_ptr<nvm::pcell<value_t>>> mr_;
+};
+
+}  // namespace detect::core

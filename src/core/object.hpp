@@ -1,0 +1,40 @@
+// Uniform interface of detectable (recoverable) objects.
+//
+// `invoke` executes the operation to completion; under the simulator it may
+// unwind with nvm::crashed at any step. `recover` is the operation's recovery
+// function Op.Recover (§2): called with the same descriptor the operation was
+// invoked with, it must decide whether the interrupted operation was
+// linearized — returning its response if so, `fail` otherwise — and it may
+// itself be interrupted and re-entered arbitrarily often.
+#pragma once
+
+#include "core/announce.hpp"
+#include "history/event.hpp"
+
+namespace detect::core {
+
+struct recovery_result {
+  hist::recovery_verdict verdict = hist::recovery_verdict::fail;
+  value_t response = hist::k_bottom;
+
+  static recovery_result failed() { return {}; }
+  static recovery_result linearized(value_t v) {
+    return {hist::recovery_verdict::linearized, v};
+  }
+};
+
+class detectable_object {
+ public:
+  virtual ~detectable_object() = default;
+
+  virtual value_t invoke(int pid, const hist::op_desc& op) = 0;
+  virtual recovery_result recover(int pid, const hist::op_desc& op) = 0;
+
+  /// Whether the caller must provide auxiliary state (reset Ann_p.resp to ⊥
+  /// and Ann_p.CP to 0) before each invocation. Algorithm 3 (max register)
+  /// returns false — the point of §5's separation. The `stripped_*` wrappers
+  /// return false to demonstrate the Theorem-2 violation.
+  virtual bool wants_aux_reset() const { return true; }
+};
+
+}  // namespace detect::core

@@ -1,0 +1,203 @@
+// Detectable durable FIFO queue in the style of Friedman et al. [9] (the
+// durable linked queue the paper repeatedly uses as its motivating
+// doubly-perturbing object).
+//
+// Structure: Michael–Scott queue over a persistent node pool (32-bit node
+// indices so links are CAS-able words). Detectability uses the op-identifier
+// technique of [9]: every dequeue claims its node by CAS-ing a unique stamp
+// ⟨pid, client_seq⟩ into the node's deq_stamp field — the stamp doubles as
+// the recovery witness. Enqueue recovery checks whether its persisted node
+// was ever linked (reachable from head, or already claimed by a dequeuer).
+// Identifiers grow without bound with the number of operations — exactly the
+// auxiliary-state-via-arguments regime Theorem 2 mandates and experiment E1
+// quantifies against the bounded Algorithms 1-2.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/object.hpp"
+#include "nvm/pcell.hpp"
+#include "nvm/pool.hpp"
+#include "nvm/pvar.hpp"
+
+namespace detect::core {
+
+struct queue_node {
+  explicit queue_node(nvm::pmem_domain& dom)
+      : value(0, dom), next(nvm::null_ref, dom), deq_stamp(0, dom) {}
+
+  nvm::pcell<value_t> value;
+  nvm::pcell<std::uint32_t> next;
+  /// 0 = unclaimed; otherwise ⟨pid+1, client_seq⟩ of the claiming dequeue.
+  nvm::pcell<std::uint64_t> deq_stamp;
+};
+
+class detectable_queue final : public detectable_object {
+ public:
+  detectable_queue(int nprocs, announcement_board& board, std::size_t capacity,
+                   nvm::pmem_domain& dom)
+      : board_(&board),
+        pool_(capacity + 1, dom),
+        head_(0, dom),
+        tail_(0, dom) {
+    // Slot 0 is the initial sentinel (allocated eagerly).
+    std::uint32_t sentinel = pool_.allocate();
+    if (sentinel != 0) throw std::logic_error("sentinel must be slot 0");
+    for (int p = 0; p < nprocs; ++p) {
+      enq_node_.push_back(std::make_unique<nvm::pvar<std::uint32_t>>(
+          nvm::null_ref, dom));
+      deq_node_.push_back(std::make_unique<nvm::pvar<std::uint32_t>>(
+          nvm::null_ref, dom));
+    }
+  }
+
+  value_t invoke(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::enq:
+        return enqueue(pid, op);
+      case hist::opcode::deq:
+        return dequeue(pid, op);
+      default:
+        throw std::invalid_argument("detectable_queue: bad opcode");
+    }
+  }
+
+  recovery_result recover(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::enq:
+        return enq_recover(pid, op);
+      case hist::opcode::deq:
+        return deq_recover(pid, op);
+      default:
+        throw std::invalid_argument("detectable_queue: bad opcode");
+    }
+  }
+
+  /// Distinct operation identifiers minted so far (E1's unbounded-space
+  /// metric: the stamp domain must accommodate all of them).
+  std::uint64_t ids_minted() const noexcept { return pool_.allocated(); }
+
+ private:
+  static std::uint64_t stamp_of(int pid, const hist::op_desc& op) {
+    return (static_cast<std::uint64_t>(pid + 1) << 48) | op.client_seq;
+  }
+
+  value_t enqueue(int p, const hist::op_desc& op) {
+    ann_fields& ann = board_->of(p);
+    std::uint32_t n = pool_.allocate();
+    queue_node& node = pool_.at(n);
+    node.value.store(op.a);
+    node.next.store(nvm::null_ref);
+    node.deq_stamp.store(0);
+    enq_node_[p]->store(n);  // persist intent before the checkpoint
+    ann.cp.store(1);
+    link(n);
+    ann.resp.store(hist::k_ack);
+    return hist::k_ack;
+  }
+
+  void link(std::uint32_t n) {
+    for (;;) {
+      std::uint32_t t = tail_.load();
+      std::uint32_t next = pool_.at(t).next.load();
+      if (next == nvm::null_ref) {
+        if (pool_.at(t).next.compare_exchange(next, n)) {
+          std::uint32_t expect = t;
+          tail_.compare_exchange(expect, n);  // best-effort swing
+          return;
+        }
+      } else {
+        std::uint32_t expect = t;
+        tail_.compare_exchange(expect, next);  // help lagging tail
+      }
+    }
+  }
+
+  recovery_result enq_recover(int p, const hist::op_desc&) {
+    ann_fields& ann = board_->of(p);
+    if (ann.resp.load() != hist::k_bottom) {
+      return recovery_result::linearized(hist::k_ack);
+    }
+    if (ann.cp.load() == 0) return recovery_result::failed();
+    std::uint32_t mine = enq_node_[p]->load();
+    // Linked iff reachable from head or already dequeued. Nodes are never
+    // recycled, and a dequeued node keeps its next pointer, so a walk from
+    // any past head position covers everything linked after it.
+    if (pool_.at(mine).deq_stamp.load() != 0) {
+      return finish_enq(ann);
+    }
+    for (std::uint32_t cur = head_.load(); cur != nvm::null_ref;
+         cur = pool_.at(cur).next.load()) {
+      if (cur == mine) return finish_enq(ann);
+    }
+    if (pool_.at(mine).deq_stamp.load() != 0) {
+      // Claimed while we walked.
+      return finish_enq(ann);
+    }
+    return recovery_result::failed();
+  }
+
+  recovery_result finish_enq(ann_fields& ann) {
+    ann.resp.store(hist::k_ack);
+    return recovery_result::linearized(hist::k_ack);
+  }
+
+  value_t dequeue(int p, const hist::op_desc& op) {
+    ann_fields& ann = board_->of(p);
+    std::uint64_t stamp = stamp_of(p, op);
+    for (;;) {
+      std::uint32_t h = head_.load();
+      std::uint32_t first = pool_.at(h).next.load();
+      if (first == nvm::null_ref) {
+        // Empty: linearize at the read of next.
+        ann.resp.store(hist::k_empty);
+        return hist::k_empty;
+      }
+      std::uint64_t claimed = pool_.at(first).deq_stamp.load();
+      if (claimed == 0) {
+        deq_node_[p]->store(first);  // persist candidate before checkpoint
+        ann.cp.store(1);
+        std::uint64_t expect = 0;
+        if (pool_.at(first).deq_stamp.compare_exchange(expect, stamp)) {
+          value_t v = pool_.at(first).value.load();
+          std::uint32_t eh = h;
+          head_.compare_exchange(eh, first);  // best-effort advance
+          ann.resp.store(v);
+          return v;
+        }
+      } else {
+        // Claimed by someone else: help advance head past it.
+        std::uint32_t eh = h;
+        head_.compare_exchange(eh, first);
+      }
+    }
+  }
+
+  recovery_result deq_recover(int p, const hist::op_desc& op) {
+    ann_fields& ann = board_->of(p);
+    value_t r = ann.resp.load();
+    if (r != hist::k_bottom) return recovery_result::linearized(r);
+    if (ann.cp.load() == 0) return recovery_result::failed();
+    std::uint32_t cand = deq_node_[p]->load();
+    if (cand != nvm::null_ref &&
+        pool_.at(cand).deq_stamp.load() == stamp_of(p, op)) {
+      value_t v = pool_.at(cand).value.load();
+      ann.resp.store(v);
+      return recovery_result::linearized(v);
+    }
+    // The last claim attempt did not take effect; nothing observable was
+    // written by this operation.
+    return recovery_result::failed();
+  }
+
+  announcement_board* board_;
+  nvm::pmem_pool<queue_node> pool_;
+  nvm::pcell<std::uint32_t> head_;
+  nvm::pcell<std::uint32_t> tail_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint32_t>>> enq_node_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint32_t>>> deq_node_;
+};
+
+}  // namespace detect::core

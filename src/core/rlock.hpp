@@ -1,0 +1,123 @@
+// Recoverable try-lock — the paper's §6 connects detectability to the
+// recoverable mutual exclusion (RME) line of work [10, 11, 12, 19, 20]; this
+// object is the detectable building block of such locks.
+//
+// State: one CAS cell holding the owner (0 = free, pid+1 = held). Ownership
+// slots are per-process and only the holder ever clears its own slot, which
+// kills ABA on the acquire side: on recovery, owner == pid+1 proves *this*
+// process's acquire was linearized (its previous critical section must have
+// ended with a completed release before the client could invoke another
+// acquire). The release side cannot be disambiguated from the owner cell
+// alone — "I released" and "my release-when-not-holding returned false" leave
+// the same shared state — so release uses the standard checkpoint capsule
+// (RD_p records whether we held the lock at entry).
+//
+// The recovered holder resumes *inside* its critical section, which is
+// exactly the RME behaviour: a crash does not release the lock; the owner
+// learns on recovery that it still holds it.
+#pragma once
+
+#include "core/object.hpp"
+#include "nvm/pcell.hpp"
+#include "nvm/pvar.hpp"
+
+namespace detect::core {
+
+class recoverable_lock final : public detectable_object {
+ public:
+  recoverable_lock(int nprocs, announcement_board& board, nvm::pmem_domain& dom)
+      : board_(&board), owner_(0, dom) {
+    for (int p = 0; p < nprocs; ++p) {
+      rd_held_.push_back(std::make_unique<nvm::pvar<std::uint8_t>>(0, dom));
+    }
+  }
+
+  value_t invoke(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::lock_try:
+        return try_lock(pid);
+      case hist::opcode::lock_release:
+        return release(pid);
+      default:
+        throw std::invalid_argument("recoverable_lock: bad opcode");
+    }
+  }
+
+  recovery_result recover(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::lock_try:
+        return try_lock_recover(pid);
+      case hist::opcode::lock_release:
+        return release_recover(pid);
+      default:
+        throw std::invalid_argument("recoverable_lock: bad opcode");
+    }
+  }
+
+  /// Current holder pid, or -1 when free. Debug/assertion use.
+  int holder() const noexcept {
+    std::int64_t o = owner_.peek();
+    return o == 0 ? -1 : static_cast<int>(o - 1);
+  }
+
+ private:
+  value_t try_lock(int p) {
+    ann_fields& ann = board_->of(p);
+    std::int64_t cur = owner_.load();
+    bool got = false;
+    if (cur == 0) {
+      std::int64_t expect = 0;
+      got = owner_.compare_exchange(expect, p + 1);
+    }
+    ann.resp.store(got ? hist::k_true : hist::k_false);
+    return got ? hist::k_true : hist::k_false;
+  }
+
+  recovery_result try_lock_recover(int p) {
+    ann_fields& ann = board_->of(p);
+    value_t r = ann.resp.load();
+    if (r != hist::k_bottom) return recovery_result::linearized(r);
+    if (owner_.load() == p + 1) {
+      // Only we install pid+1 and only we clear it: the acquire happened.
+      ann.resp.store(hist::k_true);
+      return recovery_result::linearized(hist::k_true);
+    }
+    // Either the CAS never ran or it lost — nothing observable was written.
+    return recovery_result::failed();
+  }
+
+  value_t release(int p) {
+    ann_fields& ann = board_->of(p);
+    bool held = owner_.load() == p + 1;
+    rd_held_[p]->store(held ? 1 : 0);
+    ann.cp.store(1);
+    if (held) owner_.store(0);
+    ann.resp.store(held ? hist::k_true : hist::k_false);
+    return held ? hist::k_true : hist::k_false;
+  }
+
+  recovery_result release_recover(int p) {
+    ann_fields& ann = board_->of(p);
+    value_t r = ann.resp.load();
+    if (r != hist::k_bottom) return recovery_result::linearized(r);
+    if (ann.cp.load() == 0) return recovery_result::failed();
+    if (rd_held_[p]->load() == 0) {
+      // We observed not-holding: the release was linearized at that read.
+      ann.resp.store(hist::k_false);
+      return recovery_result::linearized(hist::k_false);
+    }
+    if (owner_.load() == p + 1) {
+      // Still holding: the store never executed.
+      return recovery_result::failed();
+    }
+    // We held and the slot is no longer ours — only our store clears it.
+    ann.resp.store(hist::k_true);
+    return recovery_result::linearized(hist::k_true);
+  }
+
+  announcement_board* board_;
+  nvm::pcell<std::int64_t> owner_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint8_t>>> rd_held_;
+};
+
+}  // namespace detect::core

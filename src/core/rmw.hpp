@@ -1,0 +1,184 @@
+// Detectable read-modify-write objects built with Algorithm 2's flip-vector
+// technique, demonstrating the composability §6 highlights.
+//
+// A detectable_rmw applies value' = f(value) in a CAS retry loop; every
+// attempt runs the Algorithm-2 capsule: persist the pre-state and the
+// expected flipped bit in RD_p, checkpoint, then a single CAS that installs
+// the new value and flips vec[p] atomically. On recovery, a flipped vec[p]
+// proves the *last* attempt was linearized; the response (derived from the
+// pre-state persisted before the attempt) is returned. An unflipped bit means
+// no attempt of this operation ever took effect — the operation wrote nothing
+// observable — so recovery may report fail.
+//
+// Instantiations: fetch-and-add / counter (Lemmas 5 and 7's objects) and a
+// resettable test-and-set (the object of [3]'s unbounded-space lower bound).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/detectable_cas.hpp"
+#include "core/object.hpp"
+
+namespace detect::core {
+
+class detectable_rmw : public detectable_object {
+ public:
+  static constexpr int max_procs = detectable_cas::max_procs;
+
+  detectable_rmw(int nprocs, announcement_board& board, value_t init,
+                 nvm::pmem_domain& dom)
+      : n_(nprocs), board_(&board), c_(cas_word{init, 0}, dom) {
+    if (nprocs > max_procs) {
+      throw std::invalid_argument("detectable_rmw: N exceeds vector width");
+    }
+    for (int p = 0; p < n_; ++p) {
+      rd_bit_.push_back(std::make_unique<nvm::pvar<std::uint8_t>>(0, dom));
+      rd_old_.push_back(std::make_unique<nvm::pvar<value_t>>(0, dom));
+    }
+  }
+
+  value_t invoke(int pid, const hist::op_desc& op) override {
+    if (is_pure_read(op)) {
+      ann_fields& ann = board_->of(pid);
+      value_t v = c_.load().val;
+      ann.resp.store(v);
+      return v;
+    }
+    return run(pid, op);
+  }
+
+  recovery_result recover(int pid, const hist::op_desc& op) override {
+    ann_fields& ann = board_->of(pid);
+    value_t r = ann.resp.load();
+    if (r != hist::k_bottom) return recovery_result::linearized(r);
+    if (is_pure_read(op)) {
+      // Reads recover by re-invocation, as in Algorithms 1-2.
+      return recovery_result::linearized(invoke(pid, op));
+    }
+    if (ann.cp.load() == 0) return recovery_result::failed();
+    cas_word c = c_.load();
+    if (static_cast<std::uint8_t>((c.vec >> pid) & 1) != rd_bit_[pid]->load()) {
+      // No attempt's CAS took effect; nothing observable was written.
+      return recovery_result::failed();
+    }
+    // The last attempt was linearized; its pre-state yields the response.
+    value_t resp = response_of(op, rd_old_[pid]->load());
+    ann.resp.store(resp);
+    return recovery_result::linearized(resp);
+  }
+
+ protected:
+  /// The state transition: new value as a function of the old.
+  virtual value_t transition(const hist::op_desc& op, value_t old) const = 0;
+  /// The operation's response given the old value (default: return old).
+  virtual value_t response_of(const hist::op_desc&, value_t old) const {
+    return old;
+  }
+  /// Pure read operation of this object (no write attempt)?
+  virtual bool is_pure_read(const hist::op_desc&) const { return false; }
+  /// An attempt may short-circuit without writing when the transition is a
+  /// no-op (e.g. test-and-set on an already-set bit): linearize at the read.
+  virtual bool can_skip_write(const hist::op_desc&, value_t) const {
+    return false;
+  }
+
+ private:
+  value_t run(int p, const hist::op_desc& op) {
+    ann_fields& ann = board_->of(p);
+    for (;;) {
+      cas_word c = c_.load();
+      if (can_skip_write(op, c.val)) {
+        value_t resp = response_of(op, c.val);
+        ann.resp.store(resp);
+        return resp;
+      }
+      std::uint64_t newvec = c.vec ^ (std::uint64_t{1} << p);
+      rd_old_[p]->store(c.val);
+      rd_bit_[p]->store(static_cast<std::uint8_t>((newvec >> p) & 1));
+      ann.cp.store(1);
+      cas_word desired{transition(op, c.val), newvec};
+      if (c_.compare_exchange(c, desired)) {
+        value_t resp = response_of(op, c.val);
+        ann.resp.store(resp);
+        return resp;
+      }
+      // Lost the race; retry with a fresh capsule.
+    }
+  }
+
+  int n_;
+  announcement_board* board_;
+  nvm::pcell<cas_word> c_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint8_t>>> rd_bit_;
+  std::vector<std::unique_ptr<nvm::pvar<value_t>>> rd_old_;
+};
+
+/// Detectable counter / fetch-and-add: ctr_add(delta) returns the old value;
+/// ctr_read returns the current value.
+class detectable_counter final : public detectable_rmw {
+ public:
+  using detectable_rmw::detectable_rmw;
+
+ protected:
+  value_t transition(const hist::op_desc& op, value_t old) const override {
+    if (op.code != hist::opcode::ctr_add) {
+      throw std::invalid_argument("detectable_counter: bad opcode");
+    }
+    return old + op.a;
+  }
+  bool is_pure_read(const hist::op_desc& op) const override {
+    return op.code == hist::opcode::ctr_read;
+  }
+};
+
+/// Detectable swap (fetch-and-store): swap(v) installs v and returns the old
+/// value. Swap is doubly-perturbing (it is perturbable in the sense of [21]
+/// and the register witness adapts directly), so it needs the full capsule.
+class detectable_swap final : public detectable_rmw {
+ public:
+  using detectable_rmw::detectable_rmw;
+
+ protected:
+  value_t transition(const hist::op_desc& op, value_t) const override {
+    if (op.code != hist::opcode::swap) {
+      throw std::invalid_argument("detectable_swap: bad opcode");
+    }
+    return op.a;
+  }
+  bool is_pure_read(const hist::op_desc& op) const override {
+    return op.code == hist::opcode::reg_read;
+  }
+};
+
+/// Detectable resettable test-and-set: tas_set returns the previous bit and
+/// sets it; tas_reset clears it.
+class detectable_tas final : public detectable_rmw {
+ public:
+  detectable_tas(int nprocs, announcement_board& brd, nvm::pmem_domain& dom)
+      : detectable_rmw(nprocs, brd, 0, dom) {}
+
+ protected:
+  value_t transition(const hist::op_desc& op, value_t) const override {
+    switch (op.code) {
+      case hist::opcode::tas_set:
+        return 1;
+      case hist::opcode::tas_reset:
+        return 0;
+      default:
+        throw std::invalid_argument("detectable_tas: bad opcode");
+    }
+  }
+  value_t response_of(const hist::op_desc& op, value_t old) const override {
+    return op.code == hist::opcode::tas_set ? old : hist::k_ack;
+  }
+  bool can_skip_write(const hist::op_desc& op, value_t cur) const override {
+    // set on an already-set bit and reset on an already-clear bit are
+    // no-ops; linearize at the read.
+    return (op.code == hist::opcode::tas_set && cur == 1) ||
+           (op.code == hist::opcode::tas_reset && cur == 0);
+  }
+};
+
+}  // namespace detect::core

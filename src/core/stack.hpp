@@ -1,0 +1,154 @@
+// Detectable durable LIFO stack — Algorithm 2's flip-vector capsule applied
+// to a Treiber stack's head pointer.
+//
+// The stack head is a single CAS cell packing ⟨top node index, N-bit flip
+// vector⟩. Every push and pop performs exactly one successful CAS on this
+// cell, atomically swinging the top pointer *and* flipping the caller's
+// vector bit — so top-validation (no popping from the middle) and the
+// detectability witness are the same atomic step, exactly the trick of §4.
+// Before attempting the CAS, the operation persists its intent (the node
+// being pushed, or the candidate being popped together with its value) in
+// private NVM; recovery compares vec[p] against the persisted flipped bit:
+// changed ⇒ the attempt was linearized (return ack / the persisted value),
+// unchanged ⇒ nothing observable was written ⇒ fail.
+//
+// ABA on the head cannot occur: nodes are never recycled and a popped node
+// is never re-linked, while the flip vector rules out spurious matches from
+// unrelated interleavings. N ≤ 32 (index and vector share a 64-bit word
+// packed beside each other in the 16-byte cell).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/object.hpp"
+#include "nvm/pcell.hpp"
+#include "nvm/pool.hpp"
+#include "nvm/pvar.hpp"
+
+namespace detect::core {
+
+struct stack_node {
+  explicit stack_node(nvm::pmem_domain& dom)
+      : value(0, dom), next(nvm::null_ref, dom) {}
+
+  nvm::pcell<value_t> value;
+  nvm::pcell<std::uint32_t> next;
+};
+
+/// ⟨top index, flip vector⟩ — one lock-free 16-byte CAS cell.
+struct stack_head {
+  std::uint64_t top = nvm::null_ref;  // widened for layout/padding freedom
+  std::uint64_t vec = 0;
+
+  friend bool operator==(const stack_head&, const stack_head&) = default;
+};
+static_assert(sizeof(stack_head) == 16);
+
+class detectable_stack final : public detectable_object {
+ public:
+  static constexpr int max_procs = 32;
+
+  detectable_stack(int nprocs, announcement_board& board, std::size_t capacity,
+                   nvm::pmem_domain& dom)
+      : board_(&board),
+        pool_(capacity, dom),
+        head_(stack_head{nvm::null_ref, 0}, dom) {
+    if (nprocs > max_procs) {
+      throw std::invalid_argument("detectable_stack: N exceeds vector width");
+    }
+    for (int p = 0; p < nprocs; ++p) {
+      rd_bit_.push_back(std::make_unique<nvm::pvar<std::uint8_t>>(0, dom));
+      rd_val_.push_back(std::make_unique<nvm::pvar<value_t>>(0, dom));
+    }
+  }
+
+  value_t invoke(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::push:
+        return push(pid, op);
+      case hist::opcode::pop:
+        return pop(pid);
+      default:
+        throw std::invalid_argument("detectable_stack: bad opcode");
+    }
+  }
+
+  recovery_result recover(int pid, const hist::op_desc& op) override {
+    switch (op.code) {
+      case hist::opcode::push:
+        return op_recover(pid, /*is_push=*/true);
+      case hist::opcode::pop:
+        return op_recover(pid, /*is_push=*/false);
+      default:
+        throw std::invalid_argument("detectable_stack: bad opcode");
+    }
+  }
+
+  std::uint64_t ids_minted() const noexcept { return pool_.allocated(); }
+
+ private:
+  value_t push(int p, const hist::op_desc& op) {
+    ann_fields& ann = board_->of(p);
+    std::uint32_t n = pool_.allocate();
+    stack_node& node = pool_.at(n);
+    node.value.store(op.a);
+    for (;;) {
+      stack_head h = head_.load();
+      node.next.store(static_cast<std::uint32_t>(h.top));
+      std::uint64_t newvec = h.vec ^ (std::uint64_t{1} << p);
+      rd_bit_[p]->store(static_cast<std::uint8_t>((newvec >> p) & 1));
+      ann.cp.store(1);
+      if (head_.compare_exchange(h, stack_head{n, newvec})) break;
+    }
+    ann.resp.store(hist::k_ack);
+    return hist::k_ack;
+  }
+
+  value_t pop(int p) {
+    ann_fields& ann = board_->of(p);
+    for (;;) {
+      stack_head h = head_.load();
+      if (h.top == nvm::null_ref) {
+        // Empty: linearize at the read of head.
+        ann.resp.store(hist::k_empty);
+        return hist::k_empty;
+      }
+      stack_node& node = pool_.at(static_cast<std::uint32_t>(h.top));
+      value_t v = node.value.load();
+      std::uint32_t next = node.next.load();
+      std::uint64_t newvec = h.vec ^ (std::uint64_t{1} << p);
+      rd_val_[p]->store(v);  // persist the would-be response
+      rd_bit_[p]->store(static_cast<std::uint8_t>((newvec >> p) & 1));
+      ann.cp.store(1);
+      if (head_.compare_exchange(h, stack_head{next, newvec})) {
+        ann.resp.store(v);
+        return v;
+      }
+    }
+  }
+
+  recovery_result op_recover(int p, bool is_push) {
+    ann_fields& ann = board_->of(p);
+    value_t r = ann.resp.load();
+    if (r != hist::k_bottom) return recovery_result::linearized(r);
+    if (ann.cp.load() == 0) return recovery_result::failed();
+    stack_head h = head_.load();
+    if (static_cast<std::uint8_t>((h.vec >> p) & 1) != rd_bit_[p]->load()) {
+      // No attempt's CAS took effect; nothing observable was written.
+      return recovery_result::failed();
+    }
+    value_t resp = is_push ? hist::k_ack : rd_val_[p]->load();
+    ann.resp.store(resp);
+    return recovery_result::linearized(resp);
+  }
+
+  announcement_board* board_;
+  nvm::pmem_pool<stack_node> pool_;
+  nvm::pcell<stack_head> head_;
+  std::vector<std::unique_ptr<nvm::pvar<std::uint8_t>>> rd_bit_;
+  std::vector<std::unique_ptr<nvm::pvar<value_t>>> rd_val_;
+};
+
+}  // namespace detect::core

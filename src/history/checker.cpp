@@ -1,0 +1,143 @@
+#include "history/checker.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace detect::hist {
+
+std::vector<op_record> build_records(const std::vector<event>& events) {
+  std::vector<op_record> out;
+  // One open operation per process at a time (processes are sequential).
+  std::map<int, std::size_t> open;        // pid -> index into `out`
+  std::map<int, std::size_t> last_begin;  // pid -> index of recover_begin
+  // Last client_seq whose record closed, per pid: a crash between an op's
+  // response and the client's durable program-counter update makes recovery
+  // re-report "linearized" for an op the log already closed; such duplicate
+  // completion reports must not spawn a second record.
+  std::map<int, std::uint64_t> last_closed;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const event& e = events[i];
+    switch (e.kind) {
+      case event_kind::invoke: {
+        if (open.count(e.pid) != 0) {
+          throw std::logic_error("process p" + std::to_string(e.pid) +
+                                 " invoked an op while one is open");
+        }
+        op_record r;
+        r.pid = e.pid;
+        r.desc = e.desc;
+        r.invoke_index = i;
+        open[e.pid] = out.size();
+        out.push_back(r);
+        break;
+      }
+      case event_kind::response: {
+        auto it = open.find(e.pid);
+        if (it == open.end()) {
+          throw std::logic_error("response without open op on p" +
+                                 std::to_string(e.pid));
+        }
+        op_record& r = out[it->second];
+        r.response_index = i;
+        r.response = e.value;
+        r.has_response = true;
+        last_closed[e.pid] = r.desc.client_seq;
+        open.erase(it);
+        break;
+      }
+      case event_kind::crash:
+        break;  // intervals simply continue
+      case event_kind::recover_begin:
+        last_begin[e.pid] = i;
+        break;
+      case event_kind::recover_result: {
+        auto it = open.find(e.pid);
+        if (it == open.end()) {
+          // No open op. A `fail` verdict imposes nothing (the operation
+          // never took a step). A `linearized` verdict for an op whose
+          // record already closed is a duplicate completion report (crash
+          // between response and the client's done_seq update) — ignore it.
+          // Otherwise the crash struck inside the announcement window before
+          // the invoke event was logged and a re-invoking recovery executed
+          // the op now: synthesize a record spanning [recover_begin, here].
+          auto lc = last_closed.find(e.pid);
+          if (lc != last_closed.end() && lc->second == e.desc.client_seq) {
+            break;
+          }
+          if (e.verdict == recovery_verdict::linearized) {
+            auto b = last_begin.find(e.pid);
+            if (b == last_begin.end()) {
+              throw std::logic_error(
+                  "linearized verdict with no open op and no recover_begin");
+            }
+            op_record r;
+            r.pid = e.pid;
+            r.desc = e.desc;
+            r.invoke_index = b->second;
+            r.response_index = i;
+            r.response = e.value;
+            r.has_response = true;
+            last_closed[e.pid] = r.desc.client_seq;
+            out.push_back(r);
+          }
+          break;
+        }
+        op_record& r = out[it->second];
+        if (e.verdict == recovery_verdict::linearized) {
+          r.response_index = i;
+          r.response = e.value;
+          r.has_response = true;
+          last_closed[e.pid] = r.desc.client_seq;
+          open.erase(it);
+        } else {
+          // fail ⇒ asserted not linearized ⇒ excluded from the candidate
+          // history. Mark for removal below; a later re-attempt shows up as
+          // a fresh invoke event.
+          r.pid = -2;
+          open.erase(it);
+        }
+        break;
+      }
+    }
+  }
+  // Ops never resolved (pending at end of run / unrecovered crash) may be
+  // dropped by the linearization.
+  for (auto& [pid, idx] : open) {
+    out[idx].optional = true;
+    out[idx].has_response = false;
+    out[idx].response_index = k_npos;
+  }
+  std::vector<op_record> filtered;
+  filtered.reserve(out.size());
+  for (auto& r : out) {
+    if (r.pid != -2) filtered.push_back(r);
+  }
+  return filtered;
+}
+
+check_result check_durable_linearizability(const std::vector<event>& events,
+                                           const spec& initial,
+                                           std::size_t node_budget) {
+  check_result res;
+  std::vector<op_record> records;
+  try {
+    records = build_records(events);
+  } catch (const std::exception& ex) {
+    res.message = std::string("malformed log: ") + ex.what();
+    return res;
+  }
+  lin_result lr = check_linearizable(records, initial, node_budget);
+  res.ok = lr.linearizable;
+  res.inconclusive = lr.exhausted_budget;
+  if (!lr.linearizable) {
+    std::ostringstream os;
+    os << lr.error << "\nEvent log:\n";
+    for (const event& e : events) os << "  " << e.to_string() << '\n';
+    res.message = os.str();
+  }
+  return res;
+}
+
+}  // namespace detect::hist

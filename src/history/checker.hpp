@@ -1,0 +1,42 @@
+// Durable-linearizability + detectability verdict checker.
+//
+// Translates a raw event log into operation records and hands them to the
+// linearizability checker, encoding the two correctness conditions the paper
+// targets (§2, §6):
+//
+//  * Durable linearizability — ops that completed before a crash are
+//    mandatory; ops pending at a crash (or at the end of the run) that were
+//    never resolved by recovery are optional; the surviving history must
+//    linearize.
+//  * Detectability — a recovery verdict of `fail` asserts "not linearized":
+//    the op is excluded, so if its effect was in fact observed by anyone the
+//    remaining history cannot linearize and the checker reports a violation.
+//    A verdict of `linearized(v)` asserts "linearized exactly once with
+//    response v": the op becomes mandatory with response v.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/linearizer.hpp"
+#include "history/log.hpp"
+
+namespace detect::hist {
+
+struct check_result {
+  bool ok = false;
+  bool inconclusive = false;  // node budget exhausted
+  std::string message;
+};
+
+/// Convert an event log into checkable op records. Records whose recovery
+/// verdict is `fail` are excluded (see header comment). Throws on malformed
+/// logs (e.g. response without invoke).
+std::vector<op_record> build_records(const std::vector<event>& events);
+
+/// Full pipeline: build records, check against the spec.
+check_result check_durable_linearizability(const std::vector<event>& events,
+                                           const spec& initial,
+                                           std::size_t node_budget = 4'000'000);
+
+}  // namespace detect::hist

@@ -1,0 +1,119 @@
+#include "history/linearizer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace detect::hist {
+
+std::string op_record::to_string() const {
+  std::ostringstream os;
+  os << "p" << pid << ":" << desc.to_string() << " [" << invoke_index << ","
+     << (response_index == k_npos ? std::string("open")
+                                  : std::to_string(response_index))
+     << "]";
+  if (has_response) os << " -> " << response;
+  if (optional) os << " (optional)";
+  return os.str();
+}
+
+namespace {
+
+struct search {
+  const std::vector<op_record>& ops;
+  std::vector<std::vector<std::size_t>> preds;  // real-time predecessors
+  std::unordered_set<std::string> visited;
+  std::vector<std::pair<std::size_t, bool>> chosen;  // (index, dropped)
+  std::size_t budget;
+  std::size_t best_depth = 0;
+
+  explicit search(const std::vector<op_record>& o, std::size_t b)
+      : ops(o), budget(b) {
+    preds.resize(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = 0; j < ops.size(); ++j) {
+        if (j == i) continue;
+        if (ops[j].response_index != k_npos &&
+            ops[j].response_index < ops[i].invoke_index) {
+          preds[i].push_back(j);
+        }
+      }
+    }
+  }
+
+  bool eligible(std::uint64_t done, std::size_t i) const {
+    if (done & (std::uint64_t{1} << i)) return false;
+    for (std::size_t j : preds[i]) {
+      if (!(done & (std::uint64_t{1} << j))) return false;
+    }
+    return true;
+  }
+
+  // Returns true on success; false when this subtree has no linearization.
+  // Throws std::length_error when the node budget is exhausted.
+  bool dfs(std::uint64_t done, const spec& state) {
+    std::size_t depth = static_cast<std::size_t>(std::popcount(done));
+    best_depth = std::max(best_depth, depth);
+    if (depth == ops.size()) return true;
+    if (budget-- == 0) throw std::length_error("budget");
+
+    std::string key = std::to_string(done) + '|' + state.serialize();
+    if (!visited.insert(std::move(key)).second) return false;
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!eligible(done, i)) continue;
+      std::uint64_t done2 = done | (std::uint64_t{1} << i);
+      // Branch 1: linearize op i here.
+      {
+        auto next = state.clone();
+        value_t resp = next->apply(ops[i].desc);
+        if (!ops[i].has_response || resp == ops[i].response) {
+          chosen.emplace_back(i, false);
+          if (dfs(done2, *next)) return true;
+          chosen.pop_back();
+        }
+      }
+      // Branch 2: drop op i (only if the model allows it).
+      if (ops[i].optional) {
+        chosen.emplace_back(i, true);
+        if (dfs(done2, state)) return true;
+        chosen.pop_back();
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+lin_result check_linearizable(const std::vector<op_record>& ops,
+                              const spec& initial, std::size_t node_budget) {
+  lin_result r;
+  if (ops.size() > 64) {
+    r.error = "checker supports at most 64 operations per history; got " +
+              std::to_string(ops.size());
+    return r;
+  }
+  search s(ops, node_budget);
+  try {
+    if (s.dfs(0, initial)) {
+      r.linearizable = true;
+      for (auto [idx, dropped] : s.chosen) {
+        if (!dropped) r.witness.push_back(idx);
+      }
+      return r;
+    }
+  } catch (const std::length_error&) {
+    r.exhausted_budget = true;
+    r.error = "node budget exhausted (inconclusive)";
+    return r;
+  }
+  std::ostringstream os;
+  os << "not linearizable; deepest prefix ordered " << s.best_depth << " of "
+     << ops.size() << " ops. Ops:\n";
+  for (const auto& op : ops) os << "  " << op.to_string() << '\n';
+  r.error = os.str();
+  return r;
+}
+
+}  // namespace detect::hist

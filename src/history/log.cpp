@@ -1,0 +1,13 @@
+#include "history/log.hpp"
+
+#include <sstream>
+
+namespace detect::hist {
+
+std::string log::to_string() const {
+  std::ostringstream os;
+  for (const event& e : snapshot()) os << e.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace detect::hist

@@ -1,0 +1,45 @@
+// Append-only execution log.
+//
+// Under the simulator, appends happen at scheduler-granted steps, so the
+// append order equals the model's real-time order. In free-running mode a
+// mutex provides a consistent (if arbitrary) serialization — free-running is
+// used for performance measurement, not for checking.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "history/event.hpp"
+
+namespace detect::hist {
+
+class log {
+ public:
+  void append(event e) {
+    std::scoped_lock lock(mu_);
+    events_.push_back(e);
+  }
+
+  std::vector<event> snapshot() const {
+    std::scoped_lock lock(mu_);
+    return events_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return events_.size();
+  }
+
+  void clear() {
+    std::scoped_lock lock(mu_);
+    events_.clear();
+  }
+
+  std::string to_string() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<event> events_;
+};
+
+}  // namespace detect::hist

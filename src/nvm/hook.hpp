@@ -1,0 +1,59 @@
+// Access-hook plumbing connecting the NVM layer to an (optional) simulator.
+//
+// Every access to emulated persistent memory funnels through a thread-local
+// hook. When no hook is installed (free-running benchmark mode) the cost is a
+// single thread-local load. When the deterministic simulator is driving, the
+// hook is its step-token yield point: the calling process blocks until the
+// scheduler grants it the next step, and a pending system-wide crash surfaces
+// here as a `crashed` exception that unwinds the operation frame — which is
+// precisely the loss of volatile local state in the paper's crash model.
+#pragma once
+
+#include <cstdint>
+
+namespace detect::nvm {
+
+/// Kind of instrumented memory event. `shared_*` touch cells observable by
+/// all processes, `private_*` touch per-process NVM (Ann_p, RD_p, ...),
+/// `flush`/`fence` are explicit persistency instructions, and `control` is a
+/// non-memory scheduling checkpoint (operation invocation / response logging).
+enum class access : std::uint8_t {
+  shared_load,
+  shared_store,
+  shared_cas,
+  shared_exchange,
+  private_load,
+  private_store,
+  flush,
+  fence,
+  control,
+};
+
+/// Thrown out of an access when a system-wide crash is delivered to this
+/// process. Operation code must be exception-neutral (it is: the algorithms
+/// hold no resources); the runtime driver catches it at the operation
+/// boundary.
+struct crashed {};
+
+/// Installed per thread by the simulator. `before_access` is called
+/// immediately before the physical access is performed; it may block (waiting
+/// for the scheduler) and may throw `crashed`.
+class access_hook {
+ public:
+  virtual ~access_hook() = default;
+  virtual void before_access(access kind) = 0;
+};
+
+/// The thread-local hook slot. Null means free-running mode.
+inline access_hook*& tls_hook() noexcept {
+  thread_local access_hook* hook = nullptr;
+  return hook;
+}
+
+/// Invoke the hook if one is installed. Marked always-inline-ish by being
+/// trivial; the null check is the entire overhead in benchmark mode.
+inline void hook_access(access kind) {
+  if (access_hook* h = tls_hook()) h->before_access(kind);
+}
+
+}  // namespace detect::nvm

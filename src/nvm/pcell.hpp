@@ -1,0 +1,133 @@
+// pcell<T> — an atomic cell of emulated persistent memory ("base object" /
+// shared variable in the paper's model, §2).
+//
+// Supported primitives mirror the paper: atomic read, write, CAS, exchange.
+// Each primitive is exactly one simulator step (the hook fires before the
+// physical access), which is the atomicity grain of the model. In
+// shared-cache mode a cell carries both its cached value (`cur_`) and its
+// persisted image (`persisted_`); `flush()` copies cache → NVM and a crash
+// reverts NVM → cache.
+//
+// Width: free-running (multi-threaded benchmark) mode relies on std::atomic,
+// so T must be trivially copyable; lock-freedom holds up to 16 bytes on
+// x86-64 with -mcx16 (Algorithm 2 packs ⟨value, vec⟩ into exactly 16 bytes).
+// Under the simulator all accesses are serialized by the step token, so even
+// a non-lock-free std::atomic specialization remains correct.
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+#include "nvm/hook.hpp"
+#include "nvm/pmem.hpp"
+
+namespace detect::nvm {
+
+template <typename T>
+class pcell final : public persistent_base {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "persistent cells hold raw memory words");
+
+ public:
+  explicit pcell(T init = T{}, pmem_domain& dom = pmem_domain::global())
+      : cur_(init), persisted_(init), dom_(&dom) {
+    dom_->attach(*this);
+  }
+  ~pcell() { dom_->detach(*this); }
+
+  /// Atomic read. One step.
+  T load() const {
+    hook_access(access::shared_load);
+    dom_->counters().add_shared_load();
+    T v = cur_.load(std::memory_order_seq_cst);
+    after_read(v);
+    return v;
+  }
+
+  /// Atomic write. One step.
+  void store(T v) {
+    hook_access(access::shared_store);
+    dom_->counters().add_shared_store();
+    cur_.store(v, std::memory_order_seq_cst);
+    after_write(v);
+  }
+
+  /// Atomic compare-and-swap. One step. On failure `expected` is refreshed
+  /// with the observed value, as with std::atomic.
+  bool compare_exchange(T& expected, T desired) {
+    hook_access(access::shared_cas);
+    dom_->counters().add_shared_cas();
+    bool ok = cur_.compare_exchange_strong(expected, desired,
+                                           std::memory_order_seq_cst);
+    after_write(ok ? desired : expected);
+    return ok;
+  }
+
+  /// Atomic exchange. One step.
+  T exchange(T v) {
+    hook_access(access::shared_exchange);
+    dom_->counters().add_shared_exchange();
+    T old = cur_.exchange(v, std::memory_order_seq_cst);
+    after_write(v);
+    return old;
+  }
+
+  /// Explicit persist of the current cached value (shared-cache mode). Its
+  /// own step when invoked by algorithm code.
+  void flush() {
+    hook_access(access::flush);
+    flush_in_step();
+  }
+
+  /// Debug/metrics read that bypasses the hook and counters. Not part of the
+  /// algorithmic access sequence; never use from operation code.
+  T peek() const noexcept { return cur_.load(std::memory_order_relaxed); }
+
+  /// Persisted image (what a crash would revert to). Debug/tests only.
+  T peek_persisted() const noexcept {
+    return persisted_.load(std::memory_order_relaxed);
+  }
+
+  pmem_domain& domain() const noexcept { return *dom_; }
+
+ private:
+  // Izraelevitz-style automatic transformation: persist the location and
+  // fence within the same atomic step as the access itself, so that no other
+  // process can observe a value that is not yet durable.
+  void after_write(T v) noexcept {
+    if (dom_->model() == cache_model::private_cache) {
+      persisted_.store(v, std::memory_order_relaxed);
+    } else if (dom_->auto_persist()) {
+      flush_in_step();
+      dom_->fence();
+    }
+  }
+  void after_read(T) const noexcept {
+    if (dom_->model() == cache_model::shared_cache && dom_->auto_persist()) {
+      persisted_.store(cur_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      dom_->counters().add_flush();
+      dom_->fence();
+    }
+  }
+  void flush_in_step() noexcept {
+    persisted_.store(cur_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    dom_->counters().add_flush();
+  }
+
+  void revert_to_persisted() noexcept override {
+    cur_.store(persisted_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
+  void persist_now() noexcept override {
+    persisted_.store(cur_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+
+  mutable std::atomic<T> cur_;
+  mutable std::atomic<T> persisted_;
+  pmem_domain* dom_;
+};
+
+}  // namespace detect::nvm

@@ -1,0 +1,46 @@
+#include "nvm/pmem.hpp"
+
+namespace detect::nvm {
+
+pmem_domain& pmem_domain::global() {
+  static pmem_domain dom;
+  return dom;
+}
+
+void pmem_domain::crash_reset() noexcept {
+  std::scoped_lock lock(mu_);
+  stats_.add_crash();
+  if (model_ == cache_model::private_cache) return;  // NVM survives verbatim
+  for (persistent_base* c = head_; c != nullptr; c = c->next_) {
+    c->revert_to_persisted();
+  }
+}
+
+void pmem_domain::persist_all() noexcept {
+  std::scoped_lock lock(mu_);
+  for (persistent_base* c = head_; c != nullptr; c = c->next_) {
+    c->persist_now();
+  }
+}
+
+void pmem_domain::attach(persistent_base& cell) {
+  std::scoped_lock lock(mu_);
+  cell.prev_ = nullptr;
+  cell.next_ = head_;
+  if (head_ != nullptr) head_->prev_ = &cell;
+  head_ = &cell;
+}
+
+void pmem_domain::detach(persistent_base& cell) noexcept {
+  std::scoped_lock lock(mu_);
+  if (cell.prev_ != nullptr) {
+    cell.prev_->next_ = cell.next_;
+  } else if (head_ == &cell) {
+    head_ = cell.next_;
+  }
+  if (cell.next_ != nullptr) cell.next_->prev_ = cell.prev_;
+  cell.prev_ = nullptr;
+  cell.next_ = nullptr;
+}
+
+}  // namespace detect::nvm

@@ -1,0 +1,94 @@
+// Emulated persistent-memory domain.
+//
+// The paper's two memory models (§2, §6):
+//   * private-cache model — primitive operations apply directly to NVM; a
+//     crash loses only volatile (per-process local) state.
+//   * shared-cache model  — primitives apply to a volatile shared cache;
+//     explicit flush/fence instructions move values to NVM; a crash reverts
+//     the cache to the last persisted image.
+//
+// A `pmem_domain` owns the model choice and the crash bookkeeping for every
+// persistent cell registered with it. `crash_reset()` implements the
+// system-wide crash: in shared-cache mode each cell's cached value reverts to
+// its persisted image; in private-cache mode shared memory survives verbatim.
+//
+// `auto_persist` applies the syntactic transformation of Izraelevitz et al.
+// the paper cites in §6: every shared access is followed (within the same
+// atomic step) by a flush of the touched location plus a fence, which makes
+// the shared-cache execution indistinguishable from a private-cache one while
+// exposing the persistency-instruction cost (experiment E7).
+#pragma once
+
+#include <mutex>
+
+#include "nvm/stats.hpp"
+
+namespace detect::nvm {
+
+enum class cache_model : std::uint8_t { private_cache, shared_cache };
+
+/// Base class for everything that lives in emulated NVM and needs crash /
+/// persist bookkeeping. Cells link themselves into their domain's intrusive
+/// list on construction and out on destruction.
+class persistent_base {
+ public:
+  persistent_base(const persistent_base&) = delete;
+  persistent_base& operator=(const persistent_base&) = delete;
+
+ protected:
+  persistent_base() = default;
+  ~persistent_base() = default;
+
+ private:
+  friend class pmem_domain;
+  /// Revert cached value to the persisted image (shared-cache crash).
+  virtual void revert_to_persisted() noexcept = 0;
+  /// Checkpoint the cached value as persisted (initialization / full sync).
+  virtual void persist_now() noexcept = 0;
+
+  persistent_base* prev_ = nullptr;
+  persistent_base* next_ = nullptr;
+};
+
+class pmem_domain {
+ public:
+  pmem_domain() = default;
+  pmem_domain(const pmem_domain&) = delete;
+  pmem_domain& operator=(const pmem_domain&) = delete;
+
+  /// Process-wide default domain. Individual worlds/tests may instantiate
+  /// their own to isolate crash bookkeeping.
+  static pmem_domain& global();
+
+  cache_model model() const noexcept { return model_; }
+  void set_model(cache_model m) noexcept { model_ = m; }
+
+  bool auto_persist() const noexcept { return auto_persist_; }
+  void set_auto_persist(bool on) noexcept { auto_persist_ = on; }
+
+  /// Deliver the memory effect of a system-wide crash. Must be called while
+  /// no process is mid-access (the simulator quiesces every process first).
+  void crash_reset() noexcept;
+
+  /// Checkpoint every cell's current value as persisted.
+  void persist_all() noexcept;
+
+  stats& counters() noexcept { return stats_; }
+  const stats& counters() const noexcept { return stats_; }
+
+  /// Explicit ordering fence (counted; the emulation is sequentially
+  /// consistent so the fence has no semantic effect here).
+  void fence() noexcept { stats_.add_fence(); }
+
+  void attach(persistent_base& cell);
+  void detach(persistent_base& cell) noexcept;
+
+ private:
+  std::mutex mu_;
+  persistent_base* head_ = nullptr;
+  cache_model model_ = cache_model::private_cache;
+  bool auto_persist_ = false;
+  stats stats_;
+};
+
+}  // namespace detect::nvm

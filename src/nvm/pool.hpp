@@ -1,0 +1,58 @@
+// pmem_pool<Node> — a fixed-capacity persistent object pool used by the
+// durable queue for node allocation.
+//
+// Allocation is a persistent bump pointer: the allocation frontier itself
+// lives in a pcell, so a crash can at worst leak slots that were claimed but
+// never published (a fresh bump after recovery simply skips them). This
+// mirrors what log-free durable data structures do in practice — leaked
+// nodes are reclaimed by an offline scan, which bounded test runs never need.
+// Nodes are addressed by 32-bit indices rather than raw pointers so they pack
+// into CAS-able words; index `null_ref` plays the role of nullptr.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "nvm/pcell.hpp"
+
+namespace detect::nvm {
+
+inline constexpr std::uint32_t null_ref = 0xffffffffu;
+
+template <typename Node>
+class pmem_pool {
+ public:
+  explicit pmem_pool(std::size_t capacity,
+                     pmem_domain& dom = pmem_domain::global())
+      : dom_(&dom), frontier_(0, dom) {
+    slots_.reserve(capacity);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slots_.push_back(std::make_unique<Node>(dom));
+    }
+  }
+
+  /// Claim a fresh node; returns its index. The bump itself is one shared
+  /// step (the frontier is a shared cell: any process may allocate).
+  std::uint32_t allocate() {
+    std::uint32_t idx = frontier_.load();
+    for (;;) {
+      if (idx >= slots_.size()) throw std::runtime_error("pmem_pool exhausted");
+      if (frontier_.compare_exchange(idx, idx + 1)) return idx;
+    }
+  }
+
+  Node& at(std::uint32_t idx) { return *slots_.at(idx); }
+  const Node& at(std::uint32_t idx) const { return *slots_.at(idx); }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::uint32_t allocated() const noexcept { return frontier_.peek(); }
+
+ private:
+  pmem_domain* dom_;
+  pcell<std::uint32_t> frontier_;
+  std::vector<std::unique_ptr<Node>> slots_;
+};
+
+}  // namespace detect::nvm

@@ -1,0 +1,69 @@
+// pvar<T> — a per-process private non-volatile variable (§2: "each process p
+// may own non-volatile private variables that reside in the NVM but are
+// accessed only by p"), e.g. RD_p, T_p and the Ann_p fields.
+//
+// Only the owning process ever touches a pvar, so no atomicity is needed;
+// accesses are still hook-instrumented because a crash may strike between any
+// two of them (the crash-at-every-step sweeps rely on this), and in
+// shared-cache mode private NVM has cached vs persisted images exactly like
+// shared cells.
+#pragma once
+
+#include <type_traits>
+
+#include "nvm/hook.hpp"
+#include "nvm/pmem.hpp"
+
+namespace detect::nvm {
+
+template <typename T>
+class pvar final : public persistent_base {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "persistent variables hold raw memory images");
+
+ public:
+  explicit pvar(T init = T{}, pmem_domain& dom = pmem_domain::global())
+      : cur_(init), persisted_(init), dom_(&dom) {
+    dom_->attach(*this);
+  }
+  ~pvar() { dom_->detach(*this); }
+
+  T load() const {
+    hook_access(access::private_load);
+    dom_->counters().add_private_load();
+    return cur_;
+  }
+
+  void store(const T& v) {
+    hook_access(access::private_store);
+    dom_->counters().add_private_store();
+    cur_ = v;
+    if (dom_->model() == cache_model::private_cache) {
+      persisted_ = v;
+    } else if (dom_->auto_persist()) {
+      persisted_ = cur_;
+      dom_->counters().add_flush();
+      dom_->fence();
+    }
+  }
+
+  void flush() {
+    hook_access(access::flush);
+    persisted_ = cur_;
+    dom_->counters().add_flush();
+  }
+
+  /// Debug/metrics read bypassing hooks. Never use from operation code.
+  const T& peek() const noexcept { return cur_; }
+  const T& peek_persisted() const noexcept { return persisted_; }
+
+ private:
+  void revert_to_persisted() noexcept override { cur_ = persisted_; }
+  void persist_now() noexcept override { persisted_ = cur_; }
+
+  T cur_;
+  T persisted_;
+  pmem_domain* dom_;
+};
+
+}  // namespace detect::nvm

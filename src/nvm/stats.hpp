@@ -1,0 +1,98 @@
+// Instruction accounting for the emulated NVM: how many loads, stores, CAS,
+// flushes and fences a run issued. Used by the persistency-cost experiment
+// (E7) and by the step-bound experiment (E5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace detect::nvm {
+
+/// Plain (copyable) snapshot of the counters.
+struct stats_snapshot {
+  std::uint64_t shared_loads = 0;
+  std::uint64_t shared_stores = 0;
+  std::uint64_t shared_cas = 0;
+  std::uint64_t shared_exchanges = 0;
+  std::uint64_t private_loads = 0;
+  std::uint64_t private_stores = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t fences = 0;
+  std::uint64_t crashes = 0;
+
+  std::uint64_t shared_total() const noexcept {
+    return shared_loads + shared_stores + shared_cas + shared_exchanges;
+  }
+  std::uint64_t persist_total() const noexcept { return flushes + fences; }
+
+  friend stats_snapshot operator-(stats_snapshot a, const stats_snapshot& b) {
+    a.shared_loads -= b.shared_loads;
+    a.shared_stores -= b.shared_stores;
+    a.shared_cas -= b.shared_cas;
+    a.shared_exchanges -= b.shared_exchanges;
+    a.private_loads -= b.private_loads;
+    a.private_stores -= b.private_stores;
+    a.flushes -= b.flushes;
+    a.fences -= b.fences;
+    a.crashes -= b.crashes;
+    return a;
+  }
+};
+
+/// Concurrent counters (relaxed atomics: counts only, no synchronization
+/// role).
+class stats {
+ public:
+  void add_shared_load() noexcept { bump(shared_loads_); }
+  void add_shared_store() noexcept { bump(shared_stores_); }
+  void add_shared_cas() noexcept { bump(shared_cas_); }
+  void add_shared_exchange() noexcept { bump(shared_exchanges_); }
+  void add_private_load() noexcept { bump(private_loads_); }
+  void add_private_store() noexcept { bump(private_stores_); }
+  void add_flush() noexcept { bump(flushes_); }
+  void add_fence() noexcept { bump(fences_); }
+  void add_crash() noexcept { bump(crashes_); }
+
+  stats_snapshot snapshot() const noexcept {
+    stats_snapshot s;
+    s.shared_loads = shared_loads_.load(std::memory_order_relaxed);
+    s.shared_stores = shared_stores_.load(std::memory_order_relaxed);
+    s.shared_cas = shared_cas_.load(std::memory_order_relaxed);
+    s.shared_exchanges = shared_exchanges_.load(std::memory_order_relaxed);
+    s.private_loads = private_loads_.load(std::memory_order_relaxed);
+    s.private_stores = private_stores_.load(std::memory_order_relaxed);
+    s.flushes = flushes_.load(std::memory_order_relaxed);
+    s.fences = fences_.load(std::memory_order_relaxed);
+    s.crashes = crashes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() noexcept {
+    shared_loads_ = 0;
+    shared_stores_ = 0;
+    shared_cas_ = 0;
+    shared_exchanges_ = 0;
+    private_loads_ = 0;
+    private_stores_ = 0;
+    flushes_ = 0;
+    fences_ = 0;
+    crashes_ = 0;
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> shared_loads_{0};
+  std::atomic<std::uint64_t> shared_stores_{0};
+  std::atomic<std::uint64_t> shared_cas_{0};
+  std::atomic<std::uint64_t> shared_exchanges_{0};
+  std::atomic<std::uint64_t> private_loads_{0};
+  std::atomic<std::uint64_t> private_stores_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> fences_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+};
+
+}  // namespace detect::nvm

@@ -1,0 +1,121 @@
+#include "sim/explorer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace detect::sim {
+
+namespace {
+
+std::string path_to_string(const std::vector<int>& path) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) os << ',';
+    os << path[i];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+explore_result explore_schedules(
+    const std::function<std::unique_ptr<exploration>()>& factory,
+    const explore_config& cfg) {
+  explore_result res;
+  std::vector<int> path;    // choice taken at each depth
+  std::vector<int> widths;  // number of options at each depth
+
+  while (res.runs < cfg.max_runs) {
+    ++res.runs;
+    auto scenario = factory();
+    world& w = scenario->get_world();
+    int crashes_used = 0;
+    int preemptions_used = 0;
+    int current = -1;  // pid stepped last; -1 = no current (start / post-crash)
+    std::size_t depth = 0;
+    bool pruned = false;
+
+    for (;;) {
+      std::vector<int> ready = w.runnable();
+      if (ready.empty()) break;
+      if (depth >= cfg.max_depth) {
+        pruned = true;
+        break;
+      }
+      // Build the deterministic option list for this point:
+      //   continue current (if runnable) first, then free/preempting switches
+      //   to other pids, then (budget permitting) a crash.
+      bool current_runnable =
+          current >= 0 &&
+          std::find(ready.begin(), ready.end(), current) != ready.end();
+      bool switches_are_preemptions = current_runnable;
+      bool preempt_allowed =
+          cfg.max_preemptions < 0 || preemptions_used < cfg.max_preemptions;
+
+      std::vector<int> options;  // encoded: pid, or -1 for crash
+      if (current_runnable) options.push_back(current);
+      if (!switches_are_preemptions || preempt_allowed) {
+        for (int pid : ready) {
+          if (pid != current) options.push_back(pid);
+        }
+      }
+      if (crashes_used < cfg.max_crashes) options.push_back(-1);
+
+      int choice;
+      if (depth < path.size()) {
+        choice = path[depth];
+        if (widths[depth] != static_cast<int>(options.size())) {
+          throw std::logic_error(
+              "explorer: nondeterministic replay (option count changed)");
+        }
+      } else {
+        choice = 0;
+        path.push_back(0);
+        widths.push_back(static_cast<int>(options.size()));
+      }
+
+      int opt = options[static_cast<std::size_t>(choice)];
+      if (opt >= 0) {
+        if (switches_are_preemptions && opt != current) ++preemptions_used;
+        w.step(opt);
+        current = opt;
+      } else {
+        w.crash();
+        ++crashes_used;
+        current = -1;
+        scenario->on_crash();
+      }
+      ++depth;
+    }
+
+    if (pruned) {
+      ++res.pruned;
+    } else {
+      try {
+        scenario->at_end();
+      } catch (const std::exception& ex) {
+        res.failed = true;
+        res.failure = std::string(ex.what()) +
+                      "\n(decision path: " + path_to_string(path) + ")";
+        res.failing_path = path;
+        return res;
+      }
+    }
+
+    // Backtrack to the deepest decision with an unexplored sibling.
+    while (!path.empty() && path.back() + 1 >= widths.back()) {
+      path.pop_back();
+      widths.pop_back();
+    }
+    if (path.empty()) {
+      res.complete = true;
+      return res;
+    }
+    ++path.back();
+  }
+  return res;
+}
+
+}  // namespace detect::sim

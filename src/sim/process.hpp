@@ -1,0 +1,66 @@
+// A simulated crash-prone process: one worker thread driven by the world's
+// step token.
+//
+// The worker installs itself as the thread-local NVM access hook. Every
+// emulated memory access then blocks in `before_access` until the scheduler
+// grants the process its next step; a pending system-wide crash is delivered
+// there as a `nvm::crashed` exception, which unwinds the task frame — i.e.
+// destroys all volatile local state, exactly the paper's crash semantics.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "nvm/hook.hpp"
+
+namespace detect::sim {
+
+class world;
+
+class process final : public nvm::access_hook {
+ public:
+  process(world& w, int pid, std::string name);
+  ~process() override;
+
+  process(const process&) = delete;
+  process& operator=(const process&) = delete;
+
+  int pid() const noexcept { return pid_; }
+  const std::string& name() const noexcept { return name_; }
+
+  // nvm::access_hook — called on the worker thread from inside pcell/pvar.
+  void before_access(nvm::access kind) override;
+
+ private:
+  friend class world;
+
+  enum class pstate : std::uint8_t {
+    idle,       // no task
+    launching,  // task submitted; runs freely until its first access
+    at_yield,   // blocked in before_access, waiting for a grant
+    stepping,   // granted; executing one step (scheduler waits for it)
+    done_task,  // task returned or unwound; result not yet collected
+    stopped,    // shutting down
+  };
+
+  void thread_main();
+
+  world* world_;
+  int pid_;
+  std::string name_;
+
+  // All fields below are guarded by the world's mutex.
+  pstate state_ = pstate::idle;
+  std::function<void()> task_;
+  bool crash_me_ = false;            // deliver crash at next yield
+  bool task_interrupted_ = false;    // last task unwound by crash
+  std::exception_ptr task_error_;    // non-crash exception from the task
+  nvm::access pending_kind_ = nvm::access::control;  // kind blocked on
+  bool stop_ = false;
+
+  std::thread thread_;
+};
+
+}  // namespace detect::sim

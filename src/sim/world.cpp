@@ -1,0 +1,272 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace detect::sim {
+
+// ---------------------------------------------------------------------------
+// process
+
+process::process(world& w, int pid, std::string name)
+    : world_(&w), pid_(pid), name_(std::move(name)) {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+process::~process() {
+  {
+    std::scoped_lock lock(world_->mu_);
+    stop_ = true;
+  }
+  world_->cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void process::thread_main() {
+  nvm::tls_hook() = this;  // all NVM accesses on this thread yield to us
+  std::unique_lock lock(world_->mu_);
+  for (;;) {
+    world_->cv_.wait(lock, [&] { return stop_ || state_ == pstate::launching; });
+    if (stop_) {
+      state_ = pstate::stopped;
+      return;
+    }
+    std::function<void()> task = std::move(task_);
+    task_ = nullptr;
+    bool interrupted = false;
+    std::exception_ptr error;
+    lock.unlock();
+    try {
+      task();
+    } catch (const nvm::crashed&) {
+      interrupted = true;
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    task_interrupted_ = interrupted;
+    task_error_ = error;
+    state_ = pstate::done_task;
+    world_->cv_.notify_all();
+  }
+}
+
+void process::before_access(nvm::access kind) {
+  std::unique_lock lock(world_->mu_);
+  pending_kind_ = kind;
+  state_ = pstate::at_yield;
+  world_->cv_.notify_all();
+  world_->cv_.wait(lock, [&] {
+    return state_ == pstate::stepping || crash_me_ || stop_;
+  });
+  if (crash_me_ || stop_) {
+    crash_me_ = false;
+    // Unwind: volatile local state of the operation is lost here.
+    throw nvm::crashed{};
+  }
+  // state_ == stepping: perform the access and keep running until the next
+  // yield; the scheduler is blocked until we get back here or finish.
+}
+
+// ---------------------------------------------------------------------------
+// world
+
+world::world(int nprocs, world_config cfg) : cfg_(cfg) {
+  if (nprocs <= 0) throw std::invalid_argument("world: nprocs must be >= 1");
+  procs_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    procs_.push_back(std::make_unique<process>(*this, i, "p" + std::to_string(i)));
+  }
+}
+
+world::~world() = default;
+
+void world::absorb_done_locked(process& p) {
+  if (p.state_ != process::pstate::done_task) return;
+  p.state_ = process::pstate::idle;
+  if (p.task_error_) {
+    std::exception_ptr e = p.task_error_;
+    p.task_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void world::quiesce_locked(std::unique_lock<std::mutex>& lock) {
+  cv_.wait(lock, [&] {
+    for (auto& p : procs_) {
+      if (p->state_ == process::pstate::launching ||
+          p->state_ == process::pstate::stepping) {
+        return false;
+      }
+    }
+    return true;
+  });
+  for (auto& p : procs_) absorb_done_locked(*p);
+}
+
+void world::submit(int pid, std::function<void()> task) {
+  std::unique_lock lock(mu_);
+  process& p = *procs_.at(static_cast<std::size_t>(pid));
+  quiesce_locked(lock);
+  if (p.state_ != process::pstate::idle) {
+    throw std::logic_error("submit: process " + p.name_ + " already has a task");
+  }
+  p.task_ = std::move(task);
+  p.task_interrupted_ = false;
+  p.state_ = process::pstate::launching;
+  cv_.notify_all();
+}
+
+std::vector<int> world::runnable() {
+  std::unique_lock lock(mu_);
+  quiesce_locked(lock);
+  std::vector<int> out;
+  for (auto& p : procs_) {
+    if (p->state_ == process::pstate::at_yield) out.push_back(p->pid_);
+  }
+  return out;
+}
+
+bool world::busy() {
+  std::unique_lock lock(mu_);
+  quiesce_locked(lock);
+  for (auto& p : procs_) {
+    if (p->state_ == process::pstate::at_yield) return true;
+  }
+  return false;
+}
+
+void world::step(int pid) {
+  std::unique_lock lock(mu_);
+  quiesce_locked(lock);
+  process& p = *procs_.at(static_cast<std::size_t>(pid));
+  if (p.state_ != process::pstate::at_yield) {
+    throw std::logic_error("step: process " + p.name_ + " is not runnable");
+  }
+  ++step_no_;
+  p.state_ = process::pstate::stepping;
+  cv_.notify_all();
+  cv_.wait(lock, [&] {
+    return p.state_ == process::pstate::at_yield ||
+           p.state_ == process::pstate::done_task;
+  });
+  absorb_done_locked(p);
+}
+
+nvm::access world::pending_access(int pid) {
+  std::unique_lock lock(mu_);
+  quiesce_locked(lock);
+  process& p = *procs_.at(static_cast<std::size_t>(pid));
+  if (p.state_ != process::pstate::at_yield) {
+    throw std::logic_error("pending_access: process is not at a yield");
+  }
+  return p.pending_kind_;
+}
+
+bool world::last_task_interrupted(int pid) {
+  std::scoped_lock lock(mu_);
+  return procs_.at(static_cast<std::size_t>(pid))->task_interrupted_;
+}
+
+void world::crash() {
+  std::unique_lock lock(mu_);
+  quiesce_locked(lock);
+  bool any = false;
+  for (auto& p : procs_) {
+    if (p->state_ == process::pstate::at_yield) {
+      p->crash_me_ = true;
+      any = true;
+    }
+  }
+  if (any) {
+    cv_.notify_all();
+    cv_.wait(lock, [&] {
+      for (auto& p : procs_) {
+        if (p->state_ == process::pstate::at_yield ||
+            p->state_ == process::pstate::stepping ||
+            p->state_ == process::pstate::launching) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  for (auto& p : procs_) absorb_done_locked(*p);
+  // All volatile frames are gone; now apply the memory model's crash rule,
+  // then advance the system epoch durably (the hook is null on the driving
+  // thread, so these are direct accesses).
+  std::uint64_t e = epoch_.peek();
+  domain_.crash_reset();
+  epoch_.store(e + 1);
+  epoch_.flush();
+}
+
+run_report world::run(scheduler& sched, crash_plan* crashes,
+                      const std::function<void()>& on_crash_done) {
+  run_report rep;
+  for (;;) {
+    std::vector<int> ready = runnable();
+    if (ready.empty()) break;
+    if (step_no_ >= cfg_.max_steps) {
+      rep.hit_step_limit = true;
+      break;
+    }
+    if (crashes != nullptr && crashes->should_crash(step_no_)) {
+      crash();
+      ++rep.crashes;
+      if (on_crash_done) on_crash_done();
+      continue;
+    }
+    int pid = sched.pick(ready, step_no_);
+    step(pid);
+    ++rep.steps;
+  }
+  rep.steps = step_no_;
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// policies
+
+int round_robin_scheduler::pick(const std::vector<int>& runnable,
+                                std::uint64_t) {
+  int pid = runnable[next_ % runnable.size()];
+  ++next_;
+  return pid;
+}
+
+int random_scheduler::pick(const std::vector<int>& runnable, std::uint64_t) {
+  return runnable[next_rand(state_) % runnable.size()];
+}
+
+int scripted_scheduler::pick(const std::vector<int>& runnable, std::uint64_t) {
+  if (pos_ < script_.size()) {
+    int want = script_[pos_++];
+    if (std::find(runnable.begin(), runnable.end(), want) != runnable.end()) {
+      return want;
+    }
+  }
+  return runnable.front();
+}
+
+bool crash_at_steps::should_crash(std::uint64_t step_no) {
+  for (std::uint64_t& a : at_) {
+    if (a == step_no) {
+      a = static_cast<std::uint64_t>(-1);  // fire once
+      return true;
+    }
+  }
+  return false;
+}
+
+bool random_crashes::should_crash(std::uint64_t) {
+  if (left_ == 0) return false;
+  double u = static_cast<double>(next_rand(state_) >> 11) / 9007199254740992.0;
+  if (u < rate_) {
+    --left_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detect::sim

@@ -1,0 +1,196 @@
+// The simulated world: N crash-prone processes over an isolated persistent
+// memory domain, driven step by step (§2's asynchronous system with
+// system-wide crash-failures).
+//
+// The world exposes two levels of control:
+//   * low level — submit a task to a process, step a chosen process by one
+//     shared-memory access, deliver a crash, inspect who is runnable. The
+//     Theorem-2 harness uses this to realize proof schedules verbatim
+//     ("run p until it is about to return", "crash immediately after the
+//     invocation").
+//   * run loop — drive all submitted tasks to completion under a pluggable
+//     scheduling policy and crash plan, invoking a recovery callback after
+//     every crash (the client runtime uses it to resume per Ann_p).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nvm/pcell.hpp"
+#include "nvm/pmem.hpp"
+#include "sim/process.hpp"
+
+namespace detect::sim {
+
+/// Scheduling policy: choose the next process to step among the runnable.
+class scheduler {
+ public:
+  virtual ~scheduler() = default;
+  /// `runnable` is non-empty and sorted by pid.
+  virtual int pick(const std::vector<int>& runnable, std::uint64_t step_no) = 0;
+};
+
+/// Crash policy: consulted before every step.
+class crash_plan {
+ public:
+  virtual ~crash_plan() = default;
+  virtual bool should_crash(std::uint64_t step_no) = 0;
+};
+
+struct world_config {
+  /// Safety valve against non-terminating schedules (e.g. an unfair scheduler
+  /// starving Algorithm 3's double collect).
+  std::uint64_t max_steps = 1'000'000;
+};
+
+struct run_report {
+  std::uint64_t steps = 0;
+  std::uint64_t crashes = 0;
+  bool hit_step_limit = false;
+};
+
+class world {
+ public:
+  explicit world(int nprocs, world_config cfg = {});
+  ~world();
+
+  world(const world&) = delete;
+  world& operator=(const world&) = delete;
+
+  nvm::pmem_domain& domain() noexcept { return domain_; }
+  int nprocs() const noexcept { return static_cast<int>(procs_.size()); }
+
+  /// Hand `task` to process `pid`. The task body runs on the worker thread
+  /// with the access hook installed; it must not outlive the world.
+  void submit(int pid, std::function<void()> task);
+
+  /// Pids currently blocked at a yield (eligible for `step`). Waits for any
+  /// launching/stepping process to settle first.
+  std::vector<int> runnable();
+
+  /// True if any process still has an unfinished task.
+  bool busy();
+
+  /// Grant one step to `pid`; returns once it blocks at its next yield or
+  /// finishes its task. Rethrows any non-crash exception the task raised.
+  void step(int pid);
+
+  /// Kind of access `pid` is currently blocked on (valid when runnable).
+  nvm::access pending_access(int pid);
+
+  /// Did the last completed task of `pid` unwind due to a crash?
+  bool last_task_interrupted(int pid);
+
+  /// Deliver a system-wide crash: every in-flight task unwinds, then the
+  /// memory domain applies its crash semantics. Callable only from the
+  /// driving thread, between steps.
+  void crash();
+
+  /// The epoch service of Golab & Hendler's RME model (paper §1): a
+  /// non-volatile counter the *system* advances on every crash — the
+  /// canonical "auxiliary state provided by the system" of Definition 1.
+  /// Readable by recoverable operations via the returned cell.
+  nvm::pcell<std::uint64_t>& epoch_cell() noexcept { return epoch_; }
+  std::uint64_t epoch() const noexcept { return epoch_.peek(); }
+
+  /// Drive everything to completion. `on_crash_done` (may be null) runs after
+  /// each crash has fully unwound — typically to log the crash and resubmit
+  /// recovery tasks.
+  run_report run(scheduler& sched, crash_plan* crashes = nullptr,
+                 const std::function<void()>& on_crash_done = nullptr);
+
+  std::uint64_t steps_taken() const noexcept { return step_no_; }
+
+ private:
+  friend class process;
+
+  // Called under mu_: collect a finished task's outcome.
+  void absorb_done_locked(process& p);
+  // Wait until no process is launching or mid-step.
+  void quiesce_locked(std::unique_lock<std::mutex>& lock);
+
+  world_config cfg_;
+  nvm::pmem_domain domain_;
+  nvm::pcell<std::uint64_t> epoch_{1, domain_};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<process>> procs_;
+  std::uint64_t step_no_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Stock scheduling policies.
+
+class round_robin_scheduler final : public scheduler {
+ public:
+  int pick(const std::vector<int>& runnable, std::uint64_t step_no) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class random_scheduler final : public scheduler {
+ public:
+  explicit random_scheduler(std::uint64_t seed) : state_(seed | 1) {}
+  int pick(const std::vector<int>& runnable, std::uint64_t step_no) override;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Follows a fixed pid script; falls back to lowest-pid when the scripted pid
+/// is not runnable or the script is exhausted.
+class scripted_scheduler final : public scheduler {
+ public:
+  explicit scripted_scheduler(std::vector<int> script)
+      : script_(std::move(script)) {}
+  int pick(const std::vector<int>& runnable, std::uint64_t step_no) override;
+
+ private:
+  std::vector<int> script_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Stock crash plans.
+
+class no_crashes final : public crash_plan {
+ public:
+  bool should_crash(std::uint64_t) override { return false; }
+};
+
+/// Crash exactly when the global step counter hits each listed value.
+class crash_at_steps final : public crash_plan {
+ public:
+  explicit crash_at_steps(std::vector<std::uint64_t> at) : at_(std::move(at)) {}
+  bool should_crash(std::uint64_t step_no) override;
+
+ private:
+  std::vector<std::uint64_t> at_;
+};
+
+/// Crash with probability `rate` before each step, at most `max_crashes`.
+class random_crashes final : public crash_plan {
+ public:
+  random_crashes(std::uint64_t seed, double rate, std::uint64_t max_crashes)
+      : state_(seed | 1), rate_(rate), left_(max_crashes) {}
+  bool should_crash(std::uint64_t step_no) override;
+
+ private:
+  std::uint64_t state_;
+  double rate_;
+  std::uint64_t left_;
+};
+
+/// xorshift64* — deterministic, seedable, good enough for schedule fuzzing.
+inline std::uint64_t next_rand(std::uint64_t& s) noexcept {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace detect::sim

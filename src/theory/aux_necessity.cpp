@@ -1,0 +1,286 @@
+#include "theory/aux_necessity.hpp"
+
+#include <stdexcept>
+
+#include "baselines/stripped.hpp"
+#include "core/detectable_cas.hpp"
+#include "core/detectable_register.hpp"
+#include "core/max_register.hpp"
+#include "core/queue.hpp"
+#include "core/rmw.hpp"
+#include "core/runtime.hpp"
+#include "history/checker.hpp"
+#include "history/log.hpp"
+
+namespace detect::theory {
+
+namespace {
+
+/// Drive only `pid` until its task completes.
+void drive_solo(sim::world& w, int pid) {
+  for (;;) {
+    std::vector<int> ready = w.runnable();
+    bool mine = false;
+    for (int r : ready) mine |= (r == pid);
+    if (!mine) return;
+    w.step(pid);
+  }
+}
+
+bool invoke_logged(const hist::log& lg, int pid, std::uint64_t seq) {
+  for (const hist::event& e : lg.snapshot()) {
+    if (e.kind == hist::event_kind::invoke && e.pid == pid &&
+        e.desc.client_seq == seq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One full Figure-2 run. `e_branch` selects the E-branch (complete Opp,
+/// re-invoke, crash after invocation) over the D-branch (crash with Opp
+/// halted just before returning).
+aux_outcome run_branch(const aux_scenario& s, bool e_branch) {
+  sim::world w(2);
+  core::announcement_board board(2, w.domain());
+  auto obj = s.make_object(2, board, w.domain());
+  hist::log lg;
+  core::runtime rt(w, lg, board);
+  rt.register_object(0, *obj);
+
+  auto submit_op = [&](int pid, hist::op_desc desc, std::uint64_t seq) {
+    desc.object = 0;
+    desc.client_seq = seq;
+    w.submit(pid, [&rt, pid, desc] { rt.announce_and_invoke(pid, desc); });
+  };
+  auto run_op = [&](int pid, const hist::op_desc& desc, std::uint64_t seq) {
+    submit_op(pid, desc, seq);
+    drive_solo(w, pid);
+    board.of(pid).done_seq.store(seq);
+  };
+
+  // --- H1: p's setup history, run to completion ----------------------------
+  std::uint64_t pseq = 0;
+  for (const hist::op_desc& h : s.h1) run_op(0, h, ++pseq);
+
+  // --- Common prefix: p executes Opp and halts just before returning -----
+  const std::uint64_t opp_seq = ++pseq;
+  submit_op(0, s.opp, opp_seq);
+  // Step p until it is parked at the response-logging checkpoint: all memory
+  // effects of Opp done, response not yet delivered.
+  while (!(invoke_logged(lg, 0, opp_seq) &&
+           w.pending_access(0) == nvm::access::control)) {
+    w.step(0);
+  }
+
+  // --- γ: q performs Op′ and the p-free extension ------------------------
+  std::uint64_t qseq = 0;
+  run_op(1, s.op1, ++qseq);
+  for (const hist::op_desc& ext : s.extension) run_op(1, ext, ++qseq);
+
+  if (e_branch) {
+    // p returns from Opp...
+    drive_solo(w, 0);
+    board.of(0).done_seq.store(opp_seq);
+    // ...invokes a second Opp; crash immediately after the invocation.
+    submit_op(0, s.opp, opp_seq + 1);
+    while (!invoke_logged(lg, 0, opp_seq + 1)) w.step(0);
+  }
+  w.crash();
+  {
+    hist::event e;
+    e.kind = hist::event_kind::crash;
+    lg.append(e);
+  }
+
+  // --- p recovers ---------------------------------------------------------
+  w.submit(0, [&rt] { rt.maybe_recover(0); });
+  drive_solo(w, 0);
+
+  aux_outcome out;
+  for (const hist::event& e : lg.snapshot()) {
+    if (e.kind == hist::event_kind::recover_result && e.pid == 0) {
+      out.verdict = e.verdict;
+      out.recovered_value = e.value;
+    }
+  }
+
+  // --- q probes with Opq ---------------------------------------------------
+  run_op(1, s.opq, ++qseq);
+  for (const hist::event& e : lg.snapshot()) {
+    if (e.kind == hist::event_kind::response && e.pid == 1) {
+      out.probe_response = e.value;
+    }
+  }
+
+  auto spec = s.make_spec();
+  hist::check_result cr = hist::check_durable_linearizability(lg.snapshot(), *spec);
+  out.violation = !cr.ok;
+  out.detail = cr.message;
+  return out;
+}
+
+}  // namespace
+
+aux_outcome run_e_branch(const aux_scenario& s) { return run_branch(s, true); }
+aux_outcome run_d_branch(const aux_scenario& s) { return run_branch(s, false); }
+
+aux_scenario register_scenario(bool stripped) {
+  aux_scenario s;
+  s.name = stripped ? "register (no auxiliary state)" : "register (Algorithm 1)";
+  s.make_object = [stripped](int n, core::announcement_board& b,
+                             nvm::pmem_domain& dom)
+      -> std::unique_ptr<core::detectable_object> {
+    auto reg = std::make_unique<core::detectable_register>(n, b, 0, dom);
+    if (!stripped) return reg;
+    struct holder final : core::detectable_object {
+      std::unique_ptr<core::detectable_register> inner;
+      base::stripped wrap;
+      explicit holder(std::unique_ptr<core::detectable_register> r)
+          : inner(std::move(r)), wrap(*inner) {}
+      hist::value_t invoke(int pid, const hist::op_desc& op) override {
+        return wrap.invoke(pid, op);
+      }
+      core::recovery_result recover(int pid, const hist::op_desc& op) override {
+        return wrap.recover(pid, op);
+      }
+      bool wants_aux_reset() const override { return false; }
+    };
+    return std::make_unique<holder>(std::move(reg));
+  };
+  s.make_spec = [] {
+    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
+  };
+  // Lemma 3 witness: Opp = write_p(1), Op′ = read_q, extension = write_q(0),
+  // Opq = read_q.
+  s.opp = {0, hist::opcode::reg_write, 1, 0, 0};
+  s.op1 = {0, hist::opcode::reg_read, 0, 0, 0};
+  s.extension = {{0, hist::opcode::reg_write, 0, 0, 0}};
+  s.opq = {0, hist::opcode::reg_read, 0, 0, 0};
+  return s;
+}
+
+aux_scenario cas_scenario(bool stripped) {
+  aux_scenario s;
+  s.name = stripped ? "CAS (no auxiliary state)" : "CAS (Algorithm 2)";
+  s.make_object = [stripped](int n, core::announcement_board& b,
+                             nvm::pmem_domain& dom)
+      -> std::unique_ptr<core::detectable_object> {
+    auto cas = std::make_unique<core::detectable_cas>(n, b, 0, dom);
+    if (!stripped) return cas;
+    struct holder final : core::detectable_object {
+      std::unique_ptr<core::detectable_cas> inner;
+      base::stripped wrap;
+      explicit holder(std::unique_ptr<core::detectable_cas> c)
+          : inner(std::move(c)), wrap(*inner) {}
+      hist::value_t invoke(int pid, const hist::op_desc& op) override {
+        return wrap.invoke(pid, op);
+      }
+      core::recovery_result recover(int pid, const hist::op_desc& op) override {
+        return wrap.recover(pid, op);
+      }
+      bool wants_aux_reset() const override { return false; }
+    };
+    return std::make_unique<holder>(std::move(cas));
+  };
+  s.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::cas_spec(0)); };
+  // Lemma 6 witness: Opp = CAS_p(0,1), Op′ = CAS_q(0,1), extension =
+  // CAS_q(1,0), Opq = CAS_q(0,1).
+  s.opp = {0, hist::opcode::cas, 0, 1, 0};
+  s.op1 = {0, hist::opcode::cas, 0, 1, 0};
+  s.extension = {{0, hist::opcode::cas, 1, 0, 0}};
+  s.opq = {0, hist::opcode::cas, 0, 1, 0};
+  return s;
+}
+
+aux_scenario queue_scenario(bool stripped) {
+  aux_scenario s;
+  s.name = stripped ? "queue (no auxiliary state)" : "queue (op identifiers)";
+  s.make_object = [stripped](int n, core::announcement_board& b,
+                             nvm::pmem_domain& dom)
+      -> std::unique_ptr<core::detectable_object> {
+    auto q = std::make_unique<core::detectable_queue>(n, b, 32, dom);
+    if (!stripped) return q;
+    struct holder final : core::detectable_object {
+      std::unique_ptr<core::detectable_queue> inner;
+      base::stripped wrap;
+      explicit holder(std::unique_ptr<core::detectable_queue> qq)
+          : inner(std::move(qq)), wrap(*inner) {}
+      hist::value_t invoke(int pid, const hist::op_desc& op) override {
+        return wrap.invoke(pid, op);
+      }
+      core::recovery_result recover(int pid, const hist::op_desc& op) override {
+        return wrap.recover(pid, op);
+      }
+      bool wants_aux_reset() const override { return false; }
+    };
+    return std::make_unique<holder>(std::move(q));
+  };
+  s.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::queue_spec()); };
+  // Lemma 8 witness: H1 = Enq_p(10) ◦ Enq_p(11); Opp = Deq_p; Op′ = Deq_q;
+  // extension = Enq_q(10) ◦ Enq_q(11); Opq = Deq_q.
+  s.h1 = {{0, hist::opcode::enq, 10, 0, 0}, {0, hist::opcode::enq, 11, 0, 0}};
+  s.opp = {0, hist::opcode::deq, 0, 0, 0};
+  s.op1 = {0, hist::opcode::deq, 0, 0, 0};
+  s.extension = {{0, hist::opcode::enq, 10, 0, 0},
+                 {0, hist::opcode::enq, 11, 0, 0}};
+  s.opq = {0, hist::opcode::deq, 0, 0, 0};
+  return s;
+}
+
+aux_scenario counter_scenario(bool stripped) {
+  aux_scenario s;
+  s.name = stripped ? "counter (no auxiliary state)" : "counter (RMW capsule)";
+  s.make_object = [stripped](int n, core::announcement_board& b,
+                             nvm::pmem_domain& dom)
+      -> std::unique_ptr<core::detectable_object> {
+    auto c = std::make_unique<core::detectable_counter>(n, b, 0, dom);
+    if (!stripped) return c;
+    struct holder final : core::detectable_object {
+      std::unique_ptr<core::detectable_counter> inner;
+      base::stripped wrap;
+      explicit holder(std::unique_ptr<core::detectable_counter> cc)
+          : inner(std::move(cc)), wrap(*inner) {}
+      hist::value_t invoke(int pid, const hist::op_desc& op) override {
+        return wrap.invoke(pid, op);
+      }
+      core::recovery_result recover(int pid, const hist::op_desc& op) override {
+        return wrap.recover(pid, op);
+      }
+      bool wants_aux_reset() const override { return false; }
+    };
+    return std::make_unique<holder>(std::move(c));
+  };
+  s.make_spec = [] {
+    return std::unique_ptr<hist::spec>(new hist::counter_spec(0));
+  };
+  // Lemma 5 witness: Opp = Increment_p, Op′ = read_q, empty p-free
+  // extension, Opq = read_q.
+  s.opp = {0, hist::opcode::ctr_add, 1, 0, 0};
+  s.op1 = {0, hist::opcode::ctr_read, 0, 0, 0};
+  s.extension = {};
+  s.opq = {0, hist::opcode::ctr_read, 0, 0, 0};
+  return s;
+}
+
+aux_scenario max_register_scenario() {
+  aux_scenario s;
+  s.name = "max register (Algorithm 3, no auxiliary state)";
+  s.make_object = [](int n, core::announcement_board& b, nvm::pmem_domain& dom)
+      -> std::unique_ptr<core::detectable_object> {
+    return std::make_unique<core::max_register>(n, b, dom);
+  };
+  s.make_spec = [] {
+    return std::unique_ptr<hist::spec>(new hist::max_register_spec(0));
+  };
+  // The analogous schedule: Opp = writeMax_p(5), Op′ = read_q, extension =
+  // writeMax_q(3), Opq = read_q. (No witness exists — Lemma 4 — so no
+  // violation should arise.)
+  s.opp = {0, hist::opcode::max_write, 5, 0, 0};
+  s.op1 = {0, hist::opcode::max_read, 0, 0, 0};
+  s.extension = {{0, hist::opcode::max_write, 3, 0, 0}};
+  s.opq = {0, hist::opcode::max_read, 0, 0, 0};
+  return s;
+}
+
+}  // namespace detect::theory

@@ -1,0 +1,198 @@
+#include "theory/perturbing.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace detect::theory {
+
+std::string abstract_op::to_string() const {
+  std::ostringstream os;
+  os << "p" << pid << ":" << to_desc().to_string();
+  return os.str();
+}
+
+std::string dp_witness::to_string() const {
+  std::ostringstream os;
+  os << "H1=[";
+  for (const auto& o : h1) os << o.to_string() << " ";
+  os << "] Opp=" << opp.to_string() << " Op'=" << op1.to_string() << " ext=[";
+  for (const auto& o : extension) os << o.to_string() << " ";
+  os << "] Opq=" << op2.to_string();
+  return os.str();
+}
+
+hist::value_t response_after(const hist::spec& init,
+                             const std::vector<abstract_op>& h,
+                             const abstract_op& probe) {
+  auto s = init.clone();
+  for (const abstract_op& o : h) s->apply(o.to_desc());
+  return s->apply(probe.to_desc());
+}
+
+bool is_perturbing_after(const hist::spec& init,
+                         const std::vector<abstract_op>& h,
+                         const abstract_op& op, const abstract_op& probe) {
+  if (op.pid == probe.pid) return false;  // Op′ must be by a different process
+  std::vector<abstract_op> with = h;
+  with.push_back(op);
+  return response_after(init, with, probe) != response_after(init, h, probe);
+}
+
+dp_check check_witness(const hist::spec& init, const dp_witness& w) {
+  dp_check r;
+  r.cond1 = is_perturbing_after(init, w.h1, w.opp, w.op1);
+
+  r.extension_p_free = true;
+  for (const abstract_op& o : w.extension) {
+    if (o.pid == w.opp.pid) r.extension_p_free = false;
+  }
+
+  std::vector<abstract_op> h2 = w.h1;
+  h2.push_back(w.opp);
+  h2.push_back(w.op1);
+  h2.insert(h2.end(), w.extension.begin(), w.extension.end());
+  r.cond2 = is_perturbing_after(init, h2, w.opp, w.op2);
+
+  r.ok = r.cond1 && r.cond2 && r.extension_p_free;
+  std::ostringstream os;
+  os << "cond1=" << r.cond1 << " cond2=" << r.cond2
+     << " p-free-ext=" << r.extension_p_free << " :: " << w.to_string();
+  r.detail = os.str();
+  return r;
+}
+
+namespace {
+
+// Enumerate all sequences of length exactly `len` over `universe`, invoking
+// `fn`; returns true if `fn` returned true (early stop).
+bool for_each_sequence(const std::vector<abstract_op>& universe, int len,
+                       std::vector<abstract_op>& buf,
+                       const std::function<bool()>& fn) {
+  if (len == 0) return fn();
+  for (const abstract_op& o : universe) {
+    buf.push_back(o);
+    if (for_each_sequence(universe, len - 1, buf, fn)) return true;
+    buf.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+dp_search_result search_witness(const hist::spec& init,
+                                const std::vector<abstract_op>& universe,
+                                int max_h1, int max_ext) {
+  dp_search_result res;
+  std::vector<abstract_op> h1;
+  for (int len1 = 0; len1 <= max_h1 && !res.found; ++len1) {
+    h1.clear();
+    for_each_sequence(universe, len1, h1, [&] {
+      for (const abstract_op& opp : universe) {
+        for (const abstract_op& op1 : universe) {
+          ++res.explored;
+          if (!is_perturbing_after(init, h1, opp, op1)) continue;
+          // cond1 holds; search for a p-free extension enabling cond2.
+          std::vector<abstract_op> pfree;
+          for (const abstract_op& o : universe) {
+            if (o.pid != opp.pid) pfree.push_back(o);
+          }
+          std::vector<abstract_op> ext;
+          for (int len2 = 0; len2 <= max_ext && !res.found; ++len2) {
+            ext.clear();
+            for_each_sequence(pfree, len2, ext, [&] {
+              std::vector<abstract_op> h2 = h1;
+              h2.push_back(opp);
+              h2.push_back(op1);
+              h2.insert(h2.end(), ext.begin(), ext.end());
+              for (const abstract_op& op2 : universe) {
+                ++res.explored;
+                if (is_perturbing_after(init, h2, opp, op2)) {
+                  res.found = true;
+                  res.witness = {h1, opp, op1, ext, op2};
+                  return true;
+                }
+              }
+              return false;
+            });
+          }
+          if (res.found) return true;
+        }
+      }
+      return false;
+    });
+  }
+  return res;
+}
+
+int count_successive_perturbs(const hist::spec& init,
+                              const std::vector<abstract_op>& h,
+                              const abstract_op& op, const abstract_op& probe,
+                              int limit) {
+  std::vector<abstract_op> cur = h;
+  int count = 0;
+  for (int i = 0; i < limit; ++i) {
+    hist::value_t before = response_after(init, cur, probe);
+    cur.push_back(op);
+    hist::value_t after = response_after(init, cur, probe);
+    if (before != after) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Appendix witnesses. Process 0 plays p; process 1 plays q (and r).
+
+dp_witness register_witness() {
+  // Lemma 3: write_p(v1) perturbs read_q after ∅; extend with write_q(v0).
+  dp_witness w;
+  w.opp = {0, hist::opcode::reg_write, 1, 0};
+  w.op1 = {1, hist::opcode::reg_read, 0, 0};
+  w.extension = {{1, hist::opcode::reg_write, 0, 0}};
+  w.op2 = {1, hist::opcode::reg_read, 0, 0};
+  return w;
+}
+
+dp_witness counter_witness() {
+  // Lemma 5: Increment_p perturbs read_q after ∅; empty p-free extension.
+  dp_witness w;
+  w.opp = {0, hist::opcode::ctr_add, 1, 0};
+  w.op1 = {1, hist::opcode::ctr_read, 0, 0};
+  w.extension = {};
+  w.op2 = {1, hist::opcode::ctr_read, 0, 0};
+  return w;
+}
+
+dp_witness cas_witness() {
+  // Lemma 6: CAS_p(v0,v1) perturbs CAS_q(v0,v1) after ∅; extend with
+  // CAS_q(v1,v0).
+  dp_witness w;
+  w.opp = {0, hist::opcode::cas, 0, 1};
+  w.op1 = {1, hist::opcode::cas, 0, 1};
+  w.extension = {{1, hist::opcode::cas, 1, 0}};
+  w.op2 = {1, hist::opcode::cas, 0, 1};
+  return w;
+}
+
+dp_witness faa_witness() {
+  // Lemma 7: FAA_p(1) perturbs read_q after ∅; empty p-free extension.
+  dp_witness w;
+  w.opp = {0, hist::opcode::ctr_add, 1, 0};
+  w.op1 = {1, hist::opcode::ctr_read, 0, 0};
+  w.extension = {};
+  w.op2 = {1, hist::opcode::ctr_read, 0, 0};
+  return w;
+}
+
+dp_witness queue_witness() {
+  // Lemma 8: H1 = Enq_p(v0) ◦ Enq_p(v1); Deq_p perturbs Deq_q; extend with
+  // Enq_q(v0) ◦ Enq_q(v1).
+  dp_witness w;
+  w.h1 = {{0, hist::opcode::enq, 0, 0}, {0, hist::opcode::enq, 1, 0}};
+  w.opp = {0, hist::opcode::deq, 0, 0};
+  w.op1 = {1, hist::opcode::deq, 0, 0};
+  w.extension = {{1, hist::opcode::enq, 0, 0}, {1, hist::opcode::enq, 1, 0}};
+  w.op2 = {1, hist::opcode::deq, 0, 0};
+  return w;
+}
+
+}  // namespace detect::theory

@@ -1,0 +1,105 @@
+// Doubly-perturbing objects (§5, Definition 3) — mechanical certificates.
+//
+// An operation Op (by p) is *perturbing w.r.t. Op′* (by another process)
+// after a sequential history H if Op′ returns different responses in
+// H ◦ Op ◦ Op′ and in H ◦ Op′. O is *doubly-perturbing* when some Opp is
+// perturbing after some H1, and H1 ◦ Opp ◦ Op′ has a p-free extension H2
+// after which (a second instance of) Opp is perturbing again.
+//
+// `check_witness` verifies a concrete witness package against a sequential
+// spec, mechanizing the appendix's Lemmas 3 and 5-8. `search_witness` does a
+// bounded exhaustive search for any witness — used to support Lemma 4's
+// negative claim for the max register within a finite operation universe.
+// `count_successive_perturbs` quantifies the "bounded counter is doubly-
+// perturbing but not perturbable" remark: how many times re-invoking the same
+// operation keeps changing an observer's response.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "history/specs.hpp"
+
+namespace detect::theory {
+
+/// An abstract operation instance in a sequential history: who runs it and
+/// what it is. Object routing is irrelevant here (single-object histories).
+struct abstract_op {
+  int pid = 0;
+  hist::opcode code = hist::opcode::nop;
+  hist::value_t a = 0;
+  hist::value_t b = 0;
+
+  hist::op_desc to_desc() const {
+    hist::op_desc d;
+    d.code = code;
+    d.a = a;
+    d.b = b;
+    return d;
+  }
+  std::string to_string() const;
+};
+
+/// Response of `probe` executed right after history `h` on a fresh clone of
+/// `init`.
+hist::value_t response_after(const hist::spec& init,
+                             const std::vector<abstract_op>& h,
+                             const abstract_op& probe);
+
+/// Definition: op (by op.pid) is perturbing w.r.t. probe (by probe.pid ≠
+/// op.pid) after h.
+bool is_perturbing_after(const hist::spec& init,
+                         const std::vector<abstract_op>& h,
+                         const abstract_op& op, const abstract_op& probe);
+
+struct dp_witness {
+  std::vector<abstract_op> h1;
+  abstract_op opp;                   // the witnessing operation by p
+  abstract_op op1;                   // Op′ perturbed after H1
+  std::vector<abstract_op> extension;  // p-free extension forming H2
+  abstract_op op2;                   // operation perturbed after H2
+
+  std::string to_string() const;
+};
+
+struct dp_check {
+  bool cond1 = false;          // Opp perturbing w.r.t. Op′ after H1
+  bool cond2 = false;          // Opp perturbing w.r.t. Op2 after H2
+  bool extension_p_free = false;
+  bool ok = false;
+  std::string detail;
+};
+
+dp_check check_witness(const hist::spec& init, const dp_witness& w);
+
+struct dp_search_result {
+  bool found = false;
+  dp_witness witness;
+  std::uint64_t explored = 0;
+};
+
+/// Bounded exhaustive search over histories drawn from `universe`
+/// (h1 length ≤ max_h1, extension length ≤ max_ext). Every op/probe choice
+/// also comes from `universe`.
+dp_search_result search_witness(const hist::spec& init,
+                                const std::vector<abstract_op>& universe,
+                                int max_h1, int max_ext);
+
+/// Apply `h`, then repeatedly run `op` (fresh instances) and measure how many
+/// applications change `probe`'s would-be response, up to `limit` rounds.
+/// Unbounded counter: == limit; bounded counter with cap c: c − current;
+/// max register writing v: at most 1.
+int count_successive_perturbs(const hist::spec& init,
+                              const std::vector<abstract_op>& h,
+                              const abstract_op& op, const abstract_op& probe,
+                              int limit);
+
+/// Ready-made witnesses for the appendix lemmas.
+dp_witness register_witness();   // Lemma 3
+dp_witness counter_witness();    // Lemma 5
+dp_witness cas_witness();        // Lemma 6
+dp_witness faa_witness();        // Lemma 7
+dp_witness queue_witness();      // Lemma 8
+
+}  // namespace detect::theory

@@ -1,0 +1,213 @@
+// Baselines: unbounded-id register/CAS correctness (they must be just as
+// detectable as Algorithms 1-2 — the paper's point is their *space*, not
+// their correctness), unbounded-id growth, and plain-object behaviour.
+#include <gtest/gtest.h>
+
+#include "baselines/attiya_register.hpp"
+#include "baselines/bendavid_cas.hpp"
+#include "baselines/plain.hpp"
+#include "baselines/stripped.hpp"
+#include "core/detectable_register.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace detect;
+using namespace detect::test;
+
+scenario_config attiya_scenario(int nprocs,
+                                std::map<int, std::vector<hist::op_desc>> scripts,
+                                core::runtime::fail_policy policy =
+                                    core::runtime::fail_policy::skip) {
+  scenario_config cfg;
+  cfg.nprocs = nprocs;
+  cfg.scripts = std::move(scripts);
+  cfg.policy = policy;
+  cfg.make_objects = [nprocs](sim_fixture& f,
+                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    objs.push_back(std::make_unique<base::attiya_register>(nprocs, f.board, 0,
+                                                           f.w.domain()));
+    f.rt.register_object(0, *objs.back());
+  };
+  cfg.make_spec = [] {
+    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
+  };
+  return cfg;
+}
+
+scenario_config bendavid_scenario(int nprocs,
+                                  std::map<int, std::vector<hist::op_desc>> scripts,
+                                  core::runtime::fail_policy policy =
+                                      core::runtime::fail_policy::skip) {
+  scenario_config cfg;
+  cfg.nprocs = nprocs;
+  cfg.scripts = std::move(scripts);
+  cfg.policy = policy;
+  cfg.make_objects = [nprocs](sim_fixture& f,
+                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    objs.push_back(
+        std::make_unique<base::bendavid_cas>(nprocs, f.board, 0, f.w.domain()));
+    f.rt.register_object(0, *objs.back());
+  };
+  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::cas_spec(0)); };
+  return cfg;
+}
+
+TEST(tag_helpers, roundtrip) {
+  std::uint64_t t = base::make_tag(3, 12345);
+  EXPECT_EQ(base::tag_pid(t), 3);
+  EXPECT_EQ(base::tag_seq(t), 12345u);
+  EXPECT_NE(t, 0u) << "tags must not collide with the initial tag 0";
+}
+
+TEST(attiya_register, sequential) {
+  auto cfg = attiya_scenario(
+      1, {{0, {op_write(5), op_read(), op_write(7), op_read()}}});
+  auto out = run_scenario(cfg, 1);
+  EXPECT_TRUE(out.check.ok) << out.check.message;
+}
+
+TEST(attiya_register, concurrent_seeds) {
+  auto cfg = attiya_scenario(3, {
+                                    {0, {op_write(1), op_write(2)}},
+                                    {1, {op_write(3), op_read()}},
+                                    {2, {op_read(), op_read()}},
+                                });
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    auto out = run_scenario(cfg, seed);
+    ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
+  }
+}
+
+TEST(attiya_register, crash_sweep) {
+  auto cfg = attiya_scenario(2, {
+                                    {0, {op_write(1), op_write(2)}},
+                                    {1, {op_write(5), op_read()}},
+                                });
+  crash_sweep(cfg, 3);
+}
+
+TEST(attiya_register, crash_fuzz_retry) {
+  auto cfg = attiya_scenario(2,
+                             {
+                                 {0, {op_write(1), op_write(2)}},
+                                 {1, {op_write(5), op_read()}},
+                             },
+                             core::runtime::fail_policy::retry);
+  crash_fuzz(cfg, 120, 2);
+}
+
+TEST(attiya_register, ids_grow_without_bound) {
+  sim_fixture f(2);
+  base::attiya_register reg(2, f.board, 0, f.w.domain());
+  f.rt.register_object(0, reg);
+  f.rt.set_script(0, {op_write(1), op_write(2), op_write(3)});
+  f.rt.set_script(1, {op_write(4), op_write(5)});
+  sim::round_robin_scheduler rr;
+  f.rt.run(rr);
+  EXPECT_EQ(reg.ids_minted(), 5u) << "one fresh id per write";
+}
+
+TEST(bendavid_cas, sequential) {
+  auto cfg = bendavid_scenario(
+      1, {{0, {op_cas(0, 1), op_cas(0, 2), op_cas(1, 2), op_cas_read()}}});
+  auto out = run_scenario(cfg, 1);
+  EXPECT_TRUE(out.check.ok) << out.check.message;
+}
+
+TEST(bendavid_cas, contended_seeds) {
+  auto cfg = bendavid_scenario(2, {
+                                      {0, {op_cas(0, 1), op_cas(1, 0)}},
+                                      {1, {op_cas(0, 2), op_cas_read()}},
+                                  });
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    auto out = run_scenario(cfg, seed);
+    ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
+  }
+}
+
+TEST(bendavid_cas, crash_sweep) {
+  auto cfg = bendavid_scenario(2, {
+                                      {0, {op_cas(0, 1), op_cas(1, 0)}},
+                                      {1, {op_cas(0, 2), op_cas_read()}},
+                                  });
+  crash_sweep(cfg, 5);
+}
+
+TEST(bendavid_cas, aba_cycle_fuzz) {
+  auto cfg = bendavid_scenario(2, {
+                                      {0, {op_cas(0, 1), op_cas(0, 1)}},
+                                      {1, {op_cas(1, 0), op_cas(1, 0)}},
+                                  });
+  crash_fuzz(cfg, 120, 2);
+}
+
+TEST(bendavid_cas, ids_grow_without_bound) {
+  sim_fixture f(2);
+  base::bendavid_cas cas(2, f.board, 0, f.w.domain());
+  f.rt.register_object(0, cas);
+  f.rt.set_script(0, {op_cas(0, 1), op_cas(1, 2)});
+  f.rt.set_script(1, {op_cas(0, 5)});
+  sim::round_robin_scheduler rr;
+  f.rt.run(rr);
+  EXPECT_EQ(cas.ids_minted(), 3u) << "one fresh id per CAS operation";
+}
+
+TEST(plain_objects, correct_without_crashes) {
+  scenario_config cfg;
+  cfg.nprocs = 2;
+  cfg.scripts = {{0, {op_write(1), op_read()}}, {1, {op_write(2), op_read()}}};
+  cfg.make_objects = [](sim_fixture& f,
+                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    objs.push_back(std::make_unique<base::plain_register>(0, f.w.domain()));
+    f.rt.register_object(0, *objs.back());
+  };
+  cfg.make_spec = [] {
+    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
+  };
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto out = run_scenario(cfg, seed);
+    ASSERT_TRUE(out.check.ok) << out.check.message;
+  }
+}
+
+TEST(plain_objects, cas_and_counter_sequential) {
+  sim_fixture f(1);
+  base::plain_cas cas(0, f.w.domain());
+  base::plain_counter ctr(0, f.w.domain());
+  f.rt.register_object(0, cas);
+  f.rt.register_object(1, ctr);
+  f.rt.set_script(0, {op_cas(0, 1), op_cas_read(0), op_add(5, 1), op_ctr_read(1)});
+  sim::round_robin_scheduler rr;
+  f.rt.run(rr);
+  hist::multi_spec spec;
+  spec.add_object(0, std::make_unique<hist::cas_spec>(0));
+  spec.add_object(1, std::make_unique<hist::counter_spec>(0));
+  auto r = hist::check_durable_linearizability(f.lg.snapshot(), spec);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(plain_objects, recovery_is_undetectable) {
+  sim_fixture f(1);
+  base::plain_register reg(0, f.w.domain());
+  auto rr = reg.recover(0, op_write(1));
+  EXPECT_EQ(rr.verdict, hist::recovery_verdict::fail)
+      << "plain objects cannot detect";
+}
+
+TEST(stripped_wrapper, forwards_but_disables_aux) {
+  sim_fixture f(2);
+  core::detectable_register reg(2, f.board, 0, f.w.domain());
+  base::stripped s(reg);
+  EXPECT_FALSE(s.wants_aux_reset());
+  f.rt.register_object(0, s);
+  f.rt.set_script(0, {op_write(3), op_read()});
+  sim::round_robin_scheduler rr;
+  f.rt.run(rr);
+  auto r = hist::check_durable_linearizability(f.lg.snapshot(),
+                                               hist::register_spec(0));
+  EXPECT_TRUE(r.ok) << "without crashes the stripped object behaves normally:\n"
+                    << r.message;
+}
+
+}  // namespace

@@ -1,0 +1,343 @@
+// Algorithm 2 (detectable CAS): sequential behaviour, flip-vector recovery
+// semantics, crash sweeps, schedule fuzzing, and exhaustive exploration.
+#include <gtest/gtest.h>
+
+#include "core/detectable_cas.hpp"
+#include "core/nrl.hpp"
+#include "sim/explorer.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace detect;
+using namespace detect::test;
+
+scenario_config cas_scenario(int nprocs,
+                             std::map<int, std::vector<hist::op_desc>> scripts,
+                             core::runtime::fail_policy policy =
+                                 core::runtime::fail_policy::skip) {
+  scenario_config cfg;
+  cfg.nprocs = nprocs;
+  cfg.scripts = std::move(scripts);
+  cfg.policy = policy;
+  cfg.make_objects = [nprocs](sim_fixture& f,
+                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    objs.push_back(std::make_unique<core::detectable_cas>(nprocs, f.board, 0,
+                                                          f.w.domain()));
+    f.rt.register_object(0, *objs.back());
+  };
+  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::cas_spec(0)); };
+  return cfg;
+}
+
+TEST(detectable_cas, rejects_too_many_processes) {
+  sim_fixture f(1);
+  EXPECT_THROW(core::detectable_cas(65, f.board, 0, f.w.domain()),
+               std::invalid_argument);
+}
+
+TEST(detectable_cas, sequential_semantics) {
+  auto cfg = cas_scenario(
+      1, {{0, {op_cas(0, 1), op_cas(0, 2), op_cas(1, 2), op_cas_read()}}});
+  auto out = run_scenario(cfg, 1);
+  EXPECT_TRUE(out.check.ok) << out.check.message;
+}
+
+TEST(detectable_cas, contended_cas_exactly_one_winner) {
+  // Both processes CAS(0→their value); exactly one must win.
+  auto cfg = cas_scenario(2, {
+                                 {0, {op_cas(0, 1), op_cas_read()}},
+                                 {1, {op_cas(0, 2), op_cas_read()}},
+                             });
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    auto out = run_scenario(cfg, seed);
+    ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
+  }
+}
+
+TEST(detectable_cas, crash_sweep_single_proc) {
+  auto cfg = cas_scenario(1, {{0, {op_cas(0, 1), op_cas(1, 2), op_cas_read()}}});
+  crash_sweep(cfg, 1);
+}
+
+TEST(detectable_cas, crash_sweep_contended) {
+  auto cfg = cas_scenario(2, {
+                                 {0, {op_cas(0, 1), op_cas(1, 0)}},
+                                 {1, {op_cas(0, 2), op_cas_read()}},
+                             });
+  crash_sweep(cfg, 9);
+}
+
+TEST(detectable_cas, crash_sweep_retry_policy) {
+  auto cfg = cas_scenario(2,
+                          {
+                              {0, {op_cas(0, 1), op_cas(1, 2)}},
+                              {1, {op_cas(0, 3), op_cas_read()}},
+                          },
+                          core::runtime::fail_policy::retry);
+  crash_sweep(cfg, 17);
+}
+
+TEST(detectable_cas, multi_crash_fuzz) {
+  auto cfg = cas_scenario(3, {
+                                 {0, {op_cas(0, 1), op_cas(1, 2)}},
+                                 {1, {op_cas(0, 2), op_cas(2, 3)}},
+                                 {2, {op_cas_read(), op_cas(1, 4)}},
+                             });
+  crash_fuzz(cfg, 150, 2);
+}
+
+TEST(detectable_cas, abab_value_cycle_fuzz) {
+  // Values cycle 0→1→0→1: without the flip vector this is the classic ABA
+  // trap for recovery.
+  auto cfg = cas_scenario(2, {
+                                 {0, {op_cas(0, 1), op_cas(0, 1)}},
+                                 {1, {op_cas(1, 0), op_cas(1, 0)}},
+                             });
+  crash_fuzz(cfg, 150, 2);
+}
+
+// Deterministic construction of Algorithm 2's two post-checkpoint recovery
+// paths (lines 42-46): crash right BEFORE the CAS of line 35 ⇒ vec[p] still
+// matches the pre-flip state ⇒ fail; crash right AFTER the successful CAS ⇒
+// vec[p] equals the persisted flipped bit ⇒ linearized(true).
+TEST(detectable_cas, line43_flip_bit_decides_both_ways) {
+  for (bool crash_after_cas : {false, true}) {
+    sim_fixture f(2);
+    core::detectable_cas cas(2, f.board, 0, f.w.domain());
+    f.rt.register_object(0, cas);
+    f.w.submit(0, [&rt = f.rt] {
+      hist::op_desc d = op_cas(0, 7);
+      d.client_seq = 1;
+      rt.announce_and_invoke(0, d);
+    });
+    // Step until the next access is the CAS itself (the only shared_cas in
+    // the operation, issued with CP == 1).
+    while (!(f.board.of(0).cp.peek() == 1 &&
+             f.w.pending_access(0) == nvm::access::shared_cas)) {
+      f.w.step(0);
+    }
+    if (crash_after_cas) f.w.step(0);  // execute line 35
+    f.w.crash();
+    {
+      hist::event e;
+      e.kind = hist::event_kind::crash;
+      f.lg.append(e);
+    }
+    f.w.submit(0, [&rt = f.rt] { rt.maybe_recover(0); });
+    for (;;) {
+      auto ready = f.w.runnable();
+      if (ready.empty()) break;
+      f.w.step(ready.front());
+    }
+    hist::recovery_verdict verdict = hist::recovery_verdict::none;
+    hist::value_t value = hist::k_bottom;
+    for (const auto& e : f.lg.snapshot()) {
+      if (e.kind == hist::event_kind::recover_result && e.pid == 0) {
+        verdict = e.verdict;
+        value = e.value;
+      }
+    }
+    if (crash_after_cas) {
+      EXPECT_EQ(verdict, hist::recovery_verdict::linearized);
+      EXPECT_EQ(value, hist::k_true);
+    } else {
+      EXPECT_EQ(verdict, hist::recovery_verdict::fail);
+    }
+    auto check =
+        hist::check_durable_linearizability(f.lg.snapshot(), hist::cas_spec(0));
+    EXPECT_TRUE(check.ok) << check.message;
+  }
+}
+
+// The failed-CAS case: another process wins the race between p's read and
+// p's CAS; p's line-35 CAS executes but fails, leaving vec[p] unflipped —
+// recovery must report fail ("it did not change the value of any variable
+// that operations by other processes may read", Lemma 2).
+TEST(detectable_cas, lost_race_recovers_as_fail) {
+  sim_fixture f(2);
+  core::detectable_cas cas(2, f.board, 0, f.w.domain());
+  f.rt.register_object(0, cas);
+  f.w.submit(0, [&rt = f.rt] {
+    hist::op_desc d = op_cas(0, 7);
+    d.client_seq = 1;
+    rt.announce_and_invoke(0, d);
+  });
+  while (!(f.board.of(0).cp.peek() == 1 &&
+           f.w.pending_access(0) == nvm::access::shared_cas)) {
+    f.w.step(0);
+  }
+  // p1 sneaks in a full successful CAS(0→9).
+  f.w.submit(1, [&rt = f.rt] {
+    hist::op_desc d = op_cas(0, 9);
+    d.client_seq = 1;
+    rt.announce_and_invoke(1, d);
+  });
+  for (;;) {
+    auto ready = f.w.runnable();
+    bool p1 = false;
+    for (int r : ready) p1 |= (r == 1);
+    if (!p1) break;
+    f.w.step(1);
+  }
+  f.board.of(1).done_seq.store(1);
+  f.w.step(0);  // p0's CAS executes and fails
+  f.w.crash();
+  {
+    hist::event e;
+    e.kind = hist::event_kind::crash;
+    f.lg.append(e);
+  }
+  f.w.submit(0, [&rt = f.rt] { rt.maybe_recover(0); });
+  for (;;) {
+    auto ready = f.w.runnable();
+    if (ready.empty()) break;
+    f.w.step(ready.front());
+  }
+  hist::recovery_verdict verdict = hist::recovery_verdict::none;
+  for (const auto& e : f.lg.snapshot()) {
+    if (e.kind == hist::event_kind::recover_result && e.pid == 0) {
+      verdict = e.verdict;
+    }
+  }
+  EXPECT_EQ(verdict, hist::recovery_verdict::fail);
+  auto check =
+      hist::check_durable_linearizability(f.lg.snapshot(), hist::cas_spec(0));
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(detectable_cas, exhaustive_two_procs_one_crash_one_preemption) {
+  struct scen final : sim::exploration {
+    sim_fixture f{2};
+    std::vector<std::unique_ptr<core::detectable_object>> objs;
+    scen() {
+      objs.push_back(std::make_unique<core::detectable_cas>(2, f.board, 0,
+                                                            f.w.domain()));
+      f.rt.register_object(0, *objs.back());
+      f.rt.set_script(0, {op_cas(0, 1)});
+      f.rt.set_script(1, {op_cas(0, 2)});
+      f.rt.start();
+    }
+    sim::world& get_world() override { return f.w; }
+    void on_crash() override { f.rt.on_crash(); }
+    void at_end() override {
+      auto r = hist::check_durable_linearizability(f.lg.snapshot(),
+                                                   hist::cas_spec(0));
+      if (!r.ok) throw std::runtime_error(r.message);
+    }
+  };
+  sim::explore_config cfg;
+  cfg.max_crashes = 1;
+  cfg.max_preemptions = 1;
+  cfg.max_runs = 100'000;
+  auto res = sim::explore_schedules([] { return std::make_unique<scen>(); }, cfg);
+  EXPECT_FALSE(res.failed) << res.failure;
+  EXPECT_TRUE(res.complete) << "runs=" << res.runs;
+  EXPECT_GT(res.runs, 100u);
+}
+
+TEST(detectable_cas, vec_bit_flips_only_on_success) {
+  // Drive the object directly (no crashes) and observe the vector.
+  sim_fixture f(2);
+  core::detectable_cas cas(2, f.board, 0, f.w.domain());
+  f.rt.register_object(0, cas);
+  f.rt.set_script(0, {op_cas(0, 1), op_cas(0, 9), op_cas(1, 2)});
+  sim::round_robin_scheduler rr;
+  f.rt.run(rr);
+  // p0: success (flip), fail (no flip), success (flip) → bit back to 0.
+  auto events = f.lg.snapshot();
+  int successes = 0;
+  for (const auto& e : events) {
+    if (e.kind == hist::event_kind::response &&
+        e.desc.code == hist::opcode::cas && e.value == hist::k_true) {
+      ++successes;
+    }
+  }
+  EXPECT_EQ(successes, 2);
+}
+
+TEST(detectable_cas, read_recovery_returns_persisted_response) {
+  auto cfg = cas_scenario(2, {
+                                 {0, {op_cas(0, 5)}},
+                                 {1, {op_cas_read(), op_cas_read()}},
+                             });
+  crash_sweep(cfg, 23);
+}
+
+TEST(detectable_cas, nrl_wrapper_battery) {
+  scenario_config cfg;
+  cfg.nprocs = 2;
+  cfg.scripts = {{0, {op_cas(0, 1), op_cas(1, 2)}},
+                 {1, {op_cas(0, 7), op_cas_read()}}};
+  cfg.make_objects = [](sim_fixture& f,
+                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    objs.push_back(
+        std::make_unique<core::detectable_cas>(2, f.board, 0, f.w.domain()));
+    objs.push_back(std::make_unique<core::nrl_adapter>(*objs[0], f.board));
+    f.rt.register_object(0, *objs[1]);
+  };
+  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::cas_spec(0)); };
+  crash_sweep(cfg, 31);
+  crash_fuzz(cfg, 60, 2);
+}
+
+TEST(detectable_cas, shared_cache_with_transform) {
+  scenario_config cfg;
+  cfg.nprocs = 2;
+  cfg.scripts = {{0, {op_cas(0, 1), op_cas(1, 0)}},
+                 {1, {op_cas(0, 2), op_cas_read()}}};
+  cfg.make_objects = [](sim_fixture& f,
+                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    f.w.domain().set_model(nvm::cache_model::shared_cache);
+    f.w.domain().set_auto_persist(true);
+    objs.push_back(
+        std::make_unique<core::detectable_cas>(2, f.board, 0, f.w.domain()));
+    f.rt.register_object(0, *objs.back());
+    f.w.domain().persist_all();
+  };
+  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::cas_spec(0)); };
+  crash_sweep(cfg, 37);
+}
+
+TEST(detectable_cas, extra_bits_are_theta_n) {
+  sim_fixture f(1);
+  for (int n : {1, 8, 33, 64}) {
+    core::announcement_board board(n, f.w.domain());
+    core::detectable_cas cas(n, board, 0, f.w.domain());
+    EXPECT_EQ(cas.extra_shared_bits(), static_cast<std::size_t>(n));
+  }
+}
+
+class cas_property
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(cas_property, durable_linearizable_and_detectable) {
+  auto [seed, crashes] = GetParam();
+  auto cfg = cas_scenario(3, {
+                                 {0, {op_cas(0, 1), op_cas(1, 2)}},
+                                 {1, {op_cas(0, 2), op_cas(2, 0)}},
+                                 {2, {op_cas_read(), op_cas(1, 3)}},
+                             });
+  crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 15485863);
+}
+
+INSTANTIATE_TEST_SUITE_P(sweep, cas_property,
+                         ::testing::Combine(::testing::Range(1, 9),
+                                            ::testing::Values(0, 1, 2, 3)));
+
+// Scale sweep: the flip vector grows with N; exercise several widths.
+class cas_scale : public ::testing::TestWithParam<int> {};
+
+TEST_P(cas_scale, crash_fuzz_at_n) {
+  int n = GetParam();
+  std::map<int, std::vector<hist::op_desc>> scripts;
+  for (int p = 0; p < n; ++p) {
+    scripts[p] = {op_cas(p, p + 1), op_cas(0, p + 10)};
+  }
+  auto cfg = cas_scenario(n, scripts);
+  crash_fuzz(cfg, 25, 2, static_cast<std::uint64_t>(n) * 472882);
+}
+
+INSTANTIATE_TEST_SUITE_P(scale, cas_scale, ::testing::Values(2, 3, 4, 6));
+
+}  // namespace

@@ -1,0 +1,360 @@
+// Tests for sequential specs, the linearizability checker, and the
+// durable-linearizability/detectability record builder.
+#include <gtest/gtest.h>
+
+#include "history/checker.hpp"
+#include "history/linearizer.hpp"
+#include "history/specs.hpp"
+
+namespace {
+
+using namespace detect;
+using hist::k_ack;
+using hist::k_bottom;
+using hist::k_empty;
+using hist::k_false;
+using hist::k_npos;
+using hist::k_true;
+using hist::op_desc;
+using hist::opcode;
+
+op_desc mk(opcode c, hist::value_t a = 0, hist::value_t b = 0) {
+  return {0, c, a, b, 0};
+}
+
+// ---- specs -------------------------------------------------------------------
+
+TEST(specs, register_semantics) {
+  hist::register_spec s(5);
+  EXPECT_EQ(s.apply(mk(opcode::reg_read)), 5);
+  EXPECT_EQ(s.apply(mk(opcode::reg_write, 9)), k_ack);
+  EXPECT_EQ(s.apply(mk(opcode::reg_read)), 9);
+}
+
+TEST(specs, cas_semantics) {
+  hist::cas_spec s(0);
+  EXPECT_EQ(s.apply(mk(opcode::cas, 1, 2)), k_false);
+  EXPECT_EQ(s.apply(mk(opcode::cas, 0, 2)), k_true);
+  EXPECT_EQ(s.apply(mk(opcode::cas_read)), 2);
+}
+
+TEST(specs, counter_semantics_and_cap) {
+  hist::counter_spec s(0, 2);
+  EXPECT_EQ(s.apply(mk(opcode::ctr_add, 1)), 0);
+  EXPECT_EQ(s.apply(mk(opcode::ctr_add, 1)), 1);
+  EXPECT_EQ(s.apply(mk(opcode::ctr_add, 1)), 2);
+  EXPECT_EQ(s.apply(mk(opcode::ctr_read)), 2) << "bounded counter saturates";
+}
+
+TEST(specs, tas_semantics) {
+  hist::tas_spec s;
+  EXPECT_EQ(s.apply(mk(opcode::tas_set)), 0);
+  EXPECT_EQ(s.apply(mk(opcode::tas_set)), 1);
+  EXPECT_EQ(s.apply(mk(opcode::tas_reset)), k_ack);
+  EXPECT_EQ(s.apply(mk(opcode::tas_set)), 0);
+}
+
+TEST(specs, queue_fifo_and_empty) {
+  hist::queue_spec s;
+  EXPECT_EQ(s.apply(mk(opcode::deq)), k_empty);
+  s.apply(mk(opcode::enq, 1));
+  s.apply(mk(opcode::enq, 2));
+  EXPECT_EQ(s.apply(mk(opcode::deq)), 1);
+  EXPECT_EQ(s.apply(mk(opcode::deq)), 2);
+  EXPECT_EQ(s.apply(mk(opcode::deq)), k_empty);
+}
+
+TEST(specs, max_register_semantics) {
+  hist::max_register_spec s(0);
+  s.apply(mk(opcode::max_write, 5));
+  s.apply(mk(opcode::max_write, 3));
+  EXPECT_EQ(s.apply(mk(opcode::max_read)), 5);
+}
+
+TEST(specs, multi_routes_by_object) {
+  hist::multi_spec m;
+  m.add_object(0, std::make_unique<hist::register_spec>(0));
+  m.add_object(1, std::make_unique<hist::counter_spec>(0));
+  op_desc w = mk(opcode::reg_write, 7);
+  w.object = 0;
+  op_desc a = mk(opcode::ctr_add, 2);
+  a.object = 1;
+  m.apply(w);
+  m.apply(a);
+  op_desc r0 = mk(opcode::reg_read);
+  r0.object = 0;
+  op_desc r1 = mk(opcode::ctr_read);
+  r1.object = 1;
+  EXPECT_EQ(m.apply(r0), 7);
+  EXPECT_EQ(m.apply(r1), 2);
+}
+
+TEST(specs, clone_is_deep) {
+  hist::queue_spec s;
+  s.apply(mk(opcode::enq, 1));
+  auto c = s.clone();
+  s.apply(mk(opcode::enq, 2));
+  EXPECT_EQ(c->apply(mk(opcode::deq)), 1);
+  EXPECT_EQ(c->apply(mk(opcode::deq)), k_empty)
+      << "clone must not see post-clone mutations";
+}
+
+// ---- linearizer ----------------------------------------------------------------
+
+hist::op_record rec(int pid, op_desc d, std::size_t inv, std::size_t resp,
+                    hist::value_t r) {
+  hist::op_record o;
+  o.pid = pid;
+  o.desc = d;
+  o.invoke_index = inv;
+  o.response_index = resp;
+  o.response = r;
+  o.has_response = true;
+  return o;
+}
+
+TEST(linearizer, sequential_history_accepts) {
+  std::vector<hist::op_record> ops{
+      rec(0, mk(opcode::reg_write, 1), 0, 1, k_ack),
+      rec(1, mk(opcode::reg_read), 2, 3, 1),
+  };
+  auto r = hist::check_linearizable(ops, hist::register_spec(0));
+  EXPECT_TRUE(r.linearizable) << r.error;
+}
+
+TEST(linearizer, stale_read_rejected) {
+  std::vector<hist::op_record> ops{
+      rec(0, mk(opcode::reg_write, 1), 0, 1, k_ack),
+      rec(1, mk(opcode::reg_read), 2, 3, 0),  // must see 1
+  };
+  auto r = hist::check_linearizable(ops, hist::register_spec(0));
+  EXPECT_FALSE(r.linearizable);
+}
+
+TEST(linearizer, concurrent_ops_may_order_either_way) {
+  // write(1) concurrent with read: read may see 0 or 1.
+  for (hist::value_t seen : {0, 1}) {
+    std::vector<hist::op_record> ops{
+        rec(0, mk(opcode::reg_write, 1), 0, 3, k_ack),
+        rec(1, mk(opcode::reg_read), 1, 2, seen),
+    };
+    auto r = hist::check_linearizable(ops, hist::register_spec(0));
+    EXPECT_TRUE(r.linearizable) << "seen=" << seen << "\n" << r.error;
+  }
+}
+
+TEST(linearizer, optional_op_may_be_dropped) {
+  hist::op_record pending = rec(0, mk(opcode::reg_write, 1), 0, k_npos, 0);
+  pending.has_response = false;
+  pending.optional = true;
+  pending.response_index = k_npos;
+  std::vector<hist::op_record> ops{
+      pending,
+      rec(1, mk(opcode::reg_read), 1, 2, 0),  // never saw the write
+  };
+  auto r = hist::check_linearizable(ops, hist::register_spec(0));
+  EXPECT_TRUE(r.linearizable) << r.error;
+}
+
+TEST(linearizer, mandatory_op_cannot_be_dropped) {
+  std::vector<hist::op_record> ops{
+      rec(0, mk(opcode::reg_write, 1), 0, 1, k_ack),
+      rec(1, mk(opcode::reg_read), 2, 3, 0),  // stale — write is mandatory
+  };
+  auto r = hist::check_linearizable(ops, hist::register_spec(0));
+  EXPECT_FALSE(r.linearizable);
+}
+
+TEST(linearizer, cas_double_success_rejected) {
+  std::vector<hist::op_record> ops{
+      rec(0, mk(opcode::cas, 0, 1), 0, 1, k_true),
+      rec(1, mk(opcode::cas, 0, 1), 2, 3, k_true),  // impossible
+  };
+  auto r = hist::check_linearizable(ops, hist::cas_spec(0));
+  EXPECT_FALSE(r.linearizable);
+}
+
+TEST(linearizer, queue_fifo_violation_rejected) {
+  std::vector<hist::op_record> ops{
+      rec(0, mk(opcode::enq, 1), 0, 1, k_ack),
+      rec(0, mk(opcode::enq, 2), 2, 3, k_ack),
+      rec(1, mk(opcode::deq), 4, 5, 2),  // out of order
+  };
+  auto r = hist::check_linearizable(ops, hist::queue_spec());
+  EXPECT_FALSE(r.linearizable);
+}
+
+TEST(linearizer, witness_has_all_nonoptional_ops) {
+  std::vector<hist::op_record> ops{
+      rec(0, mk(opcode::reg_write, 1), 0, 1, k_ack),
+      rec(1, mk(opcode::reg_read), 2, 3, 1),
+  };
+  auto r = hist::check_linearizable(ops, hist::register_spec(0));
+  ASSERT_TRUE(r.linearizable);
+  EXPECT_EQ(r.witness.size(), 2u);
+}
+
+TEST(linearizer, rejects_oversized_histories) {
+  std::vector<hist::op_record> ops(65, rec(0, mk(opcode::reg_read), 0, 1, 0));
+  auto r = hist::check_linearizable(ops, hist::register_spec(0));
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.error.find("64"), std::string::npos);
+}
+
+// ---- checker / record builder ---------------------------------------------------
+
+hist::event ev(hist::event_kind k, int pid, op_desc d,
+               hist::value_t v = k_bottom,
+               hist::recovery_verdict verdict = hist::recovery_verdict::none) {
+  hist::event e;
+  e.kind = k;
+  e.pid = pid;
+  e.desc = d;
+  e.value = v;
+  e.verdict = verdict;
+  return e;
+}
+
+TEST(checker, normal_completion_builds_mandatory_record) {
+  std::vector<hist::event> events{
+      ev(hist::event_kind::invoke, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::response, 0, mk(opcode::reg_write, 1), k_ack),
+  };
+  auto recs = hist::build_records(events);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(recs[0].has_response);
+  EXPECT_FALSE(recs[0].optional);
+}
+
+TEST(checker, fail_verdict_excludes_op) {
+  std::vector<hist::event> events{
+      ev(hist::event_kind::invoke, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::crash, -1, {}),
+      ev(hist::event_kind::recover_begin, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::recover_result, 0, mk(opcode::reg_write, 1),
+         k_bottom, hist::recovery_verdict::fail),
+  };
+  auto recs = hist::build_records(events);
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST(checker, linearized_verdict_closes_op_with_response) {
+  std::vector<hist::event> events{
+      ev(hist::event_kind::invoke, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::crash, -1, {}),
+      ev(hist::event_kind::recover_begin, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::recover_result, 0, mk(opcode::reg_write, 1), k_ack,
+         hist::recovery_verdict::linearized),
+  };
+  auto recs = hist::build_records(events);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(recs[0].has_response);
+  EXPECT_EQ(recs[0].response, k_ack);
+}
+
+TEST(checker, unresolved_pending_op_is_optional) {
+  std::vector<hist::event> events{
+      ev(hist::event_kind::invoke, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::crash, -1, {}),
+  };
+  auto recs = hist::build_records(events);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(recs[0].optional);
+}
+
+TEST(checker, orphan_linearized_verdict_synthesizes_record) {
+  // Crash hit inside the announcement window; a re-invoking recovery then
+  // executed and linearized the op.
+  std::vector<hist::event> events{
+      ev(hist::event_kind::crash, -1, {}),
+      ev(hist::event_kind::recover_begin, 0, mk(opcode::max_write, 5)),
+      ev(hist::event_kind::recover_result, 0, mk(opcode::max_write, 5), k_ack,
+         hist::recovery_verdict::linearized),
+  };
+  auto recs = hist::build_records(events);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].invoke_index, 1u);
+  EXPECT_EQ(recs[0].response_index, 2u);
+}
+
+TEST(checker, orphan_fail_verdict_ignored) {
+  std::vector<hist::event> events{
+      ev(hist::event_kind::crash, -1, {}),
+      ev(hist::event_kind::recover_begin, 0, mk(opcode::reg_write, 5)),
+      ev(hist::event_kind::recover_result, 0, mk(opcode::reg_write, 5),
+         k_bottom, hist::recovery_verdict::fail),
+  };
+  auto recs = hist::build_records(events);
+  EXPECT_TRUE(recs.empty());
+}
+
+TEST(checker, duplicate_completion_report_is_ignored) {
+  // Regression: a crash between an op's response and the client's durable
+  // program-counter update makes recovery re-report "linearized" for an op
+  // the log already closed. That report must not spawn a second record.
+  op_desc w = mk(opcode::reg_write, 1);
+  w.client_seq = 1;
+  std::vector<hist::event> events{
+      ev(hist::event_kind::invoke, 0, w),
+      ev(hist::event_kind::response, 0, w, k_ack),
+      ev(hist::event_kind::crash, -1, {}),
+      ev(hist::event_kind::recover_begin, 0, w),
+      ev(hist::event_kind::recover_result, 0, w, k_ack,
+         hist::recovery_verdict::linearized),
+  };
+  auto recs = hist::build_records(events);
+  ASSERT_EQ(recs.size(), 1u) << "no phantom second record";
+  // And the full check passes with a subsequent read seeing the write once.
+  op_desc r = mk(opcode::reg_read);
+  r.client_seq = 1;
+  events.push_back(ev(hist::event_kind::invoke, 1, r));
+  events.push_back(ev(hist::event_kind::response, 1, r, 1));
+  auto res = hist::check_durable_linearizability(events, hist::register_spec(0));
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(checker, lock_spec_checks_mutual_exclusion) {
+  // Two concurrent successful trylocks must be rejected by the lock spec.
+  op_desc t0 = mk(opcode::lock_try, 0);
+  op_desc t1 = mk(opcode::lock_try, 1);
+  std::vector<hist::event> events{
+      ev(hist::event_kind::invoke, 0, t0),
+      ev(hist::event_kind::response, 0, t0, k_true),
+      ev(hist::event_kind::invoke, 1, t1),
+      ev(hist::event_kind::response, 1, t1, k_true),  // impossible
+  };
+  auto res = hist::check_durable_linearizability(events, hist::lock_spec());
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(checker, detects_false_linearized_claim) {
+  // Recovery claims a write was linearized, but a later read contradicts it.
+  std::vector<hist::event> events{
+      ev(hist::event_kind::invoke, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::crash, -1, {}),
+      ev(hist::event_kind::recover_begin, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::recover_result, 0, mk(opcode::reg_write, 1), k_ack,
+         hist::recovery_verdict::linearized),
+      ev(hist::event_kind::invoke, 1, mk(opcode::reg_read)),
+      ev(hist::event_kind::response, 1, mk(opcode::reg_read), 0),
+  };
+  auto r = hist::check_durable_linearizability(events, hist::register_spec(0));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(checker, detects_false_fail_claim_when_effect_observed) {
+  // Recovery says fail, but another process already read the written value.
+  std::vector<hist::event> events{
+      ev(hist::event_kind::invoke, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::invoke, 1, mk(opcode::reg_read)),
+      ev(hist::event_kind::response, 1, mk(opcode::reg_read), 1),
+      ev(hist::event_kind::crash, -1, {}),
+      ev(hist::event_kind::recover_begin, 0, mk(opcode::reg_write, 1)),
+      ev(hist::event_kind::recover_result, 0, mk(opcode::reg_write, 1),
+         k_bottom, hist::recovery_verdict::fail),
+  };
+  auto r = hist::check_durable_linearizability(events, hist::register_spec(0));
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Recoverable lock and detectable swap: mutual exclusion across crashes,
+// holder-survives-crash (RME behaviour), and swap's capsule recovery.
+#include <gtest/gtest.h>
+
+#include "core/rlock.hpp"
+#include "core/rmw.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace detect;
+using namespace detect::test;
+
+hist::op_desc lk_try(int pid) {
+  return {0, hist::opcode::lock_try, pid, 0, 0};
+}
+hist::op_desc lk_rel(int pid) {
+  return {0, hist::opcode::lock_release, pid, 0, 0};
+}
+hist::op_desc swp(hist::value_t v) { return {0, hist::opcode::swap, v, 0, 0}; }
+
+scenario_config lock_scenario(int nprocs,
+                              std::map<int, std::vector<hist::op_desc>> scripts,
+                              core::runtime::fail_policy policy =
+                                  core::runtime::fail_policy::skip) {
+  scenario_config cfg;
+  cfg.nprocs = nprocs;
+  cfg.scripts = std::move(scripts);
+  cfg.policy = policy;
+  cfg.make_objects = [nprocs](sim_fixture& f,
+                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    objs.push_back(
+        std::make_unique<core::recoverable_lock>(nprocs, f.board, f.w.domain()));
+    f.rt.register_object(0, *objs.back());
+  };
+  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::lock_spec()); };
+  return cfg;
+}
+
+scenario_config swap_scenario(int nprocs,
+                              std::map<int, std::vector<hist::op_desc>> scripts,
+                              core::runtime::fail_policy policy =
+                                  core::runtime::fail_policy::skip) {
+  scenario_config cfg;
+  cfg.nprocs = nprocs;
+  cfg.scripts = std::move(scripts);
+  cfg.policy = policy;
+  cfg.make_objects = [nprocs](sim_fixture& f,
+                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    objs.push_back(std::make_unique<core::detectable_swap>(nprocs, f.board, 0,
+                                                           f.w.domain()));
+    f.rt.register_object(0, *objs.back());
+  };
+  cfg.make_spec = [] {
+    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
+  };
+  return cfg;
+}
+
+// ---- recoverable_lock --------------------------------------------------------
+
+TEST(recoverable_lock, sequential_acquire_release) {
+  auto cfg = lock_scenario(
+      1, {{0, {lk_try(0), lk_rel(0), lk_try(0), lk_try(0), lk_rel(0)}}});
+  auto out = run_scenario(cfg, 1);
+  EXPECT_TRUE(out.check.ok) << out.check.message;
+}
+
+TEST(recoverable_lock, release_without_holding_returns_false) {
+  auto cfg = lock_scenario(2, {
+                                  {0, {lk_try(0)}},
+                                  {1, {lk_rel(1)}},
+                              });
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto out = run_scenario(cfg, seed);
+    ASSERT_TRUE(out.check.ok) << out.check.message;
+  }
+}
+
+TEST(recoverable_lock, at_most_one_holder) {
+  auto cfg = lock_scenario(3, {
+                                  {0, {lk_try(0)}},
+                                  {1, {lk_try(1)}},
+                                  {2, {lk_try(2)}},
+                              });
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    auto out = run_scenario(cfg, seed);
+    ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
+  }
+}
+
+TEST(recoverable_lock, crash_sweep_acquire_release_cycle) {
+  auto cfg = lock_scenario(2, {
+                                  {0, {lk_try(0), lk_rel(0)}},
+                                  {1, {lk_try(1), lk_rel(1)}},
+                              });
+  crash_sweep(cfg, 3);
+}
+
+TEST(recoverable_lock, double_crash_pair_sweep) {
+  auto cfg = lock_scenario(2, {
+                                  {0, {lk_try(0), lk_rel(0)}},
+                                  {1, {lk_try(1)}},
+                              });
+  crash_pair_sweep(cfg, 9, /*stride=*/3);
+}
+
+TEST(recoverable_lock, crash_fuzz_retry) {
+  auto cfg = lock_scenario(3,
+                           {
+                               {0, {lk_try(0), lk_rel(0)}},
+                               {1, {lk_try(1), lk_rel(1)}},
+                               {2, {lk_try(2), lk_rel(2)}},
+                           },
+                           core::runtime::fail_policy::retry);
+  crash_fuzz(cfg, 120, 2);
+}
+
+TEST(recoverable_lock, holder_survives_crash) {
+  // RME behaviour: a crash does not release the lock; the owner's recovery
+  // reports the acquire linearized.
+  sim_fixture f(2);
+  core::recoverable_lock lock(2, f.board, f.w.domain());
+  f.rt.register_object(0, lock);
+  f.rt.set_script(0, {lk_try(0)});
+  sim::round_robin_scheduler rr;
+  f.rt.run(rr);
+  EXPECT_EQ(lock.holder(), 0);
+  f.w.crash();
+  EXPECT_EQ(lock.holder(), 0) << "ownership is durable";
+  auto rec = lock.recover(0, lk_try(0));
+  EXPECT_EQ(rec.verdict, hist::recovery_verdict::linearized);
+  EXPECT_EQ(rec.response, hist::k_true);
+}
+
+TEST(recoverable_lock, acquire_recovery_is_sound_when_cas_lost) {
+  // p1 holds the lock; p0's trylock fails; recovery must not claim success.
+  sim_fixture f(2);
+  core::recoverable_lock lock(2, f.board, f.w.domain());
+  f.rt.register_object(0, lock);
+  f.rt.set_script(1, {lk_try(1)});
+  sim::round_robin_scheduler rr;
+  f.rt.run(rr);
+  ASSERT_EQ(lock.holder(), 1);
+  // Simulate p0 announcing a trylock then crashing before/after its steps.
+  f.board.of(0).resp.store(hist::k_bottom);
+  f.board.of(0).cp.store(0);
+  auto rec = lock.recover(0, lk_try(0));
+  EXPECT_EQ(rec.verdict, hist::recovery_verdict::fail)
+      << "owner is p1; p0's acquire cannot have been linearized";
+}
+
+// ---- detectable_swap -----------------------------------------------------------
+
+TEST(detectable_swap, sequential_chain) {
+  auto cfg = swap_scenario(1, {{0, {swp(5), swp(9), swp(2)}}});
+  auto out = run_scenario(cfg, 1);
+  EXPECT_TRUE(out.check.ok) << out.check.message;
+}
+
+TEST(detectable_swap, concurrent_swaps_form_a_chain) {
+  // Swap responses must chain: each op returns the previous op's value —
+  // the spec check enforces the permutation structure.
+  auto cfg = swap_scenario(3, {
+                                  {0, {swp(1), swp(2)}},
+                                  {1, {swp(10), swp(20)}},
+                                  {2, {swp(100)}},
+                              });
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    auto out = run_scenario(cfg, seed);
+    ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
+  }
+}
+
+TEST(detectable_swap, crash_sweep) {
+  auto cfg = swap_scenario(2, {
+                                  {0, {swp(1), swp(2)}},
+                                  {1, {swp(7)}},
+                              });
+  crash_sweep(cfg, 5);
+}
+
+TEST(detectable_swap, double_crash_pair_sweep) {
+  auto cfg = swap_scenario(2, {
+                                  {0, {swp(1)}},
+                                  {1, {swp(7)}},
+                              });
+  crash_pair_sweep(cfg, 13, /*stride=*/2);
+}
+
+TEST(detectable_swap, crash_fuzz_retry_exactly_once) {
+  auto cfg = swap_scenario(2,
+                           {
+                               {0, {swp(1), swp(2)}},
+                               {1, {swp(7), swp(8)}},
+                           },
+                           core::runtime::fail_policy::retry);
+  crash_fuzz(cfg, 120, 2);
+}
+
+class lock_property : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(lock_property, mutual_exclusion_under_fuzz) {
+  auto [seed, crashes] = GetParam();
+  auto cfg = lock_scenario(2,
+                           {
+                               {0, {lk_try(0), lk_rel(0)}},
+                               {1, {lk_try(1), lk_rel(1)}},
+                           },
+                           core::runtime::fail_policy::retry);
+  crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 86028121);
+}
+
+INSTANTIATE_TEST_SUITE_P(sweep, lock_property,
+                         ::testing::Combine(::testing::Range(1, 7),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace

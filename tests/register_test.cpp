@@ -1,0 +1,433 @@
+// Algorithm 1 (detectable read/write register): sequential behaviour,
+// crash-at-every-step sweeps, schedule fuzzing, exhaustive small-model
+// exploration, and the ABA scenario the toggle bits exist to defeat.
+#include <gtest/gtest.h>
+
+#include "core/detectable_register.hpp"
+#include "core/nrl.hpp"
+#include "sim/explorer.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace detect;
+using namespace detect::test;
+
+scenario_config register_scenario(int nprocs,
+                                  std::map<int, std::vector<hist::op_desc>> scripts,
+                                  core::runtime::fail_policy policy =
+                                      core::runtime::fail_policy::skip) {
+  scenario_config cfg;
+  cfg.nprocs = nprocs;
+  cfg.scripts = std::move(scripts);
+  cfg.policy = policy;
+  cfg.make_objects = [nprocs](sim_fixture& f,
+                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    objs.push_back(std::make_unique<core::detectable_register>(
+        nprocs, f.board, 0, f.w.domain()));
+    f.rt.register_object(0, *objs.back());
+  };
+  cfg.make_spec = [] {
+    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
+  };
+  return cfg;
+}
+
+TEST(reg_word, pack_unpack_roundtrip) {
+  const hist::value_t values[] = {0,
+                                  1,
+                                  -1,
+                                  123456789,
+                                  -123456789,
+                                  core::reg_word::value_max,
+                                  core::reg_word::value_min};
+  for (hist::value_t v : values) {
+    for (int pid : {0, 1, 13}) {
+      for (int t : {0, 1}) {
+        std::uint64_t w = core::reg_word::pack(v, pid, t);
+        EXPECT_EQ(core::reg_word::value_of(w), v);
+        EXPECT_EQ(core::reg_word::pid_of(w), pid);
+        EXPECT_EQ(core::reg_word::toggle_of(w), t);
+      }
+    }
+  }
+}
+
+TEST(reg_word, out_of_range_value_throws) {
+  EXPECT_THROW(core::reg_word::pack(core::reg_word::value_max + 1, 0, 0),
+               std::out_of_range);
+}
+
+TEST(detectable_register, sequential_reads_and_writes) {
+  auto cfg = register_scenario(
+      1, {{0, {op_write(5), op_read(), op_write(7), op_read(), op_read()}}});
+  auto out = run_scenario(cfg, 1);
+  EXPECT_TRUE(out.check.ok) << out.check.message;
+}
+
+TEST(detectable_register, two_writers_one_reader_many_seeds) {
+  auto cfg = register_scenario(3, {
+                                      {0, {op_write(1), op_write(2), op_write(3)}},
+                                      {1, {op_write(10), op_write(20)}},
+                                      {2, {op_read(), op_read(), op_read()}},
+                                  });
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    auto out = run_scenario(cfg, seed);
+    ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n"
+                              << out.check.message << out.log_text;
+  }
+}
+
+TEST(detectable_register, crash_sweep_single_writer) {
+  auto cfg = register_scenario(2, {
+                                      {0, {op_write(1), op_write(2)}},
+                                      {1, {op_read(), op_read()}},
+                                  });
+  crash_sweep(cfg, 42);
+}
+
+TEST(detectable_register, crash_sweep_two_writers) {
+  auto cfg = register_scenario(2, {
+                                      {0, {op_write(1), op_write(2)}},
+                                      {1, {op_write(5), op_read()}},
+                                  });
+  crash_sweep(cfg, 7);
+}
+
+TEST(detectable_register, crash_sweep_with_retry_policy) {
+  auto cfg = register_scenario(2,
+                               {
+                                   {0, {op_write(1), op_write(2)}},
+                                   {1, {op_write(5), op_read()}},
+                               },
+                               core::runtime::fail_policy::retry);
+  crash_sweep(cfg, 11);
+}
+
+TEST(detectable_register, double_crash_fuzz) {
+  auto cfg = register_scenario(3, {
+                                      {0, {op_write(1), op_write(2)}},
+                                      {1, {op_write(3), op_read()}},
+                                      {2, {op_read(), op_write(4)}},
+                                  });
+  crash_fuzz(cfg, 120, 2);
+}
+
+TEST(detectable_register, triple_crash_fuzz_retry) {
+  auto cfg = register_scenario(2,
+                               {
+                                   {0, {op_write(1), op_write(2), op_write(3)}},
+                                   {1, {op_read(), op_read(), op_read()}},
+                               },
+                               core::runtime::fail_policy::retry);
+  crash_fuzz(cfg, 80, 3);
+}
+
+// The ABA scenario from §3: p reads ⟨v_q, q, t⟩, q writes other values and
+// then the same value again. The same triplet can reappear in R only after q
+// completes a write with the *other* toggle index, which sets q's toggle bits
+// — p's recovery must therefore detect the intervening writes.
+TEST(detectable_register, aba_same_value_rewritten) {
+  auto cfg = register_scenario(2, {
+                                      {0, {op_write(7)}},
+                                      {1, {op_write(9), op_write(9)}},
+                                  });
+  crash_sweep(cfg, 3);
+  crash_sweep(cfg, 13);
+  crash_fuzz(cfg, 100, 2);
+}
+
+TEST(detectable_register, same_values_from_all_writers) {
+  // All processes write the same value — maximally ABA-prone.
+  auto cfg = register_scenario(3, {
+                                      {0, {op_write(1), op_write(1)}},
+                                      {1, {op_write(1), op_write(1)}},
+                                      {2, {op_read(), op_read()}},
+                                  });
+  crash_fuzz(cfg, 120, 2);
+}
+
+// The precise schedule §3's correctness proof revolves around, constructed
+// deterministically: p persists R's triplet ⟨0,0,0⟩ and halts with CP = 1
+// just before its write to R (line 7); q then completes THREE writes of the
+// same value 0 — toggle 0, toggle 1, toggle 0 — restoring R to the exact
+// triplet p persisted. A naive recovery would conclude "nothing happened"
+// and return fail; Algorithm 1's line-20 toggle-bit check sees that
+// A[p][q][1] (cleared by p in line 2) was re-set by q's toggle-1 write,
+// infers intervening linearized writes, and declares p's write linearized
+// (as overwritten). The checker validates that verdict.
+TEST(detectable_register, line20_toggle_disambiguates_recreated_triplet) {
+  sim_fixture f(2);  // p = 1 (writer under test), q = 0 (value 0's "owner")
+  core::detectable_register reg(2, f.board, 0, f.w.domain());
+  f.rt.register_object(0, reg);
+
+  auto submit_op = [&](int pid, hist::op_desc desc, std::uint64_t seq) {
+    desc.client_seq = seq;
+    f.w.submit(pid, [&rt = f.rt, pid, desc] { rt.announce_and_invoke(pid, desc); });
+  };
+  auto drive = [&](int pid) {
+    for (;;) {
+      auto ready = f.w.runnable();
+      bool mine = false;
+      for (int r : ready) mine |= (r == pid);
+      if (!mine) return;
+      f.w.step(pid);
+    }
+  };
+
+  // p starts write(7); halt when the next access is the line-7 store to R
+  // (the only shared store issued with CP == 1).
+  submit_op(1, op_write(7), 1);
+  while (!(f.board.of(1).cp.peek() == 1 &&
+           f.w.pending_access(1) == nvm::access::shared_store)) {
+    f.w.step(1);
+  }
+
+  // q recreates R's initial triplet via three completed writes of value 0:
+  // toggles cycle 0 → 1 → 0, and the toggle-1 write sets A[1][0][1].
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    submit_op(0, op_write(0), s);
+    drive(0);
+    f.board.of(0).done_seq.store(s);
+  }
+  ASSERT_EQ(reg.invoke(0, op_read()), 0) << "R holds value 0 again";
+
+  // Crash; p recovers. Line 20's first conjunct holds (same triplet), the
+  // second fails (the toggle bit is set) ⇒ linearized-as-overwritten.
+  f.w.crash();
+  {
+    hist::event e;
+    e.kind = hist::event_kind::crash;
+    f.lg.append(e);
+  }
+  f.w.submit(1, [&rt = f.rt] { rt.maybe_recover(1); });
+  drive(1);
+
+  hist::recovery_verdict verdict = hist::recovery_verdict::none;
+  for (const auto& e : f.lg.snapshot()) {
+    if (e.kind == hist::event_kind::recover_result && e.pid == 1) {
+      verdict = e.verdict;
+    }
+  }
+  EXPECT_EQ(verdict, hist::recovery_verdict::linearized)
+      << "the toggle bit must witness the intervening writes";
+
+  auto check = hist::check_durable_linearizability(f.lg.snapshot(),
+                                                   hist::register_spec(0));
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+// Control experiment for the test above: with only TWO completed writes by q
+// (toggles 0 → 1), R holds ⟨0,0,1⟩ ≠ the persisted triplet, so recovery
+// takes the "R changed" branch — still linearized-as-overwritten.
+TEST(detectable_register, recovery_sees_changed_triplet_after_two_writes) {
+  sim_fixture f(2);
+  core::detectable_register reg(2, f.board, 0, f.w.domain());
+  f.rt.register_object(0, reg);
+  auto submit_op = [&](int pid, hist::op_desc desc, std::uint64_t seq) {
+    desc.client_seq = seq;
+    f.w.submit(pid, [&rt = f.rt, pid, desc] { rt.announce_and_invoke(pid, desc); });
+  };
+  auto drive = [&](int pid) {
+    for (;;) {
+      auto ready = f.w.runnable();
+      bool mine = false;
+      for (int r : ready) mine |= (r == pid);
+      if (!mine) return;
+      f.w.step(pid);
+    }
+  };
+  submit_op(1, op_write(7), 1);
+  while (!(f.board.of(1).cp.peek() == 1 &&
+           f.w.pending_access(1) == nvm::access::shared_store)) {
+    f.w.step(1);
+  }
+  for (std::uint64_t s = 1; s <= 2; ++s) {
+    submit_op(0, op_write(0), s);
+    drive(0);
+    f.board.of(0).done_seq.store(s);
+  }
+  f.w.crash();
+  {
+    hist::event e;
+    e.kind = hist::event_kind::crash;
+    f.lg.append(e);
+  }
+  f.w.submit(1, [&rt = f.rt] { rt.maybe_recover(1); });
+  drive(1);
+  hist::recovery_verdict verdict = hist::recovery_verdict::none;
+  for (const auto& e : f.lg.snapshot()) {
+    if (e.kind == hist::event_kind::recover_result && e.pid == 1) {
+      verdict = e.verdict;
+    }
+  }
+  EXPECT_EQ(verdict, hist::recovery_verdict::linearized);
+  auto check = hist::check_durable_linearizability(f.lg.snapshot(),
+                                                   hist::register_spec(0));
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+// And the fail side: crash at the same point with NO intervening writes —
+// the triplet matches and the toggle bit is still clear, so recovery must
+// return fail (the write truly did not happen).
+TEST(detectable_register, line20_returns_fail_when_nothing_intervened) {
+  sim_fixture f(2);
+  core::detectable_register reg(2, f.board, 0, f.w.domain());
+  f.rt.register_object(0, reg);
+  f.w.submit(1, [&rt = f.rt] {
+    hist::op_desc d = op_write(7);
+    d.client_seq = 1;
+    rt.announce_and_invoke(1, d);
+  });
+  while (!(f.board.of(1).cp.peek() == 1 &&
+           f.w.pending_access(1) == nvm::access::shared_store)) {
+    f.w.step(1);
+  }
+  f.w.crash();
+  {
+    hist::event e;
+    e.kind = hist::event_kind::crash;
+    f.lg.append(e);
+  }
+  f.w.submit(1, [&rt = f.rt] { rt.maybe_recover(1); });
+  for (;;) {
+    auto ready = f.w.runnable();
+    if (ready.empty()) break;
+    f.w.step(ready.front());
+  }
+  hist::recovery_verdict verdict = hist::recovery_verdict::none;
+  for (const auto& e : f.lg.snapshot()) {
+    if (e.kind == hist::event_kind::recover_result && e.pid == 1) {
+      verdict = e.verdict;
+    }
+  }
+  EXPECT_EQ(verdict, hist::recovery_verdict::fail);
+  auto check = hist::check_durable_linearizability(f.lg.snapshot(),
+                                                   hist::register_spec(0));
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(detectable_register, exhaustive_two_procs_one_crash_one_preemption) {
+  // CHESS-style exploration: every crash placement combined with every
+  // single-preemption schedule of two concurrent writes.
+  struct scen final : sim::exploration {
+    sim_fixture f{2};
+    std::vector<std::unique_ptr<core::detectable_object>> objs;
+    scen() {
+      objs.push_back(std::make_unique<core::detectable_register>(
+          2, f.board, 0, f.w.domain()));
+      f.rt.register_object(0, *objs.back());
+      f.rt.set_script(0, {op_write(1)});
+      f.rt.set_script(1, {op_write(2)});
+      f.rt.start();
+    }
+    sim::world& get_world() override { return f.w; }
+    void on_crash() override { f.rt.on_crash(); }
+    void at_end() override {
+      auto r = hist::check_durable_linearizability(f.lg.snapshot(),
+                                                   hist::register_spec(0));
+      if (!r.ok) throw std::runtime_error(r.message);
+    }
+  };
+  sim::explore_config cfg;
+  cfg.max_crashes = 1;
+  cfg.max_preemptions = 1;
+  cfg.max_runs = 100'000;
+  auto res = sim::explore_schedules([] { return std::make_unique<scen>(); }, cfg);
+  EXPECT_FALSE(res.failed) << res.failure;
+  EXPECT_TRUE(res.complete) << "exploration should finish within budget; runs="
+                            << res.runs;
+  EXPECT_EQ(res.pruned, 0u);
+  EXPECT_GT(res.runs, 100u) << "the bounded tree should still be substantial";
+}
+
+TEST(detectable_register, wait_free_step_bound_holds) {
+  // Lemma 1's wait-freedom: a crash-free write takes at most a constant
+  // number of steps plus the O(N) toggle loop.
+  for (int n : {2, 4, 8}) {
+    sim_fixture f(n);
+    core::detectable_register reg(n, f.board, 0, f.w.domain());
+    f.rt.register_object(0, reg);
+    for (int p = 0; p < n; ++p) f.rt.set_script(p, {op_write(p), op_read()});
+    sim::round_robin_scheduler rr;
+    auto rep = f.rt.run(rr);
+    EXPECT_FALSE(rep.hit_step_limit);
+    // Per process: write ≤ (announce 4–5 + 2 control + body ~8 + N toggle
+    // stores), read ≤ ~10. Generous linear bound:
+    EXPECT_LE(rep.steps, static_cast<std::uint64_t>(n) * (30 + 2ull * n));
+  }
+}
+
+TEST(detectable_register, nrl_wrapper_always_completes) {
+  scenario_config cfg;
+  cfg.nprocs = 2;
+  cfg.scripts = {{0, {op_write(1), op_write(2)}}, {1, {op_read(), op_read()}}};
+  cfg.make_objects = [](sim_fixture& f,
+                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    objs.push_back(std::make_unique<core::detectable_register>(
+        2, f.board, 0, f.w.domain()));
+    objs.push_back(std::make_unique<core::nrl_adapter>(*objs[0], f.board));
+    f.rt.register_object(0, *objs[1]);
+  };
+  cfg.make_spec = [] {
+    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
+  };
+  crash_sweep(cfg, 5);
+  crash_fuzz(cfg, 60, 2);
+}
+
+TEST(detectable_register, shared_cache_with_transform_is_correct) {
+  // Run the same battery under the shared-cache model with the automatic
+  // persist transformation (§6).
+  scenario_config cfg;
+  cfg.nprocs = 2;
+  cfg.scripts = {{0, {op_write(1), op_write(2)}}, {1, {op_write(5), op_read()}}};
+  cfg.make_objects = [](sim_fixture& f,
+                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
+    f.w.domain().set_model(nvm::cache_model::shared_cache);
+    f.w.domain().set_auto_persist(true);
+    objs.push_back(std::make_unique<core::detectable_register>(
+        2, f.board, 0, f.w.domain()));
+    f.rt.register_object(0, *objs.back());
+    f.w.domain().persist_all();
+  };
+  cfg.make_spec = [] {
+    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
+  };
+  crash_sweep(cfg, 21);
+}
+
+// Property sweep: many (seed, crash-count) combinations.
+class register_property : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(register_property, durable_linearizable_and_detectable) {
+  auto [seed, crashes] = GetParam();
+  auto cfg = register_scenario(3, {
+                                      {0, {op_write(1), op_write(2)}},
+                                      {1, {op_write(3), op_read()}},
+                                      {2, {op_read(), op_write(4)}},
+                                  });
+  crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 104729);
+}
+
+INSTANTIATE_TEST_SUITE_P(sweep, register_property,
+                         ::testing::Combine(::testing::Range(1, 9),
+                                            ::testing::Values(0, 1, 2, 3)));
+
+// Scale sweep: the same invariants across process counts (the toggle arrays
+// and recovery logic are N-dependent, so N is a real dimension here).
+class register_scale : public ::testing::TestWithParam<int> {};
+
+TEST_P(register_scale, crash_fuzz_at_n) {
+  int n = GetParam();
+  std::map<int, std::vector<hist::op_desc>> scripts;
+  for (int p = 0; p < n; ++p) {
+    scripts[p] = {op_write(p + 1), p % 2 == 0 ? op_read() : op_write(p + 100)};
+  }
+  auto cfg = register_scenario(n, scripts);
+  crash_fuzz(cfg, 25, 2, static_cast<std::uint64_t>(n) * 293339);
+}
+
+INSTANTIATE_TEST_SUITE_P(scale, register_scale, ::testing::Values(2, 3, 4, 6));
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Shared helpers for the test suites: a simulated-world fixture, op_desc
+// shorthands, and the two workhorse verification drivers —
+//   * run_scenario: one scripted run under a seeded scheduler and crash plan,
+//     checked for durable linearizability + detectability;
+//   * crash_sweep: re-run the same scenario with a crash injected at every
+//     possible step index (the deterministic "crash everywhere" battery the
+//     paper's correctness lemmas are exercised with).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/announce.hpp"
+#include "core/object.hpp"
+#include "core/runtime.hpp"
+#include "history/checker.hpp"
+#include "history/log.hpp"
+#include "sim/world.hpp"
+
+namespace detect::test {
+
+struct sim_fixture {
+  explicit sim_fixture(int nprocs, sim::world_config cfg = {})
+      : w(nprocs, cfg), board(nprocs, w.domain()), rt(w, lg, board) {}
+
+  sim::world w;
+  core::announcement_board board;
+  hist::log lg;
+  core::runtime rt;
+};
+
+// ---- op_desc shorthands ----------------------------------------------------
+
+inline hist::op_desc op_write(hist::value_t v, std::uint32_t obj = 0) {
+  return {obj, hist::opcode::reg_write, v, 0, 0};
+}
+inline hist::op_desc op_read(std::uint32_t obj = 0) {
+  return {obj, hist::opcode::reg_read, 0, 0, 0};
+}
+inline hist::op_desc op_cas(hist::value_t a, hist::value_t b,
+                            std::uint32_t obj = 0) {
+  return {obj, hist::opcode::cas, a, b, 0};
+}
+inline hist::op_desc op_cas_read(std::uint32_t obj = 0) {
+  return {obj, hist::opcode::cas_read, 0, 0, 0};
+}
+inline hist::op_desc op_add(hist::value_t d, std::uint32_t obj = 0) {
+  return {obj, hist::opcode::ctr_add, d, 0, 0};
+}
+inline hist::op_desc op_ctr_read(std::uint32_t obj = 0) {
+  return {obj, hist::opcode::ctr_read, 0, 0, 0};
+}
+inline hist::op_desc op_tas_set(std::uint32_t obj = 0) {
+  return {obj, hist::opcode::tas_set, 0, 0, 0};
+}
+inline hist::op_desc op_tas_reset(std::uint32_t obj = 0) {
+  return {obj, hist::opcode::tas_reset, 0, 0, 0};
+}
+inline hist::op_desc op_enq(hist::value_t v, std::uint32_t obj = 0) {
+  return {obj, hist::opcode::enq, v, 0, 0};
+}
+inline hist::op_desc op_deq(std::uint32_t obj = 0) {
+  return {obj, hist::opcode::deq, 0, 0, 0};
+}
+inline hist::op_desc op_max_write(hist::value_t v, std::uint32_t obj = 0) {
+  return {obj, hist::opcode::max_write, v, 0, 0};
+}
+inline hist::op_desc op_max_read(std::uint32_t obj = 0) {
+  return {obj, hist::opcode::max_read, 0, 0, 0};
+}
+
+// ---- scripted-scenario driver ----------------------------------------------
+
+struct scenario_config {
+  int nprocs = 2;
+  /// Build object(s) inside the fixture and register them with the runtime.
+  std::function<void(sim_fixture&, std::vector<std::unique_ptr<core::detectable_object>>&)>
+      make_objects;
+  std::map<int, std::vector<hist::op_desc>> scripts;
+  std::function<std::unique_ptr<hist::spec>()> make_spec;
+  core::runtime::fail_policy policy = core::runtime::fail_policy::skip;
+};
+
+struct run_outcome {
+  sim::run_report report;
+  hist::check_result check;
+  std::string log_text;
+};
+
+inline run_outcome run_scenario(const scenario_config& cfg,
+                                std::uint64_t sched_seed,
+                                std::vector<std::uint64_t> crash_steps = {}) {
+  sim_fixture f(cfg.nprocs);
+  std::vector<std::unique_ptr<core::detectable_object>> objects;
+  cfg.make_objects(f, objects);
+  for (const auto& [pid, script] : cfg.scripts) f.rt.set_script(pid, script);
+  f.rt.set_fail_policy(cfg.policy);
+  sim::random_scheduler sched(sched_seed);
+  sim::crash_at_steps plan(std::move(crash_steps));
+  run_outcome out;
+  out.report = f.rt.run(sched, &plan);
+  out.check = hist::check_durable_linearizability(f.lg.snapshot(),
+                                                  *cfg.make_spec());
+  out.log_text = f.lg.to_string();
+  return out;
+}
+
+/// Crash at every step index of the scenario (one crash per run), asserting
+/// correctness each time. Returns the number of runs performed.
+inline int crash_sweep(const scenario_config& cfg, std::uint64_t sched_seed) {
+  run_outcome base = run_scenario(cfg, sched_seed);
+  EXPECT_FALSE(base.report.hit_step_limit);
+  EXPECT_TRUE(base.check.ok) << base.check.message;
+  int runs = 1;
+  for (std::uint64_t k = 0; k < base.report.steps; ++k) {
+    run_outcome out = run_scenario(cfg, sched_seed, {k});
+    EXPECT_FALSE(out.report.hit_step_limit);
+    EXPECT_TRUE(out.check.ok)
+        << "crash at step " << k << ":\n"
+        << out.check.message;
+    ++runs;
+    if (::testing::Test::HasFailure()) break;
+  }
+  return runs;
+}
+
+/// Two crashes at every pair of step indices (strided to bound the quadratic
+/// blowup): exercises crash-during-recovery and recovery-then-crash-again.
+inline void crash_pair_sweep(const scenario_config& cfg, std::uint64_t seed,
+                             std::uint64_t stride = 3) {
+  run_outcome base = run_scenario(cfg, seed);
+  ASSERT_TRUE(base.check.ok) << base.check.message;
+  for (std::uint64_t k1 = 0; k1 < base.report.steps; k1 += stride) {
+    for (std::uint64_t k2 = k1; k2 < base.report.steps + 10; k2 += stride) {
+      run_outcome out = run_scenario(cfg, seed, {k1, k2});
+      EXPECT_FALSE(out.report.hit_step_limit);
+      EXPECT_TRUE(out.check.ok) << "crashes at steps " << k1 << "," << k2
+                                << ":\n"
+                                << out.check.message;
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+/// Random schedules with random crash placements; `seeds` independent runs.
+inline void crash_fuzz(const scenario_config& cfg, int seeds, int max_crashes,
+                       std::uint64_t base_seed = 0x5eed) {
+  for (int s = 0; s < seeds; ++s) {
+    std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s) * 7919;
+    // Derive pseudo-random crash steps from the seed.
+    std::uint64_t rng = seed | 1;
+    std::vector<std::uint64_t> crashes;
+    for (int c = 0; c < max_crashes; ++c) {
+      crashes.push_back(sim::next_rand(rng) % 120);
+    }
+    run_outcome out = run_scenario(cfg, seed, crashes);
+    EXPECT_FALSE(out.report.hit_step_limit);
+    EXPECT_TRUE(out.check.ok) << "seed " << seed << ":\n" << out.check.message;
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace detect::test
