@@ -12,15 +12,10 @@
 //     store one (growing with M for the baselines).
 #include <cmath>
 
+#include "api/api.hpp"
 #include "baselines/attiya_register.hpp"
 #include "baselines/bendavid_cas.hpp"
 #include "bench_util.hpp"
-#include "core/detectable_cas.hpp"
-#include "core/detectable_register.hpp"
-#include "core/queue.hpp"
-#include "core/runtime.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
 
 namespace {
 
@@ -31,30 +26,33 @@ std::uint64_t bits_for_ids(std::uint64_t ids) {
   return static_cast<std::uint64_t>(std::ceil(std::log2(static_cast<double>(ids + 1))));
 }
 
-/// Run M writes per process on the given register-like object inside a
-/// 2-process world; return ids minted (0 for bounded algorithms).
-template <typename MakeObj>
-std::uint64_t run_ops(int nprocs, int m, MakeObj make, bool cas_ops) {
-  sim::world w(nprocs, {.max_steps = 50'000'000});
-  core::announcement_board board(nprocs, w.domain());
-  hist::log lg;
-  core::runtime rt(w, lg, board);
-  auto obj = make(nprocs, board, w.domain());
-  rt.register_object(0, *obj.first);
+/// Run M register writes (or CAS ops) per process on the named registry kind
+/// inside a 2-process world; return the identifiers it minted (0 for the
+/// bounded algorithms).
+std::uint64_t run_ops(const std::string& kind, int nprocs, int m, bool cas_ops) {
+  auto b = api::harness::builder();
+  b.procs(nprocs).max_steps(50'000'000);
+  api::harness h = b.build();
+  api::object_handle obj = h.add(kind);
   for (int p = 0; p < nprocs; ++p) {
     std::vector<hist::op_desc> script;
     for (int i = 0; i < m; ++i) {
       if (cas_ops) {
-        script.push_back({0, hist::opcode::cas, i % 3, (i + 1) % 3, 0});
+        script.push_back(api::cas(obj).compare_and_set(i % 3, (i + 1) % 3));
       } else {
-        script.push_back({0, hist::opcode::reg_write, i % 7, 0, 0});
+        script.push_back(api::reg(obj).write(i % 7));
       }
     }
-    rt.set_script(p, script);
+    h.script(p, std::move(script));
   }
-  sim::round_robin_scheduler sched;
-  rt.run(sched);
-  return obj.second();
+  h.run();
+  if (auto* a = dynamic_cast<base::attiya_register*>(&obj.object())) {
+    return a->ids_minted();
+  }
+  if (auto* bd = dynamic_cast<base::bendavid_cas*>(&obj.object())) {
+    return bd->ids_minted();
+  }
+  return 0;  // bounded algorithms mint none
 }
 
 }  // namespace
@@ -86,44 +84,10 @@ int main() {
   row({"M", "alg1 ids", "alg2 ids", "attiya ids", "bendavid", "id bits"});
   rule(6);
   for (int m : {10, 100, 1000, 10000}) {
-    std::uint64_t attiya = run_ops(
-        2, m,
-        [](int n, detect::core::announcement_board& b, detect::nvm::pmem_domain& d) {
-          auto obj = std::make_unique<detect::base::attiya_register>(n, b, 0, d);
-          auto* raw = obj.get();
-          return std::pair<std::unique_ptr<detect::core::detectable_object>,
-                           std::function<std::uint64_t()>>(
-              std::move(obj), [raw] { return raw->ids_minted(); });
-        },
-        /*cas_ops=*/false);
-    std::uint64_t bendavid = run_ops(
-        2, m,
-        [](int n, detect::core::announcement_board& b, detect::nvm::pmem_domain& d) {
-          auto obj = std::make_unique<detect::base::bendavid_cas>(n, b, 0, d);
-          auto* raw = obj.get();
-          return std::pair<std::unique_ptr<detect::core::detectable_object>,
-                           std::function<std::uint64_t()>>(
-              std::move(obj), [raw] { return raw->ids_minted(); });
-        },
-        /*cas_ops=*/true);
-    std::uint64_t alg1 = run_ops(
-        2, m,
-        [](int n, detect::core::announcement_board& b, detect::nvm::pmem_domain& d) {
-          auto obj = std::make_unique<detect::core::detectable_register>(n, b, 0, d);
-          return std::pair<std::unique_ptr<detect::core::detectable_object>,
-                           std::function<std::uint64_t()>>(
-              std::move(obj), [] { return std::uint64_t{0}; });
-        },
-        /*cas_ops=*/false);
-    std::uint64_t alg2 = run_ops(
-        2, m,
-        [](int n, detect::core::announcement_board& b, detect::nvm::pmem_domain& d) {
-          auto obj = std::make_unique<detect::core::detectable_cas>(n, b, 0, d);
-          return std::pair<std::unique_ptr<detect::core::detectable_object>,
-                           std::function<std::uint64_t()>>(
-              std::move(obj), [] { return std::uint64_t{0}; });
-        },
-        /*cas_ops=*/true);
+    std::uint64_t attiya = run_ops("attiya_reg", 2, m, /*cas_ops=*/false);
+    std::uint64_t bendavid = run_ops("bendavid_cas", 2, m, /*cas_ops=*/true);
+    std::uint64_t alg1 = run_ops("reg", 2, m, /*cas_ops=*/false);
+    std::uint64_t alg2 = run_ops("cas", 2, m, /*cas_ops=*/true);
     row({std::to_string(m), fmt_u(alg1), fmt_u(alg2), fmt_u(attiya),
          fmt_u(bendavid), fmt_u(bits_for_ids(attiya))});
   }

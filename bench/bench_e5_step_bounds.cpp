@@ -9,51 +9,45 @@
 // Measured: worst-case simulator steps per operation across adversarial
 // random schedules, as N grows.
 #include <algorithm>
+#include <functional>
 
+#include "api/api.hpp"
 #include "bench_util.hpp"
-#include "core/detectable_cas.hpp"
-#include "core/detectable_register.hpp"
-#include "core/max_register.hpp"
-#include "core/runtime.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
 
 namespace {
 
 using namespace detect;
 
-/// Count the maximum steps any single operation needed: run the workload,
-/// then divide total steps by ops as the mean and track per-run max via
-/// repeated single-op runs under random adversaries.
 struct step_stats {
   double mean = 0;
   std::uint64_t worst = 0;
 };
 
-template <typename MakeObject, typename MakeScript>
-step_stats measure(int nprocs, MakeObject make_object, MakeScript make_script,
+/// Run the per-process scripts against the named registry kind under `seeds`
+/// random schedules; report mean steps per operation.
+step_stats measure(const std::string& kind, int nprocs,
+                   const std::function<std::vector<hist::op_desc>(
+                       const api::object_handle&, int)>& make_script,
                    int seeds) {
   step_stats st;
   std::uint64_t total_steps = 0;
   std::uint64_t total_ops = 0;
   for (int seed = 1; seed <= seeds; ++seed) {
-    sim::world w(nprocs, {.max_steps = 2'000'000});
-    core::announcement_board board(nprocs, w.domain());
-    hist::log lg;
-    core::runtime rt(w, lg, board);
-    auto obj = make_object(nprocs, board, w.domain());
-    rt.register_object(0, *obj);
+    auto b = api::harness::builder();
+    b.procs(nprocs)
+        .max_steps(2'000'000)
+        .seed(static_cast<std::uint64_t>(seed) * 2654435761u);
+    api::harness h = b.build();
+    api::object_handle obj = h.add(kind);
     std::uint64_t ops = 0;
     for (int p = 0; p < nprocs; ++p) {
-      auto script = make_script(p);
+      auto script = make_script(obj, p);
       ops += script.size();
-      rt.set_script(p, script);
+      h.script(p, std::move(script));
     }
-    sim::random_scheduler sched(static_cast<std::uint64_t>(seed) * 2654435761u);
-    auto rep = rt.run(sched);
+    auto rep = h.run();
     total_steps += rep.steps;
     total_ops += ops;
-    // Upper-bound the worst single op: run each op solo and count.
     st.worst = std::max(st.worst, rep.steps / std::max<std::uint64_t>(ops, 1));
   }
   st.mean = static_cast<double>(total_steps) / static_cast<double>(total_ops);
@@ -74,48 +68,34 @@ int main() {
   rule(5);
   for (int n : {2, 4, 8, 16}) {
     auto reg = measure(
-        n,
-        [](int np, core::announcement_board& b, nvm::pmem_domain& d) {
-          return std::make_unique<core::detectable_register>(np, b, 0, d);
-        },
-        [](int p) {
-          return std::vector<hist::op_desc>{
-              {0, hist::opcode::reg_write, p, 0, 0},
-              {0, hist::opcode::reg_write, p + 1, 0, 0}};
+        "reg", n,
+        [](const api::object_handle& o, int p) {
+          api::reg r(o);
+          return std::vector<hist::op_desc>{r.write(p), r.write(p + 1)};
         },
         5);
     auto cas = measure(
-        n,
-        [](int np, core::announcement_board& b, nvm::pmem_domain& d) {
-          return std::make_unique<core::detectable_cas>(np, b, 0, d);
-        },
-        [](int p) {
-          return std::vector<hist::op_desc>{
-              {0, hist::opcode::cas, p, p + 1, 0},
-              {0, hist::opcode::cas, p + 1, p + 2, 0}};
+        "cas", n,
+        [](const api::object_handle& o, int p) {
+          api::cas c(o);
+          return std::vector<hist::op_desc>{c.compare_and_set(p, p + 1),
+                                            c.compare_and_set(p + 1, p + 2)};
         },
         5);
     auto maxw = measure(
-        n,
-        [](int np, core::announcement_board& b, nvm::pmem_domain& d) {
-          return std::make_unique<core::max_register>(np, b, d);
-        },
-        [](int p) {
-          return std::vector<hist::op_desc>{
-              {0, hist::opcode::max_write, p + 1, 0, 0},
-              {0, hist::opcode::max_write, p + 2, 0, 0}};
+        "max_reg", n,
+        [](const api::object_handle& o, int p) {
+          api::max_reg m(o);
+          return std::vector<hist::op_desc>{m.write_max(p + 1),
+                                            m.write_max(p + 2)};
         },
         5);
     // Solo read: isolates the N-entry double collect (2N loads minimum).
     auto maxr = measure(
-        n,
-        [](int np, core::announcement_board& b, nvm::pmem_domain& d) {
-          return std::make_unique<core::max_register>(np, b, d);
-        },
-        [](int p) {
-          if (p == 0) {
-            return std::vector<hist::op_desc>{{0, hist::opcode::max_read, 0, 0, 0}};
-          }
+        "max_reg", n,
+        [](const api::object_handle& o, int p) {
+          api::max_reg m(o);
+          if (p == 0) return std::vector<hist::op_desc>{m.read()};
           return std::vector<hist::op_desc>{};
         },
         5);

@@ -3,19 +3,15 @@
 // The paper notes (§6) that detectability "comes with a price tag in terms
 // of space complexity and the need to provide auxiliary state"; this
 // experiment quantifies the *time* overhead on real threads: plain objects
-// vs Algorithms 1-2 vs the unbounded-id baselines, free-running (no
-// simulator hook, emulated NVM in private-cache mode).
+// vs Algorithms 1-2 vs the unbounded-id baselines, free-running over the
+// detect::api::arena (no simulator hook, emulated NVM in private-cache
+// mode). Objects are instantiated from the registry by kind string.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <thread>
 
-#include "baselines/attiya_register.hpp"
-#include "baselines/bendavid_cas.hpp"
-#include "baselines/plain.hpp"
-#include "core/detectable_cas.hpp"
-#include "core/detectable_register.hpp"
-#include "core/max_register.hpp"
-#include "core/rmw.hpp"
+#include "api/api.hpp"
 
 namespace {
 
@@ -23,190 +19,122 @@ using namespace detect;
 
 constexpr int k_max_threads = 16;
 
-// Shared per-benchmark state: rebuilt by thread 0 at the start of each run.
-struct bench_world {
-  nvm::pmem_domain dom;
-  core::announcement_board board{k_max_threads, dom};
-};
+// Shared per-benchmark state, rebuilt by thread 0 at the start of each run.
+// Sibling threads synchronize on g_obj_ptr (release-publish / acquire-spin):
+// code before google-benchmark's measurement loop runs unsynchronized, so
+// they must not touch g_arena/the object until thread 0 has published it.
+// Descriptors need no shared state at all — each benchmark uses one object
+// and a default-constructed handle already carries its id (0).
+api::arena* g_arena = nullptr;
+std::atomic<core::detectable_object*> g_obj_ptr{nullptr};
+std::atomic<int> g_done{0};
 
-bench_world* g_world = nullptr;
-
-template <typename Obj>
-struct holder {
-  static Obj* obj;
-};
-template <typename Obj>
-Obj* holder<Obj>::obj = nullptr;
-
-template <typename Obj, typename Make>
-void setup(benchmark::State& state, Make make) {
+core::detectable_object& setup(benchmark::State& state, const char* kind) {
   if (state.thread_index() == 0) {
-    g_world = new bench_world;
-    holder<Obj>::obj = make(*g_world).release();
+    g_done.store(0, std::memory_order_relaxed);
+    g_arena = new api::arena(k_max_threads);
+    api::object_handle obj = g_arena->add(kind);
+    g_obj_ptr.store(&obj.object(), std::memory_order_release);
+  } else {
+    while (g_obj_ptr.load(std::memory_order_acquire) == nullptr) {
+      std::this_thread::yield();
+    }
   }
+  return *g_obj_ptr.load(std::memory_order_acquire);
 }
 
-template <typename Obj>
 void teardown(benchmark::State& state) {
+  g_done.fetch_add(1, std::memory_order_acq_rel);
   if (state.thread_index() == 0) {
-    delete holder<Obj>::obj;
-    holder<Obj>::obj = nullptr;
-    delete g_world;
-    g_world = nullptr;
+    // Free the arena only once every sibling is done with the object.
+    while (g_done.load(std::memory_order_acquire) != state.threads()) {
+      std::this_thread::yield();
+    }
+    g_obj_ptr.store(nullptr, std::memory_order_release);
+    delete g_arena;
+    g_arena = nullptr;
   }
 }
 
-// --- register workloads -----------------------------------------------------
+// The caller-side auxiliary resets (Ann_p.resp := ⊥, Ann_p.CP := 0) are part
+// of the protocol being measured for detectable objects; plain objects need
+// none — exactly the cost gap E6 quantifies.
+
+void bm_register_family(benchmark::State& state, const char* kind,
+                        bool aux_resets) {
+  core::detectable_object& obj = setup(state, kind);
+  int pid = state.thread_index();
+  api::reg r;  // descriptor builder for object id 0
+  hist::op_desc wr = r.write(pid);
+  hist::op_desc rd = r.read();
+  for (auto _ : state) {
+    if (aux_resets) g_arena->reset_aux(pid);
+    obj.invoke(pid, wr);
+    if (aux_resets) g_arena->reset_aux(pid);
+    benchmark::DoNotOptimize(obj.invoke(pid, rd));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  teardown(state);
+}
+
+void bm_cas_family(benchmark::State& state, const char* kind, bool aux_resets) {
+  core::detectable_object& obj = setup(state, kind);
+  int pid = state.thread_index();
+  api::cas c;  // descriptor builder for object id 0
+  for (auto _ : state) {
+    if (aux_resets) g_arena->reset_aux(pid);
+    hist::value_t cur = obj.invoke(pid, c.read());
+    if (aux_resets) g_arena->reset_aux(pid);
+    benchmark::DoNotOptimize(obj.invoke(pid, c.compare_and_set(cur, cur + 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  teardown(state);
+}
 
 void bm_plain_register(benchmark::State& state) {
-  setup<base::plain_register>(state, [](bench_world& w) {
-    return std::make_unique<base::plain_register>(0, w.dom);
-  });
-  int pid = state.thread_index();
-  hist::op_desc wr{0, hist::opcode::reg_write, pid, 0, 0};
-  hist::op_desc rd{0, hist::opcode::reg_read, 0, 0, 0};
-  for (auto _ : state) {
-    holder<base::plain_register>::obj->invoke(pid, wr);
-    benchmark::DoNotOptimize(holder<base::plain_register>::obj->invoke(pid, rd));
-  }
-  state.SetItemsProcessed(state.iterations() * 2);
-  teardown<base::plain_register>(state);
+  bm_register_family(state, "plain_reg", /*aux_resets=*/false);
 }
-
 void bm_detectable_register(benchmark::State& state) {
-  setup<core::detectable_register>(state, [](bench_world& w) {
-    return std::make_unique<core::detectable_register>(k_max_threads, w.board,
-                                                       0, w.dom);
-  });
-  int pid = state.thread_index();
-  hist::op_desc wr{0, hist::opcode::reg_write, pid, 0, 0};
-  hist::op_desc rd{0, hist::opcode::reg_read, 0, 0, 0};
-  auto& ann = g_world->board.of(pid);
-  for (auto _ : state) {
-    // Caller-side auxiliary resets are part of the protocol being measured.
-    ann.resp.store(hist::k_bottom);
-    ann.cp.store(0);
-    holder<core::detectable_register>::obj->invoke(pid, wr);
-    ann.resp.store(hist::k_bottom);
-    ann.cp.store(0);
-    benchmark::DoNotOptimize(
-        holder<core::detectable_register>::obj->invoke(pid, rd));
-  }
-  state.SetItemsProcessed(state.iterations() * 2);
-  teardown<core::detectable_register>(state);
+  bm_register_family(state, "reg", /*aux_resets=*/true);
 }
-
 void bm_attiya_register(benchmark::State& state) {
-  setup<base::attiya_register>(state, [](bench_world& w) {
-    return std::make_unique<base::attiya_register>(k_max_threads, w.board, 0,
-                                                   w.dom);
-  });
-  int pid = state.thread_index();
-  hist::op_desc wr{0, hist::opcode::reg_write, pid, 0, 0};
-  hist::op_desc rd{0, hist::opcode::reg_read, 0, 0, 0};
-  auto& ann = g_world->board.of(pid);
-  for (auto _ : state) {
-    ann.resp.store(hist::k_bottom);
-    ann.cp.store(0);
-    holder<base::attiya_register>::obj->invoke(pid, wr);
-    ann.resp.store(hist::k_bottom);
-    ann.cp.store(0);
-    benchmark::DoNotOptimize(holder<base::attiya_register>::obj->invoke(pid, rd));
-  }
-  state.SetItemsProcessed(state.iterations() * 2);
-  teardown<base::attiya_register>(state);
+  bm_register_family(state, "attiya_reg", /*aux_resets=*/true);
 }
-
-// --- CAS workloads ------------------------------------------------------------
 
 void bm_plain_cas(benchmark::State& state) {
-  setup<base::plain_cas>(state, [](bench_world& w) {
-    return std::make_unique<base::plain_cas>(0, w.dom);
-  });
-  int pid = state.thread_index();
-  for (auto _ : state) {
-    hist::op_desc rd{0, hist::opcode::cas_read, 0, 0, 0};
-    hist::value_t cur = holder<base::plain_cas>::obj->invoke(pid, rd);
-    hist::op_desc op{0, hist::opcode::cas, cur, cur + 1, 0};
-    benchmark::DoNotOptimize(holder<base::plain_cas>::obj->invoke(pid, op));
-  }
-  state.SetItemsProcessed(state.iterations());
-  teardown<base::plain_cas>(state);
+  bm_cas_family(state, "plain_cas", /*aux_resets=*/false);
 }
-
 void bm_detectable_cas(benchmark::State& state) {
-  setup<core::detectable_cas>(state, [](bench_world& w) {
-    return std::make_unique<core::detectable_cas>(k_max_threads, w.board, 0,
-                                                  w.dom);
-  });
-  int pid = state.thread_index();
-  auto& ann = g_world->board.of(pid);
-  for (auto _ : state) {
-    hist::op_desc rd{0, hist::opcode::cas_read, 0, 0, 0};
-    ann.resp.store(hist::k_bottom);
-    ann.cp.store(0);
-    hist::value_t cur = holder<core::detectable_cas>::obj->invoke(pid, rd);
-    hist::op_desc op{0, hist::opcode::cas, cur, cur + 1, 0};
-    ann.resp.store(hist::k_bottom);
-    ann.cp.store(0);
-    benchmark::DoNotOptimize(holder<core::detectable_cas>::obj->invoke(pid, op));
-  }
-  state.SetItemsProcessed(state.iterations());
-  teardown<core::detectable_cas>(state);
+  bm_cas_family(state, "cas", /*aux_resets=*/true);
 }
-
 void bm_bendavid_cas(benchmark::State& state) {
-  setup<base::bendavid_cas>(state, [](bench_world& w) {
-    return std::make_unique<base::bendavid_cas>(k_max_threads, w.board, 0,
-                                                w.dom);
-  });
-  int pid = state.thread_index();
-  auto& ann = g_world->board.of(pid);
-  for (auto _ : state) {
-    hist::op_desc rd{0, hist::opcode::cas_read, 0, 0, 0};
-    ann.resp.store(hist::k_bottom);
-    ann.cp.store(0);
-    hist::value_t cur = holder<base::bendavid_cas>::obj->invoke(pid, rd);
-    hist::op_desc op{0, hist::opcode::cas, cur, cur + 1, 0};
-    ann.resp.store(hist::k_bottom);
-    ann.cp.store(0);
-    benchmark::DoNotOptimize(holder<base::bendavid_cas>::obj->invoke(pid, op));
-  }
-  state.SetItemsProcessed(state.iterations());
-  teardown<base::bendavid_cas>(state);
+  bm_cas_family(state, "bendavid_cas", /*aux_resets=*/true);
 }
-
-// --- counter / max register ---------------------------------------------------
 
 void bm_detectable_counter(benchmark::State& state) {
-  setup<core::detectable_counter>(state, [](bench_world& w) {
-    return std::make_unique<core::detectable_counter>(k_max_threads, w.board, 0,
-                                                      w.dom);
-  });
+  core::detectable_object& obj = setup(state, "counter");
   int pid = state.thread_index();
-  auto& ann = g_world->board.of(pid);
-  hist::op_desc op{0, hist::opcode::ctr_add, 1, 0, 0};
+  api::counter c;  // descriptor builder for object id 0
+  hist::op_desc op = c.add(1);
   for (auto _ : state) {
-    ann.resp.store(hist::k_bottom);
-    ann.cp.store(0);
-    benchmark::DoNotOptimize(holder<core::detectable_counter>::obj->invoke(pid, op));
+    g_arena->reset_aux(pid);
+    benchmark::DoNotOptimize(obj.invoke(pid, op));
   }
   state.SetItemsProcessed(state.iterations());
-  teardown<core::detectable_counter>(state);
+  teardown(state);
 }
 
 void bm_max_register(benchmark::State& state) {
-  setup<core::max_register>(state, [](bench_world& w) {
-    return std::make_unique<core::max_register>(k_max_threads, w.board, w.dom);
-  });
+  core::detectable_object& obj = setup(state, "max_reg");
   int pid = state.thread_index();
+  api::max_reg m;  // descriptor builder for object id 0
   std::int64_t v = 0;
   for (auto _ : state) {
-    hist::op_desc op{0, hist::opcode::max_write, ++v, 0, 0};
-    benchmark::DoNotOptimize(holder<core::max_register>::obj->invoke(pid, op));
+    // Algorithm 3 needs no auxiliary resets at all — §5's separation.
+    benchmark::DoNotOptimize(obj.invoke(pid, m.write_max(++v)));
   }
   state.SetItemsProcessed(state.iterations());
-  teardown<core::max_register>(state);
+  teardown(state);
 }
 
 }  // namespace

@@ -5,16 +5,12 @@
 // shared-cache model by adding explicit flush/fence instructions, preserving
 // correctness and space complexity. The added cost is persistency
 // instructions — counted here per operation for every algorithm.
-#include "baselines/attiya_register.hpp"
-#include "baselines/bendavid_cas.hpp"
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
 #include "bench_util.hpp"
-#include "core/detectable_cas.hpp"
-#include "core/detectable_register.hpp"
-#include "core/max_register.hpp"
-#include "core/queue.hpp"
-#include "core/runtime.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
 
 namespace {
 
@@ -26,42 +22,52 @@ struct cost {
   double shared_per_op = 0;
 };
 
-template <typename MakeObject>
-cost measure(int nprocs, MakeObject make_object,
-             const std::vector<hist::op_desc>& per_proc_script,
+using script_fn =
+    std::function<std::vector<hist::op_desc>(const api::object_handle&)>;
+
+cost measure(const std::string& kind, int nprocs, const script_fn& make_script,
              bool shared_cache) {
-  sim::world w(nprocs, {.max_steps = 10'000'000});
-  if (shared_cache) {
-    w.domain().set_model(nvm::cache_model::shared_cache);
-    w.domain().set_auto_persist(true);
-  }
-  core::announcement_board board(nprocs, w.domain());
-  hist::log lg;
-  core::runtime rt(w, lg, board);
-  auto obj = make_object(nprocs, board, w.domain());
-  rt.register_object(0, *obj);
-  w.domain().persist_all();
-  w.domain().counters().reset();
-  for (int p = 0; p < nprocs; ++p) rt.set_script(p, per_proc_script);
-  sim::round_robin_scheduler sched;
-  rt.run(sched);
-  auto s = w.domain().counters().snapshot();
+  auto b = api::harness::builder();
+  b.procs(nprocs).max_steps(10'000'000);
+  if (shared_cache) b.shared_cache(/*auto_persist=*/true);
+  api::harness h = b.build();
+  api::object_handle obj = h.add(kind);
+  h.persist_all();
+  h.domain().counters().reset();
+  std::vector<hist::op_desc> per_proc_script = make_script(obj);
+  for (int p = 0; p < nprocs; ++p) h.script(p, per_proc_script);
+  h.run();
+  auto s = h.domain().counters().snapshot();
   double ops = static_cast<double>(nprocs * per_proc_script.size());
   return {static_cast<double>(s.flushes) / ops,
           static_cast<double>(s.fences) / ops,
           static_cast<double>(s.shared_total()) / ops};
 }
 
-std::vector<hist::op_desc> writes(int m) {
-  std::vector<hist::op_desc> v;
-  for (int i = 0; i < m; ++i) v.push_back({0, hist::opcode::reg_write, i, 0, 0});
-  return v;
+script_fn writes(int m) {
+  return [m](const api::object_handle& o) {
+    api::reg r(o);
+    std::vector<hist::op_desc> v;
+    for (int i = 0; i < m; ++i) v.push_back(r.write(i));
+    return v;
+  };
 }
-std::vector<hist::op_desc> cases(int m) {
-  std::vector<hist::op_desc> v;
-  for (int i = 0; i < m; ++i)
-    v.push_back({0, hist::opcode::cas, i % 3, (i + 1) % 3, 0});
-  return v;
+script_fn cases(int m) {
+  return [m](const api::object_handle& o) {
+    api::cas c(o);
+    std::vector<hist::op_desc> v;
+    for (int i = 0; i < m; ++i)
+      v.push_back(c.compare_and_set(i % 3, (i + 1) % 3));
+    return v;
+  };
+}
+script_fn max_writes(int m) {
+  return [m](const api::object_handle& o) {
+    api::max_reg mr(o);
+    std::vector<hist::op_desc> v;
+    for (int i = 0; i < m; ++i) v.push_back(mr.write_max(i));
+    return v;
+  };
 }
 
 }  // namespace
@@ -84,65 +90,17 @@ int main() {
         18);
   };
 
-  report("alg1 write",
-         measure(
-             4,
-             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
-               return std::make_unique<core::detectable_register>(n, b, 0, d);
-             },
-             writes(50), true));
-  report("attiya write",
-         measure(
-             4,
-             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
-               return std::make_unique<base::attiya_register>(n, b, 0, d);
-             },
-             writes(50), true));
-  report("alg2 cas",
-         measure(
-             4,
-             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
-               return std::make_unique<core::detectable_cas>(n, b, 0, d);
-             },
-             cases(50), true));
-  report("bendavid cas",
-         measure(
-             4,
-             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
-               return std::make_unique<base::bendavid_cas>(n, b, 0, d);
-             },
-             cases(50), true));
-  report("alg3 wmax",
-         measure(
-             4,
-             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
-               return std::make_unique<core::max_register>(n, b, d);
-             },
-             [] {
-               std::vector<hist::op_desc> v;
-               for (int i = 0; i < 50; ++i)
-                 v.push_back({0, hist::opcode::max_write, i, 0, 0});
-               return v;
-             }(),
-             true));
+  report("alg1 write", measure("reg", 4, writes(50), true));
+  report("attiya write", measure("attiya_reg", 4, writes(50), true));
+  report("alg2 cas", measure("cas", 4, cases(50), true));
+  report("bendavid cas", measure("bendavid_cas", 4, cases(50), true));
+  report("alg3 wmax", measure("max_reg", 4, max_writes(50), true));
 
   std::printf("\nFor contrast, the same workloads in the private-cache model:\n");
   row({"algorithm", "flush/op", "fence/op", "sharedacc/op"}, 18);
   rule(4, 18);
-  report("alg1 write (pc)",
-         measure(
-             4,
-             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
-               return std::make_unique<core::detectable_register>(n, b, 0, d);
-             },
-             writes(50), false));
-  report("alg2 cas (pc)",
-         measure(
-             4,
-             [](int n, core::announcement_board& b, nvm::pmem_domain& d) {
-               return std::make_unique<core::detectable_cas>(n, b, 0, d);
-             },
-             cases(50), false));
+  report("alg1 write (pc)", measure("reg", 4, writes(50), false));
+  report("alg2 cas (pc)", measure("cas", 4, cases(50), false));
 
   std::printf(
       "\nShape check: in the shared-cache model every access carries one\n"

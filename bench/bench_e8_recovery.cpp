@@ -6,14 +6,8 @@
 // (linearized vs fail), and verification outcome. This is the "system" view
 // of detectability: after every crash each client knows exactly whether its
 // interrupted operation took effect.
+#include "api/api.hpp"
 #include "bench_util.hpp"
-#include "core/detectable_cas.hpp"
-#include "core/detectable_register.hpp"
-#include "core/queue.hpp"
-#include "core/runtime.hpp"
-#include "history/checker.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
 
 namespace {
 
@@ -31,35 +25,22 @@ struct outcome {
 outcome sweep(double crash_rate, int seeds) {
   outcome out;
   for (int seed = 1; seed <= seeds; ++seed) {
-    sim::world w(3, {.max_steps = 1'000'000});
-    core::announcement_board board(3, w.domain());
-    hist::log lg;
-    core::runtime rt(w, lg, board);
-    core::detectable_register reg(3, board, 0, w.domain());
-    core::detectable_cas cas(3, board, 0, w.domain());
-    core::detectable_queue q(3, board, 64, w.domain());
-    rt.register_object(0, reg);
-    rt.register_object(1, cas);
-    rt.register_object(2, q);
-    rt.set_fail_policy(core::runtime::fail_policy::retry);
-    rt.set_script(0, {{0, hist::opcode::reg_write, 1, 0, 0},
-                      {1, hist::opcode::cas, 0, 1, 0},
-                      {2, hist::opcode::enq, 7, 0, 0},
-                      {0, hist::opcode::reg_read, 0, 0, 0}});
-    rt.set_script(1, {{2, hist::opcode::enq, 9, 0, 0},
-                      {1, hist::opcode::cas, 1, 2, 0},
-                      {2, hist::opcode::deq, 0, 0, 0},
-                      {0, hist::opcode::reg_write, 5, 0, 0}});
-    rt.set_script(2, {{0, hist::opcode::reg_read, 0, 0, 0},
-                      {2, hist::opcode::deq, 0, 0, 0},
-                      {1, hist::opcode::cas_read, 0, 0, 0},
-                      {2, hist::opcode::enq, 3, 0, 0}});
-    sim::random_scheduler sched(static_cast<std::uint64_t>(seed) * 48271u);
-    sim::random_crashes crashes(static_cast<std::uint64_t>(seed) * 16807u,
-                                crash_rate, 10);
-    auto rep = rt.run(sched, &crashes);
+    auto h = api::harness::builder()
+                 .procs(3)
+                 .fail_policy(core::runtime::fail_policy::retry)
+                 .seed(static_cast<std::uint64_t>(seed) * 48271u)
+                 .crash_random(static_cast<std::uint64_t>(seed) * 16807u,
+                               crash_rate, 10)
+                 .build();
+    api::reg r = h.add_reg();
+    api::cas c = h.add_cas();
+    api::queue q = h.add_queue(64);
+    h.script(0, {r.write(1), c.compare_and_set(0, 1), q.enq(7), r.read()});
+    h.script(1, {q.enq(9), c.compare_and_set(1, 2), q.deq(), r.write(5)});
+    h.script(2, {r.read(), q.deq(), c.read(), q.enq(3)});
+    auto rep = h.run();
     out.crashes += rep.crashes;
-    for (const auto& e : lg.snapshot()) {
+    for (const auto& e : h.events()) {
       if (e.kind == hist::event_kind::response) ++out.completed_ops;
       if (e.kind == hist::event_kind::recover_result) {
         if (e.verdict == hist::recovery_verdict::linearized) {
@@ -69,11 +50,7 @@ outcome sweep(double crash_rate, int seeds) {
         }
       }
     }
-    hist::multi_spec spec;
-    spec.add_object(0, std::make_unique<hist::register_spec>(0));
-    spec.add_object(1, std::make_unique<hist::cas_spec>(0));
-    spec.add_object(2, std::make_unique<hist::queue_spec>());
-    auto cr = hist::check_durable_linearizability(lg.snapshot(), spec);
+    auto cr = h.check();
     ++out.runs_checked;
     if (cr.ok) ++out.runs_ok;
   }

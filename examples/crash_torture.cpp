@@ -2,23 +2,16 @@
 // crash placements, mixed objects, every run checked for durable
 // linearizability + detectability.
 //
-// This is the example to copy when qualifying a new detectable object: plug
-// the object and its sequential spec into the scenario and let the storm
-// hunt for schedule/crash interleavings that break it. (Try it on
-// base::stripped to watch the checker catch Theorem-2 violations.)
+// This is the example to copy when qualifying a new detectable object: add
+// its kind to the registry, instantiate it by name, and let the storm hunt
+// for schedule/crash interleavings that break it. (Try a "stripped_*" kind
+// to watch the checker catch Theorem-2 violations.)
 //
-// Build & run:  ./build/examples/crash_torture [seeds]
+// Build & run:  ./build/crash_torture [seeds]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/detectable_cas.hpp"
-#include "core/detectable_register.hpp"
-#include "core/max_register.hpp"
-#include "core/rmw.hpp"
-#include "core/runtime.hpp"
-#include "history/checker.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
+#include "api/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace detect;
@@ -31,50 +24,34 @@ int main(int argc, char** argv) {
   std::uint64_t verdicts = 0;
 
   for (int seed = 1; seed <= seeds; ++seed) {
-    sim::world world(k_procs);
-    core::announcement_board board(k_procs, world.domain());
-    hist::log log;
-    core::runtime rt(world, log, board);
+    auto h = api::harness::builder()
+                 .procs(k_procs)
+                 .fail_policy(seed % 2 == 0 ? core::runtime::fail_policy::retry
+                                            : core::runtime::fail_policy::skip)
+                 .seed(static_cast<std::uint64_t>(seed) * 6364136223846793005ull)
+                 .crash_random(
+                     static_cast<std::uint64_t>(seed) * 1442695040888963407ull,
+                     0.02, 4)
+                 .build();
 
-    core::detectable_register reg(k_procs, board, 0, world.domain());
-    core::detectable_cas cas(k_procs, board, 0, world.domain());
-    core::detectable_counter ctr(k_procs, board, 0, world.domain());
-    core::max_register mreg(k_procs, board, world.domain());
-    rt.register_object(0, reg);
-    rt.register_object(1, cas);
-    rt.register_object(2, ctr);
-    rt.register_object(3, mreg);
-    rt.set_fail_policy(seed % 2 == 0 ? core::runtime::fail_policy::retry
-                                     : core::runtime::fail_policy::skip);
+    api::reg r = h.add_reg();
+    api::cas c = h.add_cas();
+    api::counter ctr = h.add_counter();
+    api::max_reg m = h.add_max_reg();
 
-    rt.set_script(0, {{0, hist::opcode::reg_write, seed, 0, 0},
-                      {2, hist::opcode::ctr_add, 1, 0, 0},
-                      {1, hist::opcode::cas, 0, 1, 0},
-                      {3, hist::opcode::max_write, seed % 17, 0, 0}});
-    rt.set_script(1, {{1, hist::opcode::cas, 0, 2, 0},
-                      {0, hist::opcode::reg_read, 0, 0, 0},
-                      {3, hist::opcode::max_read, 0, 0, 0},
-                      {2, hist::opcode::ctr_add, 2, 0, 0}});
-    rt.set_script(2, {{2, hist::opcode::ctr_read, 0, 0, 0},
-                      {3, hist::opcode::max_write, seed % 11, 0, 0},
-                      {0, hist::opcode::reg_write, seed + 1, 0, 0},
-                      {1, hist::opcode::cas_read, 0, 0, 0}});
+    h.script(0, {r.write(seed), ctr.add(1), c.compare_and_set(0, 1),
+                 m.write_max(seed % 17)});
+    h.script(1, {c.compare_and_set(0, 2), r.read(), m.read(), ctr.add(2)});
+    h.script(2, {ctr.read(), m.write_max(seed % 11), r.write(seed + 1),
+                 c.read()});
 
-    sim::random_scheduler sched(static_cast<std::uint64_t>(seed) * 6364136223846793005ull);
-    sim::random_crashes plan(static_cast<std::uint64_t>(seed) * 1442695040888963407ull,
-                             0.02, 4);
-    auto report = rt.run(sched, &plan);
+    auto report = h.run();
     crashes_total += report.crashes;
-    for (const auto& e : log.snapshot()) {
+    for (const auto& e : h.events()) {
       if (e.kind == hist::event_kind::recover_result) ++verdicts;
     }
 
-    hist::multi_spec spec;
-    spec.add_object(0, std::make_unique<hist::register_spec>(0));
-    spec.add_object(1, std::make_unique<hist::cas_spec>(0));
-    spec.add_object(2, std::make_unique<hist::counter_spec>(0));
-    spec.add_object(3, std::make_unique<hist::max_register_spec>(0));
-    auto check = hist::check_durable_linearizability(log.snapshot(), spec);
+    auto check = h.check();
     if (check.ok) {
       ++ok;
     } else {

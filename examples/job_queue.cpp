@@ -9,47 +9,36 @@
 //     lost.
 // The FIFO-spec check at the end proves the exactly-once accounting.
 //
-// Build & run:  ./build/examples/job_queue
+// Build & run:  ./build/job_queue
 #include <cstdio>
 #include <map>
 
+#include "api/api.hpp"
 #include "core/queue.hpp"
-#include "core/runtime.hpp"
-#include "history/checker.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
 
 int main() {
   using namespace detect;
   constexpr int k_procs = 4;  // 2 producers + 2 consumers
 
-  sim::world world(k_procs);
-  core::announcement_board board(k_procs, world.domain());
-  hist::log log;
-  core::runtime rt(world, log, board);
+  auto h = api::harness::builder()
+               .procs(k_procs)
+               .fail_policy(core::runtime::fail_policy::retry)
+               .seed(42)
+               .crash_random(1234, 0.015, 6)
+               .build();
+  api::queue q = h.add_queue(64);
 
-  core::detectable_queue queue(k_procs, board, /*capacity=*/64, world.domain());
-  rt.register_object(0, queue);
-  rt.set_fail_policy(core::runtime::fail_policy::retry);
+  h.script(0, {q.enq(101), q.enq(102), q.enq(103)});
+  h.script(1, {q.enq(201), q.enq(202), q.enq(203)});
+  h.script(2, {q.deq(), q.deq(), q.deq()});
+  h.script(3, {q.deq(), q.deq(), q.deq()});
 
-  auto job = [](hist::value_t id) {
-    return hist::op_desc{0, hist::opcode::enq, id, 0, 0};
-  };
-  auto take = [] { return hist::op_desc{0, hist::opcode::deq, 0, 0, 0}; };
-
-  rt.set_script(0, {job(101), job(102), job(103)});
-  rt.set_script(1, {job(201), job(202), job(203)});
-  rt.set_script(2, {take(), take(), take()});
-  rt.set_script(3, {take(), take(), take()});
-
-  sim::random_scheduler sched(42);
-  sim::random_crashes crashes(1234, 0.015, 6);
-  auto report = rt.run(sched, &crashes);
+  auto report = h.run();
 
   // Tally the dispatch ledger from the verified history.
   std::map<hist::value_t, int> executed;  // job id -> times delivered
   int empties = 0;
-  for (const auto& e : log.snapshot()) {
+  for (const auto& e : h.events()) {
     bool final_resp = e.kind == hist::event_kind::response ||
                       (e.kind == hist::event_kind::recover_result &&
                        e.verdict == hist::recovery_verdict::linearized);
@@ -74,10 +63,10 @@ int main() {
   std::printf("\nempty polls: %d\n", empties);
   std::printf("exactly-once delivery: %s\n", exactly_once ? "YES" : "NO");
   std::printf("identifier space used: %llu stamps\n",
-              static_cast<unsigned long long>(queue.ids_minted()));
+              static_cast<unsigned long long>(
+                  q.as<core::detectable_queue>().ids_minted()));
 
-  auto check =
-      hist::check_durable_linearizability(log.snapshot(), hist::queue_spec());
+  auto check = h.check();
   std::printf("history verified: %s\n", check.ok ? "YES" : "NO");
   if (!check.ok) std::printf("%s\n", check.message.c_str());
   return (check.ok && exactly_once) ? 0 : 1;

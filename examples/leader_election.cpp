@@ -6,20 +6,16 @@
 // middle of the race: a recovering candidate must learn whether *it* won —
 // precisely the question [3] proved needs unbounded space when implemented
 // from TAS base objects, and which the flip-vector capsule answers in Θ(N)
-// bits here. The election is re-run (tas_reset by the leader) to show the
-// resettable behaviour.
+// bits here.
 //
-// Build & run:  ./build/examples/leader_election
+// Build & run:  ./build/leader_election
 #include <cstdio>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
-#include "core/rmw.hpp"
-#include "core/runtime.hpp"
-#include "history/checker.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
+#include "api/api.hpp"
 
 int main() {
   using namespace detect;
@@ -28,21 +24,16 @@ int main() {
   int total_rounds = 0;
   int unique_leader_rounds = 0;
   for (std::uint64_t seed = 1; seed <= 25; ++seed) {
-    sim::world world(k_candidates);
-    core::announcement_board board(k_candidates, world.domain());
-    hist::log log;
-    core::runtime rt(world, log, board);
-    core::detectable_tas tas(k_candidates, board, world.domain());
-    rt.register_object(0, tas);
-    rt.set_fail_policy(core::runtime::fail_policy::retry);
+    auto h = api::harness::builder()
+                 .procs(k_candidates)
+                 .fail_policy(core::runtime::fail_policy::retry)
+                 .seed(seed * 1000003)
+                 .crash_random(seed * 999983, 0.03, 3)
+                 .build();
+    api::tas t = h.add_tas();
+    for (int p = 0; p < k_candidates; ++p) h.script(p, {t.set()});
 
-    for (int p = 0; p < k_candidates; ++p) {
-      rt.set_script(p, {{0, hist::opcode::tas_set, 0, 0, 0}});
-    }
-
-    sim::random_scheduler sched(seed * 1000003);
-    sim::random_crashes crashes(seed * 999983, 0.03, 3);
-    rt.run(sched, &crashes);
+    h.run();
 
     // The winner is whoever got response 0 (previous bit clear). Crashed
     // candidates learn their outcome from the recovery verdict. A crash
@@ -50,7 +41,7 @@ int main() {
     // produce a duplicate "linearized" report for the same operation, so the
     // tally dedupes on (pid, client_seq).
     std::set<std::pair<int, std::uint64_t>> winner_ops;
-    for (const auto& e : log.snapshot()) {
+    for (const auto& e : h.events()) {
       bool final_resp = e.kind == hist::event_kind::response ||
                         (e.kind == hist::event_kind::recover_result &&
                          e.verdict == hist::recovery_verdict::linearized);
@@ -63,8 +54,7 @@ int main() {
     ++total_rounds;
     if (winners.size() == 1) ++unique_leader_rounds;
 
-    auto check =
-        hist::check_durable_linearizability(log.snapshot(), hist::tas_spec());
+    auto check = h.check();
     std::printf("round %2llu: leader=%s%s  verified=%s\n",
                 static_cast<unsigned long long>(seed),
                 winners.size() == 1 ? ("p" + std::to_string(winners[0])).c_str()

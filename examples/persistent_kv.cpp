@@ -8,16 +8,11 @@
 // returns the operation's response if it was linearized and `fail` if it is
 // safe to consider it never executed.
 //
-// Build & run:  ./build/examples/persistent_kv
+// Build & run:  ./build/persistent_kv
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "core/detectable_register.hpp"
-#include "core/runtime.hpp"
-#include "history/checker.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
+#include "api/api.hpp"
 
 namespace {
 
@@ -29,41 +24,26 @@ constexpr int k_keys = 4;
 int main() {
   using namespace detect;
 
-  sim::world world(k_clients);
-  core::announcement_board board(k_clients, world.domain());
-  hist::log log;
-  core::runtime rt(world, log, board);
+  // A client whose put is reported `fail` retries it (NRL-style); simulated
+  // power failures strike with ~2% probability before every memory step.
+  auto h = api::harness::builder()
+               .procs(k_clients)
+               .fail_policy(core::runtime::fail_policy::retry)
+               .seed(7)
+               .crash_random(99, 0.02, 5)
+               .build();
 
   // The store: one detectable register per key, all in emulated NVM.
-  std::vector<std::unique_ptr<core::detectable_register>> store;
-  hist::multi_spec spec;
-  for (int k = 0; k < k_keys; ++k) {
-    store.push_back(std::make_unique<core::detectable_register>(
-        k_clients, board, 0, world.domain()));
-    rt.register_object(static_cast<std::uint32_t>(k), *store.back());
-    spec.add_object(static_cast<std::uint32_t>(k),
-                    std::make_unique<hist::register_spec>(0));
-  }
+  std::vector<api::reg> store;
+  for (int k = 0; k < k_keys; ++k) store.push_back(h.add_reg());
+  auto put = [&](int key, hist::value_t v) { return store[key].write(v); };
+  auto get = [&](int key) { return store[key].read(); };
 
-  // Client workloads: put(key, value) / get(key) across the keyspace.
-  auto put = [](int key, hist::value_t v) {
-    return hist::op_desc{static_cast<std::uint32_t>(key),
-                         hist::opcode::reg_write, v, 0, 0};
-  };
-  auto get = [](int key) {
-    return hist::op_desc{static_cast<std::uint32_t>(key),
-                         hist::opcode::reg_read, 0, 0, 0};
-  };
-  rt.set_script(0, {put(0, 100), put(1, 101), get(0), put(2, 102)});
-  rt.set_script(1, {put(1, 201), get(1), put(3, 203), get(2)});
-  rt.set_script(2, {get(3), put(0, 300), get(1), put(3, 303)});
-  // A client whose put is reported `fail` retries it (NRL-style).
-  rt.set_fail_policy(core::runtime::fail_policy::retry);
+  h.script(0, {put(0, 100), put(1, 101), get(0), put(2, 102)});
+  h.script(1, {put(1, 201), get(1), put(3, 203), get(2)});
+  h.script(2, {get(3), put(0, 300), get(1), put(3, 303)});
 
-  // Simulated power failures: ~2% chance before every memory step.
-  sim::random_scheduler sched(7);
-  sim::random_crashes crashes(99, 0.02, 5);
-  auto report = rt.run(sched, &crashes);
+  auto report = h.run();
 
   std::printf("persistent_kv: %llu steps, %llu power failures\n",
               static_cast<unsigned long long>(report.steps),
@@ -72,7 +52,7 @@ int main() {
   // Summarize recovery decisions.
   int recovered_done = 0;
   int recovered_retry = 0;
-  for (const auto& e : log.snapshot()) {
+  for (const auto& e : h.events()) {
     if (e.kind != hist::event_kind::recover_result) continue;
     if (e.verdict == hist::recovery_verdict::linearized) {
       ++recovered_done;
@@ -93,14 +73,13 @@ int main() {
     hist::op_desc rd = get(k);
     rd.client_seq = 1000 + static_cast<std::uint64_t>(k);
     // Sequential read by "client 0" after the run; no concurrency left.
-    board.of(0).resp.store(hist::k_bottom);
+    h.board().of(0).resp.store(hist::k_bottom);
     std::printf("k%d=%lld ", k,
-                static_cast<long long>(store[static_cast<std::size_t>(k)]
-                                           ->invoke(0, rd)));
+                static_cast<long long>(store[k].object().invoke(0, rd)));
   }
   std::printf("\n");
 
-  auto check = hist::check_durable_linearizability(log.snapshot(), spec);
+  auto check = h.check();
   std::printf("history verified: %s\n", check.ok ? "YES" : "NO");
   if (!check.ok) std::printf("%s\n", check.message.c_str());
   return check.ok ? 0 : 1;

@@ -1,65 +1,47 @@
 // Quickstart: a detectable register and a detectable CAS object surviving a
-// system-wide crash.
+// system-wide crash — the detect::api façade in one page.
 //
-// Demonstrates the three core pieces of the API:
-//   * sim::world        — N crash-prone processes over emulated NVM,
-//   * core::runtime     — the caller-side announcement protocol of §2
-//                         (Ann_p.op / resp / CP) plus history recording,
-//   * detectable objects — Algorithm 1 (read/write) and Algorithm 2 (CAS):
-//                         after a crash, each process learns whether its
-//                         interrupted operation was linearized (and its
-//                         response) or may safely consider it not executed.
+// One harness wires everything behind the scenes (simulated world, the
+// announcement board of §2, history log, client runtime). Typed handles
+// construct operations; `check()` verifies the whole recorded history for
+// durable linearizability + detectability.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 #include <cstdio>
 
-#include "core/detectable_cas.hpp"
-#include "core/detectable_register.hpp"
-#include "core/runtime.hpp"
-#include "history/checker.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
+#include "api/api.hpp"
 
 int main() {
   using namespace detect;
-  constexpr int k_procs = 2;
 
-  sim::world world(k_procs);
-  core::announcement_board board(k_procs, world.domain());
-  hist::log log;
-  core::runtime rt(world, log, board);
+  // Two crash-prone processes; a seeded scheduler; crashes at steps 12, 31;
+  // clients re-attempt operations whose recovery reports fail.
+  auto h = api::harness::builder()
+               .procs(2)
+               .fail_policy(core::runtime::fail_policy::retry)
+               .seed(2024)
+               .crash_at({12, 31})
+               .build();
 
-  // Object 0: Algorithm 1 register. Object 1: Algorithm 2 CAS.
-  core::detectable_register reg(k_procs, board, /*init=*/0, world.domain());
-  core::detectable_cas cas(k_procs, board, /*init=*/0, world.domain());
-  rt.register_object(0, reg);
-  rt.register_object(1, cas);
+  // Algorithm 1 register and Algorithm 2 CAS, registered under fresh ids.
+  api::reg r = h.add_reg();
+  api::cas c = h.add_cas();
 
-  // Client scripts: process 0 writes then CASes; process 1 reads and CASes.
-  rt.set_script(0, {{0, hist::opcode::reg_write, 42, 0, 0},
-                    {1, hist::opcode::cas, 0, 7, 0},
-                    {0, hist::opcode::reg_read, 0, 0, 0}});
-  rt.set_script(1, {{1, hist::opcode::cas, 0, 9, 0},
-                    {0, hist::opcode::reg_read, 0, 0, 0}});
-  rt.set_fail_policy(core::runtime::fail_policy::retry);
+  // Client scripts: process 0 writes then CASes; process 1 CASes and reads.
+  h.script(0, {r.write(42), c.compare_and_set(0, 7), r.read()});
+  h.script(1, {c.compare_and_set(0, 9), r.read()});
 
-  // Drive with a seeded random scheduler and crash twice mid-run. After each
-  // crash the runtime consults each process's announcement and runs the
-  // matching Op.Recover with the original arguments.
-  sim::random_scheduler sched(2024);
-  sim::crash_at_steps crashes({12, 31});
-  auto report = rt.run(sched, &crashes);
+  // Drive to completion. After each crash the runtime consults each
+  // process's announcement and runs the matching Op.Recover (§2).
+  auto report = h.run();
 
   std::printf("run: %llu steps, %llu crashes\n\n",
               static_cast<unsigned long long>(report.steps),
               static_cast<unsigned long long>(report.crashes));
-  std::printf("event log:\n%s\n", log.to_string().c_str());
+  std::printf("event log:\n%s\n", h.log_text().c_str());
 
   // Verify the whole history: durable linearizability + detectability.
-  hist::multi_spec spec;
-  spec.add_object(0, std::make_unique<hist::register_spec>(0));
-  spec.add_object(1, std::make_unique<hist::cas_spec>(0));
-  auto check = hist::check_durable_linearizability(log.snapshot(), spec);
+  auto check = h.check();
   std::printf("history verified: %s\n", check.ok ? "YES" : "NO");
   if (!check.ok) std::printf("%s\n", check.message.c_str());
   return check.ok ? 0 : 1;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify (build + ctest) followed by an ASan/UBSan pass.
+#
+#   scripts/check.sh           # both passes
+#   scripts/check.sh --fast    # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1: RelWithDebInfo build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  exit 0
+fi
+
+echo
+echo "== sanitize: ASan/UBSan build + ctest =="
+cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
+cmake --build build-sanitize -j "$jobs"
+ctest --test-dir build-sanitize --output-on-failure -j "$jobs"

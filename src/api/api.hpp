@@ -1,0 +1,14 @@
+// detect::api — the unified façade over the detectable-objects suite.
+//
+//   handles.hpp   typed object handles building op_desc values
+//   registry.hpp  kind-string → factory registry (object_registry)
+//   harness.hpp   the harness builder wiring world/board/log/runtime,
+//                 plus the free-running arena for real-thread benches
+//
+// Everything a scenario, test, bench, or example needs is reachable from
+// this one include.
+#pragma once
+
+#include "api/handles.hpp"    // IWYU pragma: export
+#include "api/harness.hpp"    // IWYU pragma: export
+#include "api/registry.hpp"   // IWYU pragma: export

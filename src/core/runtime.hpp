@@ -15,6 +15,8 @@
 
 #include <functional>
 #include <map>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/object.hpp"
@@ -32,8 +34,16 @@ class runtime {
   runtime(sim::world& w, hist::log& lg, announcement_board& board)
       : world_(&w), log_(&lg), board_(&board) {}
 
-  void register_object(std::uint32_t id, detectable_object& obj) {
-    objects_[id] = &obj;
+  /// Register `obj` under `id` and return the id (so registries can chain
+  /// on it). Duplicate ids are rejected: silently overwriting the map entry
+  /// would re-route every scripted op of the old object.
+  std::uint32_t register_object(std::uint32_t id, detectable_object& obj) {
+    auto [it, inserted] = objects_.emplace(id, &obj);
+    if (!inserted) {
+      throw std::invalid_argument("runtime: duplicate object id " +
+                                  std::to_string(id));
+    }
+    return id;
   }
 
   void set_script(int pid, std::vector<hist::op_desc> ops) {

@@ -1,0 +1,265 @@
+// The detect::api façade itself: registry qualification of every object kind,
+// harness builder configuration, typed-handle descriptor construction, and
+// the fail_policy::retry exactly-once guarantee under mid-operation crashes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/detectable_cas.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace detect;
+using namespace detect::test;
+
+// ---- typed handles ----------------------------------------------------------
+
+TEST(handles, construct_correct_descriptors) {
+  auto h = api::harness::builder().procs(2).build();
+  api::reg r = h.add_reg();
+  api::cas c = h.add_cas();
+  api::queue q = h.add_queue();
+
+  hist::op_desc w = r.write(42);
+  EXPECT_EQ(w.object, r.id());
+  EXPECT_EQ(w.code, hist::opcode::reg_write);
+  EXPECT_EQ(w.a, 42);
+
+  hist::op_desc cs = c.compare_and_set(1, 2);
+  EXPECT_EQ(cs.object, c.id());
+  EXPECT_EQ(cs.code, hist::opcode::cas);
+  EXPECT_EQ(cs.a, 1);
+  EXPECT_EQ(cs.b, 2);
+
+  hist::op_desc e = q.enq(7);
+  EXPECT_EQ(e.object, q.id());
+  EXPECT_EQ(e.code, hist::opcode::enq);
+
+  // Fresh ids per object, in registration order.
+  EXPECT_EQ(r.id(), 0u);
+  EXPECT_EQ(c.id(), 1u);
+  EXPECT_EQ(q.id(), 2u);
+}
+
+TEST(handles, empty_handle_throws) {
+  api::object_handle empty;
+  EXPECT_THROW(empty.object(), std::logic_error);
+}
+
+// ---- object_registry --------------------------------------------------------
+
+TEST(object_registry, knows_all_builtin_kinds) {
+  auto& reg = api::object_registry::global();
+  for (const char* kind :
+       {"reg", "cas", "counter", "swap", "tas", "queue", "stack", "max_reg",
+        "lock", "nrl_reg", "attiya_reg", "bendavid_cas", "plain_reg",
+        "plain_cas", "plain_counter", "stripped_reg", "stripped_cas",
+        "stripped_counter", "stripped_swap", "stripped_tas", "stripped_queue",
+        "stripped_stack"}) {
+    EXPECT_TRUE(reg.contains(kind)) << kind;
+  }
+}
+
+TEST(object_registry, unknown_kind_throws) {
+  auto h = api::harness::builder().procs(1).build();
+  EXPECT_THROW(h.add("no_such_object"), std::invalid_argument);
+}
+
+TEST(object_registry, duplicate_kind_rejected) {
+  auto& reg = api::object_registry::global();
+  api::kind_info dup = reg.at("reg");
+  EXPECT_THROW(api::object_registry::global().add(std::move(dup)),
+               std::invalid_argument);
+}
+
+TEST(object_registry, stripped_kinds_disable_aux_resets) {
+  auto h = api::harness::builder().procs(2).build();
+  EXPECT_FALSE(h.add("stripped_cas").object().wants_aux_reset());
+  EXPECT_TRUE(h.add("cas").object().wants_aux_reset());
+  EXPECT_FALSE(h.add("max_reg").object().wants_aux_reset())
+      << "Algorithm 3 needs no auxiliary state by construction";
+}
+
+// Every kind in the registry must be instantiable by name and pass a
+// crash-free smoke scenario checked against its own spec — the qualification
+// gate for core algorithms, baselines, and stripped variants alike.
+class registry_qualification : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(registry_qualification, instantiates_and_passes_smoke_scenario) {
+  const std::string kind = GetParam();
+  auto h = api::harness::builder().procs(2).seed(7).build();
+  api::object_handle obj = h.add(kind);
+  EXPECT_EQ(obj.kind(), kind);
+  for (int pid = 0; pid < 2; ++pid) {
+    h.script(pid, api::smoke_script(obj.family(), obj.id(), pid));
+  }
+  auto report = h.run();
+  EXPECT_FALSE(report.hit_step_limit);
+  auto check = h.check();
+  EXPECT_TRUE(check.ok) << kind << ":\n" << check.message << h.log_text();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    all_kinds, registry_qualification,
+    ::testing::ValuesIn(api::object_registry::global().kinds()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// Detectable kinds must additionally survive a crash battery through the
+// runtime's recovery protocol.
+class registry_crash_qualification : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(registry_crash_qualification, crash_fuzz_by_name) {
+  const std::string kind = GetParam();
+  scenario cfg;
+  cfg.nprocs = 2;
+  cfg.setup = [kind](api::harness& h) {
+    api::object_handle obj = h.add(kind);
+    for (int pid = 0; pid < 2; ++pid) {
+      h.script(pid, api::smoke_script(obj.family(), obj.id(), pid));
+    }
+  };
+  crash_fuzz(cfg, 40, 2, std::hash<std::string>{}(kind) % 100000);
+}
+
+INSTANTIATE_TEST_SUITE_P(detectable_kinds, registry_crash_qualification,
+                         ::testing::ValuesIn([] {
+                           std::vector<std::string> kinds;
+                           auto& reg = api::object_registry::global();
+                           for (const std::string& k : reg.kinds()) {
+                             if (reg.at(k).detectable) kinds.push_back(k);
+                           }
+                           return kinds;
+                         }()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// ---- harness builder --------------------------------------------------------
+
+TEST(harness_builder, wires_fail_policy_and_crash_plan) {
+  auto h = api::harness::builder()
+               .procs(2)
+               .fail_policy(core::runtime::fail_policy::retry)
+               .seed(2024)
+               .crash_random(99, 0.02, 4)
+               .build();
+  api::reg r = h.add_reg();
+  api::cas c = h.add_cas();
+  h.script(0, {r.write(1), c.compare_and_set(0, 7), r.read()});
+  h.script(1, {c.compare_and_set(0, 9), r.read()});
+  auto report = h.run();
+  EXPECT_FALSE(report.hit_step_limit);
+  auto check = h.check();
+  EXPECT_TRUE(check.ok) << check.message;
+}
+
+TEST(harness_builder, shared_cache_mode_with_transform) {
+  auto cfg = one_object<api::reg>("reg", 2, [](api::reg r) {
+    return scripts{{0, {r.write(1), r.read()}}, {1, {r.write(2)}}};
+  });
+  cfg.shared_cache = true;
+  crash_fuzz(cfg, 30, 2);
+}
+
+TEST(harness_builder, max_steps_is_honored) {
+  auto h = api::harness::builder().procs(1).max_steps(3).build();
+  api::reg r = h.add_reg();
+  h.script(0, {r.write(1), r.write(2), r.write(3)});
+  auto report = h.run();
+  EXPECT_TRUE(report.hit_step_limit);
+}
+
+// ---- arena (free-running façade) --------------------------------------------
+
+TEST(arena, serves_registry_objects_without_a_world) {
+  api::arena a(2);
+  api::counter c(a.add("plain_counter"));
+  for (int i = 0; i < 5; ++i) {
+    a.reset_aux(0);
+    c.object().invoke(0, c.add(1));
+  }
+  a.reset_aux(0);
+  EXPECT_EQ(c.object().invoke(0, c.read()), 5);
+}
+
+// ---- fail_policy::retry: exactly-once under mid-operation crashes -----------
+
+// Crash a counter add at its commit point — once right BEFORE the capsule's
+// CAS (recovery reports fail, the runtime re-attempts) and once right AFTER
+// (recovery reports linearized, no re-attempt). In both branches the add
+// must linearize exactly once: the follow-up read sees 1, never 0 or 2.
+TEST(fail_policy_retry, mid_op_crash_linearizes_exactly_once) {
+  for (bool crash_after_commit : {false, true}) {
+    auto h = api::harness::builder()
+                 .procs(1)
+                 .fail_policy(core::runtime::fail_policy::retry)
+                 .build();
+    api::counter c = h.add_counter();
+    h.script(0, {c.add(1), c.read()});
+    h.runtime().start();
+    // Step to the capsule's commit CAS (the only shared_cas with CP == 1).
+    while (!(h.board().of(0).cp.peek() == 1 &&
+             h.world().pending_access(0) == nvm::access::shared_cas)) {
+      h.world().step(0);
+    }
+    if (crash_after_commit) h.world().step(0);
+    h.world().crash();
+    h.runtime().on_crash();  // logs the crash, resubmits, recovery decides
+    h.drive_all();
+
+    // The re-attempted (or already linearized) add closes exactly once —
+    // either a normal response (the re-attempt) or a linearized recovery
+    // verdict (the commit landed) — and the read observes 1.
+    int add_closures = 0;
+    hist::value_t read_value = hist::k_bottom;
+    int fail_verdicts = 0;
+    for (const auto& e : h.events()) {
+      bool closes = e.kind == hist::event_kind::response ||
+                    (e.kind == hist::event_kind::recover_result &&
+                     e.verdict == hist::recovery_verdict::linearized);
+      if (closes && e.desc.code == hist::opcode::ctr_add) ++add_closures;
+      if (closes && e.desc.code == hist::opcode::ctr_read) read_value = e.value;
+      if (e.kind == hist::event_kind::recover_result &&
+          e.verdict == hist::recovery_verdict::fail) {
+        ++fail_verdicts;
+      }
+    }
+    EXPECT_EQ(read_value, 1)
+        << "the interrupted add must take effect exactly once";
+    EXPECT_EQ(add_closures, 1) << "the add must linearize exactly once";
+    if (crash_after_commit) {
+      EXPECT_EQ(fail_verdicts, 0)
+          << "commit landed: recovery must not re-run the add";
+    } else {
+      EXPECT_EQ(fail_verdicts, 1)
+          << "recovery must first report the interrupted attempt as fail";
+    }
+    auto check = h.check();
+    EXPECT_TRUE(check.ok) << check.message << h.log_text();
+  }
+}
+
+// The same invariant under a full crash-at-every-step sweep: whatever the
+// crash placement, retry closes every op and the final read returns 1.
+TEST(fail_policy_retry, crash_sweep_read_always_sees_one) {
+  auto cfg = one_object<api::counter>(
+      "counter", 1,
+      [](api::counter c) { return scripts{{0, {c.add(1), c.read()}}}; },
+      core::runtime::fail_policy::retry);
+  run_outcome base = run_scenario(cfg, 1);
+  ASSERT_TRUE(base.check.ok) << base.check.message;
+  for (std::uint64_t k = 0; k < base.report.steps; ++k) {
+    run_outcome out = run_scenario(cfg, 1, {k});
+    ASSERT_TRUE(out.check.ok) << "crash at " << k << "\n" << out.check.message;
+    // The read (client_seq 2) must close with value 1 in every run.
+    EXPECT_NE(out.log_text.find("ctr_read()"), std::string::npos);
+    EXPECT_EQ(out.log_text.find("ctr_read() -> 0"), std::string::npos)
+        << "crash at " << k << ": read observed a lost add\n"
+        << out.log_text;
+  }
+}
+
+}  // namespace

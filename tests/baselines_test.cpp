@@ -6,8 +6,6 @@
 #include "baselines/attiya_register.hpp"
 #include "baselines/bendavid_cas.hpp"
 #include "baselines/plain.hpp"
-#include "baselines/stripped.hpp"
-#include "core/detectable_register.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -15,42 +13,20 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-scenario_config attiya_scenario(int nprocs,
-                                std::map<int, std::vector<hist::op_desc>> scripts,
-                                core::runtime::fail_policy policy =
-                                    core::runtime::fail_policy::skip) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.policy = policy;
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<base::attiya_register>(nprocs, f.board, 0,
-                                                           f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
-  return cfg;
+scenario attiya_scenario(int nprocs,
+                         std::function<scripts(api::reg)> make_scripts,
+                         core::runtime::fail_policy policy =
+                             core::runtime::fail_policy::skip) {
+  return one_object<api::reg>("attiya_reg", nprocs, std::move(make_scripts),
+                              policy);
 }
 
-scenario_config bendavid_scenario(int nprocs,
-                                  std::map<int, std::vector<hist::op_desc>> scripts,
-                                  core::runtime::fail_policy policy =
-                                      core::runtime::fail_policy::skip) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.policy = policy;
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(
-        std::make_unique<base::bendavid_cas>(nprocs, f.board, 0, f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::cas_spec(0)); };
-  return cfg;
+scenario bendavid_scenario(int nprocs,
+                           std::function<scripts(api::cas)> make_scripts,
+                           core::runtime::fail_policy policy =
+                               core::runtime::fail_policy::skip) {
+  return one_object<api::cas>("bendavid_cas", nprocs, std::move(make_scripts),
+                              policy);
 }
 
 TEST(tag_helpers, roundtrip) {
@@ -61,18 +37,21 @@ TEST(tag_helpers, roundtrip) {
 }
 
 TEST(attiya_register, sequential) {
-  auto cfg = attiya_scenario(
-      1, {{0, {op_write(5), op_read(), op_write(7), op_read()}}});
+  auto cfg = attiya_scenario(1, [](api::reg r) {
+    return scripts{{0, {r.write(5), r.read(), r.write(7), r.read()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(attiya_register, concurrent_seeds) {
-  auto cfg = attiya_scenario(3, {
-                                    {0, {op_write(1), op_write(2)}},
-                                    {1, {op_write(3), op_read()}},
-                                    {2, {op_read(), op_read()}},
-                                });
+  auto cfg = attiya_scenario(3, [](api::reg r) {
+    return scripts{
+        {0, {r.write(1), r.write(2)}},
+        {1, {r.write(3), r.read()}},
+        {2, {r.read(), r.read()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -80,46 +59,54 @@ TEST(attiya_register, concurrent_seeds) {
 }
 
 TEST(attiya_register, crash_sweep) {
-  auto cfg = attiya_scenario(2, {
-                                    {0, {op_write(1), op_write(2)}},
-                                    {1, {op_write(5), op_read()}},
-                                });
+  auto cfg = attiya_scenario(2, [](api::reg r) {
+    return scripts{
+        {0, {r.write(1), r.write(2)}},
+        {1, {r.write(5), r.read()}},
+    };
+  });
   crash_sweep(cfg, 3);
 }
 
 TEST(attiya_register, crash_fuzz_retry) {
   auto cfg = attiya_scenario(2,
-                             {
-                                 {0, {op_write(1), op_write(2)}},
-                                 {1, {op_write(5), op_read()}},
+                             [](api::reg r) {
+                               return scripts{
+                                   {0, {r.write(1), r.write(2)}},
+                                   {1, {r.write(5), r.read()}},
+                               };
                              },
                              core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 120, 2);
 }
 
 TEST(attiya_register, ids_grow_without_bound) {
-  sim_fixture f(2);
-  base::attiya_register reg(2, f.board, 0, f.w.domain());
-  f.rt.register_object(0, reg);
-  f.rt.set_script(0, {op_write(1), op_write(2), op_write(3)});
-  f.rt.set_script(1, {op_write(4), op_write(5)});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
-  EXPECT_EQ(reg.ids_minted(), 5u) << "one fresh id per write";
+  auto h = api::harness::builder().procs(2).build();
+  api::reg r(h.add("attiya_reg"));
+  h.script(0, {r.write(1), r.write(2), r.write(3)});
+  h.script(1, {r.write(4), r.write(5)});
+  h.run();
+  EXPECT_EQ(r.as<base::attiya_register>().ids_minted(), 5u)
+      << "one fresh id per write";
 }
 
 TEST(bendavid_cas, sequential) {
-  auto cfg = bendavid_scenario(
-      1, {{0, {op_cas(0, 1), op_cas(0, 2), op_cas(1, 2), op_cas_read()}}});
+  auto cfg = bendavid_scenario(1, [](api::cas c) {
+    return scripts{{0,
+                    {c.compare_and_set(0, 1), c.compare_and_set(0, 2),
+                     c.compare_and_set(1, 2), c.read()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(bendavid_cas, contended_seeds) {
-  auto cfg = bendavid_scenario(2, {
-                                      {0, {op_cas(0, 1), op_cas(1, 0)}},
-                                      {1, {op_cas(0, 2), op_cas_read()}},
-                                  });
+  auto cfg = bendavid_scenario(2, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.compare_and_set(1, 0)}},
+        {1, {c.compare_and_set(0, 2), c.read()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -127,44 +114,39 @@ TEST(bendavid_cas, contended_seeds) {
 }
 
 TEST(bendavid_cas, crash_sweep) {
-  auto cfg = bendavid_scenario(2, {
-                                      {0, {op_cas(0, 1), op_cas(1, 0)}},
-                                      {1, {op_cas(0, 2), op_cas_read()}},
-                                  });
+  auto cfg = bendavid_scenario(2, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.compare_and_set(1, 0)}},
+        {1, {c.compare_and_set(0, 2), c.read()}},
+    };
+  });
   crash_sweep(cfg, 5);
 }
 
 TEST(bendavid_cas, aba_cycle_fuzz) {
-  auto cfg = bendavid_scenario(2, {
-                                      {0, {op_cas(0, 1), op_cas(0, 1)}},
-                                      {1, {op_cas(1, 0), op_cas(1, 0)}},
-                                  });
+  auto cfg = bendavid_scenario(2, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.compare_and_set(0, 1)}},
+        {1, {c.compare_and_set(1, 0), c.compare_and_set(1, 0)}},
+    };
+  });
   crash_fuzz(cfg, 120, 2);
 }
 
 TEST(bendavid_cas, ids_grow_without_bound) {
-  sim_fixture f(2);
-  base::bendavid_cas cas(2, f.board, 0, f.w.domain());
-  f.rt.register_object(0, cas);
-  f.rt.set_script(0, {op_cas(0, 1), op_cas(1, 2)});
-  f.rt.set_script(1, {op_cas(0, 5)});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
-  EXPECT_EQ(cas.ids_minted(), 3u) << "one fresh id per CAS operation";
+  auto h = api::harness::builder().procs(2).build();
+  api::cas c(h.add("bendavid_cas"));
+  h.script(0, {c.compare_and_set(0, 1), c.compare_and_set(1, 2)});
+  h.script(1, {c.compare_and_set(0, 5)});
+  h.run();
+  EXPECT_EQ(c.as<base::bendavid_cas>().ids_minted(), 3u)
+      << "one fresh id per CAS operation";
 }
 
 TEST(plain_objects, correct_without_crashes) {
-  scenario_config cfg;
-  cfg.nprocs = 2;
-  cfg.scripts = {{0, {op_write(1), op_read()}}, {1, {op_write(2), op_read()}}};
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<base::plain_register>(0, f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
+  auto cfg = one_object<api::reg>("plain_reg", 2, [](api::reg r) {
+    return scripts{{0, {r.write(1), r.read()}}, {1, {r.write(2), r.read()}}};
+  });
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << out.check.message;
@@ -172,42 +154,32 @@ TEST(plain_objects, correct_without_crashes) {
 }
 
 TEST(plain_objects, cas_and_counter_sequential) {
-  sim_fixture f(1);
-  base::plain_cas cas(0, f.w.domain());
-  base::plain_counter ctr(0, f.w.domain());
-  f.rt.register_object(0, cas);
-  f.rt.register_object(1, ctr);
-  f.rt.set_script(0, {op_cas(0, 1), op_cas_read(0), op_add(5, 1), op_ctr_read(1)});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
-  hist::multi_spec spec;
-  spec.add_object(0, std::make_unique<hist::cas_spec>(0));
-  spec.add_object(1, std::make_unique<hist::counter_spec>(0));
-  auto r = hist::check_durable_linearizability(f.lg.snapshot(), spec);
+  auto h = api::harness::builder().procs(1).build();
+  api::cas c(h.add("plain_cas"));
+  api::counter ctr(h.add("plain_counter"));
+  h.script(0, {c.compare_and_set(0, 1), c.read(), ctr.add(5), ctr.read()});
+  h.run();
+  auto r = h.check();
   EXPECT_TRUE(r.ok) << r.message;
 }
 
 TEST(plain_objects, recovery_is_undetectable) {
-  sim_fixture f(1);
-  base::plain_register reg(0, f.w.domain());
-  auto rr = reg.recover(0, op_write(1));
+  auto h = api::harness::builder().procs(1).build();
+  api::reg r(h.add("plain_reg"));
+  auto rr = r.object().recover(0, r.write(1));
   EXPECT_EQ(rr.verdict, hist::recovery_verdict::fail)
       << "plain objects cannot detect";
 }
 
 TEST(stripped_wrapper, forwards_but_disables_aux) {
-  sim_fixture f(2);
-  core::detectable_register reg(2, f.board, 0, f.w.domain());
-  base::stripped s(reg);
-  EXPECT_FALSE(s.wants_aux_reset());
-  f.rt.register_object(0, s);
-  f.rt.set_script(0, {op_write(3), op_read()});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
-  auto r = hist::check_durable_linearizability(f.lg.snapshot(),
-                                               hist::register_spec(0));
-  EXPECT_TRUE(r.ok) << "without crashes the stripped object behaves normally:\n"
-                    << r.message;
+  auto h = api::harness::builder().procs(2).build();
+  api::reg r(h.add("stripped_reg"));
+  EXPECT_FALSE(r.object().wants_aux_reset());
+  h.script(0, {r.write(3), r.read()});
+  h.run();
+  auto res = h.check();
+  EXPECT_TRUE(res.ok) << "without crashes the stripped object behaves normally:\n"
+                      << res.message;
 }
 
 }  // namespace

@@ -12,43 +12,36 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-scenario_config cas_scenario(int nprocs,
-                             std::map<int, std::vector<hist::op_desc>> scripts,
-                             core::runtime::fail_policy policy =
-                                 core::runtime::fail_policy::skip) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.policy = policy;
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_cas>(nprocs, f.board, 0,
-                                                          f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::cas_spec(0)); };
-  return cfg;
+scenario cas_scenario(int nprocs, std::function<scripts(api::cas)> make_scripts,
+                      core::runtime::fail_policy policy =
+                          core::runtime::fail_policy::skip) {
+  return one_object<api::cas>("cas", nprocs, std::move(make_scripts), policy);
 }
 
 TEST(detectable_cas, rejects_too_many_processes) {
-  sim_fixture f(1);
-  EXPECT_THROW(core::detectable_cas(65, f.board, 0, f.w.domain()),
+  api::arena a(65);
+  EXPECT_THROW(core::detectable_cas(65, a.board(), 0, a.domain()),
                std::invalid_argument);
 }
 
 TEST(detectable_cas, sequential_semantics) {
-  auto cfg = cas_scenario(
-      1, {{0, {op_cas(0, 1), op_cas(0, 2), op_cas(1, 2), op_cas_read()}}});
+  auto cfg = cas_scenario(1, [](api::cas c) {
+    return scripts{{0,
+                    {c.compare_and_set(0, 1), c.compare_and_set(0, 2),
+                     c.compare_and_set(1, 2), c.read()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(detectable_cas, contended_cas_exactly_one_winner) {
   // Both processes CAS(0→their value); exactly one must win.
-  auto cfg = cas_scenario(2, {
-                                 {0, {op_cas(0, 1), op_cas_read()}},
-                                 {1, {op_cas(0, 2), op_cas_read()}},
-                             });
+  auto cfg = cas_scenario(2, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.read()}},
+        {1, {c.compare_and_set(0, 2), c.read()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -56,44 +49,56 @@ TEST(detectable_cas, contended_cas_exactly_one_winner) {
 }
 
 TEST(detectable_cas, crash_sweep_single_proc) {
-  auto cfg = cas_scenario(1, {{0, {op_cas(0, 1), op_cas(1, 2), op_cas_read()}}});
+  auto cfg = cas_scenario(1, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.compare_and_set(1, 2), c.read()}}};
+  });
   crash_sweep(cfg, 1);
 }
 
 TEST(detectable_cas, crash_sweep_contended) {
-  auto cfg = cas_scenario(2, {
-                                 {0, {op_cas(0, 1), op_cas(1, 0)}},
-                                 {1, {op_cas(0, 2), op_cas_read()}},
-                             });
+  auto cfg = cas_scenario(2, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.compare_and_set(1, 0)}},
+        {1, {c.compare_and_set(0, 2), c.read()}},
+    };
+  });
   crash_sweep(cfg, 9);
 }
 
 TEST(detectable_cas, crash_sweep_retry_policy) {
-  auto cfg = cas_scenario(2,
-                          {
-                              {0, {op_cas(0, 1), op_cas(1, 2)}},
-                              {1, {op_cas(0, 3), op_cas_read()}},
-                          },
-                          core::runtime::fail_policy::retry);
+  auto cfg = cas_scenario(
+      2,
+      [](api::cas c) {
+        return scripts{
+            {0, {c.compare_and_set(0, 1), c.compare_and_set(1, 2)}},
+            {1, {c.compare_and_set(0, 3), c.read()}},
+        };
+      },
+      core::runtime::fail_policy::retry);
   crash_sweep(cfg, 17);
 }
 
 TEST(detectable_cas, multi_crash_fuzz) {
-  auto cfg = cas_scenario(3, {
-                                 {0, {op_cas(0, 1), op_cas(1, 2)}},
-                                 {1, {op_cas(0, 2), op_cas(2, 3)}},
-                                 {2, {op_cas_read(), op_cas(1, 4)}},
-                             });
+  auto cfg = cas_scenario(3, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.compare_and_set(1, 2)}},
+        {1, {c.compare_and_set(0, 2), c.compare_and_set(2, 3)}},
+        {2, {c.read(), c.compare_and_set(1, 4)}},
+    };
+  });
   crash_fuzz(cfg, 150, 2);
 }
 
 TEST(detectable_cas, abab_value_cycle_fuzz) {
   // Values cycle 0→1→0→1: without the flip vector this is the classic ABA
   // trap for recovery.
-  auto cfg = cas_scenario(2, {
-                                 {0, {op_cas(0, 1), op_cas(0, 1)}},
-                                 {1, {op_cas(1, 0), op_cas(1, 0)}},
-                             });
+  auto cfg = cas_scenario(2, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.compare_and_set(0, 1)}},
+        {1, {c.compare_and_set(1, 0), c.compare_and_set(1, 0)}},
+    };
+  });
   crash_fuzz(cfg, 150, 2);
 }
 
@@ -103,49 +108,28 @@ TEST(detectable_cas, abab_value_cycle_fuzz) {
 // vec[p] equals the persisted flipped bit ⇒ linearized(true).
 TEST(detectable_cas, line43_flip_bit_decides_both_ways) {
   for (bool crash_after_cas : {false, true}) {
-    sim_fixture f(2);
-    core::detectable_cas cas(2, f.board, 0, f.w.domain());
-    f.rt.register_object(0, cas);
-    f.w.submit(0, [&rt = f.rt] {
-      hist::op_desc d = op_cas(0, 7);
-      d.client_seq = 1;
-      rt.announce_and_invoke(0, d);
-    });
+    auto h = api::harness::builder().procs(2).build();
+    api::cas c = h.add_cas();
+    h.submit_op(0, c.compare_and_set(0, 7), 1);
     // Step until the next access is the CAS itself (the only shared_cas in
     // the operation, issued with CP == 1).
-    while (!(f.board.of(0).cp.peek() == 1 &&
-             f.w.pending_access(0) == nvm::access::shared_cas)) {
-      f.w.step(0);
+    while (!(h.board().of(0).cp.peek() == 1 &&
+             h.world().pending_access(0) == nvm::access::shared_cas)) {
+      h.world().step(0);
     }
-    if (crash_after_cas) f.w.step(0);  // execute line 35
-    f.w.crash();
-    {
-      hist::event e;
-      e.kind = hist::event_kind::crash;
-      f.lg.append(e);
-    }
-    f.w.submit(0, [&rt = f.rt] { rt.maybe_recover(0); });
-    for (;;) {
-      auto ready = f.w.runnable();
-      if (ready.empty()) break;
-      f.w.step(ready.front());
-    }
-    hist::recovery_verdict verdict = hist::recovery_verdict::none;
+    if (crash_after_cas) h.world().step(0);  // execute line 35
+    h.crash_now();
+    h.submit_recovery(0);
+    h.drive_all();
     hist::value_t value = hist::k_bottom;
-    for (const auto& e : f.lg.snapshot()) {
-      if (e.kind == hist::event_kind::recover_result && e.pid == 0) {
-        verdict = e.verdict;
-        value = e.value;
-      }
-    }
+    hist::recovery_verdict verdict = last_verdict(h.events(), 0, &value);
     if (crash_after_cas) {
       EXPECT_EQ(verdict, hist::recovery_verdict::linearized);
       EXPECT_EQ(value, hist::k_true);
     } else {
       EXPECT_EQ(verdict, hist::recovery_verdict::fail);
     }
-    auto check =
-        hist::check_durable_linearizability(f.lg.snapshot(), hist::cas_spec(0));
+    auto check = h.check();
     EXPECT_TRUE(check.ok) << check.message;
   }
 }
@@ -155,74 +139,39 @@ TEST(detectable_cas, line43_flip_bit_decides_both_ways) {
 // recovery must report fail ("it did not change the value of any variable
 // that operations by other processes may read", Lemma 2).
 TEST(detectable_cas, lost_race_recovers_as_fail) {
-  sim_fixture f(2);
-  core::detectable_cas cas(2, f.board, 0, f.w.domain());
-  f.rt.register_object(0, cas);
-  f.w.submit(0, [&rt = f.rt] {
-    hist::op_desc d = op_cas(0, 7);
-    d.client_seq = 1;
-    rt.announce_and_invoke(0, d);
-  });
-  while (!(f.board.of(0).cp.peek() == 1 &&
-           f.w.pending_access(0) == nvm::access::shared_cas)) {
-    f.w.step(0);
+  auto h = api::harness::builder().procs(2).build();
+  api::cas c = h.add_cas();
+  h.submit_op(0, c.compare_and_set(0, 7), 1);
+  while (!(h.board().of(0).cp.peek() == 1 &&
+           h.world().pending_access(0) == nvm::access::shared_cas)) {
+    h.world().step(0);
   }
   // p1 sneaks in a full successful CAS(0→9).
-  f.w.submit(1, [&rt = f.rt] {
-    hist::op_desc d = op_cas(0, 9);
-    d.client_seq = 1;
-    rt.announce_and_invoke(1, d);
-  });
-  for (;;) {
-    auto ready = f.w.runnable();
-    bool p1 = false;
-    for (int r : ready) p1 |= (r == 1);
-    if (!p1) break;
-    f.w.step(1);
-  }
-  f.board.of(1).done_seq.store(1);
-  f.w.step(0);  // p0's CAS executes and fails
-  f.w.crash();
-  {
-    hist::event e;
-    e.kind = hist::event_kind::crash;
-    f.lg.append(e);
-  }
-  f.w.submit(0, [&rt = f.rt] { rt.maybe_recover(0); });
-  for (;;) {
-    auto ready = f.w.runnable();
-    if (ready.empty()) break;
-    f.w.step(ready.front());
-  }
-  hist::recovery_verdict verdict = hist::recovery_verdict::none;
-  for (const auto& e : f.lg.snapshot()) {
-    if (e.kind == hist::event_kind::recover_result && e.pid == 0) {
-      verdict = e.verdict;
-    }
-  }
-  EXPECT_EQ(verdict, hist::recovery_verdict::fail);
-  auto check =
-      hist::check_durable_linearizability(f.lg.snapshot(), hist::cas_spec(0));
+  h.submit_op(1, c.compare_and_set(0, 9), 1);
+  h.drive(1);
+  h.board().of(1).done_seq.store(1);
+  h.world().step(0);  // p0's CAS executes and fails
+  h.crash_now();
+  h.submit_recovery(0);
+  h.drive_all();
+  EXPECT_EQ(last_verdict(h.events(), 0), hist::recovery_verdict::fail);
+  auto check = h.check();
   EXPECT_TRUE(check.ok) << check.message;
 }
 
 TEST(detectable_cas, exhaustive_two_procs_one_crash_one_preemption) {
   struct scen final : sim::exploration {
-    sim_fixture f{2};
-    std::vector<std::unique_ptr<core::detectable_object>> objs;
+    api::harness h = api::harness::builder().procs(2).build();
     scen() {
-      objs.push_back(std::make_unique<core::detectable_cas>(2, f.board, 0,
-                                                            f.w.domain()));
-      f.rt.register_object(0, *objs.back());
-      f.rt.set_script(0, {op_cas(0, 1)});
-      f.rt.set_script(1, {op_cas(0, 2)});
-      f.rt.start();
+      api::cas c = h.add_cas();
+      h.script(0, {c.compare_and_set(0, 1)});
+      h.script(1, {c.compare_and_set(0, 2)});
+      h.runtime().start();
     }
-    sim::world& get_world() override { return f.w; }
-    void on_crash() override { f.rt.on_crash(); }
+    sim::world& get_world() override { return h.world(); }
+    void on_crash() override { h.runtime().on_crash(); }
     void at_end() override {
-      auto r = hist::check_durable_linearizability(f.lg.snapshot(),
-                                                   hist::cas_spec(0));
+      auto r = h.check();
       if (!r.ok) throw std::runtime_error(r.message);
     }
   };
@@ -237,17 +186,15 @@ TEST(detectable_cas, exhaustive_two_procs_one_crash_one_preemption) {
 }
 
 TEST(detectable_cas, vec_bit_flips_only_on_success) {
-  // Drive the object directly (no crashes) and observe the vector.
-  sim_fixture f(2);
-  core::detectable_cas cas(2, f.board, 0, f.w.domain());
-  f.rt.register_object(0, cas);
-  f.rt.set_script(0, {op_cas(0, 1), op_cas(0, 9), op_cas(1, 2)});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
+  // Drive the object through scripts (no crashes) and count wins.
+  auto h = api::harness::builder().procs(2).build();
+  api::cas c = h.add_cas();
+  h.script(0, {c.compare_and_set(0, 1), c.compare_and_set(0, 9),
+               c.compare_and_set(1, 2)});
+  h.run();
   // p0: success (flip), fail (no flip), success (flip) → bit back to 0.
-  auto events = f.lg.snapshot();
   int successes = 0;
-  for (const auto& e : events) {
+  for (const auto& e : h.events()) {
     if (e.kind == hist::event_kind::response &&
         e.desc.code == hist::opcode::cas && e.value == hist::k_true) {
       ++successes;
@@ -257,67 +204,62 @@ TEST(detectable_cas, vec_bit_flips_only_on_success) {
 }
 
 TEST(detectable_cas, read_recovery_returns_persisted_response) {
-  auto cfg = cas_scenario(2, {
-                                 {0, {op_cas(0, 5)}},
-                                 {1, {op_cas_read(), op_cas_read()}},
-                             });
+  auto cfg = cas_scenario(2, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 5)}},
+        {1, {c.read(), c.read()}},
+    };
+  });
   crash_sweep(cfg, 23);
 }
 
 TEST(detectable_cas, nrl_wrapper_battery) {
-  scenario_config cfg;
+  // The NRL adapter composes with any detectable object; wrap the CAS here
+  // via add_object (the registry ships a prewired nrl_reg kind).
+  scenario cfg;
   cfg.nprocs = 2;
-  cfg.scripts = {{0, {op_cas(0, 1), op_cas(1, 2)}},
-                 {1, {op_cas(0, 7), op_cas_read()}}};
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(
-        std::make_unique<core::detectable_cas>(2, f.board, 0, f.w.domain()));
-    objs.push_back(std::make_unique<core::nrl_adapter>(*objs[0], f.board));
-    f.rt.register_object(0, *objs[1]);
+  cfg.setup = [](api::harness& h) {
+    api::cas inner = h.add_cas();
+    auto nrl = std::make_unique<core::nrl_adapter>(inner.object(), h.board());
+    api::cas c(h.add_object(std::move(nrl), std::make_unique<hist::cas_spec>(0),
+                            api::op_family::cas, "nrl_cas"));
+    h.script(0, {c.compare_and_set(0, 1), c.compare_and_set(1, 2)});
+    h.script(1, {c.compare_and_set(0, 7), c.read()});
   };
-  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::cas_spec(0)); };
   crash_sweep(cfg, 31);
   crash_fuzz(cfg, 60, 2);
 }
 
 TEST(detectable_cas, shared_cache_with_transform) {
-  scenario_config cfg;
-  cfg.nprocs = 2;
-  cfg.scripts = {{0, {op_cas(0, 1), op_cas(1, 0)}},
-                 {1, {op_cas(0, 2), op_cas_read()}}};
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    f.w.domain().set_model(nvm::cache_model::shared_cache);
-    f.w.domain().set_auto_persist(true);
-    objs.push_back(
-        std::make_unique<core::detectable_cas>(2, f.board, 0, f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-    f.w.domain().persist_all();
-  };
-  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::cas_spec(0)); };
+  auto cfg = cas_scenario(2, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.compare_and_set(1, 0)}},
+        {1, {c.compare_and_set(0, 2), c.read()}},
+    };
+  });
+  cfg.shared_cache = true;
   crash_sweep(cfg, 37);
 }
 
 TEST(detectable_cas, extra_bits_are_theta_n) {
-  sim_fixture f(1);
+  api::arena a(64);
   for (int n : {1, 8, 33, 64}) {
-    core::announcement_board board(n, f.w.domain());
-    core::detectable_cas cas(n, board, 0, f.w.domain());
+    core::detectable_cas cas(n, a.board(), 0, a.domain());
     EXPECT_EQ(cas.extra_shared_bits(), static_cast<std::size_t>(n));
   }
 }
 
-class cas_property
-    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+class cas_property : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(cas_property, durable_linearizable_and_detectable) {
   auto [seed, crashes] = GetParam();
-  auto cfg = cas_scenario(3, {
-                                 {0, {op_cas(0, 1), op_cas(1, 2)}},
-                                 {1, {op_cas(0, 2), op_cas(2, 0)}},
-                                 {2, {op_cas_read(), op_cas(1, 3)}},
-                             });
+  auto cfg = cas_scenario(3, [](api::cas c) {
+    return scripts{
+        {0, {c.compare_and_set(0, 1), c.compare_and_set(1, 2)}},
+        {1, {c.compare_and_set(0, 2), c.compare_and_set(2, 0)}},
+        {2, {c.read(), c.compare_and_set(1, 3)}},
+    };
+  });
   crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 15485863);
 }
 
@@ -330,11 +272,13 @@ class cas_scale : public ::testing::TestWithParam<int> {};
 
 TEST_P(cas_scale, crash_fuzz_at_n) {
   int n = GetParam();
-  std::map<int, std::vector<hist::op_desc>> scripts;
-  for (int p = 0; p < n; ++p) {
-    scripts[p] = {op_cas(p, p + 1), op_cas(0, p + 10)};
-  }
-  auto cfg = cas_scenario(n, scripts);
+  auto cfg = cas_scenario(n, [n](api::cas c) {
+    scripts s;
+    for (int p = 0; p < n; ++p) {
+      s[p] = {c.compare_and_set(p, p + 1), c.compare_and_set(0, p + 10)};
+    }
+    return s;
+  });
   crash_fuzz(cfg, 25, 2, static_cast<std::uint64_t>(n) * 472882);
 }
 

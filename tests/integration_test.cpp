@@ -3,12 +3,6 @@
 // in segments.
 #include <gtest/gtest.h>
 
-#include "baselines/attiya_register.hpp"
-#include "core/detectable_cas.hpp"
-#include "core/detectable_register.hpp"
-#include "core/max_register.hpp"
-#include "core/queue.hpp"
-#include "core/rmw.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -16,34 +10,18 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-scenario_config mixed_scenario(core::runtime::fail_policy policy =
-                                   core::runtime::fail_policy::skip) {
-  scenario_config cfg;
+scenario mixed_scenario(core::runtime::fail_policy policy =
+                            core::runtime::fail_policy::skip) {
+  scenario cfg;
   cfg.nprocs = 3;
   cfg.policy = policy;
-  cfg.scripts = {
-      {0, {op_write(1, 0), op_cas(0, 1, 1), op_enq(7, 2)}},
-      {1, {op_cas(0, 2, 1), op_read(0), op_deq(2)}},
-      {2, {op_enq(9, 2), op_write(5, 0), op_cas_read(1)}},
-  };
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_register>(3, f.board, 0,
-                                                               f.w.domain()));
-    objs.push_back(
-        std::make_unique<core::detectable_cas>(3, f.board, 0, f.w.domain()));
-    objs.push_back(std::make_unique<core::detectable_queue>(3, f.board, 32,
-                                                            f.w.domain()));
-    f.rt.register_object(0, *objs[0]);
-    f.rt.register_object(1, *objs[1]);
-    f.rt.register_object(2, *objs[2]);
-  };
-  cfg.make_spec = [] {
-    auto m = std::make_unique<hist::multi_spec>();
-    m->add_object(0, std::make_unique<hist::register_spec>(0));
-    m->add_object(1, std::make_unique<hist::cas_spec>(0));
-    m->add_object(2, std::make_unique<hist::queue_spec>());
-    return std::unique_ptr<hist::spec>(std::move(m));
+  cfg.setup = [](api::harness& h) {
+    api::reg r = h.add_reg();
+    api::cas c = h.add_cas();
+    api::queue q = h.add_queue(32);
+    h.script(0, {r.write(1), c.compare_and_set(0, 1), q.enq(7)});
+    h.script(1, {c.compare_and_set(0, 2), r.read(), q.deq()});
+    h.script(2, {q.enq(9), r.write(5), c.read()});
   };
   return cfg;
 }
@@ -66,41 +44,19 @@ TEST(integration, mixed_objects_crash_fuzz_retry) {
 
 TEST(integration, shared_cache_mixed_end_to_end) {
   auto cfg = mixed_scenario();
-  auto inner = cfg.make_objects;
-  cfg.make_objects = [inner](sim_fixture& f,
-                             std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    f.w.domain().set_model(nvm::cache_model::shared_cache);
-    f.w.domain().set_auto_persist(true);
-    inner(f, objs);
-    f.w.domain().persist_all();
-  };
+  cfg.shared_cache = true;
   crash_fuzz(cfg, 60, 2);
 }
 
 TEST(integration, one_process_uses_many_objects_through_crashes) {
-  scenario_config cfg;
+  scenario cfg;
   cfg.nprocs = 2;
   cfg.policy = core::runtime::fail_policy::retry;
-  cfg.scripts = {
-      {0,
-       {op_add(1, 0), op_max_write(5, 1), op_add(2, 0), op_max_read(1),
-        op_ctr_read(0)}},
-      {1, {op_add(10, 0), op_max_write(3, 1)}},
-  };
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_counter>(2, f.board, 0,
-                                                              f.w.domain()));
-    objs.push_back(
-        std::make_unique<core::max_register>(2, f.board, f.w.domain()));
-    f.rt.register_object(0, *objs[0]);
-    f.rt.register_object(1, *objs[1]);
-  };
-  cfg.make_spec = [] {
-    auto m = std::make_unique<hist::multi_spec>();
-    m->add_object(0, std::make_unique<hist::counter_spec>(0));
-    m->add_object(1, std::make_unique<hist::max_register_spec>(0));
-    return std::unique_ptr<hist::spec>(std::move(m));
+  cfg.setup = [](api::harness& h) {
+    api::counter ctr = h.add_counter();
+    api::max_reg m = h.add_max_reg();
+    h.script(0, {ctr.add(1), m.write_max(5), ctr.add(2), m.read(), ctr.read()});
+    h.script(1, {ctr.add(10), m.write_max(3)});
   };
   crash_sweep(cfg, 41);
   crash_fuzz(cfg, 60, 3);
@@ -110,29 +66,14 @@ TEST(integration, algorithm1_and_baseline_agree_across_schedules) {
   // Run the same scripts against Algorithm 1 and the Attiya-style baseline;
   // both must pass the same checker (they implement the same abstract
   // object).
-  std::map<int, std::vector<hist::op_desc>> scripts = {
-      {0, {op_write(1), op_write(2)}},
-      {1, {op_write(5), op_read()}},
-  };
   for (bool use_baseline : {false, true}) {
-    scenario_config cfg;
-    cfg.nprocs = 2;
-    cfg.scripts = scripts;
-    cfg.make_objects = [use_baseline](
-                           sim_fixture& f,
-                           std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-      if (use_baseline) {
-        objs.push_back(std::make_unique<base::attiya_register>(2, f.board, 0,
-                                                               f.w.domain()));
-      } else {
-        objs.push_back(std::make_unique<core::detectable_register>(
-            2, f.board, 0, f.w.domain()));
-      }
-      f.rt.register_object(0, *objs.back());
-    };
-    cfg.make_spec = [] {
-      return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-    };
+    auto cfg = one_object<api::reg>(use_baseline ? "attiya_reg" : "reg", 2,
+                                    [](api::reg r) {
+                                      return scripts{
+                                          {0, {r.write(1), r.write(2)}},
+                                          {1, {r.write(5), r.read()}},
+                                      };
+                                    });
     crash_fuzz(cfg, 60, 2, use_baseline ? 0xabc : 0xdef);
   }
 }
@@ -140,23 +81,16 @@ TEST(integration, algorithm1_and_baseline_agree_across_schedules) {
 TEST(integration, torture_long_run_segments) {
   // Longer run: 3 procs × 6 ops with 3 crashes, history checked whole
   // (within the 64-op checker limit).
-  scenario_config cfg;
-  cfg.nprocs = 3;
-  cfg.policy = core::runtime::fail_policy::retry;
-  cfg.scripts = {
-      {0, {op_write(1), op_read(), op_write(2), op_read(), op_write(3), op_read()}},
-      {1, {op_write(4), op_read(), op_write(5), op_read(), op_write(6), op_read()}},
-      {2, {op_read(), op_write(7), op_read(), op_write(8), op_read(), op_write(9)}},
-  };
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_register>(3, f.board, 0,
-                                                               f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
+  auto cfg = one_object<api::reg>(
+      "reg", 3,
+      std::function<scripts(api::reg)>([](api::reg r) {
+        return scripts{
+            {0, {r.write(1), r.read(), r.write(2), r.read(), r.write(3), r.read()}},
+            {1, {r.write(4), r.read(), r.write(5), r.read(), r.write(6), r.read()}},
+            {2, {r.read(), r.write(7), r.read(), r.write(8), r.read(), r.write(9)}},
+        };
+      }),
+      core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 30, 3);
 }
 
@@ -166,47 +100,24 @@ TEST(integration, shared_cache_without_transform_is_detectably_broken) {
   // A completed write whose cache line was never persisted is lost by a
   // crash, and a subsequent read observes the rollback — the checker must
   // reject the history.
+  scenario cfg;
+  cfg.nprocs = 1;
+  cfg.shared_cache = true;
+  cfg.auto_persist = false;
+  cfg.setup = [](api::harness& h) {
+    api::reg r = h.add_reg();
+    h.script(0, {r.write(1), r.read()});
+  };
+
   // Crash-free baseline: establish the run length (the crash-free run is
   // correct even without flushes).
-  run_outcome probe = [&] {
-    scenario_config cfg;
-    cfg.nprocs = 1;
-    cfg.scripts = {{0, {op_write(1), op_read()}}};
-    cfg.make_objects = [](sim_fixture& ff,
-                          std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-      ff.w.domain().set_model(nvm::cache_model::shared_cache);
-      ff.w.domain().set_auto_persist(false);
-      objs.push_back(std::make_unique<core::detectable_register>(
-          1, ff.board, 0, ff.w.domain()));
-      ff.rt.register_object(0, *objs.back());
-      ff.w.domain().persist_all();
-    };
-    cfg.make_spec = [] {
-      return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-    };
-    return run_scenario(cfg, 1);
-  }();
+  run_outcome probe = run_scenario(cfg, 1);
   ASSERT_TRUE(probe.check.ok) << "crash-free run is fine even without flushes";
 
   // Now sweep crash points; at least one placement (crash right after the
   // write completed, before the read) must yield a violation.
   bool violation_found = false;
   for (std::uint64_t k = 0; k < probe.report.steps; ++k) {
-    scenario_config cfg;
-    cfg.nprocs = 1;
-    cfg.scripts = {{0, {op_write(1), op_read()}}};
-    cfg.make_objects = [](sim_fixture& ff,
-                          std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-      ff.w.domain().set_model(nvm::cache_model::shared_cache);
-      ff.w.domain().set_auto_persist(false);
-      objs.push_back(std::make_unique<core::detectable_register>(
-          1, ff.board, 0, ff.w.domain()));
-      ff.rt.register_object(0, *objs.back());
-      ff.w.domain().persist_all();
-    };
-    cfg.make_spec = [] {
-      return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-    };
     auto out = run_scenario(cfg, 1, {k});
     if (!out.check.ok) {
       violation_found = true;
@@ -225,21 +136,17 @@ TEST(integration, step_counts_scale_linearly_with_n) {
   std::vector<double> cas_steps_per_op;
   for (int n : {2, 4, 8}) {
     {
-      sim_fixture f(n);
-      core::detectable_register reg(n, f.board, 0, f.w.domain());
-      f.rt.register_object(0, reg);
-      for (int p = 0; p < n; ++p) f.rt.set_script(p, {op_write(p + 1)});
-      sim::round_robin_scheduler rr;
-      auto rep = f.rt.run(rr);
+      auto h = api::harness::builder().procs(n).build();
+      api::reg r = h.add_reg();
+      for (int p = 0; p < n; ++p) h.script(p, {r.write(p + 1)});
+      auto rep = h.run();
       reg_steps_per_op.push_back(static_cast<double>(rep.steps) / n);
     }
     {
-      sim_fixture f(n);
-      core::detectable_cas cas(n, f.board, 0, f.w.domain());
-      f.rt.register_object(0, cas);
-      for (int p = 0; p < n; ++p) f.rt.set_script(p, {op_cas(p, p + 1)});
-      sim::round_robin_scheduler rr;
-      auto rep = f.rt.run(rr);
+      auto h = api::harness::builder().procs(n).build();
+      api::cas c = h.add_cas();
+      for (int p = 0; p < n; ++p) h.script(p, {c.compare_and_set(p, p + 1)});
+      auto rep = h.run();
       cas_steps_per_op.push_back(static_cast<double>(rep.steps) / n);
     }
   }

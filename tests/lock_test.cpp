@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include "core/rlock.hpp"
-#include "core/rmw.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -11,66 +10,40 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-hist::op_desc lk_try(int pid) {
-  return {0, hist::opcode::lock_try, pid, 0, 0};
-}
-hist::op_desc lk_rel(int pid) {
-  return {0, hist::opcode::lock_release, pid, 0, 0};
-}
-hist::op_desc swp(hist::value_t v) { return {0, hist::opcode::swap, v, 0, 0}; }
-
-scenario_config lock_scenario(int nprocs,
-                              std::map<int, std::vector<hist::op_desc>> scripts,
-                              core::runtime::fail_policy policy =
-                                  core::runtime::fail_policy::skip) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.policy = policy;
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(
-        std::make_unique<core::recoverable_lock>(nprocs, f.board, f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::lock_spec()); };
-  return cfg;
+scenario lock_scenario(int nprocs,
+                       std::function<scripts(api::lock)> make_scripts,
+                       core::runtime::fail_policy policy =
+                           core::runtime::fail_policy::skip) {
+  return one_object<api::lock>("lock", nprocs, std::move(make_scripts), policy);
 }
 
-scenario_config swap_scenario(int nprocs,
-                              std::map<int, std::vector<hist::op_desc>> scripts,
-                              core::runtime::fail_policy policy =
-                                  core::runtime::fail_policy::skip) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.policy = policy;
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_swap>(nprocs, f.board, 0,
-                                                           f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
-  return cfg;
+scenario swap_scenario(int nprocs,
+                       std::function<scripts(api::swap_reg)> make_scripts,
+                       core::runtime::fail_policy policy =
+                           core::runtime::fail_policy::skip) {
+  return one_object<api::swap_reg>("swap", nprocs, std::move(make_scripts),
+                                   policy);
 }
 
 // ---- recoverable_lock --------------------------------------------------------
 
 TEST(recoverable_lock, sequential_acquire_release) {
-  auto cfg = lock_scenario(
-      1, {{0, {lk_try(0), lk_rel(0), lk_try(0), lk_try(0), lk_rel(0)}}});
+  auto cfg = lock_scenario(1, [](api::lock l) {
+    return scripts{{0,
+                    {l.try_lock(0), l.release(0), l.try_lock(0), l.try_lock(0),
+                     l.release(0)}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(recoverable_lock, release_without_holding_returns_false) {
-  auto cfg = lock_scenario(2, {
-                                  {0, {lk_try(0)}},
-                                  {1, {lk_rel(1)}},
-                              });
+  auto cfg = lock_scenario(2, [](api::lock l) {
+    return scripts{
+        {0, {l.try_lock(0)}},
+        {1, {l.release(1)}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << out.check.message;
@@ -78,11 +51,13 @@ TEST(recoverable_lock, release_without_holding_returns_false) {
 }
 
 TEST(recoverable_lock, at_most_one_holder) {
-  auto cfg = lock_scenario(3, {
-                                  {0, {lk_try(0)}},
-                                  {1, {lk_try(1)}},
-                                  {2, {lk_try(2)}},
-                              });
+  auto cfg = lock_scenario(3, [](api::lock l) {
+    return scripts{
+        {0, {l.try_lock(0)}},
+        {1, {l.try_lock(1)}},
+        {2, {l.try_lock(2)}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -90,27 +65,33 @@ TEST(recoverable_lock, at_most_one_holder) {
 }
 
 TEST(recoverable_lock, crash_sweep_acquire_release_cycle) {
-  auto cfg = lock_scenario(2, {
-                                  {0, {lk_try(0), lk_rel(0)}},
-                                  {1, {lk_try(1), lk_rel(1)}},
-                              });
+  auto cfg = lock_scenario(2, [](api::lock l) {
+    return scripts{
+        {0, {l.try_lock(0), l.release(0)}},
+        {1, {l.try_lock(1), l.release(1)}},
+    };
+  });
   crash_sweep(cfg, 3);
 }
 
 TEST(recoverable_lock, double_crash_pair_sweep) {
-  auto cfg = lock_scenario(2, {
-                                  {0, {lk_try(0), lk_rel(0)}},
-                                  {1, {lk_try(1)}},
-                              });
+  auto cfg = lock_scenario(2, [](api::lock l) {
+    return scripts{
+        {0, {l.try_lock(0), l.release(0)}},
+        {1, {l.try_lock(1)}},
+    };
+  });
   crash_pair_sweep(cfg, 9, /*stride=*/3);
 }
 
 TEST(recoverable_lock, crash_fuzz_retry) {
   auto cfg = lock_scenario(3,
-                           {
-                               {0, {lk_try(0), lk_rel(0)}},
-                               {1, {lk_try(1), lk_rel(1)}},
-                               {2, {lk_try(2), lk_rel(2)}},
+                           [](api::lock l) {
+                             return scripts{
+                                 {0, {l.try_lock(0), l.release(0)}},
+                                 {1, {l.try_lock(1), l.release(1)}},
+                                 {2, {l.try_lock(2), l.release(2)}},
+                             };
                            },
                            core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 120, 2);
@@ -119,33 +100,31 @@ TEST(recoverable_lock, crash_fuzz_retry) {
 TEST(recoverable_lock, holder_survives_crash) {
   // RME behaviour: a crash does not release the lock; the owner's recovery
   // reports the acquire linearized.
-  sim_fixture f(2);
-  core::recoverable_lock lock(2, f.board, f.w.domain());
-  f.rt.register_object(0, lock);
-  f.rt.set_script(0, {lk_try(0)});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
+  auto h = api::harness::builder().procs(2).build();
+  api::lock l = h.add_lock();
+  auto& lock = l.as<core::recoverable_lock>();
+  h.script(0, {l.try_lock(0)});
+  h.run();
   EXPECT_EQ(lock.holder(), 0);
-  f.w.crash();
+  h.world().crash();
   EXPECT_EQ(lock.holder(), 0) << "ownership is durable";
-  auto rec = lock.recover(0, lk_try(0));
+  auto rec = lock.recover(0, l.try_lock(0));
   EXPECT_EQ(rec.verdict, hist::recovery_verdict::linearized);
   EXPECT_EQ(rec.response, hist::k_true);
 }
 
 TEST(recoverable_lock, acquire_recovery_is_sound_when_cas_lost) {
   // p1 holds the lock; p0's trylock fails; recovery must not claim success.
-  sim_fixture f(2);
-  core::recoverable_lock lock(2, f.board, f.w.domain());
-  f.rt.register_object(0, lock);
-  f.rt.set_script(1, {lk_try(1)});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
+  auto h = api::harness::builder().procs(2).build();
+  api::lock l = h.add_lock();
+  auto& lock = l.as<core::recoverable_lock>();
+  h.script(1, {l.try_lock(1)});
+  h.run();
   ASSERT_EQ(lock.holder(), 1);
   // Simulate p0 announcing a trylock then crashing before/after its steps.
-  f.board.of(0).resp.store(hist::k_bottom);
-  f.board.of(0).cp.store(0);
-  auto rec = lock.recover(0, lk_try(0));
+  h.board().of(0).resp.store(hist::k_bottom);
+  h.board().of(0).cp.store(0);
+  auto rec = lock.recover(0, l.try_lock(0));
   EXPECT_EQ(rec.verdict, hist::recovery_verdict::fail)
       << "owner is p1; p0's acquire cannot have been linearized";
 }
@@ -153,7 +132,9 @@ TEST(recoverable_lock, acquire_recovery_is_sound_when_cas_lost) {
 // ---- detectable_swap -----------------------------------------------------------
 
 TEST(detectable_swap, sequential_chain) {
-  auto cfg = swap_scenario(1, {{0, {swp(5), swp(9), swp(2)}}});
+  auto cfg = swap_scenario(1, [](api::swap_reg s) {
+    return scripts{{0, {s.swap(5), s.swap(9), s.swap(2)}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
@@ -161,11 +142,13 @@ TEST(detectable_swap, sequential_chain) {
 TEST(detectable_swap, concurrent_swaps_form_a_chain) {
   // Swap responses must chain: each op returns the previous op's value —
   // the spec check enforces the permutation structure.
-  auto cfg = swap_scenario(3, {
-                                  {0, {swp(1), swp(2)}},
-                                  {1, {swp(10), swp(20)}},
-                                  {2, {swp(100)}},
-                              });
+  auto cfg = swap_scenario(3, [](api::swap_reg s) {
+    return scripts{
+        {0, {s.swap(1), s.swap(2)}},
+        {1, {s.swap(10), s.swap(20)}},
+        {2, {s.swap(100)}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -173,26 +156,32 @@ TEST(detectable_swap, concurrent_swaps_form_a_chain) {
 }
 
 TEST(detectable_swap, crash_sweep) {
-  auto cfg = swap_scenario(2, {
-                                  {0, {swp(1), swp(2)}},
-                                  {1, {swp(7)}},
-                              });
+  auto cfg = swap_scenario(2, [](api::swap_reg s) {
+    return scripts{
+        {0, {s.swap(1), s.swap(2)}},
+        {1, {s.swap(7)}},
+    };
+  });
   crash_sweep(cfg, 5);
 }
 
 TEST(detectable_swap, double_crash_pair_sweep) {
-  auto cfg = swap_scenario(2, {
-                                  {0, {swp(1)}},
-                                  {1, {swp(7)}},
-                              });
+  auto cfg = swap_scenario(2, [](api::swap_reg s) {
+    return scripts{
+        {0, {s.swap(1)}},
+        {1, {s.swap(7)}},
+    };
+  });
   crash_pair_sweep(cfg, 13, /*stride=*/2);
 }
 
 TEST(detectable_swap, crash_fuzz_retry_exactly_once) {
   auto cfg = swap_scenario(2,
-                           {
-                               {0, {swp(1), swp(2)}},
-                               {1, {swp(7), swp(8)}},
+                           [](api::swap_reg s) {
+                             return scripts{
+                                 {0, {s.swap(1), s.swap(2)}},
+                                 {1, {s.swap(7), s.swap(8)}},
+                             };
                            },
                            core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 120, 2);
@@ -203,9 +192,11 @@ class lock_property : public ::testing::TestWithParam<std::tuple<int, int>> {};
 TEST_P(lock_property, mutual_exclusion_under_fuzz) {
   auto [seed, crashes] = GetParam();
   auto cfg = lock_scenario(2,
-                           {
-                               {0, {lk_try(0), lk_rel(0)}},
-                               {1, {lk_try(1), lk_rel(1)}},
+                           [](api::lock l) {
+                             return scripts{
+                                 {0, {l.try_lock(0), l.release(0)}},
+                                 {1, {l.try_lock(1), l.release(1)}},
+                             };
                            },
                            core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 86028121);

@@ -2,7 +2,6 @@
 // by re-invocation, double-collect snapshot validity under contention.
 #include <gtest/gtest.h>
 
-#include "core/max_register.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -10,43 +9,35 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-scenario_config max_scenario(int nprocs,
-                             std::map<int, std::vector<hist::op_desc>> scripts) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(
-        std::make_unique<core::max_register>(nprocs, f.board, f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::max_register_spec(0));
-  };
-  return cfg;
+scenario max_scenario(int nprocs,
+                      std::function<scripts(api::max_reg)> make_scripts) {
+  return one_object<api::max_reg>("max_reg", nprocs, std::move(make_scripts));
 }
 
 TEST(max_register, declares_no_aux_state) {
-  sim_fixture f(2);
-  core::max_register mr(2, f.board, f.w.domain());
-  EXPECT_FALSE(mr.wants_aux_reset());
+  auto h = api::harness::builder().procs(2).build();
+  api::max_reg m = h.add_max_reg();
+  EXPECT_FALSE(m.object().wants_aux_reset());
 }
 
 TEST(max_register, sequential_monotonicity) {
-  auto cfg = max_scenario(1, {{0,
-                               {op_max_write(5), op_max_read(), op_max_write(3),
-                                op_max_read(), op_max_write(9), op_max_read()}}});
+  auto cfg = max_scenario(1, [](api::max_reg m) {
+    return scripts{{0,
+                    {m.write_max(5), m.read(), m.write_max(3), m.read(),
+                     m.write_max(9), m.read()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(max_register, concurrent_writers_many_seeds) {
-  auto cfg = max_scenario(3, {
-                                 {0, {op_max_write(1), op_max_write(4)}},
-                                 {1, {op_max_write(2), op_max_read()}},
-                                 {2, {op_max_read(), op_max_write(3)}},
-                             });
+  auto cfg = max_scenario(3, [](api::max_reg m) {
+    return scripts{
+        {0, {m.write_max(1), m.write_max(4)}},
+        {1, {m.write_max(2), m.read()}},
+        {2, {m.read(), m.write_max(3)}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -54,35 +45,40 @@ TEST(max_register, concurrent_writers_many_seeds) {
 }
 
 TEST(max_register, crash_sweep) {
-  auto cfg = max_scenario(2, {
-                                 {0, {op_max_write(5), op_max_read()}},
-                                 {1, {op_max_write(3), op_max_read()}},
-                             });
+  auto cfg = max_scenario(2, [](api::max_reg m) {
+    return scripts{
+        {0, {m.write_max(5), m.read()}},
+        {1, {m.write_max(3), m.read()}},
+    };
+  });
   crash_sweep(cfg, 3);
 }
 
 TEST(max_register, crash_fuzz_heavy) {
-  auto cfg = max_scenario(3, {
-                                 {0, {op_max_write(1), op_max_write(6)}},
-                                 {1, {op_max_write(2), op_max_read()}},
-                                 {2, {op_max_read(), op_max_write(4)}},
-                             });
+  auto cfg = max_scenario(3, [](api::max_reg m) {
+    return scripts{
+        {0, {m.write_max(1), m.write_max(6)}},
+        {1, {m.write_max(2), m.read()}},
+        {2, {m.read(), m.write_max(4)}},
+    };
+  });
   crash_fuzz(cfg, 150, 3);
 }
 
 TEST(max_register, recovery_reinvokes_write_idempotently) {
   // Crash a write at every step; re-invocation must never shrink the value
   // and the verdict is always `linearized` (never fail).
-  auto cfg = max_scenario(2, {
-                                 {0, {op_max_write(7), op_max_read()}},
-                                 {1, {op_max_read()}},
-                             });
+  auto cfg = max_scenario(2, [](api::max_reg m) {
+    return scripts{
+        {0, {m.write_max(7), m.read()}},
+        {1, {m.read()}},
+    };
+  });
   run_outcome base = run_scenario(cfg, 5);
   ASSERT_TRUE(base.check.ok);
   for (std::uint64_t k = 0; k < base.report.steps; ++k) {
     auto out = run_scenario(cfg, 5, {k});
     ASSERT_TRUE(out.check.ok) << "crash at " << k << "\n" << out.check.message;
-    for (const auto& e : hist::log{}.snapshot()) (void)e;
     // No fail verdicts should ever be recorded for this object.
     EXPECT_EQ(out.log_text.find("FAIL"), std::string::npos)
         << "crash at " << k << "\n"
@@ -93,12 +89,14 @@ TEST(max_register, recovery_reinvokes_write_idempotently) {
 TEST(max_register, read_terminates_under_fair_schedules) {
   // The double collect is lock-free, not wait-free; fair random schedules
   // must still let it finish.
-  auto cfg = max_scenario(4, {
-                                 {0, {op_max_write(1), op_max_write(2)}},
-                                 {1, {op_max_write(3), op_max_write(4)}},
-                                 {2, {op_max_write(5), op_max_write(6)}},
-                                 {3, {op_max_read(), op_max_read()}},
-                             });
+  auto cfg = max_scenario(4, [](api::max_reg m) {
+    return scripts{
+        {0, {m.write_max(1), m.write_max(2)}},
+        {1, {m.write_max(3), m.write_max(4)}},
+        {2, {m.write_max(5), m.write_max(6)}},
+        {3, {m.read(), m.read()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 30; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_FALSE(out.report.hit_step_limit) << "reader starved at seed " << seed;
@@ -111,10 +109,12 @@ class max_register_property
 
 TEST_P(max_register_property, correct_under_fuzz) {
   auto [seed, crashes] = GetParam();
-  auto cfg = max_scenario(2, {
-                                 {0, {op_max_write(2), op_max_read()}},
-                                 {1, {op_max_write(5), op_max_read()}},
-                             });
+  auto cfg = max_scenario(2, [](api::max_reg m) {
+    return scripts{
+        {0, {m.write_max(2), m.read()}},
+        {1, {m.write_max(5), m.read()}},
+    };
+  });
   crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 32452843);
 }
 

@@ -9,44 +9,39 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-scenario_config queue_scenario(int nprocs,
-                               std::map<int, std::vector<hist::op_desc>> scripts,
-                               core::runtime::fail_policy policy =
-                                   core::runtime::fail_policy::skip) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.policy = policy;
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_queue>(nprocs, f.board, 64,
-                                                            f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::queue_spec()); };
-  return cfg;
+scenario queue_scenario(int nprocs,
+                        std::function<scripts(api::queue)> make_scripts,
+                        core::runtime::fail_policy policy =
+                            core::runtime::fail_policy::skip) {
+  return one_object<api::queue>("queue", nprocs, std::move(make_scripts),
+                                policy);
 }
 
 TEST(detectable_queue, sequential_fifo) {
-  auto cfg = queue_scenario(
-      1, {{0, {op_enq(1), op_enq(2), op_deq(), op_deq(), op_deq()}}});
+  auto cfg = queue_scenario(1, [](api::queue q) {
+    return scripts{{0, {q.enq(1), q.enq(2), q.deq(), q.deq(), q.deq()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(detectable_queue, empty_dequeue_returns_empty) {
-  auto cfg = queue_scenario(1, {{0, {op_deq(), op_enq(9), op_deq(), op_deq()}}});
+  auto cfg = queue_scenario(1, [](api::queue q) {
+    return scripts{{0, {q.deq(), q.enq(9), q.deq(), q.deq()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(detectable_queue, concurrent_producers_consumers) {
-  auto cfg = queue_scenario(4, {
-                                   {0, {op_enq(1), op_enq(2)}},
-                                   {1, {op_enq(10), op_enq(20)}},
-                                   {2, {op_deq(), op_deq()}},
-                                   {3, {op_deq(), op_deq()}},
-                               });
+  auto cfg = queue_scenario(4, [](api::queue q) {
+    return scripts{
+        {0, {q.enq(1), q.enq(2)}},
+        {1, {q.enq(10), q.enq(20)}},
+        {2, {q.deq(), q.deq()}},
+        {3, {q.deq(), q.deq()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -54,37 +49,45 @@ TEST(detectable_queue, concurrent_producers_consumers) {
 }
 
 TEST(detectable_queue, crash_sweep_enq) {
-  auto cfg = queue_scenario(2, {
-                                   {0, {op_enq(1), op_enq(2)}},
-                                   {1, {op_deq()}},
-                               });
+  auto cfg = queue_scenario(2, [](api::queue q) {
+    return scripts{
+        {0, {q.enq(1), q.enq(2)}},
+        {1, {q.deq()}},
+    };
+  });
   crash_sweep(cfg, 3);
 }
 
 TEST(detectable_queue, crash_sweep_deq) {
-  auto cfg = queue_scenario(2, {
-                                   {0, {op_enq(1), op_deq()}},
-                                   {1, {op_deq()}},
-                               });
+  auto cfg = queue_scenario(2, [](api::queue q) {
+    return scripts{
+        {0, {q.enq(1), q.deq()}},
+        {1, {q.deq()}},
+    };
+  });
   crash_sweep(cfg, 7);
 }
 
 TEST(detectable_queue, crash_sweep_retry) {
   auto cfg = queue_scenario(2,
-                            {
-                                {0, {op_enq(1), op_deq()}},
-                                {1, {op_enq(2), op_deq()}},
+                            [](api::queue q) {
+                              return scripts{
+                                  {0, {q.enq(1), q.deq()}},
+                                  {1, {q.enq(2), q.deq()}},
+                              };
                             },
                             core::runtime::fail_policy::retry);
   crash_sweep(cfg, 13);
 }
 
 TEST(detectable_queue, crash_fuzz_mixed) {
-  auto cfg = queue_scenario(3, {
-                                   {0, {op_enq(1), op_enq(2)}},
-                                   {1, {op_deq(), op_enq(3)}},
-                                   {2, {op_deq(), op_deq()}},
-                               });
+  auto cfg = queue_scenario(3, [](api::queue q) {
+    return scripts{
+        {0, {q.enq(1), q.enq(2)}},
+        {1, {q.deq(), q.enq(3)}},
+        {2, {q.deq(), q.deq()}},
+    };
+  });
   crash_fuzz(cfg, 120, 2);
 }
 
@@ -92,43 +95,43 @@ TEST(detectable_queue, exactly_once_dequeue_under_retry_fuzz) {
   // Every enqueued value must be dequeued at most once even across crashes
   // and retries — enforced by the FIFO spec check.
   auto cfg = queue_scenario(2,
-                            {
-                                {0, {op_enq(1), op_enq(2), op_deq()}},
-                                {1, {op_deq(), op_deq()}},
+                            [](api::queue q) {
+                              return scripts{
+                                  {0, {q.enq(1), q.enq(2), q.deq()}},
+                                  {1, {q.deq(), q.deq()}},
+                              };
                             },
                             core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 100, 2);
 }
 
 TEST(detectable_queue, ids_minted_grows_with_operations) {
-  sim_fixture f(2);
-  core::detectable_queue q(2, f.board, 64, f.w.domain());
-  f.rt.register_object(0, q);
-  f.rt.set_script(0, {op_enq(1), op_enq(2), op_enq(3)});
-  f.rt.set_script(1, {op_deq(), op_deq()});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
-  EXPECT_GE(q.ids_minted(), 3u)
+  auto h = api::harness::builder().procs(2).build();
+  api::queue q = h.add_queue();
+  h.script(0, {q.enq(1), q.enq(2), q.enq(3)});
+  h.script(1, {q.deq(), q.deq()});
+  h.run();
+  EXPECT_GE(q.as<core::detectable_queue>().ids_minted(), 3u)
       << "identifier space must grow with the number of operations";
 }
 
 TEST(detectable_queue, pool_capacity_respected) {
-  sim_fixture f(1);
-  core::detectable_queue q(1, f.board, 2, f.w.domain());
-  f.rt.register_object(0, q);
-  f.rt.set_script(0, {op_enq(1), op_enq(2), op_enq(3)});  // 3rd exceeds pool
-  sim::round_robin_scheduler rr;
-  EXPECT_THROW(f.rt.run(rr), std::runtime_error);
+  auto h = api::harness::builder().procs(1).build();
+  api::queue q = h.add_queue(/*capacity=*/2);
+  h.script(0, {q.enq(1), q.enq(2), q.enq(3)});  // 3rd exceeds pool
+  EXPECT_THROW(h.run(), std::runtime_error);
 }
 
 class queue_property : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(queue_property, fifo_under_fuzz) {
   auto [seed, crashes] = GetParam();
-  auto cfg = queue_scenario(2, {
-                                   {0, {op_enq(1), op_deq()}},
-                                   {1, {op_enq(2), op_deq()}},
-                               });
+  auto cfg = queue_scenario(2, [](api::queue q) {
+    return scripts{
+        {0, {q.enq(1), q.deq()}},
+        {1, {q.enq(2), q.deq()}},
+    };
+  });
   crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 67867967);
 }
 

@@ -4,7 +4,6 @@
 #include <gtest/gtest.h>
 
 #include "core/detectable_register.hpp"
-#include "core/nrl.hpp"
 #include "sim/explorer.hpp"
 #include "test_util.hpp"
 
@@ -13,24 +12,11 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-scenario_config register_scenario(int nprocs,
-                                  std::map<int, std::vector<hist::op_desc>> scripts,
-                                  core::runtime::fail_policy policy =
-                                      core::runtime::fail_policy::skip) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.policy = policy;
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_register>(
-        nprocs, f.board, 0, f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
-  return cfg;
+scenario register_scenario(int nprocs,
+                           std::function<scripts(api::reg)> make_scripts,
+                           core::runtime::fail_policy policy =
+                               core::runtime::fail_policy::skip) {
+  return one_object<api::reg>("reg", nprocs, std::move(make_scripts), policy);
 }
 
 TEST(reg_word, pack_unpack_roundtrip) {
@@ -59,18 +45,22 @@ TEST(reg_word, out_of_range_value_throws) {
 }
 
 TEST(detectable_register, sequential_reads_and_writes) {
-  auto cfg = register_scenario(
-      1, {{0, {op_write(5), op_read(), op_write(7), op_read(), op_read()}}});
+  auto cfg = register_scenario(1, [](api::reg r) {
+    return scripts{
+        {0, {r.write(5), r.read(), r.write(7), r.read(), r.read()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(detectable_register, two_writers_one_reader_many_seeds) {
-  auto cfg = register_scenario(3, {
-                                      {0, {op_write(1), op_write(2), op_write(3)}},
-                                      {1, {op_write(10), op_write(20)}},
-                                      {2, {op_read(), op_read(), op_read()}},
-                                  });
+  auto cfg = register_scenario(3, [](api::reg r) {
+    return scripts{
+        {0, {r.write(1), r.write(2), r.write(3)}},
+        {1, {r.write(10), r.write(20)}},
+        {2, {r.read(), r.read(), r.read()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n"
@@ -79,45 +69,55 @@ TEST(detectable_register, two_writers_one_reader_many_seeds) {
 }
 
 TEST(detectable_register, crash_sweep_single_writer) {
-  auto cfg = register_scenario(2, {
-                                      {0, {op_write(1), op_write(2)}},
-                                      {1, {op_read(), op_read()}},
-                                  });
+  auto cfg = register_scenario(2, [](api::reg r) {
+    return scripts{
+        {0, {r.write(1), r.write(2)}},
+        {1, {r.read(), r.read()}},
+    };
+  });
   crash_sweep(cfg, 42);
 }
 
 TEST(detectable_register, crash_sweep_two_writers) {
-  auto cfg = register_scenario(2, {
-                                      {0, {op_write(1), op_write(2)}},
-                                      {1, {op_write(5), op_read()}},
-                                  });
+  auto cfg = register_scenario(2, [](api::reg r) {
+    return scripts{
+        {0, {r.write(1), r.write(2)}},
+        {1, {r.write(5), r.read()}},
+    };
+  });
   crash_sweep(cfg, 7);
 }
 
 TEST(detectable_register, crash_sweep_with_retry_policy) {
   auto cfg = register_scenario(2,
-                               {
-                                   {0, {op_write(1), op_write(2)}},
-                                   {1, {op_write(5), op_read()}},
+                               [](api::reg r) {
+                                 return scripts{
+                                     {0, {r.write(1), r.write(2)}},
+                                     {1, {r.write(5), r.read()}},
+                                 };
                                },
                                core::runtime::fail_policy::retry);
   crash_sweep(cfg, 11);
 }
 
 TEST(detectable_register, double_crash_fuzz) {
-  auto cfg = register_scenario(3, {
-                                      {0, {op_write(1), op_write(2)}},
-                                      {1, {op_write(3), op_read()}},
-                                      {2, {op_read(), op_write(4)}},
-                                  });
+  auto cfg = register_scenario(3, [](api::reg r) {
+    return scripts{
+        {0, {r.write(1), r.write(2)}},
+        {1, {r.write(3), r.read()}},
+        {2, {r.read(), r.write(4)}},
+    };
+  });
   crash_fuzz(cfg, 120, 2);
 }
 
 TEST(detectable_register, triple_crash_fuzz_retry) {
   auto cfg = register_scenario(2,
-                               {
-                                   {0, {op_write(1), op_write(2), op_write(3)}},
-                                   {1, {op_read(), op_read(), op_read()}},
+                               [](api::reg r) {
+                                 return scripts{
+                                     {0, {r.write(1), r.write(2), r.write(3)}},
+                                     {1, {r.read(), r.read(), r.read()}},
+                                 };
                                },
                                core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 80, 3);
@@ -128,10 +128,12 @@ TEST(detectable_register, triple_crash_fuzz_retry) {
 // completes a write with the *other* toggle index, which sets q's toggle bits
 // — p's recovery must therefore detect the intervening writes.
 TEST(detectable_register, aba_same_value_rewritten) {
-  auto cfg = register_scenario(2, {
-                                      {0, {op_write(7)}},
-                                      {1, {op_write(9), op_write(9)}},
-                                  });
+  auto cfg = register_scenario(2, [](api::reg r) {
+    return scripts{
+        {0, {r.write(7)}},
+        {1, {r.write(9), r.write(9)}},
+    };
+  });
   crash_sweep(cfg, 3);
   crash_sweep(cfg, 13);
   crash_fuzz(cfg, 100, 2);
@@ -139,11 +141,13 @@ TEST(detectable_register, aba_same_value_rewritten) {
 
 TEST(detectable_register, same_values_from_all_writers) {
   // All processes write the same value — maximally ABA-prone.
-  auto cfg = register_scenario(3, {
-                                      {0, {op_write(1), op_write(1)}},
-                                      {1, {op_write(1), op_write(1)}},
-                                      {2, {op_read(), op_read()}},
-                                  });
+  auto cfg = register_scenario(3, [](api::reg r) {
+    return scripts{
+        {0, {r.write(1), r.write(1)}},
+        {1, {r.write(1), r.write(1)}},
+        {2, {r.read(), r.read()}},
+    };
+  });
   crash_fuzz(cfg, 120, 2);
 }
 
@@ -157,63 +161,37 @@ TEST(detectable_register, same_values_from_all_writers) {
 // infers intervening linearized writes, and declares p's write linearized
 // (as overwritten). The checker validates that verdict.
 TEST(detectable_register, line20_toggle_disambiguates_recreated_triplet) {
-  sim_fixture f(2);  // p = 1 (writer under test), q = 0 (value 0's "owner")
-  core::detectable_register reg(2, f.board, 0, f.w.domain());
-  f.rt.register_object(0, reg);
-
-  auto submit_op = [&](int pid, hist::op_desc desc, std::uint64_t seq) {
-    desc.client_seq = seq;
-    f.w.submit(pid, [&rt = f.rt, pid, desc] { rt.announce_and_invoke(pid, desc); });
-  };
-  auto drive = [&](int pid) {
-    for (;;) {
-      auto ready = f.w.runnable();
-      bool mine = false;
-      for (int r : ready) mine |= (r == pid);
-      if (!mine) return;
-      f.w.step(pid);
-    }
-  };
+  // p = 1 (writer under test), q = 0 (value 0's "owner")
+  auto h = api::harness::builder().procs(2).build();
+  api::reg r = h.add_reg();
+  auto& reg = r.as<core::detectable_register>();
 
   // p starts write(7); halt when the next access is the line-7 store to R
   // (the only shared store issued with CP == 1).
-  submit_op(1, op_write(7), 1);
-  while (!(f.board.of(1).cp.peek() == 1 &&
-           f.w.pending_access(1) == nvm::access::shared_store)) {
-    f.w.step(1);
+  h.submit_op(1, r.write(7), 1);
+  while (!(h.board().of(1).cp.peek() == 1 &&
+           h.world().pending_access(1) == nvm::access::shared_store)) {
+    h.world().step(1);
   }
 
   // q recreates R's initial triplet via three completed writes of value 0:
   // toggles cycle 0 → 1 → 0, and the toggle-1 write sets A[1][0][1].
   for (std::uint64_t s = 1; s <= 3; ++s) {
-    submit_op(0, op_write(0), s);
-    drive(0);
-    f.board.of(0).done_seq.store(s);
+    h.submit_op(0, r.write(0), s);
+    h.drive(0);
+    h.board().of(0).done_seq.store(s);
   }
-  ASSERT_EQ(reg.invoke(0, op_read()), 0) << "R holds value 0 again";
+  ASSERT_EQ(reg.invoke(0, r.read()), 0) << "R holds value 0 again";
 
   // Crash; p recovers. Line 20's first conjunct holds (same triplet), the
   // second fails (the toggle bit is set) ⇒ linearized-as-overwritten.
-  f.w.crash();
-  {
-    hist::event e;
-    e.kind = hist::event_kind::crash;
-    f.lg.append(e);
-  }
-  f.w.submit(1, [&rt = f.rt] { rt.maybe_recover(1); });
-  drive(1);
+  h.crash_now();
+  h.submit_recovery(1);
+  h.drive(1);
 
-  hist::recovery_verdict verdict = hist::recovery_verdict::none;
-  for (const auto& e : f.lg.snapshot()) {
-    if (e.kind == hist::event_kind::recover_result && e.pid == 1) {
-      verdict = e.verdict;
-    }
-  }
-  EXPECT_EQ(verdict, hist::recovery_verdict::linearized)
+  EXPECT_EQ(last_verdict(h.events(), 1), hist::recovery_verdict::linearized)
       << "the toggle bit must witness the intervening writes";
-
-  auto check = hist::check_durable_linearizability(f.lg.snapshot(),
-                                                   hist::register_spec(0));
+  auto check = h.check();
   EXPECT_TRUE(check.ok) << check.message;
 }
 
@@ -221,49 +199,23 @@ TEST(detectable_register, line20_toggle_disambiguates_recreated_triplet) {
 // (toggles 0 → 1), R holds ⟨0,0,1⟩ ≠ the persisted triplet, so recovery
 // takes the "R changed" branch — still linearized-as-overwritten.
 TEST(detectable_register, recovery_sees_changed_triplet_after_two_writes) {
-  sim_fixture f(2);
-  core::detectable_register reg(2, f.board, 0, f.w.domain());
-  f.rt.register_object(0, reg);
-  auto submit_op = [&](int pid, hist::op_desc desc, std::uint64_t seq) {
-    desc.client_seq = seq;
-    f.w.submit(pid, [&rt = f.rt, pid, desc] { rt.announce_and_invoke(pid, desc); });
-  };
-  auto drive = [&](int pid) {
-    for (;;) {
-      auto ready = f.w.runnable();
-      bool mine = false;
-      for (int r : ready) mine |= (r == pid);
-      if (!mine) return;
-      f.w.step(pid);
-    }
-  };
-  submit_op(1, op_write(7), 1);
-  while (!(f.board.of(1).cp.peek() == 1 &&
-           f.w.pending_access(1) == nvm::access::shared_store)) {
-    f.w.step(1);
+  auto h = api::harness::builder().procs(2).build();
+  api::reg r = h.add_reg();
+  h.submit_op(1, r.write(7), 1);
+  while (!(h.board().of(1).cp.peek() == 1 &&
+           h.world().pending_access(1) == nvm::access::shared_store)) {
+    h.world().step(1);
   }
   for (std::uint64_t s = 1; s <= 2; ++s) {
-    submit_op(0, op_write(0), s);
-    drive(0);
-    f.board.of(0).done_seq.store(s);
+    h.submit_op(0, r.write(0), s);
+    h.drive(0);
+    h.board().of(0).done_seq.store(s);
   }
-  f.w.crash();
-  {
-    hist::event e;
-    e.kind = hist::event_kind::crash;
-    f.lg.append(e);
-  }
-  f.w.submit(1, [&rt = f.rt] { rt.maybe_recover(1); });
-  drive(1);
-  hist::recovery_verdict verdict = hist::recovery_verdict::none;
-  for (const auto& e : f.lg.snapshot()) {
-    if (e.kind == hist::event_kind::recover_result && e.pid == 1) {
-      verdict = e.verdict;
-    }
-  }
-  EXPECT_EQ(verdict, hist::recovery_verdict::linearized);
-  auto check = hist::check_durable_linearizability(f.lg.snapshot(),
-                                                   hist::register_spec(0));
+  h.crash_now();
+  h.submit_recovery(1);
+  h.drive(1);
+  EXPECT_EQ(last_verdict(h.events(), 1), hist::recovery_verdict::linearized);
+  auto check = h.check();
   EXPECT_TRUE(check.ok) << check.message;
 }
 
@@ -271,39 +223,18 @@ TEST(detectable_register, recovery_sees_changed_triplet_after_two_writes) {
 // the triplet matches and the toggle bit is still clear, so recovery must
 // return fail (the write truly did not happen).
 TEST(detectable_register, line20_returns_fail_when_nothing_intervened) {
-  sim_fixture f(2);
-  core::detectable_register reg(2, f.board, 0, f.w.domain());
-  f.rt.register_object(0, reg);
-  f.w.submit(1, [&rt = f.rt] {
-    hist::op_desc d = op_write(7);
-    d.client_seq = 1;
-    rt.announce_and_invoke(1, d);
-  });
-  while (!(f.board.of(1).cp.peek() == 1 &&
-           f.w.pending_access(1) == nvm::access::shared_store)) {
-    f.w.step(1);
+  auto h = api::harness::builder().procs(2).build();
+  api::reg r = h.add_reg();
+  h.submit_op(1, r.write(7), 1);
+  while (!(h.board().of(1).cp.peek() == 1 &&
+           h.world().pending_access(1) == nvm::access::shared_store)) {
+    h.world().step(1);
   }
-  f.w.crash();
-  {
-    hist::event e;
-    e.kind = hist::event_kind::crash;
-    f.lg.append(e);
-  }
-  f.w.submit(1, [&rt = f.rt] { rt.maybe_recover(1); });
-  for (;;) {
-    auto ready = f.w.runnable();
-    if (ready.empty()) break;
-    f.w.step(ready.front());
-  }
-  hist::recovery_verdict verdict = hist::recovery_verdict::none;
-  for (const auto& e : f.lg.snapshot()) {
-    if (e.kind == hist::event_kind::recover_result && e.pid == 1) {
-      verdict = e.verdict;
-    }
-  }
-  EXPECT_EQ(verdict, hist::recovery_verdict::fail);
-  auto check = hist::check_durable_linearizability(f.lg.snapshot(),
-                                                   hist::register_spec(0));
+  h.crash_now();
+  h.submit_recovery(1);
+  h.drive_all();
+  EXPECT_EQ(last_verdict(h.events(), 1), hist::recovery_verdict::fail);
+  auto check = h.check();
   EXPECT_TRUE(check.ok) << check.message;
 }
 
@@ -311,21 +242,17 @@ TEST(detectable_register, exhaustive_two_procs_one_crash_one_preemption) {
   // CHESS-style exploration: every crash placement combined with every
   // single-preemption schedule of two concurrent writes.
   struct scen final : sim::exploration {
-    sim_fixture f{2};
-    std::vector<std::unique_ptr<core::detectable_object>> objs;
+    api::harness h = api::harness::builder().procs(2).build();
     scen() {
-      objs.push_back(std::make_unique<core::detectable_register>(
-          2, f.board, 0, f.w.domain()));
-      f.rt.register_object(0, *objs.back());
-      f.rt.set_script(0, {op_write(1)});
-      f.rt.set_script(1, {op_write(2)});
-      f.rt.start();
+      api::reg r = h.add_reg();
+      h.script(0, {r.write(1)});
+      h.script(1, {r.write(2)});
+      h.runtime().start();
     }
-    sim::world& get_world() override { return f.w; }
-    void on_crash() override { f.rt.on_crash(); }
+    sim::world& get_world() override { return h.world(); }
+    void on_crash() override { h.runtime().on_crash(); }
     void at_end() override {
-      auto r = hist::check_durable_linearizability(f.lg.snapshot(),
-                                                   hist::register_spec(0));
+      auto r = h.check();
       if (!r.ok) throw std::runtime_error(r.message);
     }
   };
@@ -345,12 +272,10 @@ TEST(detectable_register, wait_free_step_bound_holds) {
   // Lemma 1's wait-freedom: a crash-free write takes at most a constant
   // number of steps plus the O(N) toggle loop.
   for (int n : {2, 4, 8}) {
-    sim_fixture f(n);
-    core::detectable_register reg(n, f.board, 0, f.w.domain());
-    f.rt.register_object(0, reg);
-    for (int p = 0; p < n; ++p) f.rt.set_script(p, {op_write(p), op_read()});
-    sim::round_robin_scheduler rr;
-    auto rep = f.rt.run(rr);
+    auto h = api::harness::builder().procs(n).build();
+    api::reg r = h.add_reg();
+    for (int p = 0; p < n; ++p) h.script(p, {r.write(p), r.read()});
+    auto rep = h.run();
     EXPECT_FALSE(rep.hit_step_limit);
     // Per process: write ≤ (announce 4–5 + 2 control + body ~8 + N toggle
     // stores), read ≤ ~10. Generous linear bound:
@@ -359,19 +284,9 @@ TEST(detectable_register, wait_free_step_bound_holds) {
 }
 
 TEST(detectable_register, nrl_wrapper_always_completes) {
-  scenario_config cfg;
-  cfg.nprocs = 2;
-  cfg.scripts = {{0, {op_write(1), op_write(2)}}, {1, {op_read(), op_read()}}};
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_register>(
-        2, f.board, 0, f.w.domain()));
-    objs.push_back(std::make_unique<core::nrl_adapter>(*objs[0], f.board));
-    f.rt.register_object(0, *objs[1]);
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
+  auto cfg = one_object<api::reg>("nrl_reg", 2, [](api::reg r) {
+    return scripts{{0, {r.write(1), r.write(2)}}, {1, {r.read(), r.read()}}};
+  });
   crash_sweep(cfg, 5);
   crash_fuzz(cfg, 60, 2);
 }
@@ -379,21 +294,10 @@ TEST(detectable_register, nrl_wrapper_always_completes) {
 TEST(detectable_register, shared_cache_with_transform_is_correct) {
   // Run the same battery under the shared-cache model with the automatic
   // persist transformation (§6).
-  scenario_config cfg;
-  cfg.nprocs = 2;
-  cfg.scripts = {{0, {op_write(1), op_write(2)}}, {1, {op_write(5), op_read()}}};
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    f.w.domain().set_model(nvm::cache_model::shared_cache);
-    f.w.domain().set_auto_persist(true);
-    objs.push_back(std::make_unique<core::detectable_register>(
-        2, f.board, 0, f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-    f.w.domain().persist_all();
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
+  auto cfg = register_scenario(2, [](api::reg r) {
+    return scripts{{0, {r.write(1), r.write(2)}}, {1, {r.write(5), r.read()}}};
+  });
+  cfg.shared_cache = true;
   crash_sweep(cfg, 21);
 }
 
@@ -402,11 +306,13 @@ class register_property : public ::testing::TestWithParam<std::tuple<int, int>> 
 
 TEST_P(register_property, durable_linearizable_and_detectable) {
   auto [seed, crashes] = GetParam();
-  auto cfg = register_scenario(3, {
-                                      {0, {op_write(1), op_write(2)}},
-                                      {1, {op_write(3), op_read()}},
-                                      {2, {op_read(), op_write(4)}},
-                                  });
+  auto cfg = register_scenario(3, [](api::reg r) {
+    return scripts{
+        {0, {r.write(1), r.write(2)}},
+        {1, {r.write(3), r.read()}},
+        {2, {r.read(), r.write(4)}},
+    };
+  });
   crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 104729);
 }
 
@@ -420,11 +326,13 @@ class register_scale : public ::testing::TestWithParam<int> {};
 
 TEST_P(register_scale, crash_fuzz_at_n) {
   int n = GetParam();
-  std::map<int, std::vector<hist::op_desc>> scripts;
-  for (int p = 0; p < n; ++p) {
-    scripts[p] = {op_write(p + 1), p % 2 == 0 ? op_read() : op_write(p + 100)};
-  }
-  auto cfg = register_scenario(n, scripts);
+  auto cfg = register_scenario(n, [n](api::reg r) {
+    scripts s;
+    for (int p = 0; p < n; ++p) {
+      s[p] = {r.write(p + 1), p % 2 == 0 ? r.read() : r.write(p + 100)};
+    }
+    return s;
+  });
   crash_fuzz(cfg, 25, 2, static_cast<std::uint64_t>(n) * 293339);
 }
 

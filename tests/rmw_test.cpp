@@ -2,7 +2,6 @@
 // Algorithm 2's flip-vector capsule.
 #include <gtest/gtest.h>
 
-#include "core/rmw.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -10,54 +9,35 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-scenario_config counter_scenario(int nprocs,
-                                 std::map<int, std::vector<hist::op_desc>> scripts,
-                                 core::runtime::fail_policy policy =
-                                     core::runtime::fail_policy::skip) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.policy = policy;
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_counter>(nprocs, f.board,
-                                                              0, f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::counter_spec(0));
-  };
-  return cfg;
+scenario counter_scenario(int nprocs,
+                          std::function<scripts(api::counter)> make_scripts,
+                          core::runtime::fail_policy policy =
+                              core::runtime::fail_policy::skip) {
+  return one_object<api::counter>("counter", nprocs, std::move(make_scripts),
+                                  policy);
 }
 
-scenario_config tas_scenario(int nprocs,
-                             std::map<int, std::vector<hist::op_desc>> scripts) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(
-        std::make_unique<core::detectable_tas>(nprocs, f.board, f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::tas_spec()); };
-  return cfg;
+scenario tas_scenario(int nprocs, std::function<scripts(api::tas)> make_scripts) {
+  return one_object<api::tas>("tas", nprocs, std::move(make_scripts));
 }
 
 TEST(detectable_counter, sequential_fetch_and_add) {
-  auto cfg = counter_scenario(
-      1, {{0, {op_add(1), op_add(2), op_ctr_read(), op_add(-1), op_ctr_read()}}});
+  auto cfg = counter_scenario(1, [](api::counter c) {
+    return scripts{
+        {0, {c.add(1), c.add(2), c.read(), c.add(-1), c.read()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(detectable_counter, concurrent_increments_sum_correctly) {
-  auto cfg = counter_scenario(3, {
-                                     {0, {op_add(1), op_add(1)}},
-                                     {1, {op_add(1), op_add(1)}},
-                                     {2, {op_add(1), op_ctr_read()}},
-                                 });
+  auto cfg = counter_scenario(3, [](api::counter c) {
+    return scripts{
+        {0, {c.add(1), c.add(1)}},
+        {1, {c.add(1), c.add(1)}},
+        {2, {c.add(1), c.read()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -65,29 +45,35 @@ TEST(detectable_counter, concurrent_increments_sum_correctly) {
 }
 
 TEST(detectable_counter, crash_sweep) {
-  auto cfg = counter_scenario(2, {
-                                     {0, {op_add(1), op_add(1)}},
-                                     {1, {op_add(1), op_ctr_read()}},
-                                 });
+  auto cfg = counter_scenario(2, [](api::counter c) {
+    return scripts{
+        {0, {c.add(1), c.add(1)}},
+        {1, {c.add(1), c.read()}},
+    };
+  });
   crash_sweep(cfg, 3);
 }
 
 TEST(detectable_counter, crash_sweep_retry) {
   auto cfg = counter_scenario(2,
-                              {
-                                  {0, {op_add(1), op_add(1)}},
-                                  {1, {op_add(1), op_ctr_read()}},
+                              [](api::counter c) {
+                                return scripts{
+                                    {0, {c.add(1), c.add(1)}},
+                                    {1, {c.add(1), c.read()}},
+                                };
                               },
                               core::runtime::fail_policy::retry);
   crash_sweep(cfg, 19);
 }
 
 TEST(detectable_counter, crash_fuzz) {
-  auto cfg = counter_scenario(3, {
-                                     {0, {op_add(1), op_add(2)}},
-                                     {1, {op_add(3), op_ctr_read()}},
-                                     {2, {op_ctr_read(), op_add(4)}},
-                                 });
+  auto cfg = counter_scenario(3, [](api::counter c) {
+    return scripts{
+        {0, {c.add(1), c.add(2)}},
+        {1, {c.add(3), c.read()}},
+        {2, {c.read(), c.add(4)}},
+    };
+  });
   crash_fuzz(cfg, 150, 2);
 }
 
@@ -96,27 +82,32 @@ TEST(detectable_counter, faa_returns_old_value_exactly_once) {
   // the linearizability check against the counter spec enforces it via the
   // returned old values.
   auto cfg = counter_scenario(2,
-                              {
-                                  {0, {op_add(1), op_add(1), op_add(1)}},
-                                  {1, {op_add(1), op_add(1), op_add(1)}},
+                              [](api::counter c) {
+                                return scripts{
+                                    {0, {c.add(1), c.add(1), c.add(1)}},
+                                    {1, {c.add(1), c.add(1), c.add(1)}},
+                                };
                               },
                               core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 100, 2);
 }
 
 TEST(detectable_tas, sequential_set_reset) {
-  auto cfg = tas_scenario(
-      1, {{0, {op_tas_set(), op_tas_set(), op_tas_reset(), op_tas_set()}}});
+  auto cfg = tas_scenario(1, [](api::tas t) {
+    return scripts{{0, {t.set(), t.set(), t.reset(), t.set()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(detectable_tas, one_winner_among_contenders) {
-  auto cfg = tas_scenario(3, {
-                                 {0, {op_tas_set()}},
-                                 {1, {op_tas_set()}},
-                                 {2, {op_tas_set()}},
-                             });
+  auto cfg = tas_scenario(3, [](api::tas t) {
+    return scripts{
+        {0, {t.set()}},
+        {1, {t.set()}},
+        {2, {t.set()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 40; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -124,31 +115,36 @@ TEST(detectable_tas, one_winner_among_contenders) {
 }
 
 TEST(detectable_tas, crash_sweep_set_reset_cycle) {
-  auto cfg = tas_scenario(2, {
-                                 {0, {op_tas_set(), op_tas_reset()}},
-                                 {1, {op_tas_set()}},
-                             });
+  auto cfg = tas_scenario(2, [](api::tas t) {
+    return scripts{
+        {0, {t.set(), t.reset()}},
+        {1, {t.set()}},
+    };
+  });
   crash_sweep(cfg, 29);
 }
 
 TEST(detectable_tas, crash_fuzz) {
-  auto cfg = tas_scenario(3, {
-                                 {0, {op_tas_set(), op_tas_reset()}},
-                                 {1, {op_tas_set(), op_tas_set()}},
-                                 {2, {op_tas_reset(), op_tas_set()}},
-                             });
+  auto cfg = tas_scenario(3, [](api::tas t) {
+    return scripts{
+        {0, {t.set(), t.reset()}},
+        {1, {t.set(), t.set()}},
+        {2, {t.reset(), t.set()}},
+    };
+  });
   crash_fuzz(cfg, 150, 2);
 }
 
-class counter_property
-    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+class counter_property : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(counter_property, exactly_once_under_fuzz) {
   auto [seed, crashes] = GetParam();
   auto cfg = counter_scenario(2,
-                              {
-                                  {0, {op_add(1), op_add(1)}},
-                                  {1, {op_add(1), op_ctr_read()}},
+                              [](api::counter c) {
+                                return scripts{
+                                    {0, {c.add(1), c.add(1)}},
+                                    {1, {c.add(1), c.read()}},
+                                };
                               },
                               core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 49979687);

@@ -2,8 +2,6 @@
 // and simulator API contracts.
 #include <gtest/gtest.h>
 
-#include "baselines/stripped.hpp"
-#include "core/detectable_register.hpp"
 #include "core/runtime.hpp"
 #include "test_util.hpp"
 
@@ -12,54 +10,15 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-TEST(world_api, submit_to_busy_process_throws) {
-  sim::world w(1);
-  nvm::pcell<int> c(0, w.domain());
-  w.submit(0, [&] { c.load(); });
-  EXPECT_THROW(w.submit(0, [] {}), std::logic_error);
-  w.step(0);  // drain
-}
-
-TEST(world_api, step_non_runnable_throws) {
-  sim::world w(2);
-  EXPECT_THROW(w.step(0), std::logic_error);
-}
-
-TEST(world_api, pending_access_requires_yielded_process) {
-  sim::world w(1);
-  EXPECT_THROW(w.pending_access(0), std::logic_error);
-}
-
-TEST(world_api, nprocs_validation) {
-  EXPECT_THROW(sim::world(0), std::invalid_argument);
-}
-
-TEST(world_api, crash_with_no_tasks_is_a_memory_event_only) {
-  sim::world w(2);
-  w.domain().set_model(nvm::cache_model::shared_cache);
-  nvm::pcell<int> c(0, w.domain());
-  c.store(5);  // unflushed
-  w.crash();
-  EXPECT_EQ(c.peek(), 0);
-  EXPECT_EQ(w.domain().counters().snapshot().crashes, 1u);
-}
+// ---- client runtime over the façade -----------------------------------------
 
 TEST(runtime, skip_policy_gives_up_and_continues) {
   // Crash p0's first write before its checkpoint; with skip policy the op is
   // declared failed and the client moves on to the second op.
-  scenario_config cfg;
+  auto cfg = one_object<api::reg>("reg", 1, [](api::reg r) {
+    return scripts{{0, {r.write(1), r.write(2)}}};
+  });
   cfg.nprocs = 1;
-  cfg.policy = core::runtime::fail_policy::skip;
-  cfg.scripts = {{0, {op_write(1), op_write(2)}}};
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_register>(1, f.board, 0,
-                                                               f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
   bool saw_fail_and_continue = false;
   run_outcome base = run_scenario(cfg, 1);
   for (std::uint64_t k = 0; k < base.report.steps; ++k) {
@@ -75,19 +34,10 @@ TEST(runtime, skip_policy_gives_up_and_continues) {
 }
 
 TEST(runtime, retry_policy_reinvokes_until_done) {
-  scenario_config cfg;
-  cfg.nprocs = 1;
-  cfg.policy = core::runtime::fail_policy::retry;
-  cfg.scripts = {{0, {op_write(7)}}};
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_register>(1, f.board, 0,
-                                                               f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
+  auto cfg = one_object<api::reg>(
+      "reg", 1,
+      [](api::reg r) { return scripts{{0, {r.write(7)}}}; },
+      core::runtime::fail_policy::retry);
   run_outcome base = run_scenario(cfg, 1);
   for (std::uint64_t k = 0; k < base.report.steps; ++k) {
     run_outcome out = run_scenario(cfg, 1, {k});
@@ -104,47 +54,38 @@ TEST(runtime, retry_policy_reinvokes_until_done) {
 TEST(runtime, no_aux_object_keeps_announcement_raw) {
   // For wants_aux_reset()==false objects the runtime must not touch
   // Ann_p.resp / Ann_p.CP — the stale values from the previous op survive.
-  sim_fixture f(1);
-  core::detectable_register reg(1, f.board, 0, f.w.domain());
-  base::stripped s(reg);
-  f.rt.register_object(0, s);
-  f.rt.set_script(0, {op_write(1), op_write(2)});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
+  auto h = api::harness::builder().procs(1).build();
+  api::reg r(h.add("stripped_reg"));
+  h.script(0, {r.write(1), r.write(2)});
+  h.run();
   // After the final write, resp holds ack from the op itself (the object
   // persists it); the point is the runtime never wrote k_bottom in between —
   // observable as cp remaining at 2 from the op, never reset to 0.
-  EXPECT_EQ(f.board.of(0).cp.peek(), 2);
-  EXPECT_EQ(f.board.of(0).resp.peek(), hist::k_ack);
+  EXPECT_EQ(h.board().of(0).cp.peek(), 2);
+  EXPECT_EQ(h.board().of(0).resp.peek(), hist::k_ack);
 }
 
 TEST(runtime, aux_object_gets_reset_each_invocation) {
-  sim_fixture f(1);
-  core::detectable_register reg(1, f.board, 0, f.w.domain());
-  f.rt.register_object(0, reg);
-  f.rt.set_script(0, {op_read()});  // read never touches cp
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
-  EXPECT_EQ(f.board.of(0).cp.peek(), 0) << "caller reset CP before the read";
+  auto h = api::harness::builder().procs(1).build();
+  api::reg r = h.add_reg();
+  h.script(0, {r.read()});  // read never touches cp
+  h.run();
+  EXPECT_EQ(h.board().of(0).cp.peek(), 0) << "caller reset CP before the read";
 }
 
 TEST(runtime, multi_object_scripts_route_correctly) {
-  sim_fixture f(1);
-  core::detectable_register r0(1, f.board, 0, f.w.domain());
-  core::detectable_register r1(1, f.board, 100, f.w.domain());
-  f.rt.register_object(0, r0);
-  f.rt.register_object(1, r1);
-  f.rt.set_script(0, {op_write(5, 0), op_read(1), op_read(0)});
-  sim::round_robin_scheduler rr;
-  f.rt.run(rr);
-  auto events = f.lg.snapshot();
+  auto h = api::harness::builder().procs(1).build();
+  api::reg r0 = h.add_reg(0);
+  api::reg r1 = h.add_reg(100);
+  h.script(0, {r0.write(5), r1.read(), r0.read()});
+  h.run();
   hist::value_t read1 = hist::k_bottom;
   hist::value_t read0 = hist::k_bottom;
-  for (const auto& e : events) {
+  for (const auto& e : h.events()) {
     if (e.kind == hist::event_kind::response &&
         e.desc.code == hist::opcode::reg_read) {
-      if (e.desc.object == 1) read1 = e.value;
-      if (e.desc.object == 0) read0 = e.value;
+      if (e.desc.object == r1.id()) read1 = e.value;
+      if (e.desc.object == r0.id()) read0 = e.value;
     }
   }
   EXPECT_EQ(read1, 100);
@@ -152,25 +93,26 @@ TEST(runtime, multi_object_scripts_route_correctly) {
 }
 
 TEST(runtime, unregistered_object_is_an_error) {
-  sim_fixture f(1);
-  f.rt.set_script(0, {op_write(1, /*obj=*/9)});
-  sim::round_robin_scheduler rr;
-  EXPECT_THROW(f.rt.run(rr), std::out_of_range);
+  auto h = api::harness::builder().procs(1).build();
+  h.script(0, {{/*object=*/9, hist::opcode::reg_write, 1, 0, 0}});
+  EXPECT_THROW(h.run(), std::out_of_range);
+}
+
+TEST(runtime, duplicate_object_id_is_rejected) {
+  auto h = api::harness::builder().procs(1).build();
+  api::reg r = h.add_reg();
+  // Registering anything under an id already taken must throw, not silently
+  // re-route the existing object's scripts.
+  EXPECT_THROW(h.runtime().register_object(r.id(), r.object()),
+               std::invalid_argument);
+  // And the id chaining contract: register_object returns the id it stored.
+  EXPECT_EQ(h.runtime().register_object(1234, r.object()), 1234u);
 }
 
 TEST(runtime, crash_event_logged_between_unwind_and_recovery) {
-  scenario_config cfg;
-  cfg.nprocs = 1;
-  cfg.scripts = {{0, {op_write(1)}}};
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_register>(1, f.board, 0,
-                                                               f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
+  auto cfg = one_object<api::reg>("reg", 1, [](api::reg r) {
+    return scripts{{0, {r.write(1)}}};
+  });
   run_outcome out = run_scenario(cfg, 1, {3});
   EXPECT_NE(out.log_text.find("== CRASH =="), std::string::npos);
   // Any recovery events must come after the crash marker.
@@ -182,19 +124,12 @@ TEST(runtime, crash_event_logged_between_unwind_and_recovery) {
 }
 
 TEST(runtime, double_crash_pair_sweep_register) {
-  scenario_config cfg;
-  cfg.nprocs = 2;
-  cfg.policy = core::runtime::fail_policy::retry;
-  cfg.scripts = {{0, {op_write(1)}}, {1, {op_read()}}};
-  cfg.make_objects = [](sim_fixture& f,
-                        std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_register>(2, f.board, 0,
-                                                               f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] {
-    return std::unique_ptr<hist::spec>(new hist::register_spec(0));
-  };
+  auto cfg = one_object<api::reg>(
+      "reg", 2,
+      [](api::reg r) {
+        return scripts{{0, {r.write(1)}}, {1, {r.read()}}};
+      },
+      core::runtime::fail_policy::retry);
   crash_pair_sweep(cfg, 17, /*stride=*/2);
 }
 

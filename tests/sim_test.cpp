@@ -150,6 +150,38 @@ TEST(world, step_limit_guard) {
   EXPECT_TRUE(rep.hit_step_limit);
 }
 
+TEST(world, submit_to_busy_process_throws) {
+  sim::world w(1);
+  nvm::pcell<int> c(0, w.domain());
+  w.submit(0, [&] { c.load(); });
+  EXPECT_THROW(w.submit(0, [] {}), std::logic_error);
+  w.step(0);  // drain
+}
+
+TEST(world, step_non_runnable_throws) {
+  sim::world w(2);
+  EXPECT_THROW(w.step(0), std::logic_error);
+}
+
+TEST(world, pending_access_requires_yielded_process) {
+  sim::world w(1);
+  EXPECT_THROW(w.pending_access(0), std::logic_error);
+}
+
+TEST(world, nprocs_validation) {
+  EXPECT_THROW(sim::world(0), std::invalid_argument);
+}
+
+TEST(world, crash_with_no_tasks_is_a_memory_event_only) {
+  sim::world w(2);
+  w.domain().set_model(nvm::cache_model::shared_cache);
+  nvm::pcell<int> c(0, w.domain());
+  c.store(5);  // unflushed
+  w.crash();
+  EXPECT_EQ(c.peek(), 0);
+  EXPECT_EQ(w.domain().counters().snapshot().crashes, 1u);
+}
+
 TEST(world, epoch_advances_on_every_crash) {
   sim::world w(1);
   EXPECT_EQ(w.epoch(), 1u);

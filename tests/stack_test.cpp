@@ -9,52 +9,44 @@ namespace {
 using namespace detect;
 using namespace detect::test;
 
-hist::op_desc op_push(hist::value_t v) { return {0, hist::opcode::push, v, 0, 0}; }
-hist::op_desc op_pop() { return {0, hist::opcode::pop, 0, 0, 0}; }
-
-scenario_config stack_scenario(int nprocs,
-                               std::map<int, std::vector<hist::op_desc>> scripts,
-                               core::runtime::fail_policy policy =
-                                   core::runtime::fail_policy::skip) {
-  scenario_config cfg;
-  cfg.nprocs = nprocs;
-  cfg.scripts = std::move(scripts);
-  cfg.policy = policy;
-  cfg.make_objects = [nprocs](sim_fixture& f,
-                              std::vector<std::unique_ptr<core::detectable_object>>& objs) {
-    objs.push_back(std::make_unique<core::detectable_stack>(nprocs, f.board, 64,
-                                                            f.w.domain()));
-    f.rt.register_object(0, *objs.back());
-  };
-  cfg.make_spec = [] { return std::unique_ptr<hist::spec>(new hist::stack_spec()); };
-  return cfg;
+scenario stack_scenario(int nprocs,
+                        std::function<scripts(api::stack)> make_scripts,
+                        core::runtime::fail_policy policy =
+                            core::runtime::fail_policy::skip) {
+  return one_object<api::stack>("stack", nprocs, std::move(make_scripts),
+                                policy);
 }
 
 TEST(detectable_stack, sequential_lifo) {
-  auto cfg = stack_scenario(
-      1, {{0, {op_push(1), op_push(2), op_pop(), op_pop(), op_pop()}}});
+  auto cfg = stack_scenario(1, [](api::stack s) {
+    return scripts{{0, {s.push(1), s.push(2), s.pop(), s.pop(), s.pop()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(detectable_stack, empty_pop) {
-  auto cfg = stack_scenario(1, {{0, {op_pop(), op_push(5), op_pop(), op_pop()}}});
+  auto cfg = stack_scenario(1, [](api::stack s) {
+    return scripts{{0, {s.pop(), s.push(5), s.pop(), s.pop()}}};
+  });
   auto out = run_scenario(cfg, 1);
   EXPECT_TRUE(out.check.ok) << out.check.message;
 }
 
 TEST(detectable_stack, rejects_too_many_processes) {
-  sim_fixture f(1);
-  EXPECT_THROW(core::detectable_stack(33, f.board, 8, f.w.domain()),
+  api::arena a(33);
+  EXPECT_THROW(core::detectable_stack(33, a.board(), 8, a.domain()),
                std::invalid_argument);
 }
 
 TEST(detectable_stack, concurrent_push_pop_many_seeds) {
-  auto cfg = stack_scenario(3, {
-                                   {0, {op_push(1), op_push(2)}},
-                                   {1, {op_pop(), op_push(3)}},
-                                   {2, {op_pop(), op_pop()}},
-                               });
+  auto cfg = stack_scenario(3, [](api::stack s) {
+    return scripts{
+        {0, {s.push(1), s.push(2)}},
+        {1, {s.pop(), s.push(3)}},
+        {2, {s.pop(), s.pop()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -66,11 +58,13 @@ TEST(detectable_stack, mid_stack_pop_is_impossible) {
   // linearize against a deeper node once pushes landed above it. The packed
   // head-CAS makes the stale attempt fail; the spec check would flag any
   // violation across seeds.
-  auto cfg = stack_scenario(3, {
-                                   {0, {op_push(1), op_push(2), op_push(3)}},
-                                   {1, {op_pop(), op_pop()}},
-                                   {2, {op_push(9), op_pop()}},
-                               });
+  auto cfg = stack_scenario(3, [](api::stack s) {
+    return scripts{
+        {0, {s.push(1), s.push(2), s.push(3)}},
+        {1, {s.pop(), s.pop()}},
+        {2, {s.push(9), s.pop()}},
+    };
+  });
   for (std::uint64_t seed = 1; seed <= 80; ++seed) {
     auto out = run_scenario(cfg, seed);
     ASSERT_TRUE(out.check.ok) << "seed " << seed << "\n" << out.check.message;
@@ -78,26 +72,32 @@ TEST(detectable_stack, mid_stack_pop_is_impossible) {
 }
 
 TEST(detectable_stack, crash_sweep_push) {
-  auto cfg = stack_scenario(2, {
-                                   {0, {op_push(1), op_push(2)}},
-                                   {1, {op_pop()}},
-                               });
+  auto cfg = stack_scenario(2, [](api::stack s) {
+    return scripts{
+        {0, {s.push(1), s.push(2)}},
+        {1, {s.pop()}},
+    };
+  });
   crash_sweep(cfg, 3);
 }
 
 TEST(detectable_stack, crash_sweep_pop) {
-  auto cfg = stack_scenario(2, {
-                                   {0, {op_push(1), op_pop()}},
-                                   {1, {op_pop()}},
-                               });
+  auto cfg = stack_scenario(2, [](api::stack s) {
+    return scripts{
+        {0, {s.push(1), s.pop()}},
+        {1, {s.pop()}},
+    };
+  });
   crash_sweep(cfg, 7);
 }
 
 TEST(detectable_stack, crash_pair_sweep) {
   auto cfg = stack_scenario(2,
-                            {
-                                {0, {op_push(1), op_pop()}},
-                                {1, {op_push(2)}},
+                            [](api::stack s) {
+                              return scripts{
+                                  {0, {s.push(1), s.pop()}},
+                                  {1, {s.push(2)}},
+                              };
                             },
                             core::runtime::fail_policy::retry);
   crash_pair_sweep(cfg, 11, /*stride=*/3);
@@ -105,10 +105,12 @@ TEST(detectable_stack, crash_pair_sweep) {
 
 TEST(detectable_stack, crash_fuzz_retry_exactly_once) {
   auto cfg = stack_scenario(3,
-                            {
-                                {0, {op_push(1), op_push(2)}},
-                                {1, {op_pop(), op_push(3)}},
-                                {2, {op_pop(), op_pop()}},
+                            [](api::stack s) {
+                              return scripts{
+                                  {0, {s.push(1), s.push(2)}},
+                                  {1, {s.pop(), s.push(3)}},
+                                  {2, {s.pop(), s.pop()}},
+                              };
                             },
                             core::runtime::fail_policy::retry);
   crash_fuzz(cfg, 150, 2);
@@ -119,9 +121,11 @@ TEST(detectable_stack, pop_recovery_returns_persisted_value) {
   // must match what the spec expects — covered by the checker; additionally
   // no run may lose or duplicate the single pushed value.
   auto cfg = stack_scenario(2,
-                            {
-                                {0, {op_push(42), op_pop()}},
-                                {1, {op_pop()}},
+                            [](api::stack s) {
+                              return scripts{
+                                  {0, {s.push(42), s.pop()}},
+                                  {1, {s.pop()}},
+                              };
                             },
                             core::runtime::fail_policy::retry);
   crash_sweep(cfg, 19);
@@ -131,10 +135,12 @@ class stack_property : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(stack_property, lifo_under_fuzz) {
   auto [seed, crashes] = GetParam();
-  auto cfg = stack_scenario(2, {
-                                   {0, {op_push(1), op_pop()}},
-                                   {1, {op_push(2), op_pop()}},
-                               });
+  auto cfg = stack_scenario(2, [](api::stack s) {
+    return scripts{
+        {0, {s.push(1), s.pop()}},
+        {1, {s.push(2), s.pop()}},
+    };
+  });
   crash_fuzz(cfg, 10, crashes, static_cast<std::uint64_t>(seed) * 87178291);
 }
 

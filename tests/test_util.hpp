@@ -1,89 +1,40 @@
-// Shared helpers for the test suites: a simulated-world fixture, op_desc
-// shorthands, and the two workhorse verification drivers —
+// Shared helpers for the test suites, built on the detect::api façade.
+//
+// A `scenario` is a replayable recipe: process count, fail policy, and a
+// setup function that creates objects through typed handles and installs the
+// client scripts. The drivers below instantiate a fresh harness per run:
 //   * run_scenario: one scripted run under a seeded scheduler and crash plan,
 //     checked for durable linearizability + detectability;
 //   * crash_sweep: re-run the same scenario with a crash injected at every
 //     possible step index (the deterministic "crash everywhere" battery the
-//     paper's correctness lemmas are exercised with).
+//     paper's correctness lemmas are exercised with);
+//   * crash_pair_sweep / crash_fuzz: two-crash and randomized batteries.
 #pragma once
 
 #include <functional>
 #include <map>
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "core/announce.hpp"
-#include "core/object.hpp"
-#include "core/runtime.hpp"
-#include "history/checker.hpp"
-#include "history/log.hpp"
-#include "sim/world.hpp"
+#include "api/api.hpp"
 
 namespace detect::test {
 
-struct sim_fixture {
-  explicit sim_fixture(int nprocs, sim::world_config cfg = {})
-      : w(nprocs, cfg), board(nprocs, w.domain()), rt(w, lg, board) {}
+/// pid → script, the façade's scripting currency.
+using scripts = std::map<int, std::vector<hist::op_desc>>;
 
-  sim::world w;
-  core::announcement_board board;
-  hist::log lg;
-  core::runtime rt;
-};
-
-// ---- op_desc shorthands ----------------------------------------------------
-
-inline hist::op_desc op_write(hist::value_t v, std::uint32_t obj = 0) {
-  return {obj, hist::opcode::reg_write, v, 0, 0};
-}
-inline hist::op_desc op_read(std::uint32_t obj = 0) {
-  return {obj, hist::opcode::reg_read, 0, 0, 0};
-}
-inline hist::op_desc op_cas(hist::value_t a, hist::value_t b,
-                            std::uint32_t obj = 0) {
-  return {obj, hist::opcode::cas, a, b, 0};
-}
-inline hist::op_desc op_cas_read(std::uint32_t obj = 0) {
-  return {obj, hist::opcode::cas_read, 0, 0, 0};
-}
-inline hist::op_desc op_add(hist::value_t d, std::uint32_t obj = 0) {
-  return {obj, hist::opcode::ctr_add, d, 0, 0};
-}
-inline hist::op_desc op_ctr_read(std::uint32_t obj = 0) {
-  return {obj, hist::opcode::ctr_read, 0, 0, 0};
-}
-inline hist::op_desc op_tas_set(std::uint32_t obj = 0) {
-  return {obj, hist::opcode::tas_set, 0, 0, 0};
-}
-inline hist::op_desc op_tas_reset(std::uint32_t obj = 0) {
-  return {obj, hist::opcode::tas_reset, 0, 0, 0};
-}
-inline hist::op_desc op_enq(hist::value_t v, std::uint32_t obj = 0) {
-  return {obj, hist::opcode::enq, v, 0, 0};
-}
-inline hist::op_desc op_deq(std::uint32_t obj = 0) {
-  return {obj, hist::opcode::deq, 0, 0, 0};
-}
-inline hist::op_desc op_max_write(hist::value_t v, std::uint32_t obj = 0) {
-  return {obj, hist::opcode::max_write, v, 0, 0};
-}
-inline hist::op_desc op_max_read(std::uint32_t obj = 0) {
-  return {obj, hist::opcode::max_read, 0, 0, 0};
-}
-
-// ---- scripted-scenario driver ----------------------------------------------
-
-struct scenario_config {
+struct scenario {
   int nprocs = 2;
-  /// Build object(s) inside the fixture and register them with the runtime.
-  std::function<void(sim_fixture&, std::vector<std::unique_ptr<core::detectable_object>>&)>
-      make_objects;
-  std::map<int, std::vector<hist::op_desc>> scripts;
-  std::function<std::unique_ptr<hist::spec>()> make_spec;
   core::runtime::fail_policy policy = core::runtime::fail_policy::skip;
+  /// Shared-cache memory model (with the §6 auto-persist transform unless
+  /// disabled); default is the paper's private-cache model.
+  bool shared_cache = false;
+  bool auto_persist = true;
+  /// Create objects via typed handles and install scripts.
+  std::function<void(api::harness&)> setup;
 };
 
 struct run_outcome {
@@ -92,27 +43,48 @@ struct run_outcome {
   std::string log_text;
 };
 
-inline run_outcome run_scenario(const scenario_config& cfg,
-                                std::uint64_t sched_seed,
+inline api::harness make_harness(const scenario& cfg, std::uint64_t sched_seed,
+                                 std::vector<std::uint64_t> crash_steps = {}) {
+  api::harness::builder b;
+  b.procs(cfg.nprocs).fail_policy(cfg.policy).seed(sched_seed).crash_at(
+      std::move(crash_steps));
+  if (cfg.shared_cache) b.shared_cache(cfg.auto_persist);
+  api::harness h = b.build();
+  cfg.setup(h);
+  return h;
+}
+
+inline run_outcome run_scenario(const scenario& cfg, std::uint64_t sched_seed,
                                 std::vector<std::uint64_t> crash_steps = {}) {
-  sim_fixture f(cfg.nprocs);
-  std::vector<std::unique_ptr<core::detectable_object>> objects;
-  cfg.make_objects(f, objects);
-  for (const auto& [pid, script] : cfg.scripts) f.rt.set_script(pid, script);
-  f.rt.set_fail_policy(cfg.policy);
-  sim::random_scheduler sched(sched_seed);
-  sim::crash_at_steps plan(std::move(crash_steps));
+  api::harness h = make_harness(cfg, sched_seed, std::move(crash_steps));
   run_outcome out;
-  out.report = f.rt.run(sched, &plan);
-  out.check = hist::check_durable_linearizability(f.lg.snapshot(),
-                                                  *cfg.make_spec());
-  out.log_text = f.lg.to_string();
+  out.report = h.run();
+  out.check = h.check();
+  out.log_text = h.log_text();
   return out;
+}
+
+/// Single-object scenario: instantiate `kind` from the registry and script
+/// it through the typed handle `H` (e.g. one_object<api::reg>("reg", ...)).
+template <typename H>
+scenario one_object(const std::string& kind, int nprocs,
+                    std::function<scripts(H)> make_scripts,
+                    core::runtime::fail_policy policy =
+                        core::runtime::fail_policy::skip,
+                    api::object_params params = {}) {
+  scenario cfg;
+  cfg.nprocs = nprocs;
+  cfg.policy = policy;
+  cfg.setup = [kind, make_scripts, params](api::harness& h) {
+    H handle(h.add(kind, params));
+    for (auto& [pid, ops] : make_scripts(handle)) h.script(pid, std::move(ops));
+  };
+  return cfg;
 }
 
 /// Crash at every step index of the scenario (one crash per run), asserting
 /// correctness each time. Returns the number of runs performed.
-inline int crash_sweep(const scenario_config& cfg, std::uint64_t sched_seed) {
+inline int crash_sweep(const scenario& cfg, std::uint64_t sched_seed) {
   run_outcome base = run_scenario(cfg, sched_seed);
   EXPECT_FALSE(base.report.hit_step_limit);
   EXPECT_TRUE(base.check.ok) << base.check.message;
@@ -131,7 +103,7 @@ inline int crash_sweep(const scenario_config& cfg, std::uint64_t sched_seed) {
 
 /// Two crashes at every pair of step indices (strided to bound the quadratic
 /// blowup): exercises crash-during-recovery and recovery-then-crash-again.
-inline void crash_pair_sweep(const scenario_config& cfg, std::uint64_t seed,
+inline void crash_pair_sweep(const scenario& cfg, std::uint64_t seed,
                              std::uint64_t stride = 3) {
   run_outcome base = run_scenario(cfg, seed);
   ASSERT_TRUE(base.check.ok) << base.check.message;
@@ -148,7 +120,7 @@ inline void crash_pair_sweep(const scenario_config& cfg, std::uint64_t seed,
 }
 
 /// Random schedules with random crash placements; `seeds` independent runs.
-inline void crash_fuzz(const scenario_config& cfg, int seeds, int max_crashes,
+inline void crash_fuzz(const scenario& cfg, int seeds, int max_crashes,
                        std::uint64_t base_seed = 0x5eed) {
   for (int s = 0; s < seeds; ++s) {
     std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s) * 7919;
@@ -163,6 +135,20 @@ inline void crash_fuzz(const scenario_config& cfg, int seeds, int max_crashes,
     EXPECT_TRUE(out.check.ok) << "seed " << seed << ":\n" << out.check.message;
     if (::testing::Test::HasFailure()) return;
   }
+}
+
+/// Scan the recorded history for the last recovery verdict of `pid`.
+inline hist::recovery_verdict last_verdict(const std::vector<hist::event>& events,
+                                           int pid,
+                                           hist::value_t* value = nullptr) {
+  hist::recovery_verdict verdict = hist::recovery_verdict::none;
+  for (const auto& e : events) {
+    if (e.kind == hist::event_kind::recover_result && e.pid == pid) {
+      verdict = e.verdict;
+      if (value != nullptr) *value = e.value;
+    }
+  }
+  return verdict;
 }
 
 }  // namespace detect::test
