@@ -83,7 +83,7 @@ int main() {
       "\n(b) Identifier growth after M ops/process (N = 2 processes)\n");
   row({"M", "alg1 ids", "alg2 ids", "attiya ids", "bendavid", "id bits"});
   rule(6);
-  for (int m : {10, 100, 1000, 10000}) {
+  for (int m : detect::bench::sweep<int>({10, 100, 1000, 10000}, 2)) {
     std::uint64_t attiya = run_ops("attiya_reg", 2, m, /*cas_ops=*/false);
     std::uint64_t bendavid = run_ops("bendavid_cas", 2, m, /*cas_ops=*/true);
     std::uint64_t alg1 = run_ops("reg", 2, m, /*cas_ops=*/false);

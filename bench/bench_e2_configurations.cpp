@@ -27,7 +27,7 @@ int main() {
   std::printf("(a) Exhaustive BFS over the full model (small N)\n");
   row({"N", "full configs", "shared cfgs", "bound 2^N-1", "complete"});
   rule(5);
-  for (int n = 1; n <= 3; ++n) {
+  for (int n = 1; n <= (bench::smoke() ? 2 : 3); ++n) {
     auto c = theory::bfs_configurations(n, n + 1, 3'000'000);
     row({std::to_string(n), fmt_u(c.total_configs), fmt_u(c.shared_configs),
          fmt_u(theory::theorem1_bound(n)), c.complete ? "yes" : "capped"});
@@ -36,7 +36,7 @@ int main() {
   std::printf("\n(b) Quiescent-graph reachability (scales to larger N)\n");
   row({"N", "shared cfgs", "bound 2^N-1", "ratio"});
   rule(4);
-  for (int n : {1, 2, 4, 6, 8, 10, 12, 16, 20}) {
+  for (int n : bench::sweep<int>({1, 2, 4, 6, 8, 10, 12, 16, 20}, 4)) {
     auto c = theory::quiescent_reachability(n, n + 1);
     double ratio = static_cast<double>(c.shared_configs) /
                    static_cast<double>(theory::theorem1_bound(n));
@@ -49,7 +49,7 @@ int main() {
       "    operations driving the implementation through distinct states\n");
   row({"N", "visited", "bound 2^N-1", "meets bound"});
   rule(4);
-  for (int n : {1, 2, 4, 6, 8, 12, 16, 20}) {
+  for (int n : bench::sweep<int>({1, 2, 4, 6, 8, 12, 16, 20}, 4)) {
     std::uint64_t visited = theory::gray_code_walk(n, n + 1);
     row({std::to_string(n), fmt_u(visited), fmt_u(theory::theorem1_bound(n)),
          visited >= theory::theorem1_bound(n) ? "yes" : "NO"});

@@ -6,7 +6,15 @@
 // vs Algorithms 1-2 vs the unbounded-id baselines, free-running over the
 // detect::api::arena (no simulator hook, emulated NVM in private-cache
 // mode). Objects are instantiated from the registry by kind string.
+//
+// Builds against google-benchmark when installed; otherwise CMake defines
+// DETECT_USE_MINI_BENCH and the vendored fixed-iteration timer loop in
+// mini_bench.hpp provides the same API subset.
+#ifdef DETECT_USE_MINI_BENCH
+#include "mini_bench.hpp"
+#else
 #include <benchmark/benchmark.h>
+#endif
 
 #include <atomic>
 #include <thread>

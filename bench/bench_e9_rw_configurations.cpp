@@ -29,7 +29,7 @@ int main() {
   std::printf("(a) Exhaustive BFS over the full model (tiny N)\n");
   row({"N", "full configs", "shared cfgs", "log2(shared)", "complete"});
   rule(5);
-  for (int n = 1; n <= 2; ++n) {
+  for (int n = 1; n <= (bench::smoke() ? 1 : 2); ++n) {
     auto c = theory::rw_bfs_configurations(n, 2, 6'000'000);
     row({std::to_string(n), fmt_u(c.total_configs), fmt_u(c.shared_configs),
          fmt(std::log2(static_cast<double>(c.shared_configs)), 2),
@@ -39,7 +39,7 @@ int main() {
   std::printf("\n(b) Quiescent-graph reachability\n");
   row({"N", "shared cfgs", "log2(shared)", "budget bits"});
   rule(4);
-  for (int n = 1; n <= 3; ++n) {
+  for (int n = 1; n <= (bench::smoke() ? 2 : 3); ++n) {
     auto c = theory::rw_quiescent_reachability(n, 2);
     std::uint64_t budget = static_cast<std::uint64_t>(n) * n * 2 + 2;
     row({std::to_string(n), fmt_u(c.shared_configs),

@@ -4,10 +4,28 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace detect::bench {
+
+/// True when DETECT_SMOKE is set (non-empty, not "0"): experiment binaries
+/// shrink their parameter sweeps to seconds-scale subsets so the CI
+/// bench-smoke stage (and `scripts/check.sh --bench-smoke`) can execute
+/// every E-binary on every push.
+inline bool smoke() {
+  const char* env = std::getenv("DETECT_SMOKE");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+/// The sweep for this run: the full parameter list, or the first
+/// `smoke_prefix` entries under DETECT_SMOKE.
+template <typename T>
+std::vector<T> sweep(std::vector<T> full, std::size_t smoke_prefix) {
+  if (smoke() && full.size() > smoke_prefix) full.resize(smoke_prefix);
+  return full;
+}
 
 /// Print a row of fixed-width columns.
 inline void row(const std::vector<std::string>& cells, int width = 14) {

@@ -1,0 +1,182 @@
+// mini_bench — vendored fallback for the subset of the google-benchmark API
+// that bench_e6_throughput uses, so the cost-of-detectability numbers are
+// always reproducible (and CI can smoke-run E6) without the library
+// installed. CMake picks this header via DETECT_USE_MINI_BENCH when
+// find_package(benchmark) fails; the benchmark source compiles unmodified
+// against either.
+//
+// Scope: BENCHMARK(fn)->Threads(n)->UseRealTime(), BENCHMARK_MAIN(),
+// State{thread_index, threads, iterations, SetItemsProcessed, range-for},
+// DoNotOptimize. Measurement is a fixed-iteration wall-clock loop (default
+// 100000 iterations/thread, override with --iters N or DETECT_BENCH_ITERS)
+// — adequate for throughput tables and smoke runs, not for the adaptive
+// statistics the real library does.
+#pragma once
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  State(std::int64_t iters, int thread_index, int threads)
+      : iters_(iters), thread_index_(thread_index), threads_(threads) {}
+
+  struct iterator {
+    // Non-trivial destructor so `for (auto _ : state)` does not warn about
+    // the unused loop variable (mirrors the real library's StateIterator).
+    struct value {
+      value() {}
+      ~value() {}
+    };
+    std::int64_t left;
+    bool operator!=(const iterator& o) const { return left != o.left; }
+    void operator++() { --left; }
+    value operator*() const { return {}; }
+  };
+  iterator begin() { return {iters_}; }
+  iterator end() { return {0}; }
+
+  int thread_index() const { return thread_index_; }
+  int threads() const { return threads_; }
+  std::int64_t iterations() const { return iters_; }
+  void SetItemsProcessed(std::int64_t n) { items_ = n; }
+  std::int64_t items_processed() const { return items_; }
+
+ private:
+  std::int64_t iters_;
+  int thread_index_;
+  int threads_;
+  std::int64_t items_ = 0;
+};
+
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+namespace internal {
+
+using bench_fn = void (*)(State&);
+
+struct Benchmark {
+  std::string name;
+  bench_fn fn;
+  std::vector<int> thread_counts;
+
+  Benchmark* Threads(int n) {
+    thread_counts.push_back(n);
+    return this;
+  }
+  Benchmark* UseRealTime() { return this; }
+};
+
+inline std::vector<std::unique_ptr<Benchmark>>& registry() {
+  static std::vector<std::unique_ptr<Benchmark>> r;
+  return r;
+}
+
+inline Benchmark* RegisterBenchmark(const char* name, bench_fn fn) {
+  registry().push_back(
+      std::make_unique<Benchmark>(Benchmark{name, fn, {}}));
+  return registry().back().get();
+}
+
+inline void run_one(const Benchmark& b, int threads, std::int64_t iters) {
+  std::vector<State> states;
+  states.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) states.emplace_back(iters, t, threads);
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 1; t < threads; ++t) {
+    workers.emplace_back([&b, &states, t] { b.fn(states[t]); });
+  }
+  b.fn(states[0]);
+  for (std::thread& w : workers) w.join();
+  auto stop = std::chrono::steady_clock::now();
+
+  double secs = std::chrono::duration<double>(stop - start).count();
+  std::int64_t items = 0;
+  for (const State& s : states) items += s.items_processed();
+  double total_iters = static_cast<double>(iters) * threads;
+  std::printf("%-40s %10.1f ns/op %14.0f items/s  (%d threads, %lld iters)\n",
+              (b.name + "/threads:" + std::to_string(threads)).c_str(),
+              secs / total_iters * 1e9,
+              items > 0 ? static_cast<double>(items) / secs : 0.0, threads,
+              static_cast<long long>(iters));
+  std::fflush(stdout);
+}
+
+inline bool parse_iters(const char* text, std::int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  std::int64_t v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < 1) return false;
+  *out = v;
+  return true;
+}
+
+inline int run_all(int argc, char** argv) {
+  std::int64_t iters = 100000;
+  // Strict parsing, and the State iterator counts down to exactly 0 — a
+  // typo must not silently become a meaningless 1-iteration "result" or a
+  // ~2^63-iteration hang.
+  if (const char* env = std::getenv("DETECT_BENCH_ITERS")) {
+    if (!parse_iters(env, &iters)) {
+      std::fprintf(stderr,
+                   "mini_bench: DETECT_BENCH_ITERS='%s' is not a positive "
+                   "number\n",
+                   env);
+      return 2;
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mini_bench: --iters needs a value\n");
+        return 2;
+      }
+      const char* text = argv[++i];
+      if (!parse_iters(text, &iters)) {
+        std::fprintf(stderr,
+                     "mini_bench: --iters '%s' is not a positive number\n",
+                     text);
+        return 2;
+      }
+    }
+  }
+  std::printf("mini_bench fallback (google-benchmark not installed); "
+              "%lld iterations/thread\n\n",
+              static_cast<long long>(iters));
+  for (const auto& b : registry()) {
+    std::vector<int> counts =
+        b->thread_counts.empty() ? std::vector<int>{1} : b->thread_counts;
+    for (int t : counts) run_one(*b, t, iters);
+  }
+  return 0;
+}
+
+}  // namespace internal
+}  // namespace benchmark
+
+#define MINI_BENCH_CONCAT2(a, b) a##b
+#define MINI_BENCH_CONCAT(a, b) MINI_BENCH_CONCAT2(a, b)
+#define BENCHMARK(fn)                                            \
+  static ::benchmark::internal::Benchmark* MINI_BENCH_CONCAT(    \
+      mini_bench_reg_, __LINE__) =                               \
+      ::benchmark::internal::RegisterBenchmark(#fn, fn)
+
+#define BENCHMARK_MAIN()                                  \
+  int main(int argc, char** argv) {                       \
+    return ::benchmark::internal::run_all(argc, argv);    \
+  }

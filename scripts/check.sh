@@ -1,24 +1,103 @@
 #!/usr/bin/env bash
-# Tier-1 verify (build + ctest) followed by an ASan/UBSan pass.
+# Local verification mirroring the CI pipeline (.github/workflows/ci.yml calls
+# this script for every stage, so local runs and CI cannot drift).
 #
-#   scripts/check.sh           # both passes
-#   scripts/check.sh --fast    # tier-1 only
+#   scripts/check.sh                 # tier-1 (RelWithDebInfo) + sanitize pass
+#   scripts/check.sh --fast          # tier-1 only
+#   scripts/check.sh --quick         # one CI build-test cell: build + ctest
+#   scripts/check.sh --fuzz N        # the CI fuzz stage: N bounded iterations
+#   scripts/check.sh --bench-smoke   # the CI bench-smoke stage: every
+#                                    # E-binary with tiny parameters
+#
+# Knobs (all respected by CI):
+#   DETECT_BUILD_TYPE   CMake build type for --quick/--fuzz/--bench-smoke
+#                       (default RelWithDebInfo; CI matrixes Debug/Sanitize)
+#   DETECT_BUILD_DIR    build directory (default build-$DETECT_BUILD_TYPE
+#                       for --quick, build otherwise)
+#   DETECT_FUZZ_OUT     artifact directory for failing fuzz seeds
+#                       (default fuzz-artifacts)
+#   CC/CXX              compilers, as usual with CMake
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+build_type="${DETECT_BUILD_TYPE:-RelWithDebInfo}"
 
-echo "== tier-1: RelWithDebInfo build + ctest =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$jobs"
-ctest --test-dir build --output-on-failure -j "$jobs"
-
-if [[ "${1:-}" == "--fast" ]]; then
-  exit 0
+configure_flags=()
+if command -v ccache >/dev/null 2>&1; then
+  configure_flags+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
-echo
-echo "== sanitize: ASan/UBSan build + ctest =="
-cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
-cmake --build build-sanitize -j "$jobs"
-ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
+stage_build() {           # $1 = build dir, $2 = build type
+  # ${arr[@]+...} guards the empty-array expansion against set -u on
+  # bash < 4.4 (macOS /bin/bash is 3.2).
+  cmake -B "$1" -S . -DCMAKE_BUILD_TYPE="$2" \
+    ${configure_flags[@]+"${configure_flags[@]}"} >/dev/null
+  cmake --build "$1" -j "$jobs"
+}
+
+stage_ctest() {           # $1 = build dir
+  ctest --test-dir "$1" --output-on-failure -j "$jobs"
+}
+
+stage_fuzz() {            # $1 = build dir, $2 = iterations
+  local out="${DETECT_FUZZ_OUT:-fuzz-artifacts}"
+  mkdir -p "$out"
+  "$1"/fuzz_main --iters "$2" --seed "${DETECT_FUZZ_SEED:-1}" --out "$out"
+}
+
+stage_bench_smoke() {     # $1 = build dir
+  # DETECT_SMOKE shrinks the E1/E2/E9 sweeps; DETECT_BENCH_ITERS bounds the
+  # mini_bench fallback of E6 (ignored when real google-benchmark is linked).
+  # The binary set comes from what CMake built (DETECT_BENCHES + E6), so a
+  # new E-binary is picked up here without touching this script.
+  local b found=0
+  for b in "$1"/bench_e*; do
+    [[ -x "$b" ]] || continue
+    found=1
+    echo "== bench-smoke: $(basename "$b") =="
+    DETECT_SMOKE=1 DETECT_BENCH_ITERS="${DETECT_BENCH_ITERS:-200}" "$b"
+  done
+  if [[ "$found" == 0 ]]; then
+    echo "bench-smoke: no bench_e* binaries in $1" >&2
+    return 1
+  fi
+}
+
+case "${1:-}" in
+  --quick)
+    dir="${DETECT_BUILD_DIR:-build-$build_type}"
+    echo "== quick: $build_type build + ctest ($dir) =="
+    stage_build "$dir" "$build_type"
+    stage_ctest "$dir"
+    ;;
+  --fuzz)
+    iters="${2:-500}"
+    dir="${DETECT_BUILD_DIR:-build-$build_type}"
+    echo "== fuzz: $iters iterations ($dir) =="
+    stage_build "$dir" "$build_type"
+    stage_fuzz "$dir" "$iters"
+    ;;
+  --bench-smoke)
+    dir="${DETECT_BUILD_DIR:-build-$build_type}"
+    echo "== bench-smoke: every E-binary, tiny parameters ($dir) =="
+    stage_build "$dir" "$build_type"
+    stage_bench_smoke "$dir"
+    ;;
+  --fast|"")
+    echo "== tier-1: RelWithDebInfo build + ctest =="
+    stage_build build RelWithDebInfo
+    stage_ctest build
+    if [[ "${1:-}" == "--fast" ]]; then
+      exit 0
+    fi
+    echo
+    echo "== sanitize: ASan/UBSan build + ctest =="
+    stage_build build-sanitize Sanitize
+    stage_ctest build-sanitize
+    ;;
+  *)
+    echo "usage: $0 [--fast | --quick | --fuzz N | --bench-smoke]" >&2
+    exit 2
+    ;;
+esac

@@ -4,6 +4,8 @@
 //   registry.hpp  kind-string → factory registry (object_registry)
 //   harness.hpp   the harness builder wiring world/board/log/runtime,
 //                 plus the free-running arena for real-thread benches
+//   replay.hpp    replayable scripted scenarios: replay/dump/parse and the
+//                 per-family opcode alphabets generators draw from
 //
 // Everything a scenario, test, bench, or example needs is reachable from
 // this one include.
@@ -12,3 +14,4 @@
 #include "api/handles.hpp"    // IWYU pragma: export
 #include "api/harness.hpp"    // IWYU pragma: export
 #include "api/registry.hpp"   // IWYU pragma: export
+#include "api/replay.hpp"     // IWYU pragma: export

@@ -1,0 +1,232 @@
+// Scripted-scenario replay and serialization.
+#include "api/replay.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace detect::api {
+
+namespace {
+
+harness build_harness(const scripted_scenario& s) {
+  harness::builder b;
+  b.procs(s.nprocs).fail_policy(s.policy).seed(s.sched_seed);
+  if (!s.crash_steps.empty()) b.crash_at(s.crash_steps);
+  if (s.shared_cache) b.shared_cache();
+  harness h = b.build();
+  object_handle obj = h.add(s.kind, s.params);
+  for (const auto& [pid, ops] : s.scripts) {
+    if (pid < 0 || pid >= s.nprocs) {
+      throw std::invalid_argument("replay: script pid " + std::to_string(pid) +
+                                  " out of range for " +
+                                  std::to_string(s.nprocs) + " procs");
+    }
+    std::vector<hist::op_desc> bound = ops;
+    for (hist::op_desc& d : bound) d.object = obj.id();
+    h.script(pid, std::move(bound));
+  }
+  return h;
+}
+
+scripted_outcome replay_impl(const scripted_scenario& s, bool check) {
+  harness h = build_harness(s);
+  scripted_outcome out;
+  out.report = h.run();
+  if (check) out.check = h.check();
+  out.events = h.events();
+  out.log_text = h.log_text();
+  return out;
+}
+
+}  // namespace
+
+scripted_outcome replay(const scripted_scenario& s) {
+  return replay_impl(s, /*check=*/true);
+}
+
+scripted_outcome replay_unchecked(const scripted_scenario& s) {
+  return replay_impl(s, /*check=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// opcode families
+
+const std::vector<hist::opcode>& family_opcodes(op_family family) {
+  using hist::opcode;
+  static const std::vector<opcode> reg_ops = {opcode::reg_write,
+                                              opcode::reg_read};
+  static const std::vector<opcode> swap_ops = {opcode::swap, opcode::reg_read};
+  static const std::vector<opcode> cas_ops = {opcode::cas, opcode::cas_read};
+  static const std::vector<opcode> ctr_ops = {opcode::ctr_add,
+                                              opcode::ctr_read};
+  static const std::vector<opcode> tas_ops = {opcode::tas_set,
+                                              opcode::tas_reset};
+  static const std::vector<opcode> queue_ops = {opcode::enq, opcode::deq};
+  static const std::vector<opcode> stack_ops = {opcode::push, opcode::pop};
+  static const std::vector<opcode> max_ops = {opcode::max_write,
+                                              opcode::max_read};
+  static const std::vector<opcode> lock_ops = {opcode::lock_try,
+                                               opcode::lock_release};
+  switch (family) {
+    case op_family::reg: return reg_ops;
+    case op_family::swap: return swap_ops;
+    case op_family::cas: return cas_ops;
+    case op_family::counter: return ctr_ops;
+    case op_family::tas: return tas_ops;
+    case op_family::queue: return queue_ops;
+    case op_family::stack: return stack_ops;
+    case op_family::max_reg: return max_ops;
+    case op_family::lock: return lock_ops;
+  }
+  throw std::logic_error("family_opcodes: unhandled family");
+}
+
+const char* family_name(op_family family) noexcept {
+  switch (family) {
+    case op_family::reg: return "reg";
+    case op_family::swap: return "swap";
+    case op_family::cas: return "cas";
+    case op_family::counter: return "counter";
+    case op_family::tas: return "tas";
+    case op_family::queue: return "queue";
+    case op_family::stack: return "stack";
+    case op_family::max_reg: return "max_reg";
+    case op_family::lock: return "lock";
+  }
+  return "?";
+}
+
+hist::opcode opcode_from_name(const std::string& name) {
+  // Built from the registered kinds' family alphabets (plus nop): a new
+  // opcode is parseable as soon as some registry kind speaks it, with no
+  // enum-bound to forget — a family nothing registers cannot appear in a
+  // dump in the first place.
+  static const std::map<std::string, hist::opcode> table = [] {
+    std::map<std::string, hist::opcode> t;
+    t.emplace(hist::opcode_name(hist::opcode::nop), hist::opcode::nop);
+    const object_registry& reg = object_registry::global();
+    for (const std::string& kind : reg.kinds()) {
+      for (hist::opcode c : family_opcodes(reg.at(kind).family)) {
+        t.emplace(hist::opcode_name(c), c);
+      }
+    }
+    return t;
+  }();
+  auto it = table.find(name);
+  if (it == table.end()) {
+    throw std::invalid_argument("opcode_from_name: unknown opcode '" + name +
+                                "'");
+  }
+  return it->second;
+}
+
+const char* fail_policy_name(core::runtime::fail_policy p) noexcept {
+  return p == core::runtime::fail_policy::retry ? "retry" : "skip";
+}
+
+core::runtime::fail_policy fail_policy_from_name(const std::string& name) {
+  if (name == "retry") return core::runtime::fail_policy::retry;
+  if (name == "skip") return core::runtime::fail_policy::skip;
+  throw std::invalid_argument("fail_policy_from_name: unknown policy '" +
+                              name + "'");
+}
+
+// ---------------------------------------------------------------------------
+// dump / parse
+
+std::string dump(const scripted_scenario& s) {
+  std::ostringstream os;
+  os << "# detect scripted_scenario v1\n";
+  os << "kind " << s.kind << "\n";
+  os << "params " << s.params.init << " " << s.params.capacity << "\n";
+  os << "procs " << s.nprocs << "\n";
+  os << "policy " << fail_policy_name(s.policy) << "\n";
+  os << "shared_cache " << (s.shared_cache ? 1 : 0) << "\n";
+  os << "sched_seed " << s.sched_seed << "\n";
+  os << "crash_steps";
+  for (std::uint64_t k : s.crash_steps) os << " " << k;
+  os << "\n";
+  for (const auto& [pid, ops] : s.scripts) {
+    os << "script " << pid;
+    for (const hist::op_desc& d : ops) {
+      os << " " << hist::opcode_name(d.code) << ":" << d.a << ":" << d.b;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::invalid_argument("parse_scenario: " + what);
+}
+
+}  // namespace
+
+scripted_scenario parse_scenario(const std::string& text) {
+  scripted_scenario s;
+  bool saw_kind = false;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "kind") {
+      if (!(ls >> s.kind)) malformed("missing kind value");
+      saw_kind = true;
+    } else if (key == "params") {
+      if (!(ls >> s.params.init >> s.params.capacity)) {
+        malformed("bad params line: " + line);
+      }
+    } else if (key == "procs") {
+      if (!(ls >> s.nprocs) || s.nprocs <= 0) {
+        malformed("bad procs line: " + line);
+      }
+    } else if (key == "policy") {
+      std::string p;
+      if (!(ls >> p)) malformed("missing policy value");
+      s.policy = fail_policy_from_name(p);
+    } else if (key == "shared_cache") {
+      int v = 0;
+      if (!(ls >> v)) malformed("bad shared_cache line: " + line);
+      s.shared_cache = v != 0;
+    } else if (key == "sched_seed") {
+      if (!(ls >> s.sched_seed)) malformed("bad sched_seed line: " + line);
+    } else if (key == "crash_steps") {
+      std::uint64_t k;
+      while (ls >> k) s.crash_steps.push_back(k);
+    } else if (key == "script") {
+      int pid = -1;
+      if (!(ls >> pid)) malformed("bad script line: " + line);
+      std::vector<hist::op_desc> ops;
+      std::string tok;
+      while (ls >> tok) {
+        // name:a:b
+        std::size_t c1 = tok.find(':');
+        std::size_t c2 = tok.rfind(':');
+        if (c1 == std::string::npos || c2 == c1) {
+          malformed("bad op token '" + tok + "'");
+        }
+        hist::op_desc d;
+        d.code = opcode_from_name(tok.substr(0, c1));
+        try {
+          d.a = std::stoll(tok.substr(c1 + 1, c2 - c1 - 1));
+          d.b = std::stoll(tok.substr(c2 + 1));
+        } catch (const std::exception&) {
+          malformed("bad op arguments in '" + tok + "'");
+        }
+        ops.push_back(d);
+      }
+      s.scripts[pid] = std::move(ops);
+    } else {
+      malformed("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_kind) malformed("missing kind");
+  return s;
+}
+
+}  // namespace detect::api

@@ -1,0 +1,84 @@
+// Replayable scripted scenarios — the serialization half of the detect::api
+// façade.
+//
+// A `scripted_scenario` is a fully self-contained run recipe over one
+// registry kind: kind string + construction params, process count, fail
+// policy, memory model, scheduler seed, crash plan, and the per-process op
+// scripts. `replay()` builds a fresh harness for it and runs it to
+// completion, so the same value always reproduces the same execution —
+// the currency the fuzzer generates, diffs, shrinks, and dumps.
+//
+// `dump()`/`parse_scenario()` round-trip scenarios through a line-oriented
+// text form; failing fuzz runs are persisted as these dumps and replayed
+// with `fuzz_main --replay`.
+//
+// `family_opcodes()` exposes each opcode family's invocable op set so
+// generators can randomize over a kind's full op mix instead of hand-coding
+// per-family scripts the way `smoke_script` does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/harness.hpp"
+#include "api/registry.hpp"
+#include "history/checker.hpp"
+
+namespace detect::api {
+
+/// A replayable run recipe: one registry kind (registered as object id 0)
+/// plus everything the harness builder and runtime need to reproduce the
+/// execution bit-for-bit.
+struct scripted_scenario {
+  std::string kind;
+  object_params params;
+  int nprocs = 2;
+  core::runtime::fail_policy policy = core::runtime::fail_policy::skip;
+  bool shared_cache = false;
+  std::uint64_t sched_seed = 0;
+  std::vector<std::uint64_t> crash_steps;
+  std::map<int, std::vector<hist::op_desc>> scripts;
+
+  /// Total scripted ops across all processes.
+  std::size_t total_ops() const {
+    std::size_t n = 0;
+    for (const auto& [pid, ops] : scripts) n += ops.size();
+    return n;
+  }
+};
+
+struct scripted_outcome {
+  sim::run_report report;
+  hist::check_result check;
+  std::vector<hist::event> events;
+  std::string log_text;
+};
+
+/// Build a harness for `s` (instantiating `s.kind` from the registry under
+/// object id 0), install the scripts, run, and check.
+scripted_outcome replay(const scripted_scenario& s);
+
+/// Same, but skip the (potentially expensive) durable-linearizability check;
+/// `check` is left defaulted.
+scripted_outcome replay_unchecked(const scripted_scenario& s);
+
+/// Line-oriented text form; `parse_scenario(dump(s))` round-trips exactly.
+std::string dump(const scripted_scenario& s);
+
+/// Inverse of `dump`. Throws std::invalid_argument on malformed input.
+scripted_scenario parse_scenario(const std::string& text);
+
+/// The invocable opcodes of a family — the alphabet generators draw from.
+const std::vector<hist::opcode>& family_opcodes(op_family family);
+
+const char* family_name(op_family family) noexcept;
+
+/// Inverse of opcode_name(). Throws std::invalid_argument on unknown names.
+hist::opcode opcode_from_name(const std::string& name);
+
+const char* fail_policy_name(core::runtime::fail_policy p) noexcept;
+core::runtime::fail_policy fail_policy_from_name(const std::string& name);
+
+}  // namespace detect::api

@@ -15,6 +15,15 @@
 // bounding N at 64 in this representation; the paper's open problem (§6) asks
 // whether O(log N)-bit registers can do the job at all.
 //
+// Usage contract (found by the differential fuzzer): operations must have
+// old ≠ new. The single-attempt CAS on line 35 reports failure whenever C
+// changed since line 28, and the linearization point of a failed Cas(old,
+// new) is the first concurrent successful CAS in its window — which changed
+// the value away from `old` only if no operation writes its own expected
+// value. A degenerate Cas(x, x) success flips vec while leaving the value
+// in place, making a concurrent victim's failure non-linearizable. The
+// paper's operation universe, Cas(i, i+1 mod |V|), satisfies the contract.
+//
 // Line numbers in comments refer to the paper's pseudo-code.
 #pragma once
 

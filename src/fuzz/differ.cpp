@@ -1,0 +1,200 @@
+#include "fuzz/differ.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace detect::fuzz {
+
+namespace {
+
+/// (pid, opcode, value) triples of every normally-returned response, in log
+/// order — the observable behavior a deterministic replay must reproduce.
+std::vector<std::tuple<int, hist::opcode, hist::value_t>> responses(
+    const std::vector<hist::event>& events) {
+  std::vector<std::tuple<int, hist::opcode, hist::value_t>> out;
+  for (const hist::event& e : events) {
+    if (e.kind == hist::event_kind::response) {
+      out.emplace_back(e.pid, e.desc.code, e.value);
+    }
+  }
+  return out;
+}
+
+std::string describe(const api::scripted_scenario& s) {
+  std::ostringstream os;
+  os << "kind=" << s.kind << " procs=" << s.nprocs
+     << " ops=" << s.total_ops() << " crashes=" << s.crash_steps.size()
+     << " policy=" << api::fail_policy_name(s.policy)
+     << (s.shared_cache ? " shared_cache" : "");
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> variants_of(const std::string& kind) {
+  static const std::map<std::string, std::vector<std::string>> table = {
+      {"reg", {"attiya_reg", "nrl_reg", "plain_reg", "stripped_reg"}},
+      {"cas", {"bendavid_cas", "plain_cas", "stripped_cas"}},
+      {"counter", {"plain_counter", "stripped_counter"}},
+      {"swap", {"stripped_swap"}},
+      {"tas", {"stripped_tas"}},
+      {"queue", {"stripped_queue"}},
+      {"stack", {"stripped_stack"}},
+  };
+  auto it = table.find(kind);
+  if (it == table.end()) return {};
+  return it->second;
+}
+
+namespace {
+
+/// True when `s` can be compared against `variant_kind` as-is; false when
+/// the comparison must run crash-free (either side non-detectable).
+bool crashes_comparable(const api::scripted_scenario& s,
+                        const std::string& variant_kind) {
+  const api::object_registry& reg = api::object_registry::global();
+  const api::kind_info& primary_info = reg.at(s.kind);
+  const api::kind_info& variant_info = reg.at(variant_kind);
+  if (primary_info.family != variant_info.family) {
+    throw std::invalid_argument("diff_against: family mismatch between '" +
+                                s.kind + "' and '" + variant_kind + "'");
+  }
+  return primary_info.detectable && variant_info.detectable;
+}
+
+api::scripted_scenario crash_free(api::scripted_scenario s) {
+  s.crash_steps.clear();
+  s.policy = core::runtime::fail_policy::skip;
+  return s;
+}
+
+/// The comparison core: `a` and `b` are outcomes of the identical scenario
+/// `base` replayed under `base.kind` and `variant_kind` respectively.
+diff_report compare_outcomes(const api::scripted_scenario& base,
+                             const api::scripted_outcome& a,
+                             const std::string& variant_kind,
+                             const api::scripted_outcome& b);
+
+}  // namespace
+
+diff_report diff_against(const api::scripted_scenario& s,
+                         const std::string& variant_kind) {
+  api::scripted_scenario base =
+      crashes_comparable(s, variant_kind) ? s : crash_free(s);
+  api::scripted_scenario variant = base;
+  variant.kind = variant_kind;
+  api::scripted_outcome a = api::replay(base);
+  api::scripted_outcome b = api::replay(variant);
+  return compare_outcomes(base, a, variant_kind, b);
+}
+
+namespace {
+
+diff_report compare_outcomes(const api::scripted_scenario& base,
+                             const api::scripted_outcome& a,
+                             const std::string& variant_kind,
+                             const api::scripted_outcome& b) {
+  const std::string& kind = base.kind;
+  diff_report r;
+  auto fail = [&](const std::string& what) {
+    r.ok = false;
+    std::ostringstream os;
+    os << "differ: " << what << "\n  scenario: " << describe(base)
+       << "\n  variant: " << variant_kind;
+    r.message = os.str();
+    return r;
+  };
+
+  if (a.report.hit_step_limit) return fail(kind + " hit the step limit");
+  if (b.report.hit_step_limit) {
+    return fail(variant_kind + " hit the step limit");
+  }
+  if (!a.check.ok) {
+    return fail(kind + " failed the checker: " + a.check.message);
+  }
+  if (!b.check.ok) {
+    return fail(variant_kind + " failed the checker: " + b.check.message);
+  }
+
+  // Deterministically comparable executions must agree response-for-response.
+  if (base.nprocs == 1 && base.crash_steps.empty()) {
+    auto ra = responses(a.events);
+    auto rb = responses(b.events);
+    if (ra.size() != rb.size()) {
+      return fail("response counts diverge: " + kind + "=" +
+                  std::to_string(ra.size()) + " " + variant_kind + "=" +
+                  std::to_string(rb.size()));
+    }
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (ra[i] != rb[i]) {
+        std::ostringstream os;
+        os << "response " << i << " diverges: " << kind << " "
+           << hist::opcode_name(std::get<1>(ra[i])) << " -> "
+           << std::get<2>(ra[i]) << " vs " << variant_kind << " "
+           << hist::opcode_name(std::get<1>(rb[i])) << " -> "
+           << std::get<2>(rb[i]);
+        return fail(os.str());
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string verify_scenario(const api::scripted_scenario& s) {
+  return check_scenario(s, /*diff=*/false);
+}
+
+std::string check_scenario(const api::scripted_scenario& s, bool diff,
+                           std::uint64_t* replays) {
+  auto count = [replays](std::uint64_t n) {
+    if (replays != nullptr) *replays += n;
+  };
+  count(1);
+  api::scripted_outcome primary = api::replay(s);
+  if (primary.report.hit_step_limit) {
+    return "replay of " + s.kind + " hit the step limit (" +
+           std::to_string(primary.report.steps) + " steps)";
+  }
+  if (!primary.check.ok) {
+    return "checker rejected " + s.kind + ": " + primary.check.message +
+           "\n" + primary.log_text;
+  }
+  if (!diff) return {};
+
+  // Primary outcomes are shared across variants: `primary` serves every
+  // detectable variant; the crash-free base (needed by plain_*/stripped_*
+  // variants) is replayed lazily at most once.
+  std::optional<api::scripted_scenario> cf_base;
+  std::optional<api::scripted_outcome> cf_primary;
+  for (const std::string& variant_kind : variants_of(s.kind)) {
+    const bool as_is = crashes_comparable(s, variant_kind);
+    const api::scripted_scenario* base = &s;
+    const api::scripted_outcome* a = &primary;
+    if (!as_is) {
+      if (!cf_base.has_value()) {
+        cf_base = crash_free(s);
+        if (s.crash_steps.empty() &&
+            s.policy == core::runtime::fail_policy::skip) {
+          cf_primary = primary;  // already crash-free: reuse the replay
+        } else {
+          count(1);
+          cf_primary = api::replay(*cf_base);
+        }
+      }
+      base = &*cf_base;
+      a = &*cf_primary;
+    }
+    api::scripted_scenario variant = *base;
+    variant.kind = variant_kind;
+    count(1);
+    api::scripted_outcome b = api::replay(variant);
+    diff_report d = compare_outcomes(*base, *a, variant_kind, b);
+    if (!d.ok) return d.message;
+  }
+  return {};
+}
+
+}  // namespace detect::fuzz

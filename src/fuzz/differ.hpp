@@ -1,0 +1,57 @@
+// differ — differential replay of one generated scenario across
+// implementation variants of the same opcode family.
+//
+// The registry holds several implementations per family: the paper's core
+// algorithms ("reg", "cas", ...), the unbounded-identifier baselines
+// ("attiya_reg", "bendavid_cas"), the nrl adapter, and the non-detectable
+// plain_*/stripped_* variants. `diff_against` replays the identical
+// generated scenario against a core kind and one of its variants and diffs:
+//
+//   * run health — neither replay may hit the step limit;
+//   * checker verdicts — both executions must be durably linearizable
+//     against the family's sequential spec;
+//   * exact response streams — when the scenario is deterministically
+//     comparable (single process, crash-free), the per-process sequence of
+//     responses must match op for op.
+//
+// Crash semantics only compare where both sides honor the detectability
+// contract: when either side is non-detectable (plain_*, stripped_* — the
+// Theorem-2 regime where verdicts can be wrong by construction), both
+// replays are run crash-free (same scenario minus the crash plan).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+
+namespace detect::fuzz {
+
+struct diff_report {
+  bool ok = true;
+  std::string message;  // first divergence, empty when ok
+};
+
+/// The registry kinds `kind` is differentially checked against: same opcode
+/// family, distinct implementation. Kinds without a counterpart (max_reg,
+/// lock, ...) return an empty list.
+std::vector<std::string> variants_of(const std::string& kind);
+
+/// Replay `s` against `s.kind` and against `variant_kind`; diff as described
+/// above. Throws std::invalid_argument if the kinds' families differ.
+diff_report diff_against(const api::scripted_scenario& s,
+                         const std::string& variant_kind);
+
+/// Non-differential oracle for a single replay of `s`: the run must finish
+/// within the step budget and pass the durable-linearizability +
+/// detectability check. Returns the failure description, empty on success.
+std::string verify_scenario(const api::scripted_scenario& s);
+
+/// Full per-scenario oracle the fuzzer, shrinker, and `fuzz_main --replay`
+/// share: verify_scenario plus diff_against every variant of `s.kind`.
+/// Empty on success. `replays`, when set, is bumped per scenario replay
+/// performed (campaign accounting). `diff` disables the variant pass.
+std::string check_scenario(const api::scripted_scenario& s, bool diff = true,
+                           std::uint64_t* replays = nullptr);
+
+}  // namespace detect::fuzz

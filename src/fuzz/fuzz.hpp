@@ -1,0 +1,17 @@
+// detect::fuzz — registry-driven workload generation and differential
+// crash-fuzzing over the detect::api façade.
+//
+//   scenario_gen.hpp  seed → scripted_scenario synthesis per opcode family
+//   differ.hpp        differential replay against baseline/stripped variants
+//   shrinker.hpp      greedy minimization of failing scenarios
+//   fuzzer.hpp        the campaign engine (generate → check → diff → shrink)
+//
+// The standing adversary for every registry kind: tests/fuzz_test.cpp runs
+// it over the whole registry, fuzz_main drives long budgeted campaigns, and
+// CI replays a bounded campaign on every push.
+#pragma once
+
+#include "fuzz/differ.hpp"        // IWYU pragma: export
+#include "fuzz/fuzzer.hpp"        // IWYU pragma: export
+#include "fuzz/scenario_gen.hpp"  // IWYU pragma: export
+#include "fuzz/shrinker.hpp"      // IWYU pragma: export

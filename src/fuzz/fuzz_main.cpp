@@ -1,0 +1,183 @@
+// fuzz_main — CLI driver for long differential-fuzzing campaigns.
+//
+//   fuzz_main                          # default campaign over all kinds
+//   fuzz_main --iters 5000 --seed 42   # bounded, reproducible campaign
+//   fuzz_main --kind cas --kind queue  # restrict the kind pool
+//   fuzz_main --out artifacts/         # write failure artifact on failure
+//   fuzz_main --replay failure.txt     # re-run a dumped scenario
+//   fuzz_main --list-kinds             # print the registry kind pool
+//
+// Exit status: 0 clean, 1 failure found (artifact written when --out is
+// set), 2 usage/IO error. The same binary backs the CI fuzz stage and
+// `scripts/check.sh --fuzz N`.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzz.hpp"
+
+namespace {
+
+using namespace detect;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--iters N] [--seed S] [--kind K]... [--procs-max P]\n"
+      "          [--ops-max M] [--no-diff] [--no-shrink] [--no-crashes]\n"
+      "          [--out DIR] [--replay FILE] [--list-kinds] [--quiet]\n",
+      argv0);
+  return 2;
+}
+
+int replay_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fuzz_main: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  api::scripted_scenario s = api::parse_scenario(buf.str());
+  std::printf("replaying %s (%d procs, %zu ops, %zu crash steps)\n",
+              s.kind.c_str(), s.nprocs, s.total_ops(), s.crash_steps.size());
+  std::string failure = fuzz::check_scenario(s);
+  if (failure.empty()) {
+    std::printf("PASS: scenario is clean\n");
+    return 0;
+  }
+  std::printf("FAIL:\n%s\n", failure.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::fuzz_options opt;
+  opt.iterations = 200;
+  std::string out_dir;
+  std::string replay_path;
+  bool quiet = false;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::exit(usage(argv[0]));
+    }
+    return argv[++i];
+  };
+  // Strict numeric parsing: a typo'd "--iters abc" must not silently become
+  // a 0-iteration campaign that prints PASS, and an overflowing value must
+  // not clamp to ULLONG_MAX and run forever.
+  auto need_u64 = [&](int& i) -> std::uint64_t {
+    const char* text = need_value(i);
+    char* end = nullptr;
+    errno = 0;
+    std::uint64_t v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "fuzz_main: '%s' is not a valid number\n", text);
+      std::exit(2);
+    }
+    return v;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--iters") == 0) {
+      opt.iterations = need_u64(i);
+      if (opt.iterations == 0) {
+        std::fprintf(stderr, "fuzz_main: --iters must be positive\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      opt.base_seed = need_u64(i);
+    } else if (std::strcmp(arg, "--kind") == 0) {
+      opt.kinds.emplace_back(need_value(i));
+    } else if (std::strcmp(arg, "--procs-max") == 0) {
+      opt.gen.max_procs = static_cast<int>(need_u64(i));
+    } else if (std::strcmp(arg, "--ops-max") == 0) {
+      opt.gen.max_ops = static_cast<int>(need_u64(i));
+    } else if (std::strcmp(arg, "--no-diff") == 0) {
+      opt.diff = false;
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      opt.shrink = false;
+    } else if (std::strcmp(arg, "--no-crashes") == 0) {
+      opt.gen.crashes = false;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      out_dir = need_value(i);
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      replay_path = need_value(i);
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--list-kinds") == 0) {
+      for (const std::string& k : api::object_registry::global().kinds()) {
+        std::printf("%s\n", k.c_str());
+      }
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    if (!replay_path.empty()) return replay_file(replay_path);
+
+    for (const std::string& k : opt.kinds) {
+      if (!api::object_registry::global().contains(k)) {
+        std::fprintf(stderr, "fuzz_main: unknown kind '%s'\n", k.c_str());
+        return 2;
+      }
+    }
+
+    std::uint64_t last_reported = 0;
+    fuzz::fuzz_stats stats = fuzz::run_fuzz(
+        opt, [&](std::uint64_t iter, std::uint64_t seed,
+                 const std::string& kind) {
+          if (quiet) return;
+          // One progress line every ~5% of the campaign.
+          std::uint64_t stride = opt.iterations / 20 + 1;
+          if (iter == 0 || iter - last_reported >= stride) {
+            last_reported = iter;
+            std::printf("iter %llu/%llu  kind=%s  seed=%llu\n",
+                        static_cast<unsigned long long>(iter),
+                        static_cast<unsigned long long>(opt.iterations),
+                        kind.c_str(), static_cast<unsigned long long>(seed));
+            std::fflush(stdout);
+          }
+        });
+
+    if (!stats.failure) {
+      std::printf("PASS: %llu iterations, %llu replays, base seed %llu\n",
+                  static_cast<unsigned long long>(stats.iterations),
+                  static_cast<unsigned long long>(stats.replays),
+                  static_cast<unsigned long long>(opt.base_seed));
+      return 0;
+    }
+
+    const fuzz::fuzz_failure& f = *stats.failure;
+    std::printf("FAIL at iteration %llu (kind %s, seed %llu):\n%s\n",
+                static_cast<unsigned long long>(f.iteration), f.kind.c_str(),
+                static_cast<unsigned long long>(f.seed), f.message.c_str());
+    std::printf("\nshrunk scenario (%zu ops, %zu crash steps):\n%s",
+                f.shrunk.total_ops(), f.shrunk.crash_steps.size(),
+                api::dump(f.shrunk).c_str());
+    if (!out_dir.empty()) {
+      std::string path = out_dir + "/fuzz-failure-" + std::to_string(f.seed) +
+                         ".txt";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "fuzz_main: cannot write '%s'\n", path.c_str());
+        return 2;
+      }
+      out << f.to_artifact();
+      std::printf("\nartifact written to %s\n", path.c_str());
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fuzz_main: %s\n", e.what());
+    return 2;
+  }
+}

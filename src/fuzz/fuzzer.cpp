@@ -1,0 +1,86 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <sstream>
+
+namespace detect::fuzz {
+
+std::string fuzz_one(std::uint64_t seed, const std::string& kind,
+                     const fuzz_options& opt, std::uint64_t* replays) {
+  api::scripted_scenario s = generate(seed, kind, opt.gen);
+  return check_scenario(s, opt.diff, replays);
+}
+
+namespace {
+
+/// Prefix every line with "# " so a parse of the artifact skips the block.
+std::string commented(const std::string& text) {
+  std::ostringstream os;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) os << "# " << line << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string fuzz_failure::to_artifact() const {
+  std::ostringstream os;
+  os << "# detect fuzz failure\n"
+     << "# campaign base seed " << base_seed << ", failed at iteration "
+     << iteration << " (iteration seed " << seed << ", kind " << kind
+     << ")\n"
+     << "# reproduce this scenario:  fuzz_main --replay <this file>\n"
+     << "# reproduce the campaign:   fuzz_main --seed " << base_seed
+     << " --iters " << iteration + 1 << " (plus the campaign's --kind "
+     << "flags, if any)\n"
+     << commented(message)
+     << "\n# ---- shrunk scenario (fuzz_main --replay <this file>) ----\n"
+     << api::dump(shrunk)
+     << "\n# ---- original scenario ----\n"
+     << commented(api::dump(scenario));
+  return os.str();
+}
+
+fuzz_stats run_fuzz(
+    const fuzz_options& opt,
+    const std::function<void(std::uint64_t, std::uint64_t,
+                             const std::string&)>& progress) {
+  std::vector<std::string> kinds = opt.kinds;
+  if (kinds.empty()) kinds = api::object_registry::global().kinds();
+
+  fuzz_stats stats;
+  for (std::uint64_t iter = 0; iter < opt.iterations; ++iter) {
+    const std::uint64_t seed = iteration_seed(opt.base_seed, iter);
+    const std::string& kind = kinds[iter % kinds.size()];
+    if (progress) progress(iter, seed, kind);
+    ++stats.iterations;
+
+    api::scripted_scenario s = generate(seed, kind, opt.gen);
+    std::string failure = check_scenario(s, opt.diff, &stats.replays);
+    if (failure.empty()) continue;
+
+    fuzz_failure f;
+    f.iteration = iter;
+    f.base_seed = opt.base_seed;
+    f.seed = seed;
+    f.kind = kind;
+    f.message = failure;
+    f.scenario = s;
+    f.shrunk = s;
+    if (opt.shrink) {
+      f.shrunk = shrink(s, [&](const api::scripted_scenario& c) {
+        return !check_scenario(c, opt.diff, &stats.replays).empty();
+      });
+      // Re-derive the message from the minimized scenario — it is the one
+      // a human debugs first.
+      std::string shrunk_msg =
+          check_scenario(f.shrunk, opt.diff, &stats.replays);
+      if (!shrunk_msg.empty()) f.message = shrunk_msg;
+    }
+    stats.failure = std::move(f);
+    break;
+  }
+  return stats;
+}
+
+}  // namespace detect::fuzz

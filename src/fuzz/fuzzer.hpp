@@ -1,0 +1,70 @@
+// fuzzer — the campaign engine tying generator, differ, and shrinker
+// together.
+//
+// One iteration: derive the iteration seed, pick a kind (round-robin over
+// the configured kind list), synthesize a scenario, replay it under the
+// durable-linearizability + detectability oracle, then differentially
+// replay it against every registered variant of the kind. The first failing
+// iteration stops the campaign; its scenario is greedily shrunk under the
+// same oracle and reported as seed + original dump + shrunk dump — the
+// artifact CI uploads and `fuzz_main --replay` reproduces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.hpp"
+#include "fuzz/scenario_gen.hpp"
+#include "fuzz/shrinker.hpp"
+
+namespace detect::fuzz {
+
+struct fuzz_options {
+  std::uint64_t base_seed = 1;
+  std::uint64_t iterations = 100;
+  /// Kinds to fuzz; empty → every registry kind (non-detectable kinds get
+  /// crash-free scenarios, see scenario_gen).
+  std::vector<std::string> kinds;
+  gen_config gen;
+  /// Differentially replay against each kind's variants.
+  bool diff = true;
+  /// Shrink the first failing scenario before reporting it.
+  bool shrink = true;
+};
+
+struct fuzz_failure {
+  std::uint64_t iteration = 0;
+  std::uint64_t base_seed = 0;  // the campaign's --seed
+  std::uint64_t seed = 0;       // iteration_seed(base_seed, iteration)
+  std::string kind;
+  std::string message;
+  api::scripted_scenario scenario;
+  api::scripted_scenario shrunk;  // == scenario when shrinking is off
+
+  /// The replayable artifact: metadata + both dumps, one parseable block.
+  std::string to_artifact() const;
+};
+
+struct fuzz_stats {
+  std::uint64_t iterations = 0;  // iterations actually executed
+  std::uint64_t replays = 0;     // scenario replays incl. diff + shrink
+  std::optional<fuzz_failure> failure;
+};
+
+/// Run a fuzz campaign. Stops at the first failure (after shrinking it) or
+/// after `opt.iterations` iterations. `progress`, if set, is called before
+/// each iteration with (iteration, seed, kind).
+fuzz_stats run_fuzz(
+    const fuzz_options& opt,
+    const std::function<void(std::uint64_t, std::uint64_t,
+                             const std::string&)>& progress = nullptr);
+
+/// One fuzz iteration against one kind; returns the failure message (empty
+/// on success) and bumps `*replays` per scenario replay performed.
+std::string fuzz_one(std::uint64_t seed, const std::string& kind,
+                     const fuzz_options& opt, std::uint64_t* replays);
+
+}  // namespace detect::fuzz

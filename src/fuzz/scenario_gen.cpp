@@ -1,0 +1,124 @@
+#include "fuzz/scenario_gen.hpp"
+
+#include <algorithm>
+
+namespace detect::fuzz {
+
+namespace {
+
+using sim::next_rand;
+
+/// Uniform pick in [lo, hi] (inclusive).
+std::uint64_t pick(std::uint64_t& rng, std::uint64_t lo, std::uint64_t hi) {
+  return lo + next_rand(rng) % (hi - lo + 1);
+}
+
+}  // namespace
+
+std::uint64_t iteration_seed(std::uint64_t base_seed, std::uint64_t iter) {
+  // splitmix64 of (base_seed + iter): consecutive iterations land far apart.
+  std::uint64_t z = base_seed + iter * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+hist::op_desc random_op(std::uint64_t& rng, api::op_family family, int pid,
+                        const gen_config& cfg) {
+  const std::vector<hist::opcode>& alphabet = api::family_opcodes(family);
+  hist::op_desc d;
+  d.code = alphabet[next_rand(rng) % alphabet.size()];
+  const hist::value_t v = static_cast<hist::value_t>(
+      next_rand(rng) % static_cast<std::uint64_t>(cfg.value_range));
+  using hist::opcode;
+  switch (d.code) {
+    case opcode::reg_write:
+    case opcode::swap:
+    case opcode::enq:
+    case opcode::push:
+    case opcode::max_write:
+      d.a = v;
+      break;
+    case opcode::ctr_add:
+      d.a = 1 + v % 3;  // small positive deltas
+      break;
+    case opcode::cas:
+      // Narrow domain so successful CASes happen, but never old == new:
+      // Algorithm 2's failed-CAS linearization argument needs every
+      // successful CAS to change the value (see detectable_cas.hpp) — the
+      // paper's own operation universe is Cas(i, i+1 mod |V|).
+      d.a = v % 4;
+      d.b = (d.a + 1 + static_cast<hist::value_t>(next_rand(rng) % 3)) % 4;
+      break;
+    case opcode::lock_try:
+    case opcode::lock_release:
+      d.a = pid;  // lock ops carry the caller's pid
+      break;
+    default:
+      break;  // reads / deq / pop / tas take no arguments
+  }
+  return d;
+}
+
+api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
+                                const gen_config& cfg) {
+  const api::kind_info& info = api::object_registry::global().at(kind);
+  std::uint64_t rng = seed | 1;
+
+  api::scripted_scenario s;
+  s.kind = kind;
+  s.sched_seed = next_rand(rng);
+  s.nprocs = static_cast<int>(pick(
+      rng, static_cast<std::uint64_t>(cfg.min_procs),
+      static_cast<std::uint64_t>(std::max(cfg.min_procs, cfg.max_procs))));
+
+  const bool with_crashes = cfg.crashes && info.detectable;
+  if (with_crashes && cfg.max_crashes > 0) {
+    std::uint64_t n = pick(rng, 0, static_cast<std::uint64_t>(cfg.max_crashes));
+    for (std::uint64_t c = 0; c < n; ++c) {
+      s.crash_steps.push_back(next_rand(rng) % cfg.max_crash_step);
+    }
+    std::sort(s.crash_steps.begin(), s.crash_steps.end());
+  }
+  // retry re-attempts recovery-failed ops — only meaningful when recovery
+  // verdicts are trustworthy, i.e. for detectable kinds.
+  if (cfg.allow_retry && info.detectable && next_rand(rng) % 4 == 0) {
+    s.policy = core::runtime::fail_policy::retry;
+  }
+  if (cfg.allow_shared_cache && next_rand(rng) % 4 == 0) {
+    s.shared_cache = true;
+  }
+  // The recoverable lock's usage contract (rlock.hpp): a client never invokes
+  // try_lock while it may still hold the lock. Under skip, a crash-dropped
+  // release leaves holding-state uncertain, so crashy lock scenarios must
+  // retry; the per-process scripts below additionally alternate try/release.
+  if (info.family == api::op_family::lock && !s.crash_steps.empty()) {
+    s.policy = core::runtime::fail_policy::retry;
+  }
+
+  for (int pid = 0; pid < s.nprocs; ++pid) {
+    std::uint64_t len = pick(
+        rng, static_cast<std::uint64_t>(cfg.min_ops),
+        static_cast<std::uint64_t>(std::max(cfg.min_ops, cfg.max_ops)));
+    std::vector<hist::op_desc> ops;
+    ops.reserve(len);
+    bool may_hold = false;  // lock family: an unreleased try_lock is pending
+    for (std::uint64_t i = 0; i < len; ++i) {
+      hist::op_desc d;
+      if (info.family == api::op_family::lock && may_hold) {
+        d.code = hist::opcode::lock_release;
+        d.a = pid;
+      } else {
+        d = random_op(rng, info.family, pid, cfg);
+      }
+      if (info.family == api::op_family::lock) {
+        may_hold = d.code == hist::opcode::lock_try;
+      }
+      ops.push_back(d);
+    }
+    s.scripts[pid] = std::move(ops);
+  }
+  return s;
+}
+
+}  // namespace detect::fuzz

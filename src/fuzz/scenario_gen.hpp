@@ -1,0 +1,64 @@
+// scenario_gen — deterministic registry-driven workload synthesis.
+//
+// Given a seed and a registry kind, synthesize a multi-process op script
+// from that kind's opcode family (the randomized generalization of
+// api::smoke_script): process count, per-process op mix and arguments,
+// crash points, scheduler seed, fail policy, and flush/memory-model policy
+// are all derived from the seed through one xorshift64* stream, so the same
+// (seed, kind, config) triple always yields the identical scenario —
+// `fuzz_main --seed S` reproduces any run bit-for-bit.
+//
+// Argument domains are deliberately tiny (values 0..7) so CAS expectations
+// collide, queue/stack runs hit both the non-empty and k_empty paths, and
+// the checker's search stays tractable.
+//
+// Kinds with usage contracts are generated within them: the recoverable
+// lock's recovery is only sound when a client never invokes try_lock while
+// possibly holding (rlock.hpp), so lock scripts alternate try/release per
+// process and crashy lock scenarios use fail_policy::retry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/api.hpp"
+
+namespace detect::fuzz {
+
+struct gen_config {
+  int min_procs = 1;
+  int max_procs = 3;
+  /// Per-process script length bounds.
+  int min_ops = 1;
+  int max_ops = 8;
+  /// Crash plan: up to `max_crashes` crash points uniformly below
+  /// `max_crash_step`. Ignored (no crashes generated) when `crashes` is
+  /// false — non-detectable kinds are only meaningful crash-free.
+  bool crashes = true;
+  int max_crashes = 3;
+  std::uint64_t max_crash_step = 160;
+  /// Allow the generator to pick fail_policy::retry / the shared-cache
+  /// memory model for a fraction of scenarios.
+  bool allow_retry = true;
+  bool allow_shared_cache = true;
+  /// Argument domain for generated op values: 0 .. value_range-1.
+  hist::value_t value_range = 8;
+};
+
+/// One random operation for `family`, drawn from family_opcodes(). `pid` is
+/// threaded through because lock operations carry the caller's pid.
+hist::op_desc random_op(std::uint64_t& rng, api::op_family family, int pid,
+                        const gen_config& cfg);
+
+/// Synthesize the full scenario for `kind` from `seed`. The kind's
+/// detectability (registry metadata) gates crash injection: non-detectable
+/// kinds (plain_*, stripped_*) get crash-free scenarios regardless of
+/// `cfg.crashes`.
+api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
+                                const gen_config& cfg = {});
+
+/// The seed of iteration `iter` in a fuzz campaign starting at `base_seed`
+/// (splitmix64 step — decorrelates consecutive iterations).
+std::uint64_t iteration_seed(std::uint64_t base_seed, std::uint64_t iter);
+
+}  // namespace detect::fuzz

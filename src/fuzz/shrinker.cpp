@@ -1,0 +1,202 @@
+#include "fuzz/shrinker.hpp"
+
+#include <vector>
+
+namespace detect::fuzz {
+
+namespace {
+
+/// Keep `edit(s)` if the result still fails. Returns true on progress.
+/// NOTE: a kept edit replaces `s` wholesale — callers must not hold
+/// iterators/references into `s` across a try_edit call.
+bool try_edit(api::scripted_scenario& s, const fail_predicate& fails,
+              const std::function<bool(api::scripted_scenario&)>& edit) {
+  api::scripted_scenario candidate = s;
+  if (!edit(candidate)) return false;  // edit not applicable
+  if (!fails(candidate)) return false;
+  s = std::move(candidate);
+  return true;
+}
+
+/// Renumber script pids densely (0..k-1) and shrink nprocs to match. Scripts
+/// stay in ascending-pid order, so renumbering preserves relative identity;
+/// lock ops carry the caller's pid as their argument, so those are rewritten
+/// to the new pid to keep the scenario well-formed.
+void compact_pids(api::scripted_scenario& s) {
+  std::map<int, std::vector<hist::op_desc>> dense;
+  int next = 0;
+  for (auto& [pid, ops] : s.scripts) {
+    for (hist::op_desc& d : ops) {
+      if (d.code == hist::opcode::lock_try ||
+          d.code == hist::opcode::lock_release) {
+        d.a = next;
+      }
+    }
+    dense[next++] = std::move(ops);
+  }
+  s.scripts = std::move(dense);
+  if (next > 0) s.nprocs = next;
+}
+
+std::vector<int> pids_of(const api::scripted_scenario& s) {
+  std::vector<int> pids;
+  pids.reserve(s.scripts.size());
+  for (const auto& [pid, ops] : s.scripts) pids.push_back(pid);
+  return pids;
+}
+
+/// The usage contracts the generator enforces (scenario_gen.cpp) must
+/// survive shrinking, or a candidate can "fail" for the contract violation
+/// instead of the original defect and the minimized artifact blames a
+/// non-bug. Checked on every candidate before the fail predicate runs.
+bool respects_contracts(const api::scripted_scenario& s) {
+  const api::object_registry& reg = api::object_registry::global();
+  if (!reg.contains(s.kind)) return true;  // custom kind: nothing to check
+  const api::kind_info& info = reg.at(s.kind);
+  if (info.family == api::op_family::lock) {
+    // Crashy lock scenarios must retry (a crash-skipped release leaves
+    // holding-state uncertain) ...
+    if (!s.crash_steps.empty() &&
+        s.policy != core::runtime::fail_policy::retry) {
+      return false;
+    }
+    // ... and no process may re-invoke try_lock while possibly holding.
+    for (const auto& [pid, ops] : s.scripts) {
+      bool may_hold = false;
+      for (const hist::op_desc& d : ops) {
+        if (d.code == hist::opcode::lock_try) {
+          if (may_hold) return false;
+          may_hold = true;
+        } else if (d.code == hist::opcode::lock_release) {
+          may_hold = false;
+        }
+      }
+    }
+  }
+  if (info.family == api::op_family::cas) {
+    // Algorithm 2's failed-CAS linearization needs old != new.
+    for (const auto& [pid, ops] : s.scripts) {
+      for (const hist::op_desc& d : ops) {
+        if (d.code == hist::opcode::cas && d.a == d.b) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+api::scripted_scenario shrink(api::scripted_scenario s,
+                              const fail_predicate& raw_fails,
+                              int max_rounds) {
+  if (!raw_fails(s)) return s;
+  fail_predicate fails = [&raw_fails](const api::scripted_scenario& c) {
+    return respects_contracts(c) && raw_fails(c);
+  };
+
+  for (int round = 0; round < max_rounds; ++round) {
+    bool progress = false;
+
+    // 1. Whole processes, highest pid first (dropping a later pid leaves the
+    // earlier ones unrenumbered, so the pid snapshot stays valid).
+    {
+      std::vector<int> pids = pids_of(s);
+      for (auto it = pids.rbegin(); it != pids.rend(); ++it) {
+        int p = *it;
+        progress |= try_edit(s, fails, [p](api::scripted_scenario& c) {
+          if (c.scripts.size() <= 1 || c.scripts.count(p) == 0) return false;
+          c.scripts.erase(p);
+          compact_pids(c);
+          return true;
+        });
+      }
+    }
+
+    // 2a. Suffix halves per process.
+    for (int p : pids_of(s)) {
+      while (try_edit(s, fails, [p](api::scripted_scenario& c) {
+        auto it = c.scripts.find(p);
+        if (it == c.scripts.end() || it->second.size() < 2) return false;
+        it->second.resize(it->second.size() - it->second.size() / 2);
+        return true;
+      })) {
+        progress = true;
+      }
+    }
+
+    // 2b. Individual ops, back to front (an empty script is legal; step 1
+    // removes emptied processes on the next round).
+    for (int p : pids_of(s)) {
+      auto it = s.scripts.find(p);
+      if (it == s.scripts.end()) continue;
+      for (int i = static_cast<int>(it->second.size()) - 1; i >= 0; --i) {
+        progress |= try_edit(s, fails, [p, i](api::scripted_scenario& c) {
+          auto cit = c.scripts.find(p);
+          if (cit == c.scripts.end() ||
+              i >= static_cast<int>(cit->second.size())) {
+            return false;
+          }
+          cit->second.erase(cit->second.begin() + i);
+          return true;
+        });
+        it = s.scripts.find(p);  // s may have been replaced by the edit
+        if (it == s.scripts.end()) break;
+      }
+    }
+
+    // 3. Crash steps, back to front.
+    for (int i = static_cast<int>(s.crash_steps.size()) - 1; i >= 0; --i) {
+      progress |= try_edit(s, fails, [i](api::scripted_scenario& c) {
+        if (i >= static_cast<int>(c.crash_steps.size())) return false;
+        c.crash_steps.erase(c.crash_steps.begin() + i);
+        return true;
+      });
+    }
+
+    // 4. Knob simplification.
+    progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
+      if (c.policy == core::runtime::fail_policy::skip) return false;
+      c.policy = core::runtime::fail_policy::skip;
+      return true;
+    });
+    progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
+      if (!c.shared_cache) return false;
+      c.shared_cache = false;
+      return true;
+    });
+
+    // 5. Zero op arguments.
+    for (int p : pids_of(s)) {
+      std::size_t len =
+          s.scripts.count(p) != 0 ? s.scripts.at(p).size() : 0;
+      for (std::size_t i = 0; i < len; ++i) {
+        progress |= try_edit(s, fails, [p, i](api::scripted_scenario& c) {
+          auto cit = c.scripts.find(p);
+          if (cit == c.scripts.end() || i >= cit->second.size()) return false;
+          hist::op_desc& d = cit->second[i];
+          if (d.code == hist::opcode::lock_try ||
+              d.code == hist::opcode::lock_release) {
+            return false;  // lock args are the caller pid, not a value
+          }
+          if (d.code == hist::opcode::cas) {
+            // Preserve the old != new usage contract (detectable_cas.hpp):
+            // simplify toward Cas(0, 1), never the degenerate Cas(0, 0).
+            if (d.a == 0 && d.b == 1) return false;
+            d.a = 0;
+            d.b = 1;
+            return true;
+          }
+          if (d.a == 0 && d.b == 0) return false;
+          d.a = 0;
+          d.b = 0;
+          return true;
+        });
+      }
+    }
+
+    if (!progress) break;
+  }
+  return s;
+}
+
+}  // namespace detect::fuzz

@@ -1,0 +1,34 @@
+// shrinker — greedy minimization of failing scenarios.
+//
+// Given a scenario and a predicate that reports "still fails", repeatedly
+// try structure-removing edits and keep every edit that preserves the
+// failure, until a whole round makes no progress (or the round budget is
+// exhausted). The edit order goes coarse to fine so big cuts land first:
+//
+//   1. drop whole per-process scripts (and renumber pids densely),
+//   2. chop op-suffix halves, then individual ops,
+//   3. drop crash steps,
+//   4. simplify knobs (retry → skip, shared_cache → private),
+//   5. zero op argument values.
+//
+// Every candidate is produced deterministically from the current scenario,
+// so a shrink of the same failure always yields the same minimal scenario —
+// the seed + dump pair that lands in the CI failure artifact.
+#pragma once
+
+#include <functional>
+
+#include "api/api.hpp"
+
+namespace detect::fuzz {
+
+/// "Does this scenario still exhibit the failure?" Must be deterministic.
+using fail_predicate = std::function<bool(const api::scripted_scenario&)>;
+
+/// Greedily minimize `s` under `fails` (which must hold for `s` itself —
+/// otherwise `s` is returned unchanged). `max_rounds` bounds the number of
+/// full fixpoint iterations.
+api::scripted_scenario shrink(api::scripted_scenario s,
+                              const fail_predicate& fails, int max_rounds = 8);
+
+}  // namespace detect::fuzz

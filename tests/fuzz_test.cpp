@@ -1,0 +1,427 @@
+// The fuzz engine itself: generator determinism, registry-wide qualification
+// under generated workloads, dump/parse round-tripping, shrinker validity
+// (shrunk scenarios still fail), and differential detection of a deliberately
+// lying implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fuzz/fuzz.hpp"
+
+namespace {
+
+using namespace detect;
+
+// Registry kinds as of static init — later tests register extra (broken)
+// kinds, and campaign tests must not pick those up.
+const std::vector<std::string> g_builtin_kinds =
+    api::object_registry::global().kinds();
+
+// ---- generator --------------------------------------------------------------
+
+TEST(scenario_gen, same_seed_same_scenario) {
+  for (const char* kind : {"reg", "cas", "queue", "lock"}) {
+    for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+      api::scripted_scenario a = fuzz::generate(seed, kind);
+      api::scripted_scenario b = fuzz::generate(seed, kind);
+      EXPECT_EQ(api::dump(a), api::dump(b)) << kind << " seed " << seed;
+    }
+  }
+}
+
+TEST(scenario_gen, different_seeds_differ) {
+  EXPECT_NE(api::dump(fuzz::generate(1, "reg")),
+            api::dump(fuzz::generate(2, "reg")));
+  EXPECT_NE(api::dump(fuzz::generate(1, "queue")),
+            api::dump(fuzz::generate(3, "queue")));
+}
+
+TEST(scenario_gen, iteration_seeds_are_stable_and_spread) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    std::uint64_t s = fuzz::iteration_seed(7, i);
+    EXPECT_EQ(s, fuzz::iteration_seed(7, i));
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 64u) << "iteration seeds must not collide";
+}
+
+TEST(scenario_gen, respects_config_bounds) {
+  fuzz::gen_config cfg;
+  cfg.min_procs = 2;
+  cfg.max_procs = 4;
+  cfg.min_ops = 3;
+  cfg.max_ops = 5;
+  cfg.max_crashes = 2;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    api::scripted_scenario s = fuzz::generate(seed, "reg", cfg);
+    EXPECT_GE(s.nprocs, 2);
+    EXPECT_LE(s.nprocs, 4);
+    EXPECT_EQ(static_cast<int>(s.scripts.size()), s.nprocs);
+    for (const auto& [pid, ops] : s.scripts) {
+      EXPECT_GE(ops.size(), 3u);
+      EXPECT_LE(ops.size(), 5u);
+    }
+    EXPECT_LE(s.crash_steps.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(s.crash_steps.begin(), s.crash_steps.end()));
+  }
+}
+
+TEST(scenario_gen, ops_come_from_the_kinds_family) {
+  for (const std::string& kind : g_builtin_kinds) {
+    const api::kind_info& info = api::object_registry::global().at(kind);
+    const std::vector<hist::opcode>& alphabet =
+        api::family_opcodes(info.family);
+    api::scripted_scenario s = fuzz::generate(99, kind);
+    for (const auto& [pid, ops] : s.scripts) {
+      for (const hist::op_desc& d : ops) {
+        EXPECT_NE(std::find(alphabet.begin(), alphabet.end(), d.code),
+                  alphabet.end())
+            << kind << ": opcode " << hist::opcode_name(d.code)
+            << " outside its family";
+      }
+    }
+  }
+}
+
+TEST(scenario_gen, non_detectable_kinds_get_no_crashes) {
+  for (const char* kind : {"plain_reg", "stripped_cas", "stripped_queue"}) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      api::scripted_scenario s = fuzz::generate(seed, kind);
+      EXPECT_TRUE(s.crash_steps.empty()) << kind;
+      EXPECT_EQ(s.policy, core::runtime::fail_policy::skip) << kind;
+    }
+  }
+}
+
+// ---- registry-wide qualification under generated workloads ------------------
+
+class generated_qualification : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(generated_qualification, generated_scenarios_pass_the_oracle) {
+  const std::string kind = GetParam();
+  for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    api::scripted_scenario s = fuzz::generate(seed, kind);
+    std::string failure = fuzz::verify_scenario(s);
+    EXPECT_TRUE(failure.empty())
+        << kind << " seed " << seed << ":\n"
+        << failure << "\n"
+        << api::dump(s);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(all_kinds, generated_qualification,
+                         ::testing::ValuesIn(g_builtin_kinds),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// ---- differ -----------------------------------------------------------------
+
+TEST(differ, core_kinds_agree_with_their_variants) {
+  for (const char* kind : {"reg", "cas", "counter", "queue"}) {
+    api::scripted_scenario s = fuzz::generate(5, kind);
+    for (const std::string& variant : fuzz::variants_of(kind)) {
+      fuzz::diff_report d = fuzz::diff_against(s, variant);
+      EXPECT_TRUE(d.ok) << kind << " vs " << variant << ":\n" << d.message;
+    }
+  }
+}
+
+TEST(differ, family_mismatch_throws) {
+  api::scripted_scenario s = fuzz::generate(5, "reg");
+  EXPECT_THROW(fuzz::diff_against(s, "queue"), std::invalid_argument);
+}
+
+TEST(differ, kinds_without_variants_have_none) {
+  EXPECT_TRUE(fuzz::variants_of("max_reg").empty());
+  EXPECT_TRUE(fuzz::variants_of("plain_reg").empty());
+}
+
+// A counter whose read responses are off by one — the differential target:
+// crash-free single-process replays against the real counter must diverge.
+struct lying_counter : core::detectable_object {
+  api::created_object inner;
+
+  explicit lying_counter(api::created_object in) : inner(std::move(in)) {}
+
+  hist::value_t invoke(int pid, const hist::op_desc& op) override {
+    hist::value_t v = inner.primary().invoke(pid, op);
+    return op.code == hist::opcode::ctr_read ? v + 1 : v;
+  }
+  core::recovery_result recover(int pid, const hist::op_desc& op) override {
+    return inner.primary().recover(pid, op);
+  }
+  bool wants_aux_reset() const override {
+    return inner.primary().wants_aux_reset();
+  }
+};
+
+void register_lying_counter_once() {
+  auto& reg = api::object_registry::global();
+  if (reg.contains("test_lying_counter")) return;
+  api::kind_info info;
+  info.name = "test_lying_counter";
+  info.family = api::op_family::counter;
+  info.detectable = false;
+  info.make = [](const api::object_env& e, const api::object_params& p) {
+    api::created_object c;
+    c.owned.push_back(std::make_unique<lying_counter>(
+        api::object_registry::global().create("counter", e, p)));
+    return c;
+  };
+  info.make_spec = [](const api::object_params& p) {
+    return api::object_registry::global().make_spec("counter", p);
+  };
+  reg.add(std::move(info));
+}
+
+api::scripted_scenario counter_scenario(
+    std::vector<std::vector<hist::opcode>> per_proc_ops) {
+  api::scripted_scenario s;
+  s.kind = "counter";
+  s.nprocs = static_cast<int>(per_proc_ops.size());
+  int pid = 0;
+  for (const auto& codes : per_proc_ops) {
+    std::vector<hist::op_desc> ops;
+    for (hist::opcode c : codes) {
+      hist::op_desc d;
+      d.code = c;
+      if (c == hist::opcode::ctr_add) d.a = 1;
+      ops.push_back(d);
+    }
+    s.scripts[pid++] = std::move(ops);
+  }
+  return s;
+}
+
+TEST(differ, catches_a_lying_implementation) {
+  register_lying_counter_once();
+  using hist::opcode;
+  api::scripted_scenario s =
+      counter_scenario({{opcode::ctr_add, opcode::ctr_read}});
+  fuzz::diff_report d = fuzz::diff_against(s, "test_lying_counter");
+  EXPECT_FALSE(d.ok);
+  EXPECT_NE(d.message.find("test_lying_counter"), std::string::npos)
+      << d.message;
+}
+
+// ---- shrinker ---------------------------------------------------------------
+
+TEST(shrinker, synthetic_predicate_shrinks_to_one_op) {
+  fuzz::gen_config cfg;
+  cfg.min_procs = 3;
+  cfg.max_procs = 3;
+  cfg.min_ops = 6;
+  cfg.max_ops = 8;
+  api::scripted_scenario s = fuzz::generate(77, "queue", cfg);
+  // Plant the needle the predicate looks for.
+  s.scripts[1][2] = {0, hist::opcode::enq, 55, 0, 0};
+  s.policy = core::runtime::fail_policy::retry;
+  s.shared_cache = true;
+
+  auto fails = [](const api::scripted_scenario& c) {
+    for (const auto& [pid, ops] : c.scripts) {
+      for (const hist::op_desc& d : ops) {
+        if (d.code == hist::opcode::enq && d.a == 55) return true;
+      }
+    }
+    return false;
+  };
+  api::scripted_scenario shrunk = fuzz::shrink(s, fails);
+  EXPECT_TRUE(fails(shrunk)) << "shrunk scenario must still fail";
+  EXPECT_EQ(shrunk.total_ops(), 1u) << api::dump(shrunk);
+  EXPECT_EQ(shrunk.nprocs, 1);
+  EXPECT_TRUE(shrunk.crash_steps.empty());
+  EXPECT_EQ(shrunk.policy, core::runtime::fail_policy::skip);
+  EXPECT_FALSE(shrunk.shared_cache);
+}
+
+// Shrinker edits must never cross the usage contracts the generator
+// enforces — otherwise the minimized artifact can "fail" for the contract
+// violation instead of the original defect.
+TEST(shrinker, preserves_usage_contracts) {
+  // Lock: find a generated crashy scenario (generate forces retry there).
+  fuzz::gen_config cfg;
+  cfg.min_procs = 2;
+  cfg.max_procs = 2;
+  cfg.min_ops = 6;
+  cfg.max_ops = 6;
+  api::scripted_scenario lock_s;
+  for (std::uint64_t seed = 1;; ++seed) {
+    lock_s = fuzz::generate(seed, "lock", cfg);
+    if (!lock_s.crash_steps.empty()) break;
+    ASSERT_LT(seed, 100u) << "no crashy lock scenario in 100 seeds";
+  }
+  ASSERT_EQ(lock_s.policy, core::runtime::fail_policy::retry);
+
+  // Predicate: "still crashy and still contends" — aggressive shrinking
+  // would love to drop the crash plan, flip retry to skip, or delete a
+  // release; the contract guard must block the unsound edits.
+  auto lock_fails = [](const api::scripted_scenario& c) {
+    if (c.crash_steps.empty()) return false;
+    int tries = 0;
+    for (const auto& [pid, ops] : c.scripts) {
+      for (const hist::op_desc& d : ops) {
+        if (d.code == hist::opcode::lock_try) ++tries;
+      }
+    }
+    return tries >= 2;
+  };
+  ASSERT_TRUE(lock_fails(lock_s));
+  api::scripted_scenario lock_shrunk = fuzz::shrink(lock_s, lock_fails);
+  EXPECT_TRUE(lock_fails(lock_shrunk));
+  EXPECT_EQ(lock_shrunk.policy, core::runtime::fail_policy::retry)
+      << "crashy lock scenarios must keep fail_policy::retry";
+  for (const auto& [pid, ops] : lock_shrunk.scripts) {
+    bool may_hold = false;
+    for (const hist::op_desc& d : ops) {
+      if (d.code == hist::opcode::lock_try) {
+        EXPECT_FALSE(may_hold) << "try_lock while possibly holding\n"
+                               << api::dump(lock_shrunk);
+        may_hold = true;
+      } else if (d.code == hist::opcode::lock_release) {
+        may_hold = false;
+      }
+    }
+  }
+
+  // CAS: the zero-arguments pass must keep old != new.
+  api::scripted_scenario cas_s = fuzz::generate(5, "cas");
+  auto cas_fails = [](const api::scripted_scenario& c) {
+    for (const auto& [pid, ops] : c.scripts) {
+      for (const hist::op_desc& d : ops) {
+        if (d.code == hist::opcode::cas) return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(cas_fails(cas_s));
+  api::scripted_scenario cas_shrunk = fuzz::shrink(cas_s, cas_fails);
+  EXPECT_TRUE(cas_fails(cas_shrunk));
+  for (const auto& [pid, ops] : cas_shrunk.scripts) {
+    for (const hist::op_desc& d : ops) {
+      if (d.code == hist::opcode::cas) {
+        EXPECT_NE(d.a, d.b) << "degenerate Cas(x, x) after shrinking";
+      }
+    }
+  }
+}
+
+TEST(shrinker, passing_scenario_is_returned_unchanged) {
+  api::scripted_scenario s = fuzz::generate(3, "reg");
+  api::scripted_scenario out =
+      fuzz::shrink(s, [](const api::scripted_scenario&) { return false; });
+  EXPECT_EQ(api::dump(out), api::dump(s));
+}
+
+// Shrinker validity against the real differ: minimizing a genuine
+// differential failure keeps it failing, down to the single lying read.
+TEST(shrinker, real_diff_failure_shrinks_to_the_lying_read) {
+  register_lying_counter_once();
+  using hist::opcode;
+  api::scripted_scenario s = counter_scenario(
+      {{opcode::ctr_add, opcode::ctr_read, opcode::ctr_add, opcode::ctr_read,
+        opcode::ctr_add}});
+  auto fails = [](const api::scripted_scenario& c) {
+    return !fuzz::diff_against(c, "test_lying_counter").ok;
+  };
+  ASSERT_TRUE(fails(s));
+  api::scripted_scenario shrunk = fuzz::shrink(s, fails);
+  EXPECT_TRUE(fails(shrunk)) << "shrunk scenario must still fail";
+  ASSERT_EQ(shrunk.total_ops(), 1u) << api::dump(shrunk);
+  EXPECT_EQ(shrunk.scripts.begin()->second[0].code, opcode::ctr_read)
+      << "the minimal failing scenario is the lone lying read";
+}
+
+// ---- dump / parse round-tripping --------------------------------------------
+
+TEST(replay_dump, round_trips_exactly) {
+  for (const char* kind : {"reg", "cas", "queue", "lock"}) {
+    for (std::uint64_t seed : {101ull, 202ull}) {
+      api::scripted_scenario s = fuzz::generate(seed, kind);
+      std::string text = api::dump(s);
+      api::scripted_scenario parsed = api::parse_scenario(text);
+      EXPECT_EQ(api::dump(parsed), text) << kind << " seed " << seed;
+    }
+  }
+}
+
+TEST(replay_dump, parsed_scenario_replays_identically) {
+  api::scripted_scenario s = fuzz::generate(7, "cas");
+  api::scripted_scenario parsed = api::parse_scenario(api::dump(s));
+  api::scripted_outcome a = api::replay(s);
+  api::scripted_outcome b = api::replay(parsed);
+  EXPECT_EQ(a.log_text, b.log_text);
+  EXPECT_EQ(a.report.steps, b.report.steps);
+  EXPECT_EQ(a.report.crashes, b.report.crashes);
+  EXPECT_EQ(a.check.ok, b.check.ok);
+}
+
+TEST(replay_dump, malformed_input_throws) {
+  EXPECT_THROW(api::parse_scenario(""), std::invalid_argument);
+  EXPECT_THROW(api::parse_scenario("bogus line\n"), std::invalid_argument);
+  EXPECT_THROW(api::parse_scenario("kind reg\nscript 0 frobnicate:1:2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(api::parse_scenario("kind reg\npolicy maybe\n"),
+               std::invalid_argument);
+}
+
+TEST(replay_dump, failure_artifact_parses_back_to_the_shrunk_scenario) {
+  fuzz::fuzz_failure f;
+  f.iteration = 3;
+  f.seed = 1234;
+  f.kind = "reg";
+  f.message = "synthetic\nmultiline message";
+  f.scenario = fuzz::generate(1234, "reg");
+  f.shrunk = fuzz::generate(1234, "reg", {.min_procs = 1, .max_procs = 1});
+  api::scripted_scenario parsed = api::parse_scenario(f.to_artifact());
+  EXPECT_EQ(api::dump(parsed), api::dump(f.shrunk));
+}
+
+// ---- campaign engine --------------------------------------------------------
+
+TEST(run_fuzz, clean_campaign_over_builtin_kinds_is_deterministic) {
+  fuzz::fuzz_options opt;
+  opt.base_seed = 9;
+  opt.iterations = static_cast<std::uint64_t>(g_builtin_kinds.size());
+  opt.kinds = g_builtin_kinds;  // pin: later tests add broken kinds
+  opt.gen.max_procs = 2;
+  opt.gen.max_ops = 5;
+
+  fuzz::fuzz_stats a = fuzz::run_fuzz(opt);
+  EXPECT_FALSE(a.failure.has_value())
+      << a.failure->message << "\n"
+      << api::dump(a.failure->scenario);
+  EXPECT_EQ(a.iterations, opt.iterations);
+
+  fuzz::fuzz_stats b = fuzz::run_fuzz(opt);
+  EXPECT_EQ(a.replays, b.replays) << "campaigns must be reproducible";
+  EXPECT_FALSE(b.failure.has_value());
+}
+
+TEST(run_fuzz, reports_and_shrinks_a_failing_kind) {
+  register_lying_counter_once();
+  fuzz::fuzz_options opt;
+  opt.base_seed = 5;
+  opt.iterations = 50;
+  opt.kinds = {"test_lying_counter"};
+
+  fuzz::fuzz_stats stats = fuzz::run_fuzz(opt);
+  ASSERT_TRUE(stats.failure.has_value())
+      << "the lying counter must be caught by the oracle";
+  const fuzz::fuzz_failure& f = *stats.failure;
+  EXPECT_EQ(f.kind, "test_lying_counter");
+  EXPECT_EQ(f.seed, fuzz::iteration_seed(opt.base_seed, f.iteration));
+  EXPECT_FALSE(f.message.empty());
+  EXPECT_LE(f.shrunk.total_ops(), f.scenario.total_ops());
+  // The shrunk scenario still fails the same oracle.
+  EXPECT_FALSE(fuzz::check_scenario(f.shrunk).empty());
+  // And the artifact parses back to it.
+  EXPECT_EQ(api::dump(api::parse_scenario(f.to_artifact())),
+            api::dump(f.shrunk));
+}
+
+}  // namespace
