@@ -1,4 +1,5 @@
-// E6 — The runtime cost of detectability (google-benchmark).
+// E6 — The runtime cost of detectability (google-benchmark), plus the
+// backend×shards throughput sweep of the executor redesign.
 //
 // The paper notes (§6) that detectability "comes with a price tag in terms
 // of space complexity and the need to provide auxiliary state"; this
@@ -6,6 +7,16 @@
 // vs Algorithms 1-2 vs the unbounded-id baselines, free-running over the
 // detect::api::arena (no simulator hook, emulated NVM in private-cache
 // mode). Objects are instantiated from the registry by kind string.
+//
+// Before the per-object benchmarks, main() runs a throughput sweep over the
+// api::executor backends (single, sharded with a --shards list, threads) on
+// one scripted multi-counter workload and writes the machine-readable
+// BENCH_e6.json (ops/sec per backend×shards) — the perf-trajectory data
+// points CI's bench-smoke stage archives:
+//
+//   bench_e6_throughput --shards 1,2,4 --sweep-procs 8 --sweep-ops 2000
+//                       --json BENCH_e6.json     # all defaults shown
+//   DETECT_SMOKE=1 bench_e6_throughput           # tiny sweep parameters
 //
 // Builds against google-benchmark when installed; otherwise CMake defines
 // DETECT_USE_MINI_BENCH and the vendored fixed-iteration timer loop in
@@ -17,7 +28,14 @@
 #endif
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "api/api.hpp"
 
@@ -145,6 +163,123 @@ void bm_max_register(benchmark::State& state) {
   teardown(state);
 }
 
+// ---------------------------------------------------------------------------
+// Backend×shards throughput sweep (the executor redesign's data points).
+
+struct sweep_cfg {
+  std::vector<int> shard_counts = {1, 2, 4};
+  int procs = 8;
+  int objects = 8;
+  int ops_per_proc = 2000;
+  std::string json_path = "BENCH_e6.json";
+};
+
+struct sweep_row {
+  const char* backend;
+  int shards;
+  std::uint64_t ops;
+  double seconds;
+  double ops_per_sec;
+};
+
+/// One scripted multi-counter workload, identical across backends: every
+/// proc runs `ops_per_proc` fetch-and-adds round-robin over the objects.
+sweep_row run_sweep_config(api::exec_backend be, int shards,
+                           const sweep_cfg& cfg) {
+  auto ex = api::executor::builder()
+                .backend(be)
+                .shards(shards)
+                .procs(cfg.procs)
+                .max_steps(1'000'000'000ULL)
+                .build();
+  std::vector<api::counter> objs;
+  objs.reserve(static_cast<std::size_t>(cfg.objects));
+  for (int i = 0; i < cfg.objects; ++i) objs.push_back(ex->add_counter());
+  for (int p = 0; p < cfg.procs; ++p) {
+    std::vector<hist::op_desc> script;
+    script.reserve(static_cast<std::size_t>(cfg.ops_per_proc));
+    for (int i = 0; i < cfg.ops_per_proc; ++i) {
+      script.push_back(objs[static_cast<std::size_t>((p + i) % cfg.objects)]
+                           .add(1));
+    }
+    ex->script(p, std::move(script));
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  ex->run();
+  auto stop = std::chrono::steady_clock::now();
+
+  sweep_row row;
+  row.backend = api::backend_name(be);
+  row.shards = shards;
+  row.ops = static_cast<std::uint64_t>(cfg.procs) *
+            static_cast<std::uint64_t>(cfg.ops_per_proc);
+  row.seconds = std::chrono::duration<double>(stop - start).count();
+  row.ops_per_sec =
+      row.seconds > 0 ? static_cast<double>(row.ops) / row.seconds : 0.0;
+  return row;
+}
+
+void run_shards_sweep(const sweep_cfg& cfg) {
+  std::printf("== executor backend x shards sweep (%d procs, %d objects, "
+              "%d ops/proc) ==\n",
+              cfg.procs, cfg.objects, cfg.ops_per_proc);
+  std::vector<sweep_row> rows;
+  rows.push_back(run_sweep_config(api::exec_backend::single, 1, cfg));
+  for (int k : cfg.shard_counts) {
+    rows.push_back(run_sweep_config(api::exec_backend::sharded, k, cfg));
+  }
+  rows.push_back(run_sweep_config(api::exec_backend::threads, 1, cfg));
+
+  for (const sweep_row& r : rows) {
+    std::printf("%-8s shards=%-2d  %10llu ops  %8.3f s  %12.0f ops/s\n",
+                r.backend, r.shards, static_cast<unsigned long long>(r.ops),
+                r.seconds, r.ops_per_sec);
+  }
+  std::fflush(stdout);
+
+  std::ofstream out(cfg.json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_e6: cannot write '%s'\n",
+                 cfg.json_path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"e6_backend_shards_sweep\",\n"
+      << "  \"config\": {\"procs\": " << cfg.procs
+      << ", \"objects\": " << cfg.objects
+      << ", \"ops_per_proc\": " << cfg.ops_per_proc << "},\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const sweep_row& r = rows[i];
+    out << "    {\"backend\": \"" << r.backend << "\", \"shards\": "
+        << r.shards << ", \"ops\": " << r.ops << ", \"seconds\": "
+        << r.seconds << ", \"ops_per_sec\": " << r.ops_per_sec << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n\n", cfg.json_path.c_str());
+}
+
+/// Parse "1,2,4" into shard counts; returns false on junk.
+bool parse_shard_list(const char* text, std::vector<int>* out) {
+  out->clear();
+  const char* p = text;
+  while (*p != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(p, &end, 10);
+    if (end == p || v < 1) return false;
+    out->push_back(static_cast<int>(v));
+    p = end;
+    if (*p == ',') {
+      ++p;
+      if (*p == '\0') return false;  // trailing comma
+    } else if (*p != '\0') {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
 }  // namespace
 
 BENCHMARK(bm_plain_register)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
@@ -156,4 +291,60 @@ BENCHMARK(bm_bendavid_cas)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK(bm_detectable_counter)->Threads(1)->Threads(2)->UseRealTime();
 BENCHMARK(bm_max_register)->Threads(1)->Threads(2)->UseRealTime();
 
-BENCHMARK_MAIN();
+// Custom main: run the backend×shards sweep first (consuming its flags),
+// then hand the remaining argv to the benchmark library.
+int main(int argc, char** argv) {
+  sweep_cfg cfg;
+  if (std::getenv("DETECT_SMOKE") != nullptr) {
+    cfg.shard_counts = {1, 2};
+    cfg.procs = 4;
+    cfg.ops_per_proc = 100;
+  }
+  bool sweep = true;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_e6: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* text = need_value("--shards");
+      if (!parse_shard_list(text, &cfg.shard_counts)) {
+        std::fprintf(stderr, "bench_e6: bad --shards list '%s'\n", text);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--sweep-procs") == 0) {
+      cfg.procs = std::atoi(need_value("--sweep-procs"));
+    } else if (std::strcmp(argv[i], "--sweep-ops") == 0) {
+      cfg.ops_per_proc = std::atoi(need_value("--sweep-ops"));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      cfg.json_path = need_value("--json");
+    } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      sweep = false;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (cfg.procs < 1 || cfg.ops_per_proc < 1) {
+    std::fprintf(stderr, "bench_e6: --sweep-procs/--sweep-ops must be >= 1\n");
+    return 2;
+  }
+  if (sweep) run_shards_sweep(cfg);
+
+  int rest_argc = static_cast<int>(rest.size());
+#ifdef DETECT_USE_MINI_BENCH
+  return benchmark::internal::run_all(rest_argc, rest.data());
+#else
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#endif
+}

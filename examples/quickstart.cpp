@@ -1,10 +1,13 @@
 // Quickstart: a detectable register and a detectable CAS object surviving a
 // system-wide crash — the detect::api façade in one page.
 //
-// One harness wires everything behind the scenes (simulated world, the
+// One executor wires everything behind the scenes (simulated world, the
 // announcement board of §2, history log, client runtime). Typed handles
 // construct operations; `check()` verifies the whole recorded history for
-// durable linearizability + detectability.
+// durable linearizability + detectability, one linearization per object.
+// Swapping `.backend(...)` / `.shards(K)` into the builder reruns the same
+// scripts on a K-world sharded runtime or on real threads — see
+// examples/backends_tour.cpp.
 //
 // Build & run:  ./build/quickstart
 #include <cstdio>
@@ -16,32 +19,32 @@ int main() {
 
   // Two crash-prone processes; a seeded scheduler; crashes at steps 12, 31;
   // clients re-attempt operations whose recovery reports fail.
-  auto h = api::harness::builder()
-               .procs(2)
-               .fail_policy(core::runtime::fail_policy::retry)
-               .seed(2024)
-               .crash_at({12, 31})
-               .build();
+  auto ex = api::executor::builder()
+                .procs(2)
+                .fail_policy(core::runtime::fail_policy::retry)
+                .seed(2024)
+                .crash_at({12, 31})
+                .build();
 
   // Algorithm 1 register and Algorithm 2 CAS, registered under fresh ids.
-  api::reg r = h.add_reg();
-  api::cas c = h.add_cas();
+  api::reg r = ex->add_reg();
+  api::cas c = ex->add_cas();
 
   // Client scripts: process 0 writes then CASes; process 1 CASes and reads.
-  h.script(0, {r.write(42), c.compare_and_set(0, 7), r.read()});
-  h.script(1, {c.compare_and_set(0, 9), r.read()});
+  ex->script(0, {r.write(42), c.compare_and_set(0, 7), r.read()});
+  ex->script(1, {c.compare_and_set(0, 9), r.read()});
 
   // Drive to completion. After each crash the runtime consults each
   // process's announcement and runs the matching Op.Recover (§2).
-  auto report = h.run();
+  auto report = ex->run();
 
   std::printf("run: %llu steps, %llu crashes\n\n",
               static_cast<unsigned long long>(report.steps),
               static_cast<unsigned long long>(report.crashes));
-  std::printf("event log:\n%s\n", h.log_text().c_str());
+  std::printf("event log:\n%s\n", ex->log_text().c_str());
 
   // Verify the whole history: durable linearizability + detectability.
-  auto check = h.check();
+  auto check = ex->check();
   std::printf("history verified: %s\n", check.ok ? "YES" : "NO");
   if (!check.ok) std::printf("%s\n", check.message.c_str());
   return check.ok ? 0 : 1;

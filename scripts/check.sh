@@ -5,7 +5,10 @@
 #   scripts/check.sh                 # tier-1 (RelWithDebInfo) + sanitize pass
 #   scripts/check.sh --fast          # tier-1 only
 #   scripts/check.sh --quick         # one CI build-test cell: build + ctest
+#                                    # (ctest compiles AND runs every example)
 #   scripts/check.sh --fuzz N        # the CI fuzz stage: N bounded iterations
+#   scripts/check.sh --fuzz-sharded N  # the CI sharded-equivalence stage:
+#                                    # N single-vs-sharded diff iterations
 #   scripts/check.sh --bench-smoke   # the CI bench-smoke stage: every
 #                                    # E-binary with tiny parameters
 #
@@ -40,10 +43,13 @@ stage_ctest() {           # $1 = build dir
   ctest --test-dir "$1" --output-on-failure -j "$jobs"
 }
 
-stage_fuzz() {            # $1 = build dir, $2 = iterations
+stage_fuzz() {            # $1 = build dir, $2 = iterations, $3.. = extra flags
+  local dir="$1" iters="$2"
+  shift 2
   local out="${DETECT_FUZZ_OUT:-fuzz-artifacts}"
   mkdir -p "$out"
-  "$1"/fuzz_main --iters "$2" --seed "${DETECT_FUZZ_SEED:-1}" --out "$out"
+  "$dir"/fuzz_main --iters "$iters" --seed "${DETECT_FUZZ_SEED:-1}" \
+    --out "$out" "$@"
 }
 
 stage_bench_smoke() {     # $1 = build dir
@@ -78,6 +84,13 @@ case "${1:-}" in
     stage_build "$dir" "$build_type"
     stage_fuzz "$dir" "$iters"
     ;;
+  --fuzz-sharded)
+    iters="${2:-500}"
+    dir="${DETECT_BUILD_DIR:-build-$build_type}"
+    echo "== fuzz-sharded: $iters single-vs-sharded equivalence iterations ($dir) =="
+    stage_build "$dir" "$build_type"
+    stage_fuzz "$dir" "$iters" --sharded-equiv
+    ;;
   --bench-smoke)
     dir="${DETECT_BUILD_DIR:-build-$build_type}"
     echo "== bench-smoke: every E-binary, tiny parameters ($dir) =="
@@ -97,7 +110,7 @@ case "${1:-}" in
     stage_ctest build-sanitize
     ;;
   *)
-    echo "usage: $0 [--fast | --quick | --fuzz N | --bench-smoke]" >&2
+    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --bench-smoke]" >&2
     exit 2
     ;;
 esac

@@ -260,12 +260,18 @@ harness::harness(int nprocs, sim::world_config wcfg,
 
 object_handle harness::add(const std::string& kind,
                            const object_params& params) {
+  return add_as(next_id_, kind, params);
+}
+
+object_handle harness::add_as(std::uint32_t id, const std::string& kind,
+                              const object_params& params) {
   const kind_info& info = object_registry::global().at(kind);
   object_env env{nprocs(), *board_, domain()};
   created_object created = info.make(env, params);
   core::detectable_object& primary = created.primary();
   for (auto& obj : created.owned) objects_.push_back(std::move(obj));
-  std::uint32_t id = rt_->register_object(next_id_++, primary);
+  rt_->register_object(id, primary);
+  next_id_ = std::max(next_id_, id + 1);
   specs_.emplace_back(id, info.make_spec(params));
   return object_handle(id, info.family, &primary, kind);
 }

@@ -4,6 +4,8 @@
 //   registry.hpp  kind-string → factory registry (object_registry)
 //   harness.hpp   the harness builder wiring world/board/log/runtime,
 //                 plus the free-running arena for real-thread benches
+//   executor.hpp  pluggable execution backends (single / sharded / threads)
+//                 behind one builder policy
 //   replay.hpp    replayable scripted scenarios: replay/dump/parse and the
 //                 per-family opcode alphabets generators draw from
 //
@@ -11,6 +13,7 @@
 // this one include.
 #pragma once
 
+#include "api/executor.hpp"   // IWYU pragma: export
 #include "api/handles.hpp"    // IWYU pragma: export
 #include "api/harness.hpp"    // IWYU pragma: export
 #include "api/registry.hpp"   // IWYU pragma: export

@@ -1,0 +1,380 @@
+// The three execution backends behind detect::api::executor.
+#include "api/executor.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace detect::api {
+
+const char* backend_name(exec_backend b) noexcept {
+  switch (b) {
+    case exec_backend::single: return "single";
+    case exec_backend::sharded: return "sharded";
+    case exec_backend::threads: return "threads";
+  }
+  return "?";
+}
+
+exec_backend backend_from_name(const std::string& name) {
+  if (name == "single") return exec_backend::single;
+  if (name == "sharded") return exec_backend::sharded;
+  if (name == "threads") return exec_backend::threads;
+  throw std::invalid_argument("backend_from_name: unknown backend '" + name +
+                              "'");
+}
+
+std::string executor::log_text() const {
+  std::ostringstream os;
+  for (const hist::event& e : events()) os << e.to_string() << '\n';
+  return os.str();
+}
+
+std::unique_ptr<executor> executor::builder::build() const {
+  return make_executor(pol_);
+}
+
+namespace {
+
+/// Uniform script() contract across backends: a bad pid throws here, at
+/// scripting time, not as an opaque error deep inside run().
+void check_pid(int pid, int nprocs) {
+  if (pid < 0 || pid >= nprocs) {
+    throw std::invalid_argument("executor: script pid " + std::to_string(pid) +
+                                " out of range for " + std::to_string(nprocs) +
+                                " procs");
+  }
+}
+
+/// One harness configured per `p` — the building block of the single backend
+/// (one of them) and the sharded backend (one per shard).
+harness build_harness(const exec_policy& p) {
+  harness::builder b;
+  b.procs(p.nprocs).max_steps(p.wcfg.max_steps).fail_policy(p.fail);
+  if (p.sched_seed) b.seed(*p.sched_seed);
+  if (!p.crash_steps.empty()) b.crash_at(p.crash_steps);
+  if (p.crash_random) {
+    auto [seed, rate, max] = *p.crash_random;
+    b.crash_random(seed, rate, max);
+  }
+  if (p.shared_cache) b.shared_cache(p.auto_persist);
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// single — today's one-world harness, verbatim.
+
+class single_executor final : public executor {
+ public:
+  explicit single_executor(const exec_policy& p)
+      : pol_(p), h_(build_harness(p)) {}
+
+  exec_backend backend() const noexcept override {
+    return exec_backend::single;
+  }
+  int nprocs() const noexcept override { return pol_.nprocs; }
+  int shards() const noexcept override { return 1; }
+  int shard_of(std::uint32_t) const noexcept override { return 0; }
+
+  object_handle add(const std::string& kind,
+                    const object_params& params) override {
+    return h_.add(kind, params);
+  }
+  void script(int pid, std::vector<hist::op_desc> ops) override {
+    check_pid(pid, pol_.nprocs);
+    h_.script(pid, std::move(ops));
+  }
+  sim::run_report run() override { return h_.run(); }
+
+  std::vector<hist::event> events() const override { return h_.events(); }
+  hist::check_result check(std::size_t node_budget) const override {
+    return h_.check_per_object(node_budget);
+  }
+
+ private:
+  exec_policy pol_;
+  harness h_;
+};
+
+// ---------------------------------------------------------------------------
+// sharded — K one-world harnesses with object-id routing.
+
+class sharded_executor final : public executor {
+ public:
+  explicit sharded_executor(const exec_policy& p) : pol_(p) {
+    shards_.reserve(static_cast<std::size_t>(p.shards));
+    for (int k = 0; k < p.shards; ++k) {
+      shards_.push_back(std::make_unique<harness>(build_harness(p)));
+    }
+  }
+
+  exec_backend backend() const noexcept override {
+    return exec_backend::sharded;
+  }
+  int nprocs() const noexcept override { return pol_.nprocs; }
+  int shards() const noexcept override {
+    return static_cast<int>(shards_.size());
+  }
+  int shard_of(std::uint32_t object_id) const noexcept override {
+    return static_cast<int>(object_id % shards_.size());
+  }
+
+  object_handle add(const std::string& kind,
+                    const object_params& params) override {
+    std::uint32_t id = next_id_++;
+    return shards_[static_cast<std::size_t>(shard_of(id))]->add_as(id, kind,
+                                                                   params);
+  }
+
+  void script(int pid, std::vector<hist::op_desc> ops) override {
+    check_pid(pid, pol_.nprocs);
+    scripts_[pid] = std::move(ops);
+  }
+
+  sim::run_report run() override {
+    // Split every script by the owning shard, preserving per-shard program
+    // order; a pid with no ops on a shard gets no client task there. A pid
+    // whose whole script is empty still gets an (empty) client task on
+    // shard 0, exactly as the single backend submits one — without it the
+    // worlds' task sets differ and single-vs-sharded equivalence breaks on
+    // shrinker-produced scenarios with emptied scripts.
+    for (const auto& [pid, ops] : scripts_) {
+      std::vector<std::vector<hist::op_desc>> per_shard(shards_.size());
+      for (const hist::op_desc& d : ops) {
+        per_shard[static_cast<std::size_t>(shard_of(d.object))].push_back(d);
+      }
+      bool scripted = false;
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        if (!per_shard[k].empty()) {
+          shards_[k]->script(pid, std::move(per_shard[k]));
+          scripted = true;
+        }
+      }
+      if (!scripted) shards_[0]->script(pid, {});
+    }
+
+    // Worlds are self-contained (own mutex, own processes, own NVM domain,
+    // thread-local access hooks), so shards run on parallel driver threads;
+    // each shard stays internally deterministic, which is all replay
+    // reproducibility needs.
+    std::vector<sim::run_report> reports(shards_.size());
+    std::vector<std::exception_ptr> errors(shards_.size());
+    std::vector<std::thread> drivers;
+    drivers.reserve(shards_.size());
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      drivers.emplace_back([this, k, &reports, &errors] {
+        try {
+          reports[k] = shards_[k]->run();
+        } catch (...) {
+          errors[k] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+
+    sim::run_report total;
+    for (const sim::run_report& r : reports) {
+      total.steps += r.steps;
+      total.crashes += r.crashes;
+      total.hit_step_limit = total.hit_step_limit || r.hit_step_limit;
+    }
+    return total;
+  }
+
+  std::vector<hist::event> events() const override {
+    std::vector<std::vector<hist::event>> logs;
+    logs.reserve(shards_.size());
+    std::size_t longest = 0;
+    for (const auto& sh : shards_) {
+      logs.push_back(sh->events());
+      longest = std::max(longest, logs.back().size());
+    }
+    // Stable global order: shard-local index, then shard id. Each shard's
+    // log stays a subsequence of the merge.
+    std::vector<hist::event> out;
+    for (std::size_t i = 0; i < longest; ++i) {
+      for (const auto& lg : logs) {
+        if (i < lg.size()) out.push_back(lg[i]);
+      }
+    }
+    return out;
+  }
+
+  hist::check_result check(std::size_t node_budget) const override {
+    // Crash events are per shard (each shard is its own failure domain), so
+    // decompose shard by shard, each against its own objects' specs.
+    hist::check_result res;
+    res.ok = true;
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      hist::check_result sub = shards_[k]->check_per_object(node_budget);
+      res.nodes += sub.nodes;
+      if (!sub.ok) {
+        res.ok = false;
+        res.inconclusive = sub.inconclusive;
+        res.message =
+            "shard " + std::to_string(k) + ": " + sub.message;
+        return res;
+      }
+    }
+    return res;
+  }
+
+ private:
+  exec_policy pol_;
+  std::vector<std::unique_ptr<harness>> shards_;
+  std::map<int, std::vector<hist::op_desc>> scripts_;
+  std::uint32_t next_id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// threads — free-running real threads (the arena path), with post-hoc
+// per-object checking: a lincheck-style stress driver.
+
+class threads_executor final : public executor {
+ public:
+  explicit threads_executor(const exec_policy& p)
+      : pol_(p), board_(p.nprocs, dom_) {}
+
+  exec_backend backend() const noexcept override {
+    return exec_backend::threads;
+  }
+  int nprocs() const noexcept override { return pol_.nprocs; }
+  int shards() const noexcept override { return 1; }
+  int shard_of(std::uint32_t) const noexcept override { return 0; }
+
+  object_handle add(const std::string& kind,
+                    const object_params& params) override {
+    const kind_info& info = object_registry::global().at(kind);
+    object_env env{pol_.nprocs, board_, dom_};
+    created_object created = info.make(env, params);
+    core::detectable_object& primary = created.primary();
+    for (auto& obj : created.owned) objects_.push_back(std::move(obj));
+    std::uint32_t id = next_id_++;
+    by_id_.emplace(id, &primary);
+    specs_.emplace_back(id, info.make_spec(params));
+    return object_handle(id, info.family, &primary, kind);
+  }
+
+  void script(int pid, std::vector<hist::op_desc> ops) override {
+    check_pid(pid, pol_.nprocs);
+    scripts_[pid] = std::move(ops);
+  }
+
+  sim::run_report run() override {
+    std::vector<std::exception_ptr> errors(scripts_.size());
+    std::vector<std::thread> workers;
+    workers.reserve(scripts_.size());
+    std::uint64_t total_ops = 0;
+    std::size_t w = 0;
+    for (const auto& [pid, ops] : scripts_) {
+      total_ops += ops.size();
+      workers.emplace_back([this, pid = pid, &ops = ops, ep = &errors[w]] {
+        try {
+          client_thread(pid, ops);
+        } catch (...) {
+          *ep = std::current_exception();
+        }
+      });
+      ++w;
+    }
+    for (std::thread& t : workers) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    sim::run_report report;
+    report.steps = total_ops;  // no simulator steps; report op count instead
+    return report;
+  }
+
+  std::vector<hist::event> events() const override { return log_.snapshot(); }
+
+  hist::check_result check(std::size_t node_budget) const override {
+    hist::object_spec_list specs;
+    for (const auto& [id, proto] : specs_) specs.emplace_back(id, proto.get());
+    return hist::check_durable_linearizability_per_object(log_.snapshot(),
+                                                          specs, node_budget);
+  }
+
+ private:
+  // The caller-side protocol of §2, same as core::runtime::announce_and_invoke
+  // but free-running: the log's mutex serializes appends, and since an op's
+  // invoke event precedes its first step and its response event follows its
+  // return, the recorded intervals contain the real ones — precedence derived
+  // from the log is sound for the linearizability check.
+  void client_thread(int pid, const std::vector<hist::op_desc>& ops) {
+    core::ann_fields& ann = board_.of(pid);
+    std::uint64_t seq = 0;
+    for (hist::op_desc desc : ops) {
+      desc.client_seq = ++seq;
+      core::detectable_object& obj = *by_id_.at(desc.object);
+      ann.valid.store(0);
+      ann.op.store(desc);
+      if (obj.wants_aux_reset()) {
+        ann.resp.store(hist::k_bottom);
+        ann.cp.store(0);
+      }
+      ann.valid.store(1);
+      log_event(hist::event_kind::invoke, pid, desc);
+      value_t v = obj.invoke(pid, desc);
+      log_event(hist::event_kind::response, pid, desc, v);
+    }
+  }
+
+  void log_event(hist::event_kind kind, int pid, const hist::op_desc& desc,
+                 value_t value = hist::k_bottom) {
+    hist::event e;
+    e.kind = kind;
+    e.pid = pid;
+    e.desc = desc;
+    e.value = value;
+    log_.append(e);
+  }
+
+  exec_policy pol_;
+  nvm::pmem_domain dom_;
+  core::announcement_board board_;
+  hist::log log_;
+  std::vector<std::unique_ptr<core::detectable_object>> objects_;
+  std::map<std::uint32_t, core::detectable_object*> by_id_;
+  std::vector<std::pair<std::uint32_t, std::unique_ptr<hist::spec>>> specs_;
+  std::map<int, std::vector<hist::op_desc>> scripts_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<executor> make_executor(const exec_policy& p) {
+  if (p.nprocs < 1) {
+    throw std::invalid_argument("make_executor: nprocs must be >= 1");
+  }
+  if (p.shards < 1) {
+    throw std::invalid_argument("make_executor: shards must be >= 1");
+  }
+  switch (p.backend) {
+    case exec_backend::single:
+      return std::make_unique<single_executor>(p);
+    case exec_backend::sharded:
+      return std::make_unique<sharded_executor>(p);
+    case exec_backend::threads:
+      if (!p.crash_steps.empty() || p.crash_random) {
+        throw std::invalid_argument(
+            "make_executor: the threads backend cannot deliver simulated "
+            "crashes");
+      }
+      if (p.shared_cache) {
+        throw std::invalid_argument(
+            "make_executor: the threads backend has no shared-cache "
+            "emulation");
+      }
+      return std::make_unique<threads_executor>(p);
+  }
+  throw std::logic_error("make_executor: unhandled backend");
+}
+
+}  // namespace detect::api

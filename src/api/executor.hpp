@@ -1,0 +1,192 @@
+// detect::api::executor — pluggable execution backends behind one interface.
+//
+// An executor runs scripted workloads over registry objects and hands back a
+// checkable history; which machinery executes them is a builder policy:
+//
+//   auto ex = api::executor::builder()
+//                 .backend(api::exec_backend::sharded)
+//                 .shards(4)
+//                 .procs(8)
+//                 .seed(42)
+//                 .build();
+//   auto c0 = ex->add_counter();
+//   auto c1 = ex->add_counter();
+//   ex->script(0, {c0.add(1), c1.add(1)});
+//   auto report = ex->run();
+//   auto check = ex->check();   // per-object durable linearizability
+//
+// Backends:
+//   single   one sim::world driven by one harness — exactly today's harness
+//            semantics, behavior-preserving.
+//   sharded  K independent sim::world/core::runtime shards; objects route by
+//            object_handle::id() % K, scripts split per shard preserving each
+//            process's per-shard program order, shards run on parallel driver
+//            threads (each world is deterministic in isolation, so replays
+//            stay bit-reproducible), and the per-shard event logs merge into
+//            one hist::log by the stable order (shard-local index, shard).
+//   threads  free-running real threads over the emulated NVM domain (the
+//            arena path): no simulator, no crashes, nondeterministic
+//            schedules — post-hoc per-object linearizability checking makes
+//            it a lincheck-style stress driver on real cores.
+//
+// `check()` always uses per-object decomposition (one linearization per
+// object, never a product spec): the paper's objects are per-object
+// detectable and linearizability is compositional, so the verdict is the
+// same while the search space collapses from a product to a sum. On the
+// sharded backend the decomposition is also what makes checking *possible*:
+// a process's ops on different shards overlap in the merged log, which only
+// per-object projection (each object lives in exactly one shard) untangles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "api/harness.hpp"
+
+namespace detect::api {
+
+enum class exec_backend : std::uint8_t { single, sharded, threads };
+
+const char* backend_name(exec_backend b) noexcept;
+/// Inverse of backend_name(). Throws std::invalid_argument on unknown names.
+exec_backend backend_from_name(const std::string& name);
+
+/// Everything a backend needs to build itself — the builder's output and the
+/// one value scripted replays serialize.
+struct exec_policy {
+  exec_backend backend = exec_backend::single;
+  int shards = 1;  // sharded backend: number of sim::world shards
+  int nprocs = 2;
+  core::runtime::fail_policy fail = core::runtime::fail_policy::skip;
+  bool shared_cache = false;
+  bool auto_persist = true;
+  sim::world_config wcfg;
+  std::optional<std::uint64_t> sched_seed;  // nullopt → round robin
+  std::vector<std::uint64_t> crash_steps;
+  std::optional<std::tuple<std::uint64_t, double, std::uint64_t>> crash_random;
+};
+
+class executor {
+ public:
+  class builder;
+
+  virtual ~executor() = default;
+
+  virtual exec_backend backend() const noexcept = 0;
+  virtual int nprocs() const noexcept = 0;
+  /// Shard count (1 off the sharded backend).
+  virtual int shards() const noexcept = 0;
+  /// Which shard hosts `object_id` — the id-routing policy (0 off sharded).
+  virtual int shard_of(std::uint32_t object_id) const noexcept = 0;
+
+  // ---- object creation -----------------------------------------------------
+
+  /// Instantiate a registry kind under a fresh globally-unique id, routed to
+  /// its shard on the sharded backend.
+  virtual object_handle add(const std::string& kind,
+                            const object_params& params = {}) = 0;
+
+  reg add_reg(value_t init = 0) { return reg(add("reg", {.init = init})); }
+  cas add_cas(value_t init = 0) { return cas(add("cas", {.init = init})); }
+  counter add_counter(value_t init = 0) {
+    return counter(add("counter", {.init = init}));
+  }
+  swap_reg add_swap(value_t init = 0) {
+    return swap_reg(add("swap", {.init = init}));
+  }
+  tas add_tas() { return tas(add("tas")); }
+  queue add_queue(std::size_t capacity = 64) {
+    return queue(add("queue", {.capacity = capacity}));
+  }
+  stack add_stack(std::size_t capacity = 64) {
+    return stack(add("stack", {.capacity = capacity}));
+  }
+  max_reg add_max_reg() { return max_reg(add("max_reg")); }
+  lock add_lock() { return lock(add("lock")); }
+
+  // ---- scripting & running -------------------------------------------------
+
+  /// Install `pid`'s script (ops may target objects on any shard; the
+  /// sharded backend splits them preserving per-shard program order).
+  virtual void script(int pid, std::vector<hist::op_desc> ops) = 0;
+
+  /// Drive every script to completion under the configured policy. Fresh
+  /// scheduler/crash-plan instances per call keep runs reproducible.
+  virtual sim::run_report run() = 0;
+
+  // ---- history & verification ---------------------------------------------
+
+  /// The recorded history. Sharded: per-shard logs merged by the stable
+  /// global order (shard-local index, then shard id) — each shard's log is a
+  /// subsequence, so per-object real-time order is intact.
+  virtual std::vector<hist::event> events() const = 0;
+
+  /// Durable linearizability + detectability via per-object decomposition.
+  virtual hist::check_result check(
+      std::size_t node_budget = hist::k_default_node_budget) const = 0;
+
+  std::string log_text() const;
+};
+
+class executor::builder {
+ public:
+  builder& backend(exec_backend b) {
+    pol_.backend = b;
+    return *this;
+  }
+  /// Shard count for the sharded backend (ignored elsewhere).
+  builder& shards(int k) {
+    pol_.shards = k;
+    return *this;
+  }
+  builder& procs(int n) {
+    pol_.nprocs = n;
+    return *this;
+  }
+  builder& max_steps(std::uint64_t n) {
+    pol_.wcfg.max_steps = n;
+    return *this;
+  }
+  builder& fail_policy(core::runtime::fail_policy p) {
+    pol_.fail = p;
+    return *this;
+  }
+  /// Seeded random scheduler for run(); default is round robin.
+  builder& seed(std::uint64_t s) {
+    pol_.sched_seed = s;
+    return *this;
+  }
+  /// Crash when the (shard-local) step counter hits each listed value.
+  builder& crash_at(std::vector<std::uint64_t> steps) {
+    pol_.crash_steps = std::move(steps);
+    return *this;
+  }
+  /// Crash with probability `rate` before each step, at most `max` times.
+  builder& crash_random(std::uint64_t s, double rate, std::uint64_t max) {
+    pol_.crash_random = {s, rate, max};
+    return *this;
+  }
+  /// Shared-cache memory model; `auto_persist` applies the §6 syntactic
+  /// flush/fence transformation to every shared access.
+  builder& shared_cache(bool auto_persist = true) {
+    pol_.shared_cache = true;
+    pol_.auto_persist = auto_persist;
+    return *this;
+  }
+
+  std::unique_ptr<executor> build() const;
+
+ private:
+  exec_policy pol_;
+};
+
+/// Instantiate the backend `p` selects. Throws std::invalid_argument on
+/// nonsensical policies (shards < 1, or crash/shared-cache plans on the
+/// threads backend, which cannot deliver simulated crashes).
+std::unique_ptr<executor> make_executor(const exec_policy& p);
+
+}  // namespace detect::api

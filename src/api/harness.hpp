@@ -51,6 +51,12 @@ class harness {
   /// Instantiate a registry kind and register it under a fresh id.
   object_handle add(const std::string& kind, const object_params& params = {});
 
+  /// Same, under a caller-chosen id (fresh per the runtime's duplicate
+  /// check). Sharded executors route globally-unique ids into per-shard
+  /// harnesses with this.
+  object_handle add_as(std::uint32_t id, const std::string& kind,
+                       const object_params& params = {});
+
   reg add_reg(value_t init = 0) { return reg(add("reg", {.init = init})); }
   cas add_cas(value_t init = 0) { return cas(add("cas", {.init = init})); }
   counter add_counter(value_t init = 0) {
@@ -103,6 +109,23 @@ class harness {
   /// against the assembled spec.
   hist::check_result check() const {
     return hist::check_durable_linearizability(log_->snapshot(), *spec());
+  }
+
+  /// Same verdict via per-object decomposition: one linearization per added
+  /// object instead of one product-spec search — exponentially cheaper on
+  /// multi-object histories (see hist::checker).
+  hist::check_result check_per_object(
+      std::size_t node_budget = hist::k_default_node_budget) const {
+    return hist::check_durable_linearizability_per_object(
+        log_->snapshot(), object_specs(), node_budget);
+  }
+
+  /// (id, spec) of every object added so far; specs stay owned by the
+  /// harness.
+  hist::object_spec_list object_specs() const {
+    hist::object_spec_list out;
+    for (const auto& [id, proto] : specs_) out.emplace_back(id, proto.get());
+    return out;
   }
 
   std::vector<hist::event> events() const { return log_->snapshot(); }

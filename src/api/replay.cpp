@@ -8,13 +8,17 @@ namespace detect::api {
 
 namespace {
 
-harness build_harness(const scripted_scenario& s) {
-  harness::builder b;
-  b.procs(s.nprocs).fail_policy(s.policy).seed(s.sched_seed);
+std::unique_ptr<executor> build_executor(const scripted_scenario& s) {
+  executor::builder b;
+  b.backend(s.backend)
+      .shards(s.shards)
+      .procs(s.nprocs)
+      .fail_policy(s.policy)
+      .seed(s.sched_seed);
   if (!s.crash_steps.empty()) b.crash_at(s.crash_steps);
   if (s.shared_cache) b.shared_cache();
-  harness h = b.build();
-  object_handle obj = h.add(s.kind, s.params);
+  std::unique_ptr<executor> ex = b.build();
+  object_handle obj = ex->add(s.kind, s.params);
   for (const auto& [pid, ops] : s.scripts) {
     if (pid < 0 || pid >= s.nprocs) {
       throw std::invalid_argument("replay: script pid " + std::to_string(pid) +
@@ -23,18 +27,18 @@ harness build_harness(const scripted_scenario& s) {
     }
     std::vector<hist::op_desc> bound = ops;
     for (hist::op_desc& d : bound) d.object = obj.id();
-    h.script(pid, std::move(bound));
+    ex->script(pid, std::move(bound));
   }
-  return h;
+  return ex;
 }
 
 scripted_outcome replay_impl(const scripted_scenario& s, bool check) {
-  harness h = build_harness(s);
+  std::unique_ptr<executor> ex = build_executor(s);
   scripted_outcome out;
-  out.report = h.run();
-  if (check) out.check = h.check();
-  out.events = h.events();
-  out.log_text = h.log_text();
+  out.report = ex->run();
+  if (check) out.check = ex->check();
+  out.events = ex->events();
+  out.log_text = ex->log_text();
   return out;
 }
 
@@ -136,13 +140,15 @@ core::runtime::fail_policy fail_policy_from_name(const std::string& name) {
 
 std::string dump(const scripted_scenario& s) {
   std::ostringstream os;
-  os << "# detect scripted_scenario v1\n";
+  os << "# detect scripted_scenario v2\n";
   os << "kind " << s.kind << "\n";
   os << "params " << s.params.init << " " << s.params.capacity << "\n";
   os << "procs " << s.nprocs << "\n";
   os << "policy " << fail_policy_name(s.policy) << "\n";
   os << "shared_cache " << (s.shared_cache ? 1 : 0) << "\n";
   os << "sched_seed " << s.sched_seed << "\n";
+  os << "backend " << backend_name(s.backend) << "\n";
+  os << "shards " << s.shards << "\n";
   os << "crash_steps";
   for (std::uint64_t k : s.crash_steps) os << " " << k;
   os << "\n";
@@ -158,8 +164,78 @@ std::string dump(const scripted_scenario& s) {
 
 namespace {
 
-[[noreturn]] void malformed(const std::string& what) {
-  throw std::invalid_argument("parse_scenario: " + what);
+/// Parse failure at a known input line: the message carries the 1-based line
+/// number and the offending token, so a bad dump pinpoints itself.
+[[noreturn]] void malformed_at(int lineno, const std::string& what) {
+  throw std::invalid_argument("parse_scenario: line " +
+                              std::to_string(lineno) + ": " + what);
+}
+
+void parse_line(const std::string& line, int lineno, scripted_scenario& s,
+                bool& saw_kind) {
+  std::istringstream ls(line);
+  std::string key;
+  ls >> key;
+  if (key == "kind") {
+    if (!(ls >> s.kind)) malformed_at(lineno, "missing kind value");
+    saw_kind = true;
+  } else if (key == "params") {
+    if (!(ls >> s.params.init >> s.params.capacity)) {
+      malformed_at(lineno, "bad params line: " + line);
+    }
+  } else if (key == "procs") {
+    if (!(ls >> s.nprocs) || s.nprocs <= 0) {
+      malformed_at(lineno, "bad procs line: " + line);
+    }
+  } else if (key == "policy") {
+    std::string p;
+    if (!(ls >> p)) malformed_at(lineno, "missing policy value");
+    s.policy = fail_policy_from_name(p);
+  } else if (key == "shared_cache") {
+    int v = 0;
+    if (!(ls >> v)) malformed_at(lineno, "bad shared_cache line: " + line);
+    s.shared_cache = v != 0;
+  } else if (key == "sched_seed") {
+    if (!(ls >> s.sched_seed)) {
+      malformed_at(lineno, "bad sched_seed line: " + line);
+    }
+  } else if (key == "backend") {
+    std::string b;
+    if (!(ls >> b)) malformed_at(lineno, "missing backend value");
+    s.backend = backend_from_name(b);
+  } else if (key == "shards") {
+    if (!(ls >> s.shards) || s.shards < 1) {
+      malformed_at(lineno, "bad shards line: " + line);
+    }
+  } else if (key == "crash_steps") {
+    std::uint64_t k;
+    while (ls >> k) s.crash_steps.push_back(k);
+  } else if (key == "script") {
+    int pid = -1;
+    if (!(ls >> pid)) malformed_at(lineno, "bad script line: " + line);
+    std::vector<hist::op_desc> ops;
+    std::string tok;
+    while (ls >> tok) {
+      // name:a:b
+      std::size_t c1 = tok.find(':');
+      std::size_t c2 = tok.rfind(':');
+      if (c1 == std::string::npos || c2 == c1) {
+        malformed_at(lineno, "bad op token '" + tok + "'");
+      }
+      hist::op_desc d;
+      d.code = opcode_from_name(tok.substr(0, c1));
+      try {
+        d.a = std::stoll(tok.substr(c1 + 1, c2 - c1 - 1));
+        d.b = std::stoll(tok.substr(c2 + 1));
+      } catch (const std::exception&) {
+        malformed_at(lineno, "bad op arguments in '" + tok + "'");
+      }
+      ops.push_back(d);
+    }
+    s.scripts[pid] = std::move(ops);
+  } else {
+    malformed_at(lineno, "unknown key '" + key + "'");
+  }
 }
 
 }  // namespace
@@ -169,63 +245,24 @@ scripted_scenario parse_scenario(const std::string& text) {
   bool saw_kind = false;
   std::istringstream in(text);
   std::string line;
+  int lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string key;
-    ls >> key;
-    if (key == "kind") {
-      if (!(ls >> s.kind)) malformed("missing kind value");
-      saw_kind = true;
-    } else if (key == "params") {
-      if (!(ls >> s.params.init >> s.params.capacity)) {
-        malformed("bad params line: " + line);
-      }
-    } else if (key == "procs") {
-      if (!(ls >> s.nprocs) || s.nprocs <= 0) {
-        malformed("bad procs line: " + line);
-      }
-    } else if (key == "policy") {
-      std::string p;
-      if (!(ls >> p)) malformed("missing policy value");
-      s.policy = fail_policy_from_name(p);
-    } else if (key == "shared_cache") {
-      int v = 0;
-      if (!(ls >> v)) malformed("bad shared_cache line: " + line);
-      s.shared_cache = v != 0;
-    } else if (key == "sched_seed") {
-      if (!(ls >> s.sched_seed)) malformed("bad sched_seed line: " + line);
-    } else if (key == "crash_steps") {
-      std::uint64_t k;
-      while (ls >> k) s.crash_steps.push_back(k);
-    } else if (key == "script") {
-      int pid = -1;
-      if (!(ls >> pid)) malformed("bad script line: " + line);
-      std::vector<hist::op_desc> ops;
-      std::string tok;
-      while (ls >> tok) {
-        // name:a:b
-        std::size_t c1 = tok.find(':');
-        std::size_t c2 = tok.rfind(':');
-        if (c1 == std::string::npos || c2 == c1) {
-          malformed("bad op token '" + tok + "'");
-        }
-        hist::op_desc d;
-        d.code = opcode_from_name(tok.substr(0, c1));
-        try {
-          d.a = std::stoll(tok.substr(c1 + 1, c2 - c1 - 1));
-          d.b = std::stoll(tok.substr(c2 + 1));
-        } catch (const std::exception&) {
-          malformed("bad op arguments in '" + tok + "'");
-        }
-        ops.push_back(d);
-      }
-      s.scripts[pid] = std::move(ops);
-    } else {
-      malformed("unknown key '" + key + "'");
+    try {
+      parse_line(line, lineno, s, saw_kind);
+    } catch (const std::invalid_argument& ex) {
+      std::string what = ex.what();
+      // Helper throws (opcode_from_name, backend_from_name, ...) know the
+      // offending token but not the line — wrap them once, here.
+      if (what.rfind("parse_scenario:", 0) == 0) throw;
+      throw std::invalid_argument("parse_scenario: line " +
+                                  std::to_string(lineno) + ": " + what);
     }
   }
-  if (!saw_kind) malformed("missing kind");
+  if (!saw_kind) {
+    throw std::invalid_argument("parse_scenario: missing kind");
+  }
   return s;
 }
 

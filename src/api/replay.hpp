@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "api/executor.hpp"
 #include "api/harness.hpp"
 #include "api/registry.hpp"
 #include "history/checker.hpp"
@@ -29,7 +30,7 @@
 namespace detect::api {
 
 /// A replayable run recipe: one registry kind (registered as object id 0)
-/// plus everything the harness builder and runtime need to reproduce the
+/// plus everything the executor builder and runtime need to reproduce the
 /// execution bit-for-bit.
 struct scripted_scenario {
   std::string kind;
@@ -39,6 +40,13 @@ struct scripted_scenario {
   bool shared_cache = false;
   std::uint64_t sched_seed = 0;
   std::vector<std::uint64_t> crash_steps;
+  /// Which execution backend replays this scenario. Dumps predating the
+  /// executor redesign carry neither field and parse as single/1.
+  exec_backend backend = exec_backend::single;
+  /// Shard count: the sharded backend's world count when backend == sharded,
+  /// and the shard count fuzz::diff_sharded replays the scenario under for
+  /// the single-vs-sharded equivalence diff otherwise (1 = no sharded diff).
+  int shards = 1;
   std::map<int, std::vector<hist::op_desc>> scripts;
 
   /// Total scripted ops across all processes.
@@ -56,8 +64,8 @@ struct scripted_outcome {
   std::string log_text;
 };
 
-/// Build a harness for `s` (instantiating `s.kind` from the registry under
-/// object id 0), install the scripts, run, and check.
+/// Build an executor for `s` (instantiating `s.kind` from the registry under
+/// object id 0 on `s.backend`), install the scripts, run, and check.
 scripted_outcome replay(const scripted_scenario& s);
 
 /// Same, but skip the (potentially expensive) durable-linearizability check;

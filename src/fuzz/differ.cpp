@@ -1,5 +1,6 @@
 #include "fuzz/differ.hpp"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -28,6 +29,58 @@ std::string describe(const api::scripted_scenario& s) {
      << " policy=" << api::fail_policy_name(s.policy)
      << (s.shared_cache ? " shared_cache" : "");
   return os.str();
+}
+
+/// The comparison core shared by the variant diff and the sharded-
+/// equivalence diff: `a` and `b` are outcomes of the identical scenario
+/// `base` replayed as `a_name` and `b_name`. Response streams are compared
+/// only when `compare_responses` — the caller knows whether both replays
+/// were deterministic.
+diff_report compare_replays(const api::scripted_scenario& base,
+                            const api::scripted_outcome& a,
+                            const std::string& a_name,
+                            const api::scripted_outcome& b,
+                            const std::string& b_name,
+                            bool compare_responses) {
+  diff_report r;
+  auto fail = [&](const std::string& what) {
+    r.ok = false;
+    std::ostringstream os;
+    os << "differ: " << what << "\n  scenario: " << describe(base)
+       << "\n  variant: " << b_name;
+    r.message = os.str();
+    return r;
+  };
+
+  if (a.report.hit_step_limit) return fail(a_name + " hit the step limit");
+  if (b.report.hit_step_limit) return fail(b_name + " hit the step limit");
+  if (!a.check.ok) {
+    return fail(a_name + " failed the checker: " + a.check.message);
+  }
+  if (!b.check.ok) {
+    return fail(b_name + " failed the checker: " + b.check.message);
+  }
+  if (!compare_responses) return r;
+
+  auto ra = responses(a.events);
+  auto rb = responses(b.events);
+  if (ra.size() != rb.size()) {
+    return fail("response counts diverge: " + a_name + "=" +
+                std::to_string(ra.size()) + " " + b_name + "=" +
+                std::to_string(rb.size()));
+  }
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i] != rb[i]) {
+      std::ostringstream os;
+      os << "response " << i << " diverges: " << a_name << " "
+         << hist::opcode_name(std::get<1>(ra[i])) << " -> "
+         << std::get<2>(ra[i]) << " vs " << b_name << " "
+         << hist::opcode_name(std::get<1>(rb[i])) << " -> "
+         << std::get<2>(rb[i]);
+      return fail(os.str());
+    }
+  }
+  return r;
 }
 
 }  // namespace
@@ -91,54 +144,41 @@ diff_report diff_against(const api::scripted_scenario& s,
 
 namespace {
 
+/// Core of the sharded diff, given the already-replayed single-backend
+/// outcome `a` of `base`; replays only the sharded variant (one replay, not
+/// two — check_scenario hands in the primary outcome it already has).
+/// Response streams are compared on every run: single-object scenarios land
+/// entirely in one shard, which executes the identical deterministic world
+/// the single backend does.
+diff_report diff_sharded_against(const api::scripted_scenario& base,
+                                 const api::scripted_outcome& a, int shards) {
+  api::scripted_scenario variant = base;
+  variant.backend = api::exec_backend::sharded;
+  variant.shards = std::max(1, shards);
+  api::scripted_outcome b = api::replay(variant);
+  return compare_replays(base, a, "single", b,
+                         "sharded(" + std::to_string(variant.shards) + ")",
+                         /*compare_responses=*/true);
+}
+
+}  // namespace
+
+diff_report diff_sharded(const api::scripted_scenario& s, int shards) {
+  api::scripted_scenario base = s;
+  base.backend = api::exec_backend::single;
+  return diff_sharded_against(base, api::replay(base), shards);
+}
+
+namespace {
+
 diff_report compare_outcomes(const api::scripted_scenario& base,
                              const api::scripted_outcome& a,
                              const std::string& variant_kind,
                              const api::scripted_outcome& b) {
-  const std::string& kind = base.kind;
-  diff_report r;
-  auto fail = [&](const std::string& what) {
-    r.ok = false;
-    std::ostringstream os;
-    os << "differ: " << what << "\n  scenario: " << describe(base)
-       << "\n  variant: " << variant_kind;
-    r.message = os.str();
-    return r;
-  };
-
-  if (a.report.hit_step_limit) return fail(kind + " hit the step limit");
-  if (b.report.hit_step_limit) {
-    return fail(variant_kind + " hit the step limit");
-  }
-  if (!a.check.ok) {
-    return fail(kind + " failed the checker: " + a.check.message);
-  }
-  if (!b.check.ok) {
-    return fail(variant_kind + " failed the checker: " + b.check.message);
-  }
-
-  // Deterministically comparable executions must agree response-for-response.
-  if (base.nprocs == 1 && base.crash_steps.empty()) {
-    auto ra = responses(a.events);
-    auto rb = responses(b.events);
-    if (ra.size() != rb.size()) {
-      return fail("response counts diverge: " + kind + "=" +
-                  std::to_string(ra.size()) + " " + variant_kind + "=" +
-                  std::to_string(rb.size()));
-    }
-    for (std::size_t i = 0; i < ra.size(); ++i) {
-      if (ra[i] != rb[i]) {
-        std::ostringstream os;
-        os << "response " << i << " diverges: " << kind << " "
-           << hist::opcode_name(std::get<1>(ra[i])) << " -> "
-           << std::get<2>(ra[i]) << " vs " << variant_kind << " "
-           << hist::opcode_name(std::get<1>(rb[i])) << " -> "
-           << std::get<2>(rb[i]);
-        return fail(os.str());
-      }
-    }
-  }
-  return r;
+  // Cross-implementation replays are only deterministically comparable
+  // response-for-response when single-proc and crash-free.
+  return compare_replays(base, a, base.kind, b, variant_kind,
+                         base.nprocs == 1 && base.crash_steps.empty());
 }
 
 }  // namespace
@@ -161,6 +201,16 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
   if (!primary.check.ok) {
     return "checker rejected " + s.kind + ": " + primary.check.message +
            "\n" + primary.log_text;
+  }
+
+  // Single-vs-sharded equivalence, whenever the scenario carries a shard
+  // count (generated scenarios draw it; see gen_config::max_shards). Part of
+  // the base oracle, not the variant pass — the shrinker must preserve it.
+  // `primary` is the single-backend replay already in hand.
+  if (s.shards > 1 && s.backend == api::exec_backend::single) {
+    count(1);
+    diff_report d = diff_sharded_against(s, primary, s.shards);
+    if (!d.ok) return d.message;
   }
   if (!diff) return {};
 

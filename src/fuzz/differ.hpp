@@ -42,15 +42,25 @@ std::vector<std::string> variants_of(const std::string& kind);
 diff_report diff_against(const api::scripted_scenario& s,
                          const std::string& variant_kind);
 
+/// Backend-equivalence diff: replay `s` on the single backend and again on
+/// the sharded backend with `shards` worlds, then diff run health, checker
+/// verdicts, and the exact response streams. Both executions are
+/// deterministic functions of the scenario (each shard world is internally
+/// deterministic), so the streams must agree response-for-response — the
+/// oracle behind the ISSUE's sharded-equivalence acceptance bar.
+diff_report diff_sharded(const api::scripted_scenario& s, int shards);
+
 /// Non-differential oracle for a single replay of `s`: the run must finish
 /// within the step budget and pass the durable-linearizability +
 /// detectability check. Returns the failure description, empty on success.
 std::string verify_scenario(const api::scripted_scenario& s);
 
 /// Full per-scenario oracle the fuzzer, shrinker, and `fuzz_main --replay`
-/// share: verify_scenario plus diff_against every variant of `s.kind`.
-/// Empty on success. `replays`, when set, is bumped per scenario replay
-/// performed (campaign accounting). `diff` disables the variant pass.
+/// share: verify_scenario, diff_against every variant of `s.kind`, and —
+/// whenever `s.shards > 1` on the single backend — the single-vs-sharded
+/// equivalence diff. Empty on success. `replays`, when set, is bumped per
+/// scenario replay performed (campaign accounting). `diff` disables the
+/// variant pass (the sharded diff is governed by `s.shards` alone).
 std::string check_scenario(const api::scripted_scenario& s, bool diff = true,
                            std::uint64_t* replays = nullptr);
 

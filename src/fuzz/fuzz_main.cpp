@@ -3,6 +3,9 @@
 //   fuzz_main                          # default campaign over all kinds
 //   fuzz_main --iters 5000 --seed 42   # bounded, reproducible campaign
 //   fuzz_main --kind cas --kind queue  # restrict the kind pool
+//   fuzz_main --sharded-equiv          # every iteration diffs single vs
+//                                      # sharded (the CI equivalence stage)
+//   fuzz_main --shards-max K           # bound the generator's shard knob
 //   fuzz_main --out artifacts/         # write failure artifact on failure
 //   fuzz_main --replay failure.txt     # re-run a dumped scenario
 //   fuzz_main --list-kinds             # print the registry kind pool
@@ -28,7 +31,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--iters N] [--seed S] [--kind K]... [--procs-max P]\n"
-      "          [--ops-max M] [--no-diff] [--no-shrink] [--no-crashes]\n"
+      "          [--ops-max M] [--shards-max K] [--sharded-equiv]\n"
+      "          [--no-diff] [--no-shrink] [--no-crashes]\n"
       "          [--out DIR] [--replay FILE] [--list-kinds] [--quiet]\n",
       argv0);
   return 2;
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
   std::string out_dir;
   std::string replay_path;
   bool quiet = false;
+  bool sharded_equiv = false;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -100,6 +105,10 @@ int main(int argc, char** argv) {
       opt.gen.max_procs = static_cast<int>(need_u64(i));
     } else if (std::strcmp(arg, "--ops-max") == 0) {
       opt.gen.max_ops = static_cast<int>(need_u64(i));
+    } else if (std::strcmp(arg, "--shards-max") == 0) {
+      opt.gen.max_shards = static_cast<int>(need_u64(i));
+    } else if (std::strcmp(arg, "--sharded-equiv") == 0) {
+      sharded_equiv = true;
     } else if (std::strcmp(arg, "--no-diff") == 0) {
       opt.diff = false;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -120,6 +129,14 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+
+  // Applied after flag parsing so ordering cannot neuter it: an equivalence
+  // campaign whose generator never draws shards >= 2 would vacuously PASS.
+  if (sharded_equiv) {
+    opt.gen.min_shards = 2;
+    if (opt.gen.max_shards < 2) opt.gen.max_shards = 4;
+    opt.diff = false;
   }
 
   try {

@@ -88,6 +88,21 @@ api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
   if (cfg.allow_shared_cache && next_rand(rng) % 4 == 0) {
     s.shared_cache = true;
   }
+  // Shard-count knob for the single-vs-sharded equivalence diff; the
+  // scenario itself stays on the single backend (diff_sharded replays it on
+  // both).
+  if (cfg.max_shards > 1) {
+    const int lo = std::max(1, cfg.min_shards);
+    const int hi = std::max(lo, cfg.max_shards);
+    if (lo > 1) {
+      s.shards = static_cast<int>(
+          pick(rng, static_cast<std::uint64_t>(lo),
+               static_cast<std::uint64_t>(hi)));
+    } else if (next_rand(rng) % 2 == 0) {
+      s.shards = static_cast<int>(
+          pick(rng, 2, static_cast<std::uint64_t>(hi)));
+    }
+  }
   // The recoverable lock's usage contract (rlock.hpp): a client never invokes
   // try_lock while it may still hold the lock. Under skip, a crash-dropped
   // release leaves holding-state uncertain, so crashy lock scenarios must

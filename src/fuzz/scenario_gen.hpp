@@ -43,6 +43,13 @@ struct gen_config {
   bool allow_shared_cache = true;
   /// Argument domain for generated op values: 0 .. value_range-1.
   hist::value_t value_range = 8;
+  /// Sharded-equivalence knob: scenarios draw `shards` from
+  /// [min_shards, max_shards] out of the same xorshift stream (when
+  /// min_shards == 1 a coin first keeps about half of them unsharded);
+  /// fuzz::diff_sharded then replays single vs sharded for every scenario
+  /// with shards > 1. max_shards <= 1 disables the knob entirely.
+  int min_shards = 1;
+  int max_shards = 4;
 };
 
 /// One random operation for `family`, drawn from family_opcodes(). `pid` is

@@ -164,6 +164,14 @@ api::scripted_scenario shrink(api::scripted_scenario s,
       c.shared_cache = false;
       return true;
     });
+    // Drop the sharded-equivalence diff (shards -> 1): if the failure
+    // survives, it is not a sharding bug and the simpler single-backend
+    // artifact is the one to debug.
+    progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
+      if (c.shards <= 1) return false;
+      c.shards = 1;
+      return true;
+    });
 
     // 5. Zero op arguments.
     for (int p : pids_of(s)) {

@@ -8,7 +8,7 @@
 //   1. drop whole per-process scripts (and renumber pids densely),
 //   2. chop op-suffix halves, then individual ops,
 //   3. drop crash steps,
-//   4. simplify knobs (retry → skip, shared_cache → private),
+//   4. simplify knobs (retry → skip, shared_cache → private, shards → 1),
 //   5. zero op argument values.
 //
 // Every candidate is produced deterministically from the current scenario,

@@ -3,14 +3,24 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace detect::hist {
 
 std::vector<op_record> build_records(const std::vector<event>& events) {
   std::vector<op_record> out;
   // One open operation per process at a time (processes are sequential).
-  std::map<int, std::size_t> open;        // pid -> index into `out`
-  std::map<int, std::size_t> last_begin;  // pid -> index of recover_begin
+  std::map<int, std::size_t> open;  // pid -> index into `out`
+  // (pid, client_seq) -> index of the FIRST recover_begin for that op. A
+  // crash can strike inside the announcement window before the invoke event
+  // is logged; a re-invoking recovery (e.g. the nrl adapter) then executes
+  // the op — possibly in an early recovery attempt that is itself crashed
+  // before it can report, with only a later re-attempt logging the verdict.
+  // The synthesized interval must therefore start at the first attempt, not
+  // the last: anchoring at the last recover_begin fabricates a real-time
+  // edge against ops that completed in between and falsely fails histories
+  // (found by the differential fuzzer on nrl_reg).
+  std::map<std::pair<int, std::uint64_t>, std::size_t> first_begin;
   // Last client_seq whose record closed, per pid: a crash between an op's
   // response and the client's durable program-counter update makes recovery
   // re-report "linearized" for an op the log already closed; such duplicate
@@ -50,9 +60,14 @@ std::vector<op_record> build_records(const std::vector<event>& events) {
       case event_kind::crash:
         break;  // intervals simply continue
       case event_kind::recover_begin:
-        last_begin[e.pid] = i;
+        first_begin.emplace(std::make_pair(e.pid, e.desc.client_seq), i);
         break;
       case event_kind::recover_result: {
+        // This recovery round concluded; a later round for the same seq (a
+        // retry after `fail`) starts fresh, so its interval must anchor at
+        // its own first recover_begin, not this round's.
+        const std::pair<int, std::uint64_t> round_key{e.pid,
+                                                      e.desc.client_seq};
         auto it = open.find(e.pid);
         if (it == open.end()) {
           // No open op. A `fail` verdict imposes nothing (the operation
@@ -64,11 +79,12 @@ std::vector<op_record> build_records(const std::vector<event>& events) {
           // the op now: synthesize a record spanning [recover_begin, here].
           auto lc = last_closed.find(e.pid);
           if (lc != last_closed.end() && lc->second == e.desc.client_seq) {
+            first_begin.erase(round_key);
             break;
           }
           if (e.verdict == recovery_verdict::linearized) {
-            auto b = last_begin.find(e.pid);
-            if (b == last_begin.end()) {
+            auto b = first_begin.find(round_key);
+            if (b == first_begin.end()) {
               throw std::logic_error(
                   "linearized verdict with no open op and no recover_begin");
             }
@@ -82,6 +98,7 @@ std::vector<op_record> build_records(const std::vector<event>& events) {
             last_closed[e.pid] = r.desc.client_seq;
             out.push_back(r);
           }
+          first_begin.erase(round_key);
           break;
         }
         op_record& r = out[it->second];
@@ -98,6 +115,7 @@ std::vector<op_record> build_records(const std::vector<event>& events) {
           r.pid = -2;
           open.erase(it);
         }
+        first_begin.erase(round_key);
         break;
       }
     }
@@ -131,11 +149,57 @@ check_result check_durable_linearizability(const std::vector<event>& events,
   lin_result lr = check_linearizable(records, initial, node_budget);
   res.ok = lr.linearizable;
   res.inconclusive = lr.exhausted_budget;
+  res.nodes = lr.nodes;
   if (!lr.linearizable) {
     std::ostringstream os;
     os << lr.error << "\nEvent log:\n";
     for (const event& e : events) os << "  " << e.to_string() << '\n';
     res.message = os.str();
+  }
+  return res;
+}
+
+std::vector<event> object_events(const std::vector<event>& events,
+                                 std::uint32_t object_id) {
+  std::vector<event> out;
+  for (const event& e : events) {
+    if (e.kind == event_kind::crash || e.desc.object == object_id) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+check_result check_durable_linearizability_per_object(
+    const std::vector<event>& events, const object_spec_list& specs,
+    std::size_t node_budget) {
+  check_result res;
+
+  // Every op event must belong to a spec'd object — a silent skip would
+  // vacuously pass histories the caller thought were being checked.
+  std::unordered_set<std::uint32_t> known;
+  known.reserve(specs.size());
+  for (const auto& [id, sp] : specs) known.insert(id);
+  for (const event& e : events) {
+    if (e.kind != event_kind::crash && known.count(e.desc.object) == 0) {
+      res.message = "per-object check: no spec for object id " +
+                    std::to_string(e.desc.object);
+      return res;
+    }
+  }
+
+  res.ok = true;
+  for (const auto& [id, sp] : specs) {
+    check_result sub =
+        check_durable_linearizability(object_events(events, id), *sp,
+                                      node_budget);
+    res.nodes += sub.nodes;
+    if (!sub.ok) {
+      res.ok = false;
+      res.inconclusive = sub.inconclusive;
+      res.message = "object " + std::to_string(id) + ": " + sub.message;
+      return res;
+    }
   }
   return res;
 }

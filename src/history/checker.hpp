@@ -15,7 +15,9 @@
 //    response v": the op becomes mandatory with response v.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "history/linearizer.hpp"
@@ -23,9 +25,12 @@
 
 namespace detect::hist {
 
+inline constexpr std::size_t k_default_node_budget = 4'000'000;
+
 struct check_result {
   bool ok = false;
   bool inconclusive = false;  // node budget exhausted
+  std::size_t nodes = 0;      // linearizer nodes expanded (summed per object)
   std::string message;
 };
 
@@ -35,8 +40,28 @@ struct check_result {
 std::vector<op_record> build_records(const std::vector<event>& events);
 
 /// Full pipeline: build records, check against the spec.
-check_result check_durable_linearizability(const std::vector<event>& events,
-                                           const spec& initial,
-                                           std::size_t node_budget = 4'000'000);
+check_result check_durable_linearizability(
+    const std::vector<event>& events, const spec& initial,
+    std::size_t node_budget = k_default_node_budget);
+
+/// The objects of a history with their sequential specs, by object id (specs
+/// are borrowed; they are cloned internally, never mutated).
+using object_spec_list = std::vector<std::pair<std::uint32_t, const spec*>>;
+
+/// The sub-history of one object: its invoke/response/recover events plus
+/// every (global) crash event, in original order.
+std::vector<event> object_events(const std::vector<event>& events,
+                                 std::uint32_t object_id);
+
+/// Per-object decomposition: run one linearization per object against its own
+/// spec instead of one search against the product spec. Sound and complete —
+/// linearizability is compositional, and every real-time edge between two ops
+/// of the same object survives the projection — while the search space drops
+/// from the product of all objects' interleavings to their sum. Events naming
+/// an object absent from `specs` fail the check. `nodes` accumulates across
+/// objects; each object gets the full `node_budget`.
+check_result check_durable_linearizability_per_object(
+    const std::vector<event>& events, const object_spec_list& specs,
+    std::size_t node_budget = k_default_node_budget);
 
 }  // namespace detect::hist

@@ -25,6 +25,7 @@ struct search {
   std::unordered_set<std::string> visited;
   std::vector<std::pair<std::size_t, bool>> chosen;  // (index, dropped)
   std::size_t budget;
+  std::size_t nodes = 0;
   std::size_t best_depth = 0;
 
   explicit search(const std::vector<op_record>& o, std::size_t b)
@@ -56,6 +57,7 @@ struct search {
     best_depth = std::max(best_depth, depth);
     if (depth == ops.size()) return true;
     if (budget-- == 0) throw std::length_error("budget");
+    ++nodes;
 
     std::string key = std::to_string(done) + '|' + state.serialize();
     if (!visited.insert(std::move(key)).second) return false;
@@ -98,6 +100,7 @@ lin_result check_linearizable(const std::vector<op_record>& ops,
   try {
     if (s.dfs(0, initial)) {
       r.linearizable = true;
+      r.nodes = s.nodes;
       for (auto [idx, dropped] : s.chosen) {
         if (!dropped) r.witness.push_back(idx);
       }
@@ -105,9 +108,11 @@ lin_result check_linearizable(const std::vector<op_record>& ops,
     }
   } catch (const std::length_error&) {
     r.exhausted_budget = true;
+    r.nodes = s.nodes;
     r.error = "node budget exhausted (inconclusive)";
     return r;
   }
+  r.nodes = s.nodes;
   std::ostringstream os;
   os << "not linearizable; deepest prefix ordered " << s.best_depth << " of "
      << ops.size() << " ops. Ops:\n";

@@ -40,6 +40,9 @@ struct op_record {
 struct lin_result {
   bool linearizable = false;
   bool exhausted_budget = false;
+  /// Search nodes expanded before the verdict — the cost figure per-object
+  /// decomposition is measured against (see hist::checker).
+  std::size_t nodes = 0;
   /// Indices into the input vector in linearization order (dropped optional
   /// ops are absent). Valid when linearizable.
   std::vector<std::size_t> witness;
