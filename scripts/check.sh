@@ -9,6 +9,10 @@
 #   scripts/check.sh --fuzz N        # the CI fuzz stage: N bounded iterations
 #   scripts/check.sh --fuzz-sharded N  # the CI sharded-equivalence stage:
 #                                    # N single-vs-sharded diff iterations
+#   scripts/check.sh --fuzz-deep N   # the nightly deep-fuzz lane: N
+#                                    # coverage-steered multi-object
+#                                    # iterations with the equivalence diff
+#                                    # on every one; writes coverage.json
 #   scripts/check.sh --bench-smoke   # the CI bench-smoke stage: every
 #                                    # E-binary with tiny parameters
 #
@@ -19,6 +23,8 @@
 #                       for --quick, build otherwise)
 #   DETECT_FUZZ_OUT     artifact directory for failing fuzz seeds
 #                       (default fuzz-artifacts)
+#   DETECT_COVERAGE_OUT coverage.json path for --fuzz-deep
+#                       (default coverage.json)
 #   CC/CXX              compilers, as usual with CMake
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,7 +88,10 @@ case "${1:-}" in
     dir="${DETECT_BUILD_DIR:-build-$build_type}"
     echo "== fuzz: $iters iterations ($dir) =="
     stage_build "$dir" "$build_type"
-    stage_fuzz "$dir" "$iters"
+    # Unsteered, but still reports its buckets — CI's job summary reads the
+    # coverage.json of short campaigns too.
+    stage_fuzz "$dir" "$iters" \
+      --coverage-out "${DETECT_COVERAGE_OUT:-coverage.json}"
     ;;
   --fuzz-sharded)
     iters="${2:-500}"
@@ -90,6 +99,20 @@ case "${1:-}" in
     echo "== fuzz-sharded: $iters single-vs-sharded equivalence iterations ($dir) =="
     stage_build "$dir" "$build_type"
     stage_fuzz "$dir" "$iters" --sharded-equiv
+    ;;
+  --fuzz-deep)
+    # The nightly deep-fuzz lane (also runnable locally): coverage-steered
+    # generation over up-to-4-object scenarios, the full variant diff, and
+    # shards-min 2 so every iteration carries the single-vs-sharded
+    # equivalence diff. Emits coverage.json (buckets, timeline, corpus seed
+    # list) next to the usual failure artifacts.
+    iters="${2:-30000}"
+    dir="${DETECT_BUILD_DIR:-build-$build_type}"
+    echo "== fuzz-deep: $iters coverage-steered multi-object iterations ($dir) =="
+    stage_build "$dir" "$build_type"
+    stage_fuzz "$dir" "$iters" \
+      --coverage --coverage-out "${DETECT_COVERAGE_OUT:-coverage.json}" \
+      --objects-max 4 --shards-min 2 --shards-max 4
     ;;
   --bench-smoke)
     dir="${DETECT_BUILD_DIR:-build-$build_type}"
@@ -110,7 +133,7 @@ case "${1:-}" in
     stage_ctest build-sanitize
     ;;
   *)
-    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --bench-smoke]" >&2
+    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-deep N | --bench-smoke]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Render BENCH_e6.json / coverage.json as GitHub job-summary markdown.
+
+CI appends the output to $GITHUB_STEP_SUMMARY so coverage and throughput
+trends are readable per run without downloading artifacts:
+
+    python3 scripts/job_summary.py BENCH_e6.json coverage.json >> "$GITHUB_STEP_SUMMARY"
+
+Files that do not exist are skipped with a note (the bench and fuzz jobs
+each produce only their own artifact). Unknown JSON shapes fail loudly —
+a silently empty summary would hide a broken emitter.
+"""
+import json
+import os
+import sys
+
+
+def bench_table(data):
+    yield "### E6 throughput (backend × shards)"
+    cfg = data.get("config", {})
+    yield ""
+    yield (f"{cfg.get('procs', '?')} procs, {cfg.get('objects', '?')} objects, "
+           f"{cfg.get('ops_per_proc', '?')} ops/proc")
+    yield ""
+    yield "| backend | shards | ops | ops/sec |"
+    yield "|---|---|---|---|"
+    for row in data["results"]:
+        yield (f"| {row['backend']} | {row['shards']} | {row['ops']} "
+               f"| {row['ops_per_sec']:,.0f} |")
+    yield ""
+
+
+def coverage_table(data):
+    yield "### Fuzz coverage"
+    yield ""
+    yield "| metric | value |"
+    yield "|---|---|"
+    yield f"| scenarios executed | {data['executed']} |"
+    yield f"| distinct buckets | {data['distinct_buckets']} |"
+    yield f"| steered | {data['steered']} |"
+    yield f"| corpus size | {len(data['corpus'])} |"
+    yield f"| base seed | {data['base_seed']} |"
+    timeline = data["new_bucket_timeline"]
+    if timeline:
+        # New-bucket rate per quarter of the campaign: is discovery drying up?
+        executed = data["executed"]
+        yield ""
+        yield "| campaign quarter | new buckets |"
+        yield "|---|---|"
+        prev = 0
+        for q in range(1, 5):
+            cutoff = executed * q // 4
+            count = sum(1 for done, _ in timeline if prev < done <= cutoff)
+            yield f"| ≤ {cutoff} | {count} |"
+            prev = cutoff
+    yield ""
+
+
+RENDERERS = {
+    "e6_backend_shards_sweep": bench_table,
+}
+
+
+def render(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "distinct_buckets" in data:
+        return coverage_table(data)
+    renderer = RENDERERS.get(data.get("bench"))
+    if renderer is None:
+        raise SystemExit(f"job_summary: unrecognized JSON shape in {path}")
+    return renderer(data)
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit("usage: job_summary.py FILE.json...")
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            print(f"_{path} not produced by this run_")
+            print()
+            continue
+        for line in render(path):
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -83,6 +83,10 @@ class single_executor final : public executor {
                     const object_params& params) override {
     return h_.add(kind, params);
   }
+  object_handle add_as(std::uint32_t id, const std::string& kind,
+                       const object_params& params) override {
+    return h_.add_as(id, kind, params);
+  }
   void script(int pid, std::vector<hist::op_desc> ops) override {
     check_pid(pid, pol_.nprocs);
     h_.script(pid, std::move(ops));
@@ -124,7 +128,12 @@ class sharded_executor final : public executor {
 
   object_handle add(const std::string& kind,
                     const object_params& params) override {
-    std::uint32_t id = next_id_++;
+    return add_as(next_id_, kind, params);
+  }
+
+  object_handle add_as(std::uint32_t id, const std::string& kind,
+                       const object_params& params) override {
+    next_id_ = std::max(next_id_, id + 1);
     return shards_[static_cast<std::size_t>(shard_of(id))]->add_as(id, kind,
                                                                    params);
   }
@@ -214,6 +223,8 @@ class sharded_executor final : public executor {
     for (std::size_t k = 0; k < shards_.size(); ++k) {
       hist::check_result sub = shards_[k]->check_per_object(node_budget);
       res.nodes += sub.nodes;
+      res.objects += sub.objects;
+      res.synthesized_interval |= sub.synthesized_interval;
       if (!sub.ok) {
         res.ok = false;
         res.inconclusive = sub.inconclusive;
@@ -250,12 +261,21 @@ class threads_executor final : public executor {
 
   object_handle add(const std::string& kind,
                     const object_params& params) override {
+    return add_as(next_id_, kind, params);
+  }
+
+  object_handle add_as(std::uint32_t id, const std::string& kind,
+                       const object_params& params) override {
+    if (by_id_.count(id) != 0) {
+      throw std::invalid_argument("executor: duplicate object id " +
+                                  std::to_string(id));
+    }
     const kind_info& info = object_registry::global().at(kind);
     object_env env{pol_.nprocs, board_, dom_};
     created_object created = info.make(env, params);
     core::detectable_object& primary = created.primary();
     for (auto& obj : created.owned) objects_.push_back(std::move(obj));
-    std::uint32_t id = next_id_++;
+    next_id_ = std::max(next_id_, id + 1);
     by_id_.emplace(id, &primary);
     specs_.emplace_back(id, info.make_spec(params));
     return object_handle(id, info.family, &primary, kind);

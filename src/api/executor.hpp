@@ -90,6 +90,14 @@ class executor {
   virtual object_handle add(const std::string& kind,
                             const object_params& params = {}) = 0;
 
+  /// Same, under a caller-chosen id (fresh per the backend's duplicate
+  /// check). Scenario replays use this to honor the object ids a
+  /// scripted_scenario declares — on the sharded backend the id decides the
+  /// hosting shard (`id % shards()`), so a scenario's routing is part of its
+  /// identity, not an accident of creation order.
+  virtual object_handle add_as(std::uint32_t id, const std::string& kind,
+                               const object_params& params = {}) = 0;
+
   reg add_reg(value_t init = 0) { return reg(add("reg", {.init = init})); }
   cas add_cas(value_t init = 0) { return cas(add("cas", {.init = init})); }
   counter add_counter(value_t init = 0) {

@@ -1,14 +1,40 @@
 // Scripted-scenario replay and serialization.
 #include "api/replay.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 namespace detect::api {
 
+const scenario_object& scripted_scenario::primary() const {
+  if (objects.empty()) {
+    throw std::logic_error("scripted_scenario: no objects declared");
+  }
+  return objects.front();
+}
+
+const scenario_object* scripted_scenario::find_object(std::uint32_t id) const {
+  for (const scenario_object& o : objects) {
+    if (o.id == id) return &o;
+  }
+  return nullptr;
+}
+
+std::uint32_t scripted_scenario::add_object(std::string kind,
+                                            object_params params) {
+  std::uint32_t id = 0;
+  while (find_object(id) != nullptr) ++id;
+  objects.push_back({id, std::move(kind), params});
+  return id;
+}
+
 namespace {
 
 std::unique_ptr<executor> build_executor(const scripted_scenario& s) {
+  if (s.objects.empty()) {
+    throw std::invalid_argument("replay: scenario declares no objects");
+  }
   executor::builder b;
   b.backend(s.backend)
       .shards(s.shards)
@@ -18,16 +44,23 @@ std::unique_ptr<executor> build_executor(const scripted_scenario& s) {
   if (!s.crash_steps.empty()) b.crash_at(s.crash_steps);
   if (s.shared_cache) b.shared_cache();
   std::unique_ptr<executor> ex = b.build();
-  object_handle obj = ex->add(s.kind, s.params);
+  // Declared ids are honored verbatim: on the sharded backend they decide
+  // the hosting shard, so routing is part of the scenario's identity.
+  for (const scenario_object& o : s.objects) ex->add_as(o.id, o.kind, o.params);
   for (const auto& [pid, ops] : s.scripts) {
     if (pid < 0 || pid >= s.nprocs) {
       throw std::invalid_argument("replay: script pid " + std::to_string(pid) +
                                   " out of range for " +
                                   std::to_string(s.nprocs) + " procs");
     }
-    std::vector<hist::op_desc> bound = ops;
-    for (hist::op_desc& d : bound) d.object = obj.id();
-    ex->script(pid, std::move(bound));
+    for (const hist::op_desc& d : ops) {
+      if (s.find_object(d.object) == nullptr) {
+        throw std::invalid_argument(
+            "replay: op " + std::string(hist::opcode_name(d.code)) +
+            " targets undeclared object " + std::to_string(d.object));
+      }
+    }
+    ex->script(pid, ops);
   }
   return ex;
 }
@@ -140,9 +173,11 @@ core::runtime::fail_policy fail_policy_from_name(const std::string& name) {
 
 std::string dump(const scripted_scenario& s) {
   std::ostringstream os;
-  os << "# detect scripted_scenario v2\n";
-  os << "kind " << s.kind << "\n";
-  os << "params " << s.params.init << " " << s.params.capacity << "\n";
+  os << "# detect scripted_scenario v3\n";
+  for (const scenario_object& o : s.objects) {
+    os << "object " << o.id << " " << o.kind << " " << o.params.init << " "
+       << o.params.capacity << "\n";
+  }
   os << "procs " << s.nprocs << "\n";
   os << "policy " << fail_policy_name(s.policy) << "\n";
   os << "shared_cache " << (s.shared_cache ? 1 : 0) << "\n";
@@ -152,10 +187,15 @@ std::string dump(const scripted_scenario& s) {
   os << "crash_steps";
   for (std::uint64_t k : s.crash_steps) os << " " << k;
   os << "\n";
+  const std::uint32_t default_target =
+      s.objects.empty() ? 0 : s.objects.front().id;
   for (const auto& [pid, ops] : s.scripts) {
     os << "script " << pid;
     for (const hist::op_desc& d : ops) {
       os << " " << hist::opcode_name(d.code) << ":" << d.a << ":" << d.b;
+      // Ops on the first declared object stay in the compact v1/v2 token
+      // form; only cross-object targets carry the @id suffix.
+      if (d.object != default_target) os << "@" << d.object;
     }
     os << "\n";
   }
@@ -171,16 +211,49 @@ namespace {
                               std::to_string(lineno) + ": " + what);
 }
 
+struct parse_state {
+  bool legacy = false;    // saw v1/v2 `kind` / `params` keys
+  bool declared = false;  // saw v3 `object` lines
+};
+
+/// The implicit id-0 object v1/v2 `kind`/`params` keys operate on.
+scenario_object& legacy_object(scripted_scenario& s, parse_state& st,
+                               int lineno) {
+  if (st.declared) {
+    malformed_at(lineno,
+                 "legacy kind/params key mixed with v3 object declarations");
+  }
+  st.legacy = true;
+  if (s.objects.empty()) s.objects.push_back({0, "", {}});
+  return s.objects.front();
+}
+
 void parse_line(const std::string& line, int lineno, scripted_scenario& s,
-                bool& saw_kind) {
+                parse_state& st) {
   std::istringstream ls(line);
   std::string key;
   ls >> key;
-  if (key == "kind") {
-    if (!(ls >> s.kind)) malformed_at(lineno, "missing kind value");
-    saw_kind = true;
+  if (key == "object") {
+    if (st.legacy) {
+      malformed_at(lineno,
+                   "v3 object declaration mixed with legacy kind/params keys");
+    }
+    st.declared = true;
+    scenario_object o;
+    if (!(ls >> o.id >> o.kind >> o.params.init >> o.params.capacity)) {
+      malformed_at(lineno, "bad object line: " + line);
+    }
+    if (s.find_object(o.id) != nullptr) {
+      malformed_at(lineno, "duplicate object id " + std::to_string(o.id));
+    }
+    s.objects.push_back(std::move(o));
+  } else if (key == "kind") {
+    if (!(ls >> legacy_object(s, st, lineno).kind)) {
+      malformed_at(lineno, "missing kind value");
+    }
   } else if (key == "params") {
-    if (!(ls >> s.params.init >> s.params.capacity)) {
+    object_params& p = legacy_object(s, st, lineno).params;
+    if (!(ls >> p.init >> p.capacity)) {
       malformed_at(lineno, "bad params line: " + line);
     }
   } else if (key == "procs") {
@@ -216,17 +289,49 @@ void parse_line(const std::string& line, int lineno, scripted_scenario& s,
     std::vector<hist::op_desc> ops;
     std::string tok;
     while (ls >> tok) {
-      // name:a:b
-      std::size_t c1 = tok.find(':');
-      std::size_t c2 = tok.rfind(':');
+      // name:a:b[@object] — no @ suffix targets the first declared object,
+      // which is why objects must be declared before the scripts that use
+      // them (every canonical dump orders them that way).
+      std::string body = tok;
+      hist::op_desc d;
+      std::size_t at = tok.find('@');
+      if (at != std::string::npos) {
+        body = tok.substr(0, at);
+        const std::string id_text = tok.substr(at + 1);
+        // Digits only, within uint32 range: "@-1" and "@4294967296" must
+        // error here, not wrap into a different (possibly declared) id.
+        unsigned long long id = 0;
+        try {
+          std::size_t used = 0;
+          id = std::stoull(id_text, &used);
+          if (id_text.empty() || used != id_text.size() ||
+              id_text[0] == '-' || id > 0xFFFFFFFFull) {
+            throw std::invalid_argument(id_text);
+          }
+        } catch (const std::exception&) {
+          malformed_at(lineno, "bad op target in '" + tok + "'");
+        }
+        d.object = static_cast<std::uint32_t>(id);
+      } else {
+        if (s.objects.empty()) {
+          malformed_at(lineno, "op '" + tok +
+                                   "' before any object declaration");
+        }
+        d.object = s.objects.front().id;
+      }
+      if (s.find_object(d.object) == nullptr) {
+        malformed_at(lineno, "op '" + tok + "' targets undeclared object " +
+                                 std::to_string(d.object));
+      }
+      std::size_t c1 = body.find(':');
+      std::size_t c2 = body.rfind(':');
       if (c1 == std::string::npos || c2 == c1) {
         malformed_at(lineno, "bad op token '" + tok + "'");
       }
-      hist::op_desc d;
-      d.code = opcode_from_name(tok.substr(0, c1));
+      d.code = opcode_from_name(body.substr(0, c1));
       try {
-        d.a = std::stoll(tok.substr(c1 + 1, c2 - c1 - 1));
-        d.b = std::stoll(tok.substr(c2 + 1));
+        d.a = std::stoll(body.substr(c1 + 1, c2 - c1 - 1));
+        d.b = std::stoll(body.substr(c2 + 1));
       } catch (const std::exception&) {
         malformed_at(lineno, "bad op arguments in '" + tok + "'");
       }
@@ -242,7 +347,7 @@ void parse_line(const std::string& line, int lineno, scripted_scenario& s,
 
 scripted_scenario parse_scenario(const std::string& text) {
   scripted_scenario s;
-  bool saw_kind = false;
+  parse_state st;
   std::istringstream in(text);
   std::string line;
   int lineno = 0;
@@ -250,7 +355,7 @@ scripted_scenario parse_scenario(const std::string& text) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
     try {
-      parse_line(line, lineno, s, saw_kind);
+      parse_line(line, lineno, s, st);
     } catch (const std::invalid_argument& ex) {
       std::string what = ex.what();
       // Helper throws (opcode_from_name, backend_from_name, ...) know the
@@ -260,8 +365,13 @@ scripted_scenario parse_scenario(const std::string& text) {
                                   std::to_string(lineno) + ": " + what);
     }
   }
-  if (!saw_kind) {
+  if (s.objects.empty()) {
     throw std::invalid_argument("parse_scenario: missing kind");
+  }
+  for (const scenario_object& o : s.objects) {
+    if (o.kind.empty()) {
+      throw std::invalid_argument("parse_scenario: missing kind");
+    }
   }
   return s;
 }

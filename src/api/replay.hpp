@@ -1,16 +1,22 @@
 // Replayable scripted scenarios — the serialization half of the detect::api
 // façade.
 //
-// A `scripted_scenario` is a fully self-contained run recipe over one
-// registry kind: kind string + construction params, process count, fail
-// policy, memory model, scheduler seed, crash plan, and the per-process op
-// scripts. `replay()` builds a fresh harness for it and runs it to
-// completion, so the same value always reproduces the same execution —
-// the currency the fuzzer generates, diffs, shrinks, and dumps.
+// A `scripted_scenario` is a fully self-contained run recipe over a set of
+// registry objects: an ordered list of (object id, kind, params)
+// declarations, process count, fail policy, memory model, scheduler seed,
+// crash plan, execution backend + shard count, and the per-process op
+// scripts whose ops each name a target object id. `replay()` builds a fresh
+// executor for it and runs it to completion, so the same value always
+// reproduces the same execution — the currency the fuzzer generates, diffs,
+// shrinks, and dumps. On the sharded backend the declared ids decide the
+// hosting shards (`id % shards`), so a multi-object scenario drives the
+// cross-shard routing and merged-log paths directly.
 //
 // `dump()`/`parse_scenario()` round-trip scenarios through a line-oriented
-// text form; failing fuzz runs are persisted as these dumps and replayed
-// with `fuzz_main --replay`.
+// text form (format v3; v1/v2 dumps, which carry a single `kind`/`params`
+// pair instead of `object` lines, still parse as the single-object special
+// case). Failing fuzz runs are persisted as these dumps and replayed with
+// `fuzz_main --replay`.
 //
 // `family_opcodes()` exposes each opcode family's invocable op set so
 // generators can randomize over a kind's full op mix instead of hand-coding
@@ -29,12 +35,21 @@
 
 namespace detect::api {
 
-/// A replayable run recipe: one registry kind (registered as object id 0)
-/// plus everything the executor builder and runtime need to reproduce the
-/// execution bit-for-bit.
-struct scripted_scenario {
+/// One declared object of a scenario: the id scripts target (and shards
+/// route on), the registry kind instantiated under it, and its params.
+struct scenario_object {
+  std::uint32_t id = 0;
   std::string kind;
   object_params params;
+};
+
+/// A replayable run recipe: an ordered list of registry objects plus
+/// everything the executor builder and runtime need to reproduce the
+/// execution bit-for-bit.
+struct scripted_scenario {
+  /// Declared objects, in declaration order. Never empty for a valid
+  /// scenario; v1/v2 dumps parse to exactly one entry with id 0.
+  std::vector<scenario_object> objects;
   int nprocs = 2;
   core::runtime::fail_policy policy = core::runtime::fail_policy::skip;
   bool shared_cache = false;
@@ -47,7 +62,19 @@ struct scripted_scenario {
   /// and the shard count fuzz::diff_sharded replays the scenario under for
   /// the single-vs-sharded equivalence diff otherwise (1 = no sharded diff).
   int shards = 1;
+  /// Per-process op scripts; each op's `object` field names a declared id.
   std::map<int, std::vector<hist::op_desc>> scripts;
+
+  /// The first declared object — what single-object scenarios (and the
+  /// campaign's per-iteration kind rotation) revolve around. Throws
+  /// std::logic_error on an object-less scenario.
+  const scenario_object& primary() const;
+
+  /// The declaration of `id`, or nullptr when undeclared.
+  const scenario_object* find_object(std::uint32_t id) const;
+
+  /// Declare a new object under the smallest unused id; returns that id.
+  std::uint32_t add_object(std::string kind, object_params params = {});
 
   /// Total scripted ops across all processes.
   std::size_t total_ops() const {
@@ -64,18 +91,24 @@ struct scripted_outcome {
   std::string log_text;
 };
 
-/// Build an executor for `s` (instantiating `s.kind` from the registry under
-/// object id 0 on `s.backend`), install the scripts, run, and check.
+/// Build an executor for `s` (instantiating every declared object from the
+/// registry under its declared id on `s.backend`), install the scripts, run,
+/// and check. Throws std::invalid_argument on scenarios whose ops target
+/// undeclared objects.
 scripted_outcome replay(const scripted_scenario& s);
 
 /// Same, but skip the (potentially expensive) durable-linearizability check;
 /// `check` is left defaulted.
 scripted_outcome replay_unchecked(const scripted_scenario& s);
 
-/// Line-oriented text form; `parse_scenario(dump(s))` round-trips exactly.
+/// Line-oriented text form (v3); `parse_scenario(dump(s))` round-trips
+/// exactly.
 std::string dump(const scripted_scenario& s);
 
-/// Inverse of `dump`. Throws std::invalid_argument on malformed input.
+/// Inverse of `dump`; also accepts v1/v2 dumps (single `kind`/`params` pair
+/// → one object with id 0). Throws std::invalid_argument on malformed
+/// input, duplicate object ids, or ops targeting an undeclared object — the
+/// message carries the 1-based line and the offending token.
 scripted_scenario parse_scenario(const std::string& text);
 
 /// The invocable opcodes of a family — the alphabet generators draw from.

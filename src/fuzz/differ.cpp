@@ -24,9 +24,15 @@ std::vector<std::tuple<int, hist::opcode, hist::value_t>> responses(
 
 std::string describe(const api::scripted_scenario& s) {
   std::ostringstream os;
-  os << "kind=" << s.kind << " procs=" << s.nprocs
-     << " ops=" << s.total_ops() << " crashes=" << s.crash_steps.size()
+  os << "objects=";
+  for (std::size_t i = 0; i < s.objects.size(); ++i) {
+    if (i != 0) os << ",";
+    os << s.objects[i].id << ":" << s.objects[i].kind;
+  }
+  os << " procs=" << s.nprocs << " ops=" << s.total_ops()
+     << " crashes=" << s.crash_steps.size()
      << " policy=" << api::fail_policy_name(s.policy)
+     << " backend=" << api::backend_name(s.backend) << "/" << s.shards
      << (s.shared_cache ? " shared_cache" : "");
   return os.str();
 }
@@ -102,18 +108,29 @@ std::vector<std::string> variants_of(const std::string& kind) {
 
 namespace {
 
-/// True when `s` can be compared against `variant_kind` as-is; false when
-/// the comparison must run crash-free (either side non-detectable).
-bool crashes_comparable(const api::scripted_scenario& s,
+bool all_objects_detectable(const api::scripted_scenario& s) {
+  const api::object_registry& reg = api::object_registry::global();
+  for (const api::scenario_object& o : s.objects) {
+    if (reg.contains(o.kind) && !reg.at(o.kind).detectable) return false;
+  }
+  return true;
+}
+
+/// True when substituting object `index`'s kind with `variant_kind` can be
+/// compared with the crash plan intact; false when the comparison must run
+/// crash-free (variant or any declared object non-detectable). Validates
+/// the family match.
+bool crashes_comparable(const api::scripted_scenario& s, std::size_t index,
                         const std::string& variant_kind) {
   const api::object_registry& reg = api::object_registry::global();
-  const api::kind_info& primary_info = reg.at(s.kind);
+  const api::kind_info& primary_info = reg.at(s.objects[index].kind);
   const api::kind_info& variant_info = reg.at(variant_kind);
   if (primary_info.family != variant_info.family) {
     throw std::invalid_argument("diff_against: family mismatch between '" +
-                                s.kind + "' and '" + variant_kind + "'");
+                                s.objects[index].kind + "' and '" +
+                                variant_kind + "'");
   }
-  return primary_info.detectable && variant_info.detectable;
+  return variant_info.detectable && all_objects_detectable(s);
 }
 
 api::scripted_scenario crash_free(api::scripted_scenario s) {
@@ -122,34 +139,61 @@ api::scripted_scenario crash_free(api::scripted_scenario s) {
   return s;
 }
 
-/// The comparison core: `a` and `b` are outcomes of the identical scenario
-/// `base` replayed under `base.kind` and `variant_kind` respectively.
-diff_report compare_outcomes(const api::scripted_scenario& base,
-                             const api::scripted_outcome& a,
-                             const std::string& variant_kind,
-                             const api::scripted_outcome& b);
+std::size_t index_of_object(const api::scripted_scenario& s,
+                            std::uint32_t object_id) {
+  for (std::size_t i = 0; i < s.objects.size(); ++i) {
+    if (s.objects[i].id == object_id) return i;
+  }
+  throw std::invalid_argument("diff_against: undeclared object id " +
+                              std::to_string(object_id));
+}
+
+/// Cross-implementation replays are only deterministically comparable
+/// response-for-response when single-proc and crash-free.
+diff_report compare_variant_outcomes(const api::scripted_scenario& base,
+                                     const api::scripted_outcome& a,
+                                     const std::string& variant_name,
+                                     const api::scripted_outcome& b) {
+  return compare_replays(base, a, "declared", b, variant_name,
+                         base.nprocs == 1 && base.crash_steps.empty());
+}
+
+/// Core of the per-object variant diff, given the already-replayed outcome
+/// `a` of `base` (one replay, not two — check_scenario hands in the primary
+/// outcome it already has).
+diff_report diff_object_against(const api::scripted_scenario& base,
+                                const api::scripted_outcome& a,
+                                std::size_t index,
+                                const std::string& variant_kind) {
+  api::scripted_scenario variant = base;
+  variant.objects[index].kind = variant_kind;
+  api::scripted_outcome b = api::replay(variant);
+  return compare_variant_outcomes(
+      base, a,
+      variant_kind + "@object " + std::to_string(base.objects[index].id), b);
+}
 
 }  // namespace
 
 diff_report diff_against(const api::scripted_scenario& s,
+                         std::uint32_t object_id,
                          const std::string& variant_kind) {
+  const std::size_t index = index_of_object(s, object_id);
   api::scripted_scenario base =
-      crashes_comparable(s, variant_kind) ? s : crash_free(s);
-  api::scripted_scenario variant = base;
-  variant.kind = variant_kind;
-  api::scripted_outcome a = api::replay(base);
-  api::scripted_outcome b = api::replay(variant);
-  return compare_outcomes(base, a, variant_kind, b);
+      crashes_comparable(s, index, variant_kind) ? s : crash_free(s);
+  return diff_object_against(base, api::replay(base), index, variant_kind);
+}
+
+diff_report diff_against(const api::scripted_scenario& s,
+                         const std::string& variant_kind) {
+  return diff_against(s, s.primary().id, variant_kind);
 }
 
 namespace {
 
-/// Core of the sharded diff, given the already-replayed single-backend
-/// outcome `a` of `base`; replays only the sharded variant (one replay, not
-/// two — check_scenario hands in the primary outcome it already has).
-/// Response streams are compared on every run: single-object scenarios land
-/// entirely in one shard, which executes the identical deterministic world
-/// the single backend does.
+/// Core of the sharded-equivalence diff, given the already-replayed
+/// single-backend outcome `a` of `base`. Response streams compare only on
+/// single-object scenarios (see diff_sharded's header comment).
 diff_report diff_sharded_against(const api::scripted_scenario& base,
                                  const api::scripted_outcome& a, int shards) {
   api::scripted_scenario variant = base;
@@ -158,7 +202,7 @@ diff_report diff_sharded_against(const api::scripted_scenario& base,
   api::scripted_outcome b = api::replay(variant);
   return compare_replays(base, a, "single", b,
                          "sharded(" + std::to_string(variant.shards) + ")",
-                         /*compare_responses=*/true);
+                         /*compare_responses=*/base.objects.size() == 1);
 }
 
 }  // namespace
@@ -169,80 +213,80 @@ diff_report diff_sharded(const api::scripted_scenario& s, int shards) {
   return diff_sharded_against(base, api::replay(base), shards);
 }
 
-namespace {
-
-diff_report compare_outcomes(const api::scripted_scenario& base,
-                             const api::scripted_outcome& a,
-                             const std::string& variant_kind,
-                             const api::scripted_outcome& b) {
-  // Cross-implementation replays are only deterministically comparable
-  // response-for-response when single-proc and crash-free.
-  return compare_replays(base, a, base.kind, b, variant_kind,
-                         base.nprocs == 1 && base.crash_steps.empty());
-}
-
-}  // namespace
-
 std::string verify_scenario(const api::scripted_scenario& s) {
   return check_scenario(s, /*diff=*/false);
 }
 
 std::string check_scenario(const api::scripted_scenario& s, bool diff,
-                           std::uint64_t* replays) {
+                           std::uint64_t* replays,
+                           api::scripted_outcome* primary_out) {
   auto count = [replays](std::uint64_t n) {
     if (replays != nullptr) *replays += n;
   };
   count(1);
   api::scripted_outcome primary = api::replay(s);
+  if (primary_out != nullptr) *primary_out = primary;
+  const std::string& primary_kind = s.primary().kind;
   if (primary.report.hit_step_limit) {
-    return "replay of " + s.kind + " hit the step limit (" +
+    return "replay of " + primary_kind + " hit the step limit (" +
            std::to_string(primary.report.steps) + " steps)";
   }
   if (!primary.check.ok) {
-    return "checker rejected " + s.kind + ": " + primary.check.message +
+    return "checker rejected " + primary_kind + ": " + primary.check.message +
            "\n" + primary.log_text;
   }
 
   // Single-vs-sharded equivalence, whenever the scenario carries a shard
   // count (generated scenarios draw it; see gen_config::max_shards). Part of
   // the base oracle, not the variant pass — the shrinker must preserve it.
-  // `primary` is the single-backend replay already in hand.
+  // When the scenario runs single, `primary` is the single-side replay and
+  // only the sharded side is fresh; when it runs sharded, the roles flip.
   if (s.shards > 1 && s.backend == api::exec_backend::single) {
     count(1);
     diff_report d = diff_sharded_against(s, primary, s.shards);
     if (!d.ok) return d.message;
+  } else if (s.shards > 1 && s.backend == api::exec_backend::sharded) {
+    api::scripted_scenario base = s;
+    base.backend = api::exec_backend::single;
+    count(1);
+    api::scripted_outcome a = api::replay(base);
+    diff_report d = compare_replays(
+        base, a, "single", primary,
+        "sharded(" + std::to_string(s.shards) + ")",
+        /*compare_responses=*/s.objects.size() == 1);
+    if (!d.ok) return d.message;
   }
   if (!diff) return {};
 
-  // Primary outcomes are shared across variants: `primary` serves every
-  // detectable variant; the crash-free base (needed by plain_*/stripped_*
-  // variants) is replayed lazily at most once.
+  // Per-object variant substitution. Primary outcomes are shared across
+  // variants: `primary` serves every crash-comparable substitution; the
+  // crash-free base (needed whenever plain_*/stripped_* kinds are in play)
+  // is replayed lazily at most once and reused across objects.
   std::optional<api::scripted_scenario> cf_base;
   std::optional<api::scripted_outcome> cf_primary;
-  for (const std::string& variant_kind : variants_of(s.kind)) {
-    const bool as_is = crashes_comparable(s, variant_kind);
-    const api::scripted_scenario* base = &s;
-    const api::scripted_outcome* a = &primary;
-    if (!as_is) {
-      if (!cf_base.has_value()) {
-        cf_base = crash_free(s);
-        if (s.crash_steps.empty() &&
-            s.policy == core::runtime::fail_policy::skip) {
-          cf_primary = primary;  // already crash-free: reuse the replay
-        } else {
-          count(1);
-          cf_primary = api::replay(*cf_base);
+  for (std::size_t index = 0; index < s.objects.size(); ++index) {
+    for (const std::string& variant_kind : variants_of(s.objects[index].kind)) {
+      const bool as_is = crashes_comparable(s, index, variant_kind);
+      const api::scripted_scenario* base = &s;
+      const api::scripted_outcome* a = &primary;
+      if (!as_is) {
+        if (!cf_base.has_value()) {
+          cf_base = crash_free(s);
+          if (s.crash_steps.empty() &&
+              s.policy == core::runtime::fail_policy::skip) {
+            cf_primary = primary;  // already crash-free: reuse the replay
+          } else {
+            count(1);
+            cf_primary = api::replay(*cf_base);
+          }
         }
+        base = &*cf_base;
+        a = &*cf_primary;
       }
-      base = &*cf_base;
-      a = &*cf_primary;
+      count(1);
+      diff_report d = diff_object_against(*base, *a, index, variant_kind);
+      if (!d.ok) return d.message;
     }
-    api::scripted_scenario variant = *base;
-    variant.kind = variant_kind;
-    count(1);
-    api::scripted_outcome b = api::replay(variant);
-    diff_report d = compare_outcomes(*base, *a, variant_kind, b);
-    if (!d.ok) return d.message;
   }
   return {};
 }

@@ -5,19 +5,22 @@
 // algorithms ("reg", "cas", ...), the unbounded-identifier baselines
 // ("attiya_reg", "bendavid_cas"), the nrl adapter, and the non-detectable
 // plain_*/stripped_* variants. `diff_against` replays the identical
-// generated scenario against a core kind and one of its variants and diffs:
+// scenario with ONE declared object's kind substituted by a variant of the
+// same family (per-object substitution — the other objects stay put) and
+// diffs:
 //
 //   * run health — neither replay may hit the step limit;
 //   * checker verdicts — both executions must be durably linearizable
-//     against the family's sequential spec;
+//     against the objects' sequential specs;
 //   * exact response streams — when the scenario is deterministically
 //     comparable (single process, crash-free), the per-process sequence of
 //     responses must match op for op.
 //
-// Crash semantics only compare where both sides honor the detectability
-// contract: when either side is non-detectable (plain_*, stripped_* — the
-// Theorem-2 regime where verdicts can be wrong by construction), both
-// replays are run crash-free (same scenario minus the crash plan).
+// Crash semantics only compare where every object honors the detectability
+// contract: when the substituted variant or any declared object is
+// non-detectable (plain_*, stripped_* — the Theorem-2 regime where verdicts
+// can be wrong by construction), both replays are run crash-free (same
+// scenario minus the crash plan).
 #pragma once
 
 #include <string>
@@ -37,17 +40,26 @@ struct diff_report {
 /// lock, ...) return an empty list.
 std::vector<std::string> variants_of(const std::string& kind);
 
-/// Replay `s` against `s.kind` and against `variant_kind`; diff as described
-/// above. Throws std::invalid_argument if the kinds' families differ.
+/// Replay `s` as declared and with object `object_id`'s kind substituted by
+/// `variant_kind`; diff as described above. Throws std::invalid_argument if
+/// `object_id` is undeclared or the kinds' families differ.
+diff_report diff_against(const api::scripted_scenario& s,
+                         std::uint32_t object_id,
+                         const std::string& variant_kind);
+
+/// Same, substituting the first declared (primary) object.
 diff_report diff_against(const api::scripted_scenario& s,
                          const std::string& variant_kind);
 
 /// Backend-equivalence diff: replay `s` on the single backend and again on
 /// the sharded backend with `shards` worlds, then diff run health, checker
-/// verdicts, and the exact response streams. Both executions are
-/// deterministic functions of the scenario (each shard world is internally
-/// deterministic), so the streams must agree response-for-response — the
-/// oracle behind the ISSUE's sharded-equivalence acceptance bar.
+/// verdicts, and — for single-object scenarios, whose execution is the
+/// identical deterministic world on both sides — the exact response
+/// streams. Multi-object scenarios genuinely split across shard worlds, so
+/// their per-shard schedules legitimately interleave differently than the
+/// one-world run; there the oracle is verdict equivalence (both executions
+/// must check out), which is exactly what exercises the merged-log and
+/// per-object decomposition paths.
 diff_report diff_sharded(const api::scripted_scenario& s, int shards);
 
 /// Non-differential oracle for a single replay of `s`: the run must finish
@@ -56,12 +68,15 @@ diff_report diff_sharded(const api::scripted_scenario& s, int shards);
 std::string verify_scenario(const api::scripted_scenario& s);
 
 /// Full per-scenario oracle the fuzzer, shrinker, and `fuzz_main --replay`
-/// share: verify_scenario, diff_against every variant of `s.kind`, and —
-/// whenever `s.shards > 1` on the single backend — the single-vs-sharded
-/// equivalence diff. Empty on success. `replays`, when set, is bumped per
-/// scenario replay performed (campaign accounting). `diff` disables the
-/// variant pass (the sharded diff is governed by `s.shards` alone).
+/// share: verify_scenario, diff_against every variant of every declared
+/// object's kind, and — whenever `s.shards > 1` on the single or sharded
+/// backend — the single-vs-sharded equivalence diff. Empty on success.
+/// `replays`, when set, is bumped per scenario replay performed (campaign
+/// accounting). `diff` disables the variant pass (the sharded diff is
+/// governed by `s.shards` alone). `primary_out`, when set, receives the
+/// outcome of the scenario's own replay — the coverage layer's bucket food.
 std::string check_scenario(const api::scripted_scenario& s, bool diff = true,
-                           std::uint64_t* replays = nullptr);
+                           std::uint64_t* replays = nullptr,
+                           api::scripted_outcome* primary_out = nullptr);
 
 }  // namespace detect::fuzz

@@ -1,16 +1,20 @@
 // detect::fuzz — registry-driven workload generation and differential
 // crash-fuzzing over the detect::api façade.
 //
-//   scenario_gen.hpp  seed → scripted_scenario synthesis per opcode family
+//   scenario_gen.hpp  seed → multi-object scripted_scenario synthesis, plus
+//                     the structural mutation engine steering feeds on
+//   coverage.hpp      bucket signatures + the campaign coverage map
 //   differ.hpp        differential replay against baseline/stripped variants
 //   shrinker.hpp      greedy minimization of failing scenarios
-//   fuzzer.hpp        the campaign engine (generate → check → diff → shrink)
+//   fuzzer.hpp        the campaign engine (generate/mutate → check → diff →
+//                     bucket → shrink)
 //
 // The standing adversary for every registry kind: tests/fuzz_test.cpp runs
 // it over the whole registry, fuzz_main drives long budgeted campaigns, and
 // CI replays a bounded campaign on every push.
 #pragma once
 
+#include "fuzz/coverage.hpp"      // IWYU pragma: export
 #include "fuzz/differ.hpp"        // IWYU pragma: export
 #include "fuzz/fuzzer.hpp"        // IWYU pragma: export
 #include "fuzz/scenario_gen.hpp"  // IWYU pragma: export

@@ -3,16 +3,22 @@
 //   fuzz_main                          # default campaign over all kinds
 //   fuzz_main --iters 5000 --seed 42   # bounded, reproducible campaign
 //   fuzz_main --kind cas --kind queue  # restrict the kind pool
+//   fuzz_main --objects-max K          # up to K objects per scenario
 //   fuzz_main --sharded-equiv          # every iteration diffs single vs
 //                                      # sharded (the CI equivalence stage)
 //   fuzz_main --shards-max K           # bound the generator's shard knob
+//   fuzz_main --coverage               # coverage-steered generation
+//   fuzz_main --coverage-out FILE      # write coverage.json (buckets,
+//                                      # timeline, corpus seed list) — the
+//                                      # nightly deep-fuzz lane's artifact
 //   fuzz_main --out artifacts/         # write failure artifact on failure
-//   fuzz_main --replay failure.txt     # re-run a dumped scenario
+//   fuzz_main --replay failure.txt     # re-run a dumped scenario and print
+//                                      # its coverage bucket signature
 //   fuzz_main --list-kinds             # print the registry kind pool
 //
 // Exit status: 0 clean, 1 failure found (artifact written when --out is
-// set), 2 usage/IO error. The same binary backs the CI fuzz stage and
-// `scripts/check.sh --fuzz N`.
+// set), 2 usage/IO error. The same binary backs the CI fuzz stages
+// (`scripts/check.sh --fuzz N` / `--fuzz-sharded N` / `--fuzz-deep N`).
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +37,9 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--iters N] [--seed S] [--kind K]... [--procs-max P]\n"
-      "          [--ops-max M] [--shards-max K] [--sharded-equiv]\n"
+      "          [--ops-max M] [--objects-max K] [--shards-min K]\n"
+      "          [--shards-max K] [--sharded-equiv] [--coverage]\n"
+      "          [--coverage-out FILE]\n"
       "          [--no-diff] [--no-shrink] [--no-crashes]\n"
       "          [--out DIR] [--replay FILE] [--list-kinds] [--quiet]\n",
       argv0);
@@ -47,9 +55,19 @@ int replay_file(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   api::scripted_scenario s = api::parse_scenario(buf.str());
-  std::printf("replaying %s (%d procs, %zu ops, %zu crash steps)\n",
-              s.kind.c_str(), s.nprocs, s.total_ops(), s.crash_steps.size());
-  std::string failure = fuzz::check_scenario(s);
+  std::printf("replaying %zu object(s) [", s.objects.size());
+  for (std::size_t i = 0; i < s.objects.size(); ++i) {
+    std::printf("%s%u:%s", i != 0 ? " " : "", s.objects[i].id,
+                s.objects[i].kind.c_str());
+  }
+  std::printf("] (%d procs, %zu ops, %zu crash steps)\n", s.nprocs,
+              s.total_ops(), s.crash_steps.size());
+  api::scripted_outcome outcome;
+  std::string failure =
+      fuzz::check_scenario(s, /*diff=*/true, /*replays=*/nullptr, &outcome);
+  // The bucket signature matches the failure artifact to its coverage.json
+  // bucket by hand (outcome bits reflect the replay just performed).
+  std::printf("bucket: %s\n", fuzz::bucket_of(s, outcome).key().c_str());
   if (failure.empty()) {
     std::printf("PASS: scenario is clean\n");
     return 0;
@@ -65,6 +83,7 @@ int main(int argc, char** argv) {
   opt.iterations = 200;
   std::string out_dir;
   std::string replay_path;
+  std::string coverage_out;
   bool quiet = false;
   bool sharded_equiv = false;
 
@@ -105,10 +124,27 @@ int main(int argc, char** argv) {
       opt.gen.max_procs = static_cast<int>(need_u64(i));
     } else if (std::strcmp(arg, "--ops-max") == 0) {
       opt.gen.max_ops = static_cast<int>(need_u64(i));
+    } else if (std::strcmp(arg, "--objects-max") == 0) {
+      opt.gen.max_objects = static_cast<int>(need_u64(i));
     } else if (std::strcmp(arg, "--shards-max") == 0) {
       opt.gen.max_shards = static_cast<int>(need_u64(i));
+    } else if (std::strcmp(arg, "--shards-min") == 0) {
+      // >= 2 arms the single-vs-sharded equivalence diff on every iteration
+      // while keeping the variant pass (unlike --sharded-equiv, which trades
+      // the variant pass for a pure equivalence campaign).
+      opt.gen.min_shards = static_cast<int>(need_u64(i));
+      if (opt.gen.max_shards < opt.gen.min_shards) {
+        opt.gen.max_shards = opt.gen.min_shards;
+      }
     } else if (std::strcmp(arg, "--sharded-equiv") == 0) {
       sharded_equiv = true;
+    } else if (std::strcmp(arg, "--coverage") == 0) {
+      opt.steer = true;
+    } else if (std::strcmp(arg, "--coverage-out") == 0) {
+      // Coverage is tracked on every campaign; this only chooses to write
+      // it out. Steering stays governed by --coverage, so a plain campaign
+      // can still report its buckets without changing how it generates.
+      coverage_out = need_value(i);
     } else if (std::strcmp(arg, "--no-diff") == 0) {
       opt.diff = false;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -166,11 +202,26 @@ int main(int argc, char** argv) {
           }
         });
 
+    if (!coverage_out.empty()) {
+      std::ofstream out(coverage_out);
+      if (!out) {
+        std::fprintf(stderr, "fuzz_main: cannot write '%s'\n",
+                     coverage_out.c_str());
+        return 2;
+      }
+      out << stats.coverage.to_json(opt.base_seed, opt.iterations);
+      std::printf("coverage written to %s\n", coverage_out.c_str());
+    }
+
     if (!stats.failure) {
-      std::printf("PASS: %llu iterations, %llu replays, base seed %llu\n",
-                  static_cast<unsigned long long>(stats.iterations),
-                  static_cast<unsigned long long>(stats.replays),
-                  static_cast<unsigned long long>(opt.base_seed));
+      std::printf(
+          "PASS: %llu iterations, %llu replays, %zu coverage buckets%s, "
+          "base seed %llu\n",
+          static_cast<unsigned long long>(stats.iterations),
+          static_cast<unsigned long long>(stats.replays),
+          stats.coverage.distinct_buckets,
+          stats.coverage.steered ? " (steered)" : "",
+          static_cast<unsigned long long>(opt.base_seed));
       return 0;
     }
 

@@ -4,9 +4,32 @@
 
 namespace detect::fuzz {
 
+namespace {
+
+/// The effective generator config of a campaign: when the caller left the
+/// object-kind pool empty, extra objects draw from the campaign's own kind
+/// list — multi-object scenarios mix exactly the kinds under test, and the
+/// pool stays pinned against kinds other tests register later.
+gen_config resolved_gen(const fuzz_options& opt,
+                        const std::vector<std::string>& kinds) {
+  gen_config gen = opt.gen;
+  if (gen.object_kind_pool.empty() && gen.max_objects > 1) {
+    gen.object_kind_pool = kinds;
+  }
+  return gen;
+}
+
+std::vector<std::string> resolved_kinds(const fuzz_options& opt) {
+  if (!opt.kinds.empty()) return opt.kinds;
+  return api::object_registry::global().kinds();
+}
+
+}  // namespace
+
 std::string fuzz_one(std::uint64_t seed, const std::string& kind,
                      const fuzz_options& opt, std::uint64_t* replays) {
-  api::scripted_scenario s = generate(seed, kind, opt.gen);
+  api::scripted_scenario s =
+      generate(seed, kind, resolved_gen(opt, resolved_kinds(opt)));
   return check_scenario(s, opt.diff, replays);
 }
 
@@ -21,7 +44,49 @@ std::string commented(const std::string& text) {
   return os.str();
 }
 
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string coverage_stats::to_json(std::uint64_t base_seed,
+                                    std::uint64_t iterations) const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"base_seed\": " << base_seed << ",\n";
+  os << "  \"iterations\": " << iterations << ",\n";
+  os << "  \"executed\": " << executed << ",\n";
+  os << "  \"distinct_buckets\": " << distinct_buckets << ",\n";
+  os << "  \"steered\": " << (steered ? "true" : "false") << ",\n";
+  os << "  \"new_bucket_timeline\": [";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "[" << timeline[i].first << ", " << timeline[i].second << "]";
+  }
+  os << "],\n";
+  os << "  \"corpus\": [\n";
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const corpus_entry& e = corpus[i];
+    os << "    {\"iteration\": " << e.iteration << ", \"seed\": " << e.seed
+       << ", \"mutated\": " << (e.mutated ? "true" : "false")
+       << ", \"bucket\": \"" << json_escaped(e.bucket) << "\"}";
+    os << (i + 1 < corpus.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
 
 std::string fuzz_failure::to_artifact() const {
   std::ostringstream os;
@@ -45,25 +110,65 @@ fuzz_stats run_fuzz(
     const fuzz_options& opt,
     const std::function<void(std::uint64_t, std::uint64_t,
                              const std::string&)>& progress) {
-  std::vector<std::string> kinds = opt.kinds;
-  if (kinds.empty()) kinds = api::object_registry::global().kinds();
+  const std::vector<std::string> kinds = resolved_kinds(opt);
+  const gen_config gen = resolved_gen(opt, kinds);
+
+  coverage_map cov;
+  std::vector<api::scripted_scenario> corpus;
 
   fuzz_stats stats;
+  stats.coverage.steered = opt.steer;
   for (std::uint64_t iter = 0; iter < opt.iterations; ++iter) {
     const std::uint64_t seed = iteration_seed(opt.base_seed, iter);
     const std::string& kind = kinds[iter % kinds.size()];
     if (progress) progress(iter, seed, kind);
     ++stats.iterations;
 
-    api::scripted_scenario s = generate(seed, kind, opt.gen);
-    std::string failure = check_scenario(s, opt.diff, &stats.replays);
-    if (failure.empty()) continue;
+    // Steering stream: decorrelated from generate()'s own stream so mutating
+    // and generating from the same iteration seed stay independent.
+    std::uint64_t rng = (seed ^ 0xA5A5A5A5A5A5A5A5ULL) | 1;
+    api::scripted_scenario s;
+    bool mutated = false;
+    if (opt.steer && !corpus.empty() && iter % 8 != 0) {
+      // Mutate corpus seeds, preferring the candidate whose (pre-run
+      // predictable) scenario-key has the fewest buckets recorded under it:
+      // an unseen key wins outright, and among seen keys the one with the
+      // most unexplored outcome dimensions (crash phase, recovery, checker
+      // paths) is the best remaining bet.
+      std::size_t best = 0;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const api::scripted_scenario& base =
+            corpus[sim::next_rand(rng) % corpus.size()];
+        api::scripted_scenario cand = mutate(base, rng, gen);
+        const std::size_t under =
+            cov.buckets_under(scenario_signature(cand).scenario_key());
+        if (attempt == 0 || under < best) {
+          best = under;
+          s = std::move(cand);
+        }
+        mutated = true;
+        if (best == 0) break;
+      }
+    } else {
+      s = generate(seed, kind, gen);
+    }
+
+    api::scripted_outcome primary;
+    std::string failure = check_scenario(s, opt.diff, &stats.replays, &primary);
+    if (failure.empty()) {
+      const bucket_signature b = bucket_of(s, primary);
+      if (cov.record(b)) {
+        corpus.push_back(s);
+        stats.coverage.corpus.push_back({iter, seed, mutated, b.key()});
+      }
+      continue;
+    }
 
     fuzz_failure f;
     f.iteration = iter;
     f.base_seed = opt.base_seed;
     f.seed = seed;
-    f.kind = kind;
+    f.kind = s.primary().kind;
     f.message = failure;
     f.scenario = s;
     f.shrunk = s;
@@ -80,6 +185,9 @@ fuzz_stats run_fuzz(
     stats.failure = std::move(f);
     break;
   }
+  stats.coverage.executed = cov.executed();
+  stats.coverage.distinct_buckets = cov.distinct();
+  stats.coverage.timeline = cov.timeline();
   return stats;
 }
 

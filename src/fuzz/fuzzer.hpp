@@ -1,13 +1,19 @@
-// fuzzer — the campaign engine tying generator, differ, and shrinker
-// together.
+// fuzzer — the campaign engine tying generator, coverage map, differ, and
+// shrinker together.
 //
-// One iteration: derive the iteration seed, pick a kind (round-robin over
-// the configured kind list), synthesize a scenario, replay it under the
-// durable-linearizability + detectability oracle, then differentially
-// replay it against every registered variant of the kind. The first failing
-// iteration stops the campaign; its scenario is greedily shrunk under the
-// same oracle and reported as seed + original dump + shrunk dump — the
-// artifact CI uploads and `fuzz_main --replay` reproduces.
+// One iteration: derive the iteration seed, pick a primary kind
+// (round-robin over the configured kind list), obtain a scenario — freshly
+// generated, or, when steering is on, a mutation of a bucket-novel corpus
+// seed aimed at an unseen scenario-key — replay it under the
+// durable-linearizability + detectability oracle (including the
+// single-vs-sharded equivalence diff), then differentially replay it with
+// each declared object substituted by every registered variant of its kind.
+// Every passing execution's bucket signature feeds the coverage map; seeds
+// that discover a new bucket join the in-memory corpus that steering
+// mutates preferentially. The first failing iteration stops the campaign;
+// its scenario is greedily shrunk under the same oracle and reported as
+// seed + original dump + shrunk dump — the artifact CI uploads and
+// `fuzz_main --replay` reproduces.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzz/coverage.hpp"
 #include "fuzz/differ.hpp"
 #include "fuzz/scenario_gen.hpp"
 #include "fuzz/shrinker.hpp"
@@ -26,20 +33,52 @@ struct fuzz_options {
   std::uint64_t base_seed = 1;
   std::uint64_t iterations = 100;
   /// Kinds to fuzz; empty → every registry kind (non-detectable kinds get
-  /// crash-free scenarios, see scenario_gen).
+  /// crash-free scenarios, see scenario_gen). Also the default
+  /// object_kind_pool extra objects draw from when the gen config leaves it
+  /// empty.
   std::vector<std::string> kinds;
   gen_config gen;
-  /// Differentially replay against each kind's variants.
+  /// Differentially replay against each declared object's kind variants.
   bool diff = true;
   /// Shrink the first failing scenario before reporting it.
   bool shrink = true;
+  /// Coverage-steered generation: mutate bucket-novel corpus seeds toward
+  /// unseen scenario-keys (7 of every 8 iterations once the corpus is
+  /// non-empty; the rest stay freshly generated). Coverage is *tracked*
+  /// either way — this knob only changes where scenarios come from, which
+  /// is what the steered-vs-random acceptance test compares.
+  bool steer = false;
+};
+
+/// One corpus entry: the iteration that discovered a new bucket. The
+/// campaign is deterministic in (base_seed, options), so (base_seed,
+/// iteration) reproduces the scenario; `mutated` records whether it came
+/// from the mutation engine or straight from generate().
+struct corpus_entry {
+  std::uint64_t iteration = 0;
+  std::uint64_t seed = 0;
+  bool mutated = false;
+  std::string bucket;
+};
+
+/// Campaign-level coverage accounting — what `coverage.json` serializes.
+struct coverage_stats {
+  std::uint64_t executed = 0;       // scenarios that ran the full oracle
+  std::size_t distinct_buckets = 0;
+  bool steered = false;
+  /// (executed-so-far, distinct-so-far), one sample per novel bucket.
+  std::vector<std::pair<std::uint64_t, std::size_t>> timeline;
+  std::vector<corpus_entry> corpus;
+
+  /// Machine-readable summary (the `fuzz_main --coverage-out` payload).
+  std::string to_json(std::uint64_t base_seed, std::uint64_t iterations) const;
 };
 
 struct fuzz_failure {
   std::uint64_t iteration = 0;
   std::uint64_t base_seed = 0;  // the campaign's --seed
   std::uint64_t seed = 0;       // iteration_seed(base_seed, iteration)
-  std::string kind;
+  std::string kind;             // the failing scenario's primary kind
   std::string message;
   api::scripted_scenario scenario;
   api::scripted_scenario shrunk;  // == scenario when shrinking is off
@@ -51,6 +90,7 @@ struct fuzz_failure {
 struct fuzz_stats {
   std::uint64_t iterations = 0;  // iterations actually executed
   std::uint64_t replays = 0;     // scenario replays incl. diff + shrink
+  coverage_stats coverage;
   std::optional<fuzz_failure> failure;
 };
 

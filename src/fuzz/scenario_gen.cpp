@@ -1,6 +1,10 @@
 #include "fuzz/scenario_gen.hpp"
 
 #include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
 
 namespace detect::fuzz {
 
@@ -11,6 +15,24 @@ using sim::next_rand;
 /// Uniform pick in [lo, hi] (inclusive).
 std::uint64_t pick(std::uint64_t& rng, std::uint64_t lo, std::uint64_t hi) {
   return lo + next_rand(rng) % (hi - lo + 1);
+}
+
+/// The registered family of a declared object, or nullopt for custom kinds
+/// the registry does not know (mutations leave those ops alone).
+std::optional<api::op_family> family_of(const api::scenario_object& o) {
+  const api::object_registry& reg = api::object_registry::global();
+  if (!reg.contains(o.kind)) return std::nullopt;
+  return reg.at(o.kind).family;
+}
+
+/// The `idx`-th script entry (scripts are an ordered map, so this is
+/// deterministic).
+std::pair<const int, std::vector<hist::op_desc>>* script_at(
+    api::scripted_scenario& s, std::uint64_t idx) {
+  if (s.scripts.empty()) return nullptr;
+  auto it = s.scripts.begin();
+  std::advance(it, static_cast<long>(idx % s.scripts.size()));
+  return &*it;
 }
 
 }  // namespace
@@ -60,19 +82,92 @@ hist::op_desc random_op(std::uint64_t& rng, api::op_family family, int pid,
   return d;
 }
 
+void enforce_contracts(api::scripted_scenario& s) {
+  const api::object_registry& reg = api::object_registry::global();
+  bool all_detectable = true;
+  bool any_lock = false;
+  std::map<std::uint32_t, api::op_family> families;
+  for (const api::scenario_object& o : s.objects) {
+    if (!reg.contains(o.kind)) continue;  // custom kind: nothing to enforce
+    const api::kind_info& info = reg.at(o.kind);
+    families[o.id] = info.family;
+    all_detectable = all_detectable && info.detectable;
+    any_lock = any_lock || info.family == api::op_family::lock;
+  }
+  // Crash batteries are only meaningful when every object honors the
+  // detectability contract; one plain_*/stripped_* object makes the whole
+  // history uncheckable under crashes.
+  if (!all_detectable) {
+    s.crash_steps.clear();
+    if (s.policy == core::runtime::fail_policy::retry) {
+      s.policy = core::runtime::fail_policy::skip;
+    }
+  }
+  // The recoverable lock's usage contract (rlock.hpp): under skip, a
+  // crash-dropped release leaves holding-state uncertain, so crashy lock
+  // scenarios must retry ...
+  if (any_lock && !s.crash_steps.empty()) {
+    s.policy = core::runtime::fail_policy::retry;
+  }
+  for (auto& [pid, ops] : s.scripts) {
+    std::map<std::uint32_t, bool> may_hold;  // per lock object
+    for (hist::op_desc& d : ops) {
+      if (d.code == hist::opcode::cas && d.a == d.b) d.b = d.a + 1;
+      auto it = families.find(d.object);
+      if (it == families.end() || it->second != api::op_family::lock) continue;
+      d.a = pid;  // lock ops carry the caller's pid
+      // ... and no process may re-invoke try_lock on an object it may still
+      // hold; repair by turning the offending try into a release.
+      if (d.code == hist::opcode::lock_try) {
+        if (may_hold[d.object]) {
+          d.code = hist::opcode::lock_release;
+        } else {
+          may_hold[d.object] = true;
+          continue;
+        }
+      }
+      if (d.code == hist::opcode::lock_release) may_hold[d.object] = false;
+    }
+  }
+}
+
 api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
                                 const gen_config& cfg) {
-  const api::kind_info& info = api::object_registry::global().at(kind);
+  const api::object_registry& reg = api::object_registry::global();
   std::uint64_t rng = seed | 1;
 
   api::scripted_scenario s;
-  s.kind = kind;
   s.sched_seed = next_rand(rng);
   s.nprocs = static_cast<int>(pick(
       rng, static_cast<std::uint64_t>(cfg.min_procs),
       static_cast<std::uint64_t>(std::max(cfg.min_procs, cfg.max_procs))));
 
-  const bool with_crashes = cfg.crashes && info.detectable;
+  // Objects: the primary kind is object 0; extras draw their kinds from the
+  // pool under contiguous ids (on the sharded backend id % shards is the
+  // routing, so contiguous ids spread objects across shards).
+  s.objects.push_back({0, kind, {}});
+  if (!cfg.object_kind_pool.empty() && cfg.max_objects > 1) {
+    const int lo = std::max(1, cfg.min_objects);
+    const int hi = std::max(lo, cfg.max_objects);
+    int n = 1;
+    if (lo > 1) {
+      n = static_cast<int>(pick(rng, static_cast<std::uint64_t>(lo),
+                                static_cast<std::uint64_t>(hi)));
+    } else if (next_rand(rng) % 2 == 0) {
+      n = static_cast<int>(pick(rng, 2, static_cast<std::uint64_t>(hi)));
+    }
+    for (std::uint32_t i = 1; i < static_cast<std::uint32_t>(n); ++i) {
+      const std::string& extra =
+          cfg.object_kind_pool[next_rand(rng) % cfg.object_kind_pool.size()];
+      s.objects.push_back({i, extra, {}});
+    }
+  }
+  bool all_detectable = true;
+  for (const api::scenario_object& o : s.objects) {
+    all_detectable = all_detectable && reg.at(o.kind).detectable;
+  }
+
+  const bool with_crashes = cfg.crashes && all_detectable;
   if (with_crashes && cfg.max_crashes > 0) {
     std::uint64_t n = pick(rng, 0, static_cast<std::uint64_t>(cfg.max_crashes));
     for (std::uint64_t c = 0; c < n; ++c) {
@@ -82,15 +177,17 @@ api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
   }
   // retry re-attempts recovery-failed ops — only meaningful when recovery
   // verdicts are trustworthy, i.e. for detectable kinds.
-  if (cfg.allow_retry && info.detectable && next_rand(rng) % 4 == 0) {
+  if (cfg.allow_retry && all_detectable && next_rand(rng) % 4 == 0) {
     s.policy = core::runtime::fail_policy::retry;
   }
   if (cfg.allow_shared_cache && next_rand(rng) % 4 == 0) {
     s.shared_cache = true;
   }
-  // Shard-count knob for the single-vs-sharded equivalence diff; the
-  // scenario itself stays on the single backend (diff_sharded replays it on
-  // both).
+  // Shard-count knob: with backend == single it arms the single-vs-sharded
+  // equivalence diff (diff_sharded replays the scenario on both backends);
+  // a quarter of the sharded draws additionally run on the sharded backend
+  // directly, exercising the cross-shard routing and merged-log paths as the
+  // scenario's own execution.
   if (cfg.max_shards > 1) {
     const int lo = std::max(1, cfg.min_shards);
     const int hi = std::max(lo, cfg.max_shards);
@@ -102,13 +199,9 @@ api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
       s.shards = static_cast<int>(
           pick(rng, 2, static_cast<std::uint64_t>(hi)));
     }
-  }
-  // The recoverable lock's usage contract (rlock.hpp): a client never invokes
-  // try_lock while it may still hold the lock. Under skip, a crash-dropped
-  // release leaves holding-state uncertain, so crashy lock scenarios must
-  // retry; the per-process scripts below additionally alternate try/release.
-  if (info.family == api::op_family::lock && !s.crash_steps.empty()) {
-    s.policy = core::runtime::fail_policy::retry;
+    if (cfg.allow_sharded_backend && s.shards > 1 && next_rand(rng) % 4 == 0) {
+      s.backend = api::exec_backend::sharded;
+    }
   }
 
   for (int pid = 0; pid < s.nprocs; ++pid) {
@@ -117,22 +210,192 @@ api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
         static_cast<std::uint64_t>(std::max(cfg.min_ops, cfg.max_ops)));
     std::vector<hist::op_desc> ops;
     ops.reserve(len);
-    bool may_hold = false;  // lock family: an unreleased try_lock is pending
+    // Lock family: an unreleased try_lock is pending, per lock object.
+    std::map<std::uint32_t, bool> may_hold;
     for (std::uint64_t i = 0; i < len; ++i) {
+      const api::scenario_object& target =
+          s.objects[next_rand(rng) % s.objects.size()];
+      const api::op_family family = reg.at(target.kind).family;
       hist::op_desc d;
-      if (info.family == api::op_family::lock && may_hold) {
+      if (family == api::op_family::lock && may_hold[target.id]) {
         d.code = hist::opcode::lock_release;
         d.a = pid;
       } else {
-        d = random_op(rng, info.family, pid, cfg);
+        d = random_op(rng, family, pid, cfg);
       }
-      if (info.family == api::op_family::lock) {
-        may_hold = d.code == hist::opcode::lock_try;
+      if (family == api::op_family::lock) {
+        may_hold[target.id] = d.code == hist::opcode::lock_try;
       }
+      d.object = target.id;
       ops.push_back(d);
     }
     s.scripts[pid] = std::move(ops);
   }
+  enforce_contracts(s);
+  return s;
+}
+
+api::scripted_scenario mutate(const api::scripted_scenario& base,
+                              std::uint64_t& rng, const gen_config& cfg) {
+  api::scripted_scenario s = base;
+  // Draw mutations until one applies (bounded — a scenario with nothing to
+  // edit in some dimension just falls through to a knob flip eventually).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool applied = true;
+    switch (next_rand(rng) % 11) {
+      case 0:
+        s.sched_seed = next_rand(rng);
+        break;
+      case 1: {
+        // Honor the configured floor: a --shards-min 2 campaign promises the
+        // equivalence diff on every iteration, mutants included.
+        const int lo = std::max(1, cfg.min_shards);
+        const int hi = std::max(lo, cfg.max_shards);
+        s.shards = static_cast<int>(
+            pick(rng, static_cast<std::uint64_t>(lo),
+                 static_cast<std::uint64_t>(hi)));
+        if (s.backend == api::exec_backend::sharded && s.shards < 2) {
+          s.backend = api::exec_backend::single;
+        }
+        break;
+      }
+      case 2:  // backend flip
+        if (s.backend == api::exec_backend::single &&
+            cfg.allow_sharded_backend) {
+          s.backend = api::exec_backend::sharded;
+          if (s.shards < 2) {
+            s.shards = static_cast<int>(pick(rng, 2, 4));
+          }
+        } else if (s.backend == api::exec_backend::sharded) {
+          s.backend = api::exec_backend::single;
+        } else {
+          applied = false;
+        }
+        break;
+      case 3:
+        if (s.policy == core::runtime::fail_policy::skip && cfg.allow_retry) {
+          s.policy = core::runtime::fail_policy::retry;
+        } else {
+          s.policy = core::runtime::fail_policy::skip;
+        }
+        break;
+      case 4:
+        if (cfg.allow_shared_cache || s.shared_cache) {
+          s.shared_cache = !s.shared_cache;
+        } else {
+          applied = false;
+        }
+        break;
+      case 5:  // add a crash point
+        if (cfg.crashes &&
+            s.crash_steps.size() <
+                static_cast<std::size_t>(std::max(0, cfg.max_crashes))) {
+          s.crash_steps.push_back(next_rand(rng) % cfg.max_crash_step);
+          std::sort(s.crash_steps.begin(), s.crash_steps.end());
+        } else {
+          applied = false;
+        }
+        break;
+      case 6:  // drop a crash point
+        if (!s.crash_steps.empty()) {
+          s.crash_steps.erase(s.crash_steps.begin() +
+                              static_cast<long>(next_rand(rng) %
+                                                s.crash_steps.size()));
+        } else {
+          applied = false;
+        }
+        break;
+      case 7: {  // add an object (plus a few ops driving it)
+        if (cfg.object_kind_pool.empty() ||
+            s.objects.size() >=
+                static_cast<std::size_t>(std::max(1, cfg.max_objects))) {
+          applied = false;
+          break;
+        }
+        const std::string& kind =
+            cfg.object_kind_pool[next_rand(rng) % cfg.object_kind_pool.size()];
+        std::uint32_t id = s.add_object(kind);
+        if (auto* entry = script_at(s, next_rand(rng))) {
+          const api::op_family family =
+              api::object_registry::global().at(kind).family;
+          std::uint64_t n = pick(rng, 1, 2);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            hist::op_desc d = random_op(rng, family, entry->first, cfg);
+            d.object = id;
+            entry->second.push_back(d);
+          }
+        }
+        break;
+      }
+      case 8: {  // drop a non-primary object and its ops
+        if (s.objects.size() < 2 ||
+            s.objects.size() <=
+                static_cast<std::size_t>(std::max(1, cfg.min_objects))) {
+          applied = false;
+          break;
+        }
+        std::size_t idx = 1 + next_rand(rng) % (s.objects.size() - 1);
+        std::uint32_t id = s.objects[idx].id;
+        s.objects.erase(s.objects.begin() + static_cast<long>(idx));
+        for (auto& [pid, ops] : s.scripts) {
+          std::erase_if(ops,
+                        [id](const hist::op_desc& d) { return d.object == id; });
+        }
+        break;
+      }
+      case 9: {  // retarget one op to another same-family object
+        auto* entry = script_at(s, next_rand(rng));
+        if (entry == nullptr || entry->second.empty() || s.objects.size() < 2) {
+          applied = false;
+          break;
+        }
+        hist::op_desc& d =
+            entry->second[next_rand(rng) % entry->second.size()];
+        const api::scenario_object* from = s.find_object(d.object);
+        if (from == nullptr) {
+          applied = false;
+          break;
+        }
+        std::optional<api::op_family> fam = family_of(*from);
+        std::vector<std::uint32_t> candidates;
+        for (const api::scenario_object& o : s.objects) {
+          if (o.id != d.object && fam.has_value() && family_of(o) == fam) {
+            candidates.push_back(o.id);
+          }
+        }
+        if (candidates.empty()) {
+          applied = false;
+          break;
+        }
+        d.object = candidates[next_rand(rng) % candidates.size()];
+        break;
+      }
+      default: {  // rewrite or append an op on a random target
+        auto* entry = script_at(s, next_rand(rng));
+        if (entry == nullptr || s.objects.empty()) {
+          applied = false;
+          break;
+        }
+        const api::scenario_object& target =
+            s.objects[next_rand(rng) % s.objects.size()];
+        std::optional<api::op_family> fam = family_of(target);
+        if (!fam.has_value()) {
+          applied = false;
+          break;
+        }
+        hist::op_desc d = random_op(rng, *fam, entry->first, cfg);
+        d.object = target.id;
+        if (entry->second.empty() || next_rand(rng) % 2 == 0) {
+          entry->second.push_back(d);
+        } else {
+          entry->second[next_rand(rng) % entry->second.size()] = d;
+        }
+        break;
+      }
+    }
+    if (applied) break;
+  }
+  enforce_contracts(s);
   return s;
 }
 

@@ -1,10 +1,11 @@
 // scenario_gen — deterministic registry-driven workload synthesis.
 //
-// Given a seed and a registry kind, synthesize a multi-process op script
-// from that kind's opcode family (the randomized generalization of
-// api::smoke_script): process count, per-process op mix and arguments,
-// crash points, scheduler seed, fail policy, and flush/memory-model policy
-// are all derived from the seed through one xorshift64* stream, so the same
+// Given a seed and a primary registry kind, synthesize a multi-process,
+// multi-object op script: object count and kinds (primary kind as object 0,
+// extra objects drawn from `object_kind_pool`), per-process op mix with
+// per-op target objects, crash points, scheduler seed, fail policy,
+// flush/memory-model policy, shard count, and execution backend are all
+// derived from the seed through one xorshift64* stream, so the same
 // (seed, kind, config) triple always yields the identical scenario —
 // `fuzz_main --seed S` reproduces any run bit-for-bit.
 //
@@ -15,11 +16,18 @@
 // Kinds with usage contracts are generated within them: the recoverable
 // lock's recovery is only sound when a client never invokes try_lock while
 // possibly holding (rlock.hpp), so lock scripts alternate try/release per
-// process and crashy lock scenarios use fail_policy::retry.
+// (process, object) and crashy lock scenarios use fail_policy::retry.
+//
+// `mutate()` is the coverage-steered campaign's other generation mode: a
+// structural edit of an existing (corpus) scenario — flip a knob, add or
+// drop an object, retarget or rewrite an op — followed by a contract-repair
+// pass, so mutants stay inside the same usage contracts `generate()`
+// enforces.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "api/api.hpp"
 
@@ -50,6 +58,20 @@ struct gen_config {
   /// with shards > 1. max_shards <= 1 disables the knob entirely.
   int min_shards = 1;
   int max_shards = 4;
+  /// Multi-object knob: scenarios declare between min_objects and
+  /// max_objects objects — object 0 is the primary kind, extras draw their
+  /// kinds from `object_kind_pool`. An empty pool disables the knob
+  /// (single-object scenarios only), which keeps `generate(seed, kind)`
+  /// deterministic against later registry additions; campaign drivers fill
+  /// the pool from their configured kind list. When min_objects == 1 a coin
+  /// keeps about half of the scenarios single-object.
+  int min_objects = 1;
+  int max_objects = 4;
+  std::vector<std::string> object_kind_pool;
+  /// Let scenarios with shards > 1 run directly on the sharded backend for
+  /// about a quarter of the draws (the rest keep backend single, where the
+  /// shard knob feeds the single-vs-sharded equivalence diff instead).
+  bool allow_sharded_backend = true;
 };
 
 /// One random operation for `family`, drawn from family_opcodes(). `pid` is
@@ -57,12 +79,25 @@ struct gen_config {
 hist::op_desc random_op(std::uint64_t& rng, api::op_family family, int pid,
                         const gen_config& cfg);
 
-/// Synthesize the full scenario for `kind` from `seed`. The kind's
-/// detectability (registry metadata) gates crash injection: non-detectable
-/// kinds (plain_*, stripped_*) get crash-free scenarios regardless of
-/// `cfg.crashes`.
+/// Synthesize the full scenario for primary kind `kind` from `seed`. The
+/// declared objects' detectability (registry metadata) gates crash
+/// injection: a scenario containing any non-detectable object (plain_*,
+/// stripped_*) is generated crash-free regardless of `cfg.crashes`.
 api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
                                 const gen_config& cfg = {});
+
+/// One structural mutation of `base` drawn from `rng` (knob flip, crash
+/// edit, object add/drop, op retarget/rewrite/append), contract-repaired so
+/// the result is as replayable as a generated scenario. Deterministic in
+/// (base, rng state, cfg).
+api::scripted_scenario mutate(const api::scripted_scenario& base,
+                              std::uint64_t& rng, const gen_config& cfg);
+
+/// Contract-repair pass shared by generate() and mutate(): clears the crash
+/// plan when any object is non-detectable, forces fail_policy::retry on
+/// crashy lock scenarios, repairs per-(process, object) try/release
+/// alternation, and de-degenerates Cas(x, x) ops.
+void enforce_contracts(api::scripted_scenario& s);
 
 /// The seed of iteration `iter` in a fuzz campaign starting at `base_seed`
 /// (splitmix64 step — decorrelates consecutive iterations).

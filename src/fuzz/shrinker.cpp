@@ -48,36 +48,35 @@ std::vector<int> pids_of(const api::scripted_scenario& s) {
 /// The usage contracts the generator enforces (scenario_gen.cpp) must
 /// survive shrinking, or a candidate can "fail" for the contract violation
 /// instead of the original defect and the minimized artifact blames a
-/// non-bug. Checked on every candidate before the fail predicate runs.
+/// non-bug. Checked per declared object on every candidate before the fail
+/// predicate runs.
 bool respects_contracts(const api::scripted_scenario& s) {
   const api::object_registry& reg = api::object_registry::global();
-  if (!reg.contains(s.kind)) return true;  // custom kind: nothing to check
-  const api::kind_info& info = reg.at(s.kind);
-  if (info.family == api::op_family::lock) {
-    // Crashy lock scenarios must retry (a crash-skipped release leaves
-    // holding-state uncertain) ...
-    if (!s.crash_steps.empty() &&
-        s.policy != core::runtime::fail_policy::retry) {
-      return false;
-    }
-    // ... and no process may re-invoke try_lock while possibly holding.
-    for (const auto& [pid, ops] : s.scripts) {
-      bool may_hold = false;
-      for (const hist::op_desc& d : ops) {
-        if (d.code == hist::opcode::lock_try) {
-          if (may_hold) return false;
-          may_hold = true;
-        } else if (d.code == hist::opcode::lock_release) {
-          may_hold = false;
-        }
-      }
-    }
+  bool any_lock = false;
+  for (const api::scenario_object& o : s.objects) {
+    if (!reg.contains(o.kind)) continue;  // custom kind: nothing to check
+    any_lock = any_lock ||
+               reg.at(o.kind).family == api::op_family::lock;
   }
-  if (info.family == api::op_family::cas) {
-    // Algorithm 2's failed-CAS linearization needs old != new.
-    for (const auto& [pid, ops] : s.scripts) {
-      for (const hist::op_desc& d : ops) {
-        if (d.code == hist::opcode::cas && d.a == d.b) return false;
+  // Crashy lock scenarios must retry (a crash-skipped release leaves
+  // holding-state uncertain) ...
+  if (any_lock && !s.crash_steps.empty() &&
+      s.policy != core::runtime::fail_policy::retry) {
+    return false;
+  }
+  for (const auto& [pid, ops] : s.scripts) {
+    // ... and no process may re-invoke try_lock on an object it may still
+    // hold (tracked per lock object).
+    std::map<std::uint32_t, bool> may_hold;
+    for (const hist::op_desc& d : ops) {
+      if (d.code == hist::opcode::lock_try) {
+        if (may_hold[d.object]) return false;
+        may_hold[d.object] = true;
+      } else if (d.code == hist::opcode::lock_release) {
+        may_hold[d.object] = false;
+      } else if (d.code == hist::opcode::cas && d.a == d.b) {
+        // Algorithm 2's failed-CAS linearization needs old != new.
+        return false;
       }
     }
   }
@@ -112,6 +111,55 @@ api::scripted_scenario shrink(api::scripted_scenario s,
       }
     }
 
+    // 1b. Whole objects, last declared first: drop the object and every op
+    // targeting it (a scenario must keep at least one object).
+    for (int i = static_cast<int>(s.objects.size()) - 1; i >= 0; --i) {
+      progress |= try_edit(s, fails, [i](api::scripted_scenario& c) {
+        if (c.objects.size() <= 1 ||
+            i >= static_cast<int>(c.objects.size())) {
+          return false;
+        }
+        const std::uint32_t id = c.objects[static_cast<std::size_t>(i)].id;
+        c.objects.erase(c.objects.begin() + i);
+        for (auto& [pid, ops] : c.scripts) {
+          std::erase_if(ops, [id](const hist::op_desc& d) {
+            return d.object == id;
+          });
+        }
+        return true;
+      });
+    }
+
+    // 1c. Merge same-kind object pairs: retarget the later object's ops onto
+    // the earlier one and drop the later declaration — fewer objects, same
+    // op count, often enough to collapse a cross-shard failure into one
+    // world.
+    for (int j = static_cast<int>(s.objects.size()) - 1; j >= 1; --j) {
+      progress |= try_edit(s, fails, [j](api::scripted_scenario& c) {
+        if (j >= static_cast<int>(c.objects.size())) return false;
+        const api::scenario_object& victim =
+            c.objects[static_cast<std::size_t>(j)];
+        int into = -1;
+        for (int i = 0; i < j; ++i) {
+          if (c.objects[static_cast<std::size_t>(i)].kind == victim.kind) {
+            into = i;
+            break;
+          }
+        }
+        if (into < 0) return false;
+        const std::uint32_t from = victim.id;
+        const std::uint32_t to =
+            c.objects[static_cast<std::size_t>(into)].id;
+        c.objects.erase(c.objects.begin() + j);
+        for (auto& [pid, ops] : c.scripts) {
+          for (hist::op_desc& d : ops) {
+            if (d.object == from) d.object = to;
+          }
+        }
+        return true;
+      });
+    }
+
     // 2a. Suffix halves per process.
     for (int p : pids_of(s)) {
       while (try_edit(s, fails, [p](api::scripted_scenario& c) {
@@ -144,6 +192,30 @@ api::scripted_scenario shrink(api::scripted_scenario s,
       }
     }
 
+    // 2c. Retarget ops onto the first same-kind object: pulls a scattered
+    // failure onto one object so the object-dropping pass can finish the
+    // job next round.
+    for (int p : pids_of(s)) {
+      std::size_t len = s.scripts.count(p) != 0 ? s.scripts.at(p).size() : 0;
+      for (std::size_t i = 0; i < len; ++i) {
+        progress |= try_edit(s, fails, [p, i](api::scripted_scenario& c) {
+          auto cit = c.scripts.find(p);
+          if (cit == c.scripts.end() || i >= cit->second.size()) return false;
+          hist::op_desc& d = cit->second[i];
+          const api::scenario_object* from = c.find_object(d.object);
+          if (from == nullptr) return false;
+          for (const api::scenario_object& o : c.objects) {
+            if (o.id == d.object) break;  // already the first of its kind
+            if (o.kind == from->kind) {
+              d.object = o.id;
+              return true;
+            }
+          }
+          return false;
+        });
+      }
+    }
+
     // 3. Crash steps, back to front.
     for (int i = static_cast<int>(s.crash_steps.size()) - 1; i >= 0; --i) {
       progress |= try_edit(s, fails, [i](api::scripted_scenario& c) {
@@ -164,9 +236,16 @@ api::scripted_scenario shrink(api::scripted_scenario s,
       c.shared_cache = false;
       return true;
     });
-    // Drop the sharded-equivalence diff (shards -> 1): if the failure
-    // survives, it is not a sharding bug and the simpler single-backend
-    // artifact is the one to debug.
+    // A sharded-backend scenario first tries the single backend (if the
+    // failure survives, it is not a cross-shard bug) ...
+    progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
+      if (c.backend != api::exec_backend::sharded) return false;
+      c.backend = api::exec_backend::single;
+      return true;
+    });
+    // ... then the sharded-equivalence diff is dropped (shards -> 1): if the
+    // failure still survives, the simpler single-backend artifact is the one
+    // to debug.
     progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
       if (c.shards <= 1) return false;
       c.shards = 1;

@@ -7,7 +7,8 @@
 
 namespace detect::hist {
 
-std::vector<op_record> build_records(const std::vector<event>& events) {
+std::vector<op_record> build_records(const std::vector<event>& events,
+                                     bool* synthesized_interval) {
   std::vector<op_record> out;
   // One open operation per process at a time (processes are sequential).
   std::map<int, std::size_t> open;  // pid -> index into `out`
@@ -97,6 +98,7 @@ std::vector<op_record> build_records(const std::vector<event>& events) {
             r.has_response = true;
             last_closed[e.pid] = r.desc.client_seq;
             out.push_back(r);
+            if (synthesized_interval != nullptr) *synthesized_interval = true;
           }
           first_begin.erase(round_key);
           break;
@@ -141,7 +143,7 @@ check_result check_durable_linearizability(const std::vector<event>& events,
   check_result res;
   std::vector<op_record> records;
   try {
-    records = build_records(events);
+    records = build_records(events, &res.synthesized_interval);
   } catch (const std::exception& ex) {
     res.message = std::string("malformed log: ") + ex.what();
     return res;
@@ -189,11 +191,13 @@ check_result check_durable_linearizability_per_object(
   }
 
   res.ok = true;
+  res.objects = specs.size();
   for (const auto& [id, sp] : specs) {
     check_result sub =
         check_durable_linearizability(object_events(events, id), *sp,
                                       node_budget);
     res.nodes += sub.nodes;
+    res.synthesized_interval |= sub.synthesized_interval;
     if (!sub.ok) {
       res.ok = false;
       res.inconclusive = sub.inconclusive;

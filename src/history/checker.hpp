@@ -31,13 +31,23 @@ struct check_result {
   bool ok = false;
   bool inconclusive = false;  // node budget exhausted
   std::size_t nodes = 0;      // linearizer nodes expanded (summed per object)
+  /// Checker-path observations (coverage-bucket food for the fuzzer):
+  /// how many per-object sub-checks ran (0 for the product-spec path, so
+  /// `objects > 1` means the decomposition was genuinely taken), and whether
+  /// build_records synthesized a recovery-window interval for an op whose
+  /// invoke was lost to an announcement-window crash.
+  std::size_t objects = 0;
+  bool synthesized_interval = false;
   std::string message;
 };
 
 /// Convert an event log into checkable op records. Records whose recovery
 /// verdict is `fail` are excluded (see header comment). Throws on malformed
-/// logs (e.g. response without invoke).
-std::vector<op_record> build_records(const std::vector<event>& events);
+/// logs (e.g. response without invoke). `synthesized_interval`, when
+/// non-null, is set to true iff some record's interval had to be synthesized
+/// from recovery events (announcement-window crash; see the comment inside).
+std::vector<op_record> build_records(const std::vector<event>& events,
+                                     bool* synthesized_interval = nullptr);
 
 /// Full pipeline: build records, check against the spec.
 check_result check_durable_linearizability(

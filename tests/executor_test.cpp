@@ -101,6 +101,25 @@ TEST(executor_sharded, routes_objects_by_id_mod_shards) {
   EXPECT_EQ(ex->shards(), 3);
 }
 
+// add_as honors caller-chosen ids on every backend: the id decides the
+// hosting shard, later auto-adds continue past it, and duplicates throw —
+// the contract scenario replay relies on to reproduce declared routings.
+TEST(executor_backends_add_as, honors_ids_and_rejects_duplicates) {
+  for (exec_backend be :
+       {exec_backend::single, exec_backend::sharded, exec_backend::threads}) {
+    auto ex = api::executor::builder().backend(be).shards(3).procs(2).build();
+    api::object_handle five = ex->add_as(5, "reg");
+    EXPECT_EQ(five.id(), 5u) << backend_name(be);
+    if (be == exec_backend::sharded) {
+      EXPECT_EQ(ex->shard_of(five.id()), 5 % 3);
+    }
+    // The next auto-assigned id continues past the explicit one.
+    api::object_handle next = ex->add("reg");
+    EXPECT_EQ(next.id(), 6u) << backend_name(be);
+    EXPECT_THROW(ex->add_as(5, "reg"), std::exception) << backend_name(be);
+  }
+}
+
 TEST(executor_sharded, runs_and_checks_a_cross_shard_workload) {
   auto ex = api::executor::builder()
                 .backend(exec_backend::sharded)

@@ -1,7 +1,9 @@
-// The fuzz engine itself: generator determinism, registry-wide qualification
-// under generated workloads, dump/parse round-tripping, shrinker validity
-// (shrunk scenarios still fail), and differential detection of a deliberately
-// lying implementation.
+// The fuzz engine itself: generator determinism (single- and multi-object),
+// registry-wide qualification under generated workloads, dump/parse
+// round-tripping across format versions, shrinker validity (shrunk scenarios
+// still fail; object-level passes shrink multi-object failures), coverage
+// bucketing + steered campaigns, and differential detection of a
+// deliberately lying implementation.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +19,12 @@ using namespace detect;
 // kinds, and campaign tests must not pick those up.
 const std::vector<std::string> g_builtin_kinds =
     api::object_registry::global().kinds();
+
+api::scripted_scenario single_object(const std::string& kind) {
+  api::scripted_scenario s;
+  s.objects.push_back({0, kind, {}});
+  return s;
+}
 
 // ---- generator --------------------------------------------------------------
 
@@ -68,18 +76,25 @@ TEST(scenario_gen, respects_config_bounds) {
   }
 }
 
-TEST(scenario_gen, ops_come_from_the_kinds_family) {
+TEST(scenario_gen, ops_come_from_the_target_objects_family) {
+  fuzz::gen_config cfg;
+  cfg.object_kind_pool = g_builtin_kinds;  // multi-object on
   for (const std::string& kind : g_builtin_kinds) {
-    const api::kind_info& info = api::object_registry::global().at(kind);
-    const std::vector<hist::opcode>& alphabet =
-        api::family_opcodes(info.family);
-    api::scripted_scenario s = fuzz::generate(99, kind);
+    api::scripted_scenario s = fuzz::generate(99, kind, cfg);
+    EXPECT_EQ(s.objects.front().kind, kind);
     for (const auto& [pid, ops] : s.scripts) {
       for (const hist::op_desc& d : ops) {
+        const api::scenario_object* target = s.find_object(d.object);
+        ASSERT_NE(target, nullptr)
+            << kind << ": op targets undeclared object " << d.object;
+        const api::kind_info& info =
+            api::object_registry::global().at(target->kind);
+        const std::vector<hist::opcode>& alphabet =
+            api::family_opcodes(info.family);
         EXPECT_NE(std::find(alphabet.begin(), alphabet.end(), d.code),
                   alphabet.end())
             << kind << ": opcode " << hist::opcode_name(d.code)
-            << " outside its family";
+            << " outside the family of its target " << target->kind;
       }
     }
   }
@@ -99,6 +114,7 @@ TEST(scenario_gen, shard_knob_is_bounded_and_deterministic) {
   fuzz::gen_config cfg;
   cfg.min_shards = 2;
   cfg.max_shards = 5;
+  cfg.allow_sharded_backend = false;  // pin the backend for this test
   bool saw_above_min = false;
   for (std::uint64_t seed = 1; seed <= 30; ++seed) {
     api::scripted_scenario s = fuzz::generate(seed, "reg", cfg);
@@ -115,6 +131,122 @@ TEST(scenario_gen, shard_knob_is_bounded_and_deterministic) {
   off.max_shards = 1;
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     EXPECT_EQ(fuzz::generate(seed, "reg", off).shards, 1);
+  }
+}
+
+TEST(scenario_gen, sharded_backend_draw_requires_shards) {
+  fuzz::gen_config cfg;
+  cfg.min_shards = 2;
+  cfg.max_shards = 4;
+  bool saw_sharded = false;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    api::scripted_scenario s = fuzz::generate(seed, "counter", cfg);
+    if (s.backend == api::exec_backend::sharded) {
+      saw_sharded = true;
+      EXPECT_GE(s.shards, 2);
+    }
+  }
+  EXPECT_TRUE(saw_sharded) << "no seed drew the sharded backend";
+}
+
+// The multi-object half of the tentpole: K-object scenarios declare distinct
+// contiguous ids, draw extra kinds from the pool, and stay deterministic.
+TEST(scenario_gen, multi_object_scenarios_are_bounded_and_deterministic) {
+  fuzz::gen_config cfg;
+  cfg.min_objects = 2;
+  cfg.max_objects = 4;
+  cfg.object_kind_pool = {"reg", "cas", "queue", "counter"};
+  bool saw_multi_kind = false;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    api::scripted_scenario s = fuzz::generate(seed, "reg", cfg);
+    ASSERT_GE(s.objects.size(), 2u);
+    ASSERT_LE(s.objects.size(), 4u);
+    std::set<std::uint32_t> ids;
+    for (const api::scenario_object& o : s.objects) {
+      EXPECT_TRUE(ids.insert(o.id).second) << "duplicate id " << o.id;
+    }
+    EXPECT_EQ(s.objects.front().kind, "reg");
+    saw_multi_kind =
+        saw_multi_kind || s.objects.back().kind != s.objects.front().kind;
+    EXPECT_EQ(api::dump(s), api::dump(fuzz::generate(seed, "reg", cfg)));
+  }
+  EXPECT_TRUE(saw_multi_kind) << "extras never drew a different kind";
+}
+
+TEST(scenario_gen, one_non_detectable_object_disarms_the_crash_plan) {
+  fuzz::gen_config cfg;
+  cfg.min_objects = 3;
+  cfg.max_objects = 3;
+  cfg.object_kind_pool = {"plain_reg"};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    api::scripted_scenario s = fuzz::generate(seed, "reg", cfg);
+    EXPECT_TRUE(s.crash_steps.empty()) << api::dump(s);
+    EXPECT_EQ(s.policy, core::runtime::fail_policy::skip);
+  }
+}
+
+TEST(scenario_gen, lock_contract_holds_per_process_and_object) {
+  fuzz::gen_config cfg;
+  cfg.min_objects = 2;
+  cfg.max_objects = 3;
+  cfg.min_ops = 6;
+  cfg.max_ops = 10;
+  cfg.object_kind_pool = {"lock", "reg"};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    api::scripted_scenario s = fuzz::generate(seed, "lock", cfg);
+    if (!s.crash_steps.empty()) {
+      EXPECT_EQ(s.policy, core::runtime::fail_policy::retry) << api::dump(s);
+    }
+    for (const auto& [pid, ops] : s.scripts) {
+      std::map<std::uint32_t, bool> may_hold;
+      for (const hist::op_desc& d : ops) {
+        if (d.code == hist::opcode::lock_try) {
+          EXPECT_FALSE(may_hold[d.object])
+              << "try_lock while possibly holding\n"
+              << api::dump(s);
+          may_hold[d.object] = true;
+        } else if (d.code == hist::opcode::lock_release) {
+          may_hold[d.object] = false;
+        }
+      }
+    }
+  }
+}
+
+// ---- mutation engine --------------------------------------------------------
+
+TEST(scenario_gen, mutate_is_deterministic_and_contract_preserving) {
+  fuzz::gen_config cfg;
+  cfg.object_kind_pool = {"reg", "cas", "lock", "queue"};
+  cfg.max_objects = 4;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    api::scripted_scenario base = fuzz::generate(seed, "cas", cfg);
+    std::uint64_t rng_a = seed * 977 + 1;
+    std::uint64_t rng_b = rng_a;
+    api::scripted_scenario a = fuzz::mutate(base, rng_a, cfg);
+    api::scripted_scenario b = fuzz::mutate(base, rng_b, cfg);
+    ASSERT_EQ(api::dump(a), api::dump(b)) << "mutation must be deterministic";
+    // Mutants stay replayable: every op targets a declared object and the
+    // generator's usage contracts still hold.
+    ASSERT_FALSE(a.objects.empty());
+    for (const auto& [pid, ops] : a.scripts) {
+      std::map<std::uint32_t, bool> may_hold;
+      for (const hist::op_desc& d : ops) {
+        ASSERT_NE(a.find_object(d.object), nullptr) << api::dump(a);
+        if (d.code == hist::opcode::cas) {
+          EXPECT_NE(d.a, d.b);
+        }
+        if (d.code == hist::opcode::lock_try) {
+          EXPECT_FALSE(may_hold[d.object]) << api::dump(a);
+          may_hold[d.object] = true;
+        } else if (d.code == hist::opcode::lock_release) {
+          may_hold[d.object] = false;
+        }
+      }
+    }
+    std::string failure = fuzz::verify_scenario(a);
+    EXPECT_TRUE(failure.empty()) << failure << "\n" << api::dump(a);
+    if (::testing::Test::HasFailure()) return;
   }
 }
 
@@ -141,12 +273,34 @@ INSTANTIATE_TEST_SUITE_P(all_kinds, generated_qualification,
                            return info.param;
                          });
 
+// Multi-object flavor of the qualification: mixed-kind scenarios (which
+// exercise cross-shard routing and the merged-log path whenever the shard
+// knob or backend draw fires) pass the full oracle.
+TEST(generated_qualification_multi, mixed_kind_scenarios_pass_the_oracle) {
+  fuzz::gen_config cfg;
+  cfg.min_objects = 2;
+  cfg.max_objects = 4;
+  cfg.object_kind_pool = g_builtin_kinds;
+  cfg.max_procs = 2;
+  cfg.max_ops = 5;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const std::string& kind = g_builtin_kinds[seed % g_builtin_kinds.size()];
+    api::scripted_scenario s = fuzz::generate(seed, kind, cfg);
+    std::string failure = fuzz::verify_scenario(s);
+    ASSERT_TRUE(failure.empty())
+        << kind << " seed " << seed << ":\n"
+        << failure << "\n"
+        << api::dump(s);
+  }
+}
+
 // ---- differ -----------------------------------------------------------------
 
 // The ISSUE-3 acceptance bar: for >= 1000 generated seeds, single and
 // sharded replays of the same scenario produce identical checker verdicts
-// and response streams, verified via fuzz::diff_sharded. Kinds rotate over
-// every opcode family with a detectable core implementation.
+// (and, single-object, identical response streams), verified via
+// fuzz::diff_sharded. Kinds rotate over every opcode family with a
+// detectable core implementation.
 TEST(differ, sharded_equivalence_holds_for_1000_seeds) {
   const std::vector<std::string> kinds = {"reg",   "cas",   "counter",
                                           "swap",  "tas",   "queue",
@@ -162,6 +316,30 @@ TEST(differ, sharded_equivalence_holds_for_1000_seeds) {
         fuzz::iteration_seed(0x54a2d, static_cast<std::uint64_t>(i));
     const std::string& kind = kinds[static_cast<std::size_t>(i) % kinds.size()];
     api::scripted_scenario s = fuzz::generate(seed, kind, cfg);
+    fuzz::diff_report d = fuzz::diff_sharded(s, s.shards);
+    ASSERT_TRUE(d.ok) << "seed " << seed << ":\n"
+                      << d.message << "\n"
+                      << api::dump(s);
+  }
+}
+
+// Genuinely cross-shard histories: multi-object scenarios whose objects
+// route to different shards must still pass the equivalence oracle (verdict
+// equality — the merged-log and per-object decomposition paths).
+TEST(differ, sharded_equivalence_holds_on_multi_object_scenarios) {
+  fuzz::gen_config cfg;
+  cfg.min_objects = 2;
+  cfg.max_objects = 4;
+  cfg.object_kind_pool = {"reg", "cas", "counter", "queue", "stack"};
+  cfg.max_procs = 2;
+  cfg.max_ops = 5;
+  cfg.min_shards = 2;
+  cfg.max_shards = 4;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t seed =
+        fuzz::iteration_seed(0xbeefcafe, static_cast<std::uint64_t>(i));
+    api::scripted_scenario s = fuzz::generate(
+        seed, cfg.object_kind_pool[static_cast<std::size_t>(i) % 5], cfg);
     fuzz::diff_report d = fuzz::diff_sharded(s, s.shards);
     ASSERT_TRUE(d.ok) << "seed " << seed << ":\n"
                       << d.message << "\n"
@@ -196,8 +374,7 @@ TEST(differ, recovered_op_interval_anchors_at_first_recovery_attempt) {
 // schedule one too (on shard 0) or the worlds' task sets — and with them
 // seeded schedules and shard-local crash alignment — diverge.
 TEST(differ, sharded_equivalence_survives_empty_scripts) {
-  api::scripted_scenario s;
-  s.kind = "reg";
+  api::scripted_scenario s = single_object("reg");
   s.nprocs = 3;
   s.sched_seed = 1234;
   s.crash_steps = {7, 19};
@@ -219,6 +396,24 @@ TEST(differ, core_kinds_agree_with_their_variants) {
       EXPECT_TRUE(d.ok) << kind << " vs " << variant << ":\n" << d.message;
     }
   }
+}
+
+// Per-object substitution: in a two-object scenario, each object can be
+// swapped for a variant of its own kind independently.
+TEST(differ, substitutes_variants_per_object) {
+  api::scripted_scenario s;
+  s.objects.push_back({0, "reg", {}});
+  s.objects.push_back({1, "cas", {}});
+  s.nprocs = 1;
+  s.scripts[0] = {{0, hist::opcode::reg_write, 3, 0, 0},
+                  {1, hist::opcode::cas, 0, 1, 0},
+                  {0, hist::opcode::reg_read, 0, 0, 0},
+                  {1, hist::opcode::cas_read, 0, 0, 0}};
+  EXPECT_TRUE(fuzz::diff_against(s, 0u, "attiya_reg").ok);
+  EXPECT_TRUE(fuzz::diff_against(s, 1u, "bendavid_cas").ok);
+  EXPECT_THROW(fuzz::diff_against(s, 0u, "bendavid_cas"),
+               std::invalid_argument);
+  EXPECT_THROW(fuzz::diff_against(s, 7u, "attiya_reg"), std::invalid_argument);
 }
 
 TEST(differ, family_mismatch_throws) {
@@ -271,8 +466,7 @@ void register_lying_counter_once() {
 
 api::scripted_scenario counter_scenario(
     std::vector<std::vector<hist::opcode>> per_proc_ops) {
-  api::scripted_scenario s;
-  s.kind = "counter";
+  api::scripted_scenario s = single_object("counter");
   s.nprocs = static_cast<int>(per_proc_ops.size());
   int pid = 0;
   for (const auto& codes : per_proc_ops) {
@@ -297,6 +491,187 @@ TEST(differ, catches_a_lying_implementation) {
   EXPECT_FALSE(d.ok);
   EXPECT_NE(d.message.find("test_lying_counter"), std::string::npos)
       << d.message;
+}
+
+// The lying object is caught even when it is NOT the primary: per-object
+// variant substitution reaches every declared object.
+TEST(differ, catches_a_lying_secondary_object) {
+  register_lying_counter_once();
+  api::scripted_scenario s;
+  s.objects.push_back({0, "reg", {}});
+  s.objects.push_back({1, "counter", {}});
+  s.nprocs = 1;
+  s.scripts[0] = {{0, hist::opcode::reg_write, 2, 0, 0},
+                  {1, hist::opcode::ctr_add, 1, 0, 0},
+                  {1, hist::opcode::ctr_read, 0, 0, 0}};
+  fuzz::diff_report d = fuzz::diff_against(s, 1u, "test_lying_counter");
+  EXPECT_FALSE(d.ok);
+  EXPECT_NE(d.message.find("test_lying_counter"), std::string::npos)
+      << d.message;
+}
+
+// ---- coverage ---------------------------------------------------------------
+
+TEST(coverage, bucket_signature_reflects_scenario_and_outcome) {
+  api::scripted_scenario s;
+  s.objects.push_back({0, "reg", {}});
+  s.objects.push_back({1, "cas", {}});
+  s.nprocs = 2;
+  s.shards = 2;
+  s.scripts[0] = {{0, hist::opcode::reg_write, 1, 0, 0},
+                  {1, hist::opcode::cas, 0, 1, 0}};
+  s.scripts[1] = {{0, hist::opcode::reg_read, 0, 0, 0}};
+  api::scripted_outcome out = api::replay(s);
+  fuzz::bucket_signature b = fuzz::bucket_of(s, out);
+  EXPECT_EQ(b.kinds, "cas+reg");
+  EXPECT_EQ(b.backend, "single");
+  EXPECT_EQ(b.shards, 2);
+  EXPECT_EQ(b.crash_phase, 0);
+  EXPECT_TRUE(b.decomposed) << "two objects -> decomposition taken";
+  EXPECT_NE(b.key().find("kinds=cas+reg"), std::string::npos);
+  EXPECT_NE(b.key().find("decomp=1"), std::string::npos);
+  // The scenario key is a strict prefix of the full key.
+  EXPECT_EQ(b.key().rfind(b.scenario_key(), 0), 0u);
+
+  // Crash-phase and recovery bits come from the outcome.
+  api::scripted_scenario crashy = single_object("reg");
+  crashy.nprocs = 2;
+  crashy.crash_steps = {5};
+  crashy.scripts[0] = {{0, hist::opcode::reg_write, 1, 0, 0},
+                       {0, hist::opcode::reg_write, 2, 0, 0}};
+  crashy.scripts[1] = {{0, hist::opcode::reg_read, 0, 0, 0}};
+  api::scripted_outcome crashed = api::replay(crashy);
+  fuzz::bucket_signature cb = fuzz::bucket_of(crashy, crashed);
+  EXPECT_EQ(cb.crash_phase, 1);
+  EXPECT_FALSE(cb.decomposed);
+}
+
+TEST(coverage, map_counts_distinct_buckets_and_timeline) {
+  fuzz::coverage_map cov;
+  fuzz::bucket_signature a;
+  a.kinds = "reg";
+  fuzz::bucket_signature b;
+  b.kinds = "cas";
+  EXPECT_TRUE(cov.record(a));
+  EXPECT_FALSE(cov.record(a)) << "same bucket is not novel twice";
+  EXPECT_TRUE(cov.record(b));
+  EXPECT_EQ(cov.distinct(), 2u);
+  EXPECT_EQ(cov.executed(), 3u);
+  ASSERT_EQ(cov.timeline().size(), 2u);
+  EXPECT_EQ(cov.timeline()[0], (std::pair<std::uint64_t, std::size_t>{1, 1}));
+  EXPECT_EQ(cov.timeline()[1], (std::pair<std::uint64_t, std::size_t>{3, 2}));
+  EXPECT_TRUE(cov.seen_scenario(a.scenario_key()));
+}
+
+// The pinned 1000-seed multi-object battery: (a) K-object generation is
+// deterministic, (b) campaign coverage is monotonically non-decreasing,
+// (c) the generated stream reaches every registered kind and both the
+// single and sharded backends.
+TEST(coverage, pinned_multi_object_campaign_reaches_kinds_and_backends) {
+  fuzz::gen_config cfg;
+  cfg.max_objects = 4;
+  cfg.object_kind_pool = g_builtin_kinds;
+  cfg.max_procs = 2;
+  cfg.max_ops = 5;
+
+  std::set<std::string> kinds_reached;
+  std::set<std::string> backends_reached;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t seed = fuzz::iteration_seed(0x5eed, i);
+    const std::string& kind = g_builtin_kinds[i % g_builtin_kinds.size()];
+    api::scripted_scenario s = fuzz::generate(seed, kind, cfg);
+    // (a) determinism
+    ASSERT_EQ(api::dump(s), api::dump(fuzz::generate(seed, kind, cfg)));
+    for (const api::scenario_object& o : s.objects) {
+      kinds_reached.insert(o.kind);
+    }
+    backends_reached.insert(api::backend_name(s.backend));
+  }
+  // (c) every registered kind appears in some scenario, on both backends.
+  for (const std::string& kind : g_builtin_kinds) {
+    EXPECT_TRUE(kinds_reached.count(kind) != 0) << "kind never generated: "
+                                                << kind;
+  }
+  EXPECT_TRUE(backends_reached.count("single") != 0);
+  EXPECT_TRUE(backends_reached.count("sharded") != 0);
+}
+
+TEST(coverage, campaign_coverage_is_monotone_and_deterministic) {
+  fuzz::fuzz_options opt;
+  opt.base_seed = 31;
+  opt.iterations = 300;
+  opt.kinds = g_builtin_kinds;
+  opt.diff = false;
+  opt.gen.max_procs = 2;
+  opt.gen.max_ops = 4;
+
+  fuzz::fuzz_stats stats = fuzz::run_fuzz(opt);
+  ASSERT_FALSE(stats.failure.has_value());
+  EXPECT_EQ(stats.coverage.executed, opt.iterations);
+  EXPECT_GT(stats.coverage.distinct_buckets, 10u);
+  // (b) the (executed, distinct) timeline is strictly increasing in both
+  // coordinates — coverage never decreases over a campaign.
+  const auto& tl = stats.coverage.timeline;
+  ASSERT_FALSE(tl.empty());
+  for (std::size_t i = 1; i < tl.size(); ++i) {
+    EXPECT_GT(tl[i].first, tl[i - 1].first);
+    EXPECT_EQ(tl[i].second, tl[i - 1].second + 1);
+  }
+  EXPECT_EQ(tl.back().second, stats.coverage.distinct_buckets);
+  EXPECT_EQ(stats.coverage.corpus.size(), stats.coverage.distinct_buckets);
+
+  fuzz::fuzz_stats again = fuzz::run_fuzz(opt);
+  EXPECT_EQ(again.coverage.distinct_buckets, stats.coverage.distinct_buckets);
+  EXPECT_EQ(again.replays, stats.replays);
+}
+
+// The ISSUE-4 acceptance bar: on the same fixed-seed 5000-iteration
+// campaign, coverage-steered generation reaches >= 1.5x the distinct
+// buckets of pure-random generation.
+TEST(coverage, steering_beats_random_by_1_5x_on_5k_iterations) {
+  auto campaign = [](bool steer) {
+    fuzz::fuzz_options opt;
+    opt.base_seed = 0xC0FFEE;
+    opt.iterations = 5000;
+    // A fixed six-kind pool: wide enough that directed mutation has
+    // composite-rare buckets to chase, narrow enough that blind sampling
+    // demonstrably saturates within the budget.
+    opt.kinds = {"reg", "cas", "counter", "queue", "stack", "lock"};
+    opt.diff = false;    // the A/B compares generation, not the variant pass
+    opt.shrink = false;
+    opt.steer = steer;
+    opt.gen.max_procs = 2;
+    opt.gen.max_ops = 4;
+    opt.gen.max_crashes = 2;
+    opt.gen.max_objects = 4;
+    fuzz::fuzz_stats stats = fuzz::run_fuzz(opt);
+    EXPECT_FALSE(stats.failure.has_value())
+        << stats.failure->message << "\n"
+        << api::dump(stats.failure->scenario);
+    return stats.coverage.distinct_buckets;
+  };
+  const std::size_t random_buckets = campaign(false);
+  const std::size_t steered_buckets = campaign(true);
+  EXPECT_GE(steered_buckets * 2, random_buckets * 3)
+      << "steered=" << steered_buckets << " random=" << random_buckets;
+  EXPECT_GT(random_buckets, 0u);
+}
+
+TEST(coverage, stats_serialize_to_json) {
+  fuzz::coverage_stats st;
+  st.executed = 10;
+  st.distinct_buckets = 2;
+  st.steered = true;
+  st.timeline = {{1, 1}, {4, 2}};
+  st.corpus = {{0, 123, false, "kinds=reg|mix=reg:3"},
+               {3, 456, true, "kinds=cas|mix=cas:1"}};
+  std::string json = st.to_json(7, 10);
+  EXPECT_NE(json.find("\"base_seed\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"distinct_buckets\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"steered\": true"), std::string::npos);
+  EXPECT_NE(json.find("[[1, 1], [4, 2]]"), std::string::npos);
+  EXPECT_NE(json.find("\"bucket\": \"kinds=cas|mix=cas:1\""),
+            std::string::npos);
 }
 
 // ---- shrinker ---------------------------------------------------------------
@@ -328,6 +703,77 @@ TEST(shrinker, synthetic_predicate_shrinks_to_one_op) {
   EXPECT_TRUE(shrunk.crash_steps.empty());
   EXPECT_EQ(shrunk.policy, core::runtime::fail_policy::skip);
   EXPECT_FALSE(shrunk.shared_cache);
+}
+
+// The object-level passes: a needle on one object of a 4-object scenario
+// shrinks to a single-object scenario (drop + merge + retarget).
+TEST(shrinker, drops_and_merges_objects) {
+  api::scripted_scenario s;
+  s.objects.push_back({0, "reg", {}});
+  s.objects.push_back({1, "queue", {}});
+  s.objects.push_back({2, "reg", {}});
+  s.objects.push_back({3, "counter", {}});
+  s.nprocs = 2;
+  s.backend = api::exec_backend::sharded;
+  s.shards = 2;
+  s.scripts[0] = {{0, hist::opcode::reg_write, 1, 0, 0},
+                  {1, hist::opcode::enq, 2, 0, 0},
+                  {2, hist::opcode::reg_write, 55, 0, 0},
+                  {3, hist::opcode::ctr_add, 1, 0, 0}};
+  s.scripts[1] = {{1, hist::opcode::deq, 0, 0, 0},
+                  {2, hist::opcode::reg_read, 0, 0, 0}};
+
+  // The needle: some reg_write of 55 (wherever it lives after retargeting).
+  auto fails = [](const api::scripted_scenario& c) {
+    for (const auto& [pid, ops] : c.scripts) {
+      for (const hist::op_desc& d : ops) {
+        if (d.code == hist::opcode::reg_write && d.a == 55) return true;
+      }
+    }
+    return false;
+  };
+  api::scripted_scenario shrunk = fuzz::shrink(s, fails);
+  EXPECT_TRUE(fails(shrunk));
+  EXPECT_EQ(shrunk.objects.size(), 1u) << api::dump(shrunk);
+  EXPECT_EQ(shrunk.objects.front().kind, "reg");
+  EXPECT_EQ(shrunk.total_ops(), 1u) << api::dump(shrunk);
+  EXPECT_EQ(shrunk.backend, api::exec_backend::single)
+      << "a non-sharding failure must simplify off the sharded backend";
+  EXPECT_EQ(shrunk.shards, 1);
+  // Every surviving op targets a surviving object.
+  for (const auto& [pid, ops] : shrunk.scripts) {
+    for (const hist::op_desc& d : ops) {
+      EXPECT_NE(shrunk.find_object(d.object), nullptr);
+    }
+  }
+}
+
+// A genuinely cross-object failure must keep both objects: merging loses
+// the two-distinct-ids property the predicate demands, so the shrinker may
+// not apply it.
+TEST(shrinker, keeps_objects_a_cross_object_failure_needs) {
+  api::scripted_scenario s;
+  s.objects.push_back({0, "reg", {}});
+  s.objects.push_back({1, "reg", {}});
+  s.objects.push_back({2, "queue", {}});
+  s.nprocs = 1;
+  s.scripts[0] = {{0, hist::opcode::reg_write, 1, 0, 0},
+                  {1, hist::opcode::reg_write, 2, 0, 0},
+                  {2, hist::opcode::enq, 3, 0, 0}};
+  auto fails = [](const api::scripted_scenario& c) {
+    std::set<std::uint32_t> reg_targets;
+    for (const auto& [pid, ops] : c.scripts) {
+      for (const hist::op_desc& d : ops) {
+        if (d.code == hist::opcode::reg_write) reg_targets.insert(d.object);
+      }
+    }
+    return reg_targets.size() >= 2;
+  };
+  ASSERT_TRUE(fails(s));
+  api::scripted_scenario shrunk = fuzz::shrink(s, fails);
+  EXPECT_TRUE(fails(shrunk));
+  EXPECT_EQ(shrunk.objects.size(), 2u) << api::dump(shrunk);
+  EXPECT_EQ(shrunk.total_ops(), 2u) << api::dump(shrunk);
 }
 
 // Shrinker edits must never cross the usage contracts the generator
@@ -440,6 +886,26 @@ TEST(replay_dump, round_trips_exactly) {
   }
 }
 
+TEST(replay_dump, multi_object_scenarios_round_trip_with_targets) {
+  fuzz::gen_config cfg;
+  cfg.min_objects = 2;
+  cfg.max_objects = 4;
+  cfg.object_kind_pool = {"reg", "cas", "queue", "lock"};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    api::scripted_scenario s = fuzz::generate(seed, "cas", cfg);
+    std::string text = api::dump(s);
+    EXPECT_NE(text.find("object 0 cas"), std::string::npos) << text;
+    EXPECT_NE(text.find("object 1 "), std::string::npos) << text;
+    api::scripted_scenario parsed = api::parse_scenario(text);
+    EXPECT_EQ(api::dump(parsed), text) << "seed " << seed;
+    ASSERT_EQ(parsed.objects.size(), s.objects.size());
+    for (std::size_t i = 0; i < s.objects.size(); ++i) {
+      EXPECT_EQ(parsed.objects[i].id, s.objects[i].id);
+      EXPECT_EQ(parsed.objects[i].kind, s.objects[i].kind);
+    }
+  }
+}
+
 TEST(replay_dump, parsed_scenario_replays_identically) {
   api::scripted_scenario s = fuzz::generate(7, "cas");
   api::scripted_scenario parsed = api::parse_scenario(api::dump(s));
@@ -492,6 +958,68 @@ TEST(replay_dump, parse_errors_carry_line_number_and_token) {
   EXPECT_NE(msg.find("warp"), std::string::npos) << msg;
 }
 
+// The ISSUE-4 parser hardening: duplicate object ids and ops targeting an
+// undeclared object are rejected with the line/token-carrying error.
+TEST(replay_dump, rejects_duplicate_object_ids) {
+  auto message_of = [](const std::string& text) -> std::string {
+    try {
+      api::parse_scenario(text);
+    } catch (const std::invalid_argument& ex) {
+      return ex.what();
+    }
+    return {};
+  };
+  std::string msg = message_of(
+      "object 0 reg 0 64\n"
+      "object 1 cas 0 64\n"
+      "object 1 queue 0 64\n"
+      "procs 1\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate object id 1"), std::string::npos) << msg;
+}
+
+TEST(replay_dump, rejects_ops_targeting_undeclared_objects) {
+  auto message_of = [](const std::string& text) -> std::string {
+    try {
+      api::parse_scenario(text);
+    } catch (const std::invalid_argument& ex) {
+      return ex.what();
+    }
+    return {};
+  };
+  std::string msg = message_of(
+      "object 0 reg 0 64\n"
+      "procs 1\n"
+      "script 0 reg_write:1:0 reg_read:0:0@3\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'reg_read:0:0@3'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("undeclared object 3"), std::string::npos) << msg;
+
+  // Out-of-range / signed targets must error, not wrap into a declared id.
+  msg = message_of(
+      "object 0 reg 0 64\nprocs 1\nscript 0 reg_read:0:0@4294967296\n");
+  EXPECT_NE(msg.find("bad op target"), std::string::npos) << msg;
+  msg = message_of("object 0 reg 0 64\nprocs 1\nscript 0 reg_read:0:0@-1\n");
+  EXPECT_NE(msg.find("bad op target"), std::string::npos) << msg;
+
+  // Mixing the legacy kind key with v3 object declarations is ambiguous.
+  msg = message_of("object 0 reg 0 64\nkind cas\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  msg = message_of("kind cas\nobject 0 reg 0 64\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+// replay() itself guards programmatically-built scenarios the parser never
+// saw.
+TEST(replay_dump, replay_rejects_undeclared_targets) {
+  api::scripted_scenario s = single_object("reg");
+  s.nprocs = 1;
+  s.scripts[0] = {{9, hist::opcode::reg_read, 0, 0, 0}};
+  EXPECT_THROW(api::replay(s), std::invalid_argument);
+  api::scripted_scenario empty;
+  EXPECT_THROW(api::replay(empty), std::invalid_argument);
+}
+
 TEST(replay_dump, legacy_dumps_without_backend_fields_parse_as_single) {
   // A pre-executor (v1) dump: no backend / shards lines.
   api::scripted_scenario s = api::parse_scenario(
@@ -507,7 +1035,47 @@ TEST(replay_dump, legacy_dumps_without_backend_fields_parse_as_single) {
       "script 1 reg_read:0:0\n");
   EXPECT_EQ(s.backend, api::exec_backend::single);
   EXPECT_EQ(s.shards, 1);
+  ASSERT_EQ(s.objects.size(), 1u);
+  EXPECT_EQ(s.objects.front().id, 0u);
+  EXPECT_EQ(s.objects.front().kind, "reg");
   EXPECT_TRUE(api::replay(s).check.ok);
+}
+
+// The ISSUE-4 acceptance bar: a v2 single-object dump (the PR-3 format,
+// kind/params + backend/shards lines) parses as the single-object special
+// case and replays byte-identically to its v3 round-trip.
+TEST(replay_dump, v2_dumps_parse_and_replay_byte_identically) {
+  const std::string v2_text =
+      "# detect scripted_scenario v2\n"
+      "kind cas\n"
+      "params 0 64\n"
+      "procs 2\n"
+      "policy retry\n"
+      "shared_cache 0\n"
+      "sched_seed 99\n"
+      "backend single\n"
+      "shards 2\n"
+      "crash_steps 11 23\n"
+      "script 0 cas:0:1 cas_read:0:0\n"
+      "script 1 cas:1:2 cas_read:0:0\n";
+  api::scripted_scenario s = api::parse_scenario(v2_text);
+  ASSERT_EQ(s.objects.size(), 1u);
+  EXPECT_EQ(s.objects.front().id, 0u);
+  EXPECT_EQ(s.objects.front().kind, "cas");
+  EXPECT_EQ(s.shards, 2);
+  for (const auto& [pid, ops] : s.scripts) {
+    for (const hist::op_desc& d : ops) EXPECT_EQ(d.object, 0u);
+  }
+  api::scripted_outcome a = api::replay(s);
+  // The v3 round-trip preserves the execution byte for byte.
+  api::scripted_scenario rt = api::parse_scenario(api::dump(s));
+  api::scripted_outcome b = api::replay(rt);
+  EXPECT_EQ(a.log_text, b.log_text);
+  EXPECT_EQ(a.report.steps, b.report.steps);
+  EXPECT_EQ(a.report.crashes, b.report.crashes);
+  EXPECT_TRUE(a.check.ok);
+  // And the full oracle (incl. the shards=2 equivalence diff) is clean.
+  EXPECT_TRUE(fuzz::check_scenario(s).empty());
 }
 
 TEST(replay_dump, backend_and_shards_round_trip) {
@@ -576,6 +1144,21 @@ TEST(run_fuzz, reports_and_shrinks_a_failing_kind) {
   // And the artifact parses back to it.
   EXPECT_EQ(api::dump(api::parse_scenario(f.to_artifact())),
             api::dump(f.shrunk));
+}
+
+// Steered campaigns also catch planted bugs: the lying counter cannot hide
+// behind the mutation engine.
+TEST(run_fuzz, steered_campaign_still_catches_the_lying_counter) {
+  register_lying_counter_once();
+  fuzz::fuzz_options opt;
+  opt.base_seed = 5;
+  opt.iterations = 80;
+  opt.kinds = {"counter", "test_lying_counter"};
+  opt.steer = true;
+
+  fuzz::fuzz_stats stats = fuzz::run_fuzz(opt);
+  ASSERT_TRUE(stats.failure.has_value());
+  EXPECT_FALSE(fuzz::check_scenario(stats.failure->shrunk).empty());
 }
 
 }  // namespace
