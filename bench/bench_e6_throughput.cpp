@@ -9,10 +9,11 @@
 // mode). Objects are instantiated from the registry by kind string.
 //
 // Before the per-object benchmarks, main() runs a throughput sweep over the
-// api::executor backends (single, sharded with a --shards list, threads) on
-// one scripted multi-counter workload and writes the machine-readable
-// BENCH_e6.json (ops/sec per backend×shards) — the perf-trajectory data
-// points CI's bench-smoke stage archives:
+// api::executor backends (single, sharded with a --shards list under each
+// placement policy, threads) on one scripted multi-counter workload and
+// writes the machine-readable BENCH_e6.json (ops/sec plus the per-shard
+// op-load distribution per backend×shards×placement) — the perf-trajectory
+// data points CI's bench-smoke stage archives:
 //
 //   bench_e6_throughput --shards 1,2,4 --sweep-procs 8 --sweep-ops 2000
 //                       --json BENCH_e6.json     # all defaults shown
@@ -177,30 +178,42 @@ struct sweep_cfg {
 struct sweep_row {
   const char* backend;
   int shards;
+  const char* placement;
+  std::vector<std::uint64_t> shard_load;  // scripted ops per shard
   std::uint64_t ops;
   double seconds;
   double ops_per_sec;
 };
 
-/// One scripted multi-counter workload, identical across backends: every
-/// proc runs `ops_per_proc` fetch-and-adds round-robin over the objects.
+/// One scripted multi-counter workload, identical across backends and
+/// placements: every proc runs `ops_per_proc` fetch-and-adds round-robin
+/// over the objects.
 sweep_row run_sweep_config(api::exec_backend be, int shards,
+                           api::placement_kind placement,
                            const sweep_cfg& cfg) {
+  api::placement_policy pol;
+  pol.kind = placement;
   auto ex = api::executor::builder()
                 .backend(be)
-                .shards(shards)
+                .shards(be == api::exec_backend::sharded ? shards : 1)
+                .placement(pol)
                 .procs(cfg.procs)
                 .max_steps(1'000'000'000ULL)
                 .build();
   std::vector<api::counter> objs;
   objs.reserve(static_cast<std::size_t>(cfg.objects));
   for (int i = 0; i < cfg.objects; ++i) objs.push_back(ex->add_counter());
+
+  sweep_row row;
+  row.shard_load.assign(static_cast<std::size_t>(ex->shards()), 0);
   for (int p = 0; p < cfg.procs; ++p) {
     std::vector<hist::op_desc> script;
     script.reserve(static_cast<std::size_t>(cfg.ops_per_proc));
     for (int i = 0; i < cfg.ops_per_proc; ++i) {
-      script.push_back(objs[static_cast<std::size_t>((p + i) % cfg.objects)]
-                           .add(1));
+      const api::counter& obj =
+          objs[static_cast<std::size_t>((p + i) % cfg.objects)];
+      row.shard_load[static_cast<std::size_t>(ex->shard_of(obj.id()))] += 1;
+      script.push_back(obj.add(1));
     }
     ex->script(p, std::move(script));
   }
@@ -209,9 +222,9 @@ sweep_row run_sweep_config(api::exec_backend be, int shards,
   ex->run();
   auto stop = std::chrono::steady_clock::now();
 
-  sweep_row row;
   row.backend = api::backend_name(be);
   row.shards = shards;
+  row.placement = api::placement_name(placement);
   row.ops = static_cast<std::uint64_t>(cfg.procs) *
             static_cast<std::uint64_t>(cfg.ops_per_proc);
   row.seconds = std::chrono::duration<double>(stop - start).count();
@@ -221,20 +234,40 @@ sweep_row run_sweep_config(api::exec_backend be, int shards,
 }
 
 void run_shards_sweep(const sweep_cfg& cfg) {
-  std::printf("== executor backend x shards sweep (%d procs, %d objects, "
-              "%d ops/proc) ==\n",
+  std::printf("== executor backend x shards x placement sweep (%d procs, "
+              "%d objects, %d ops/proc) ==\n",
               cfg.procs, cfg.objects, cfg.ops_per_proc);
   std::vector<sweep_row> rows;
-  rows.push_back(run_sweep_config(api::exec_backend::single, 1, cfg));
+  rows.push_back(run_sweep_config(api::exec_backend::single, 1,
+                                  api::placement_kind::modulo, cfg));
   for (int k : cfg.shard_counts) {
-    rows.push_back(run_sweep_config(api::exec_backend::sharded, k, cfg));
+    // Placement only changes routing when there is more than one world; a
+    // one-shard sweep point carries the modulo row alone.
+    if (k <= 1) {
+      rows.push_back(run_sweep_config(api::exec_backend::sharded, k,
+                                      api::placement_kind::modulo, cfg));
+      continue;
+    }
+    for (api::placement_kind pk :
+         {api::placement_kind::modulo, api::placement_kind::hash,
+          api::placement_kind::range}) {
+      rows.push_back(run_sweep_config(api::exec_backend::sharded, k, pk, cfg));
+    }
   }
-  rows.push_back(run_sweep_config(api::exec_backend::threads, 1, cfg));
+  rows.push_back(run_sweep_config(api::exec_backend::threads, 1,
+                                  api::placement_kind::modulo, cfg));
 
   for (const sweep_row& r : rows) {
-    std::printf("%-8s shards=%-2d  %10llu ops  %8.3f s  %12.0f ops/s\n",
-                r.backend, r.shards, static_cast<unsigned long long>(r.ops),
-                r.seconds, r.ops_per_sec);
+    std::printf("%-8s shards=%-2d %-7s  %10llu ops  %8.3f s  %12.0f ops/s  "
+                "load=[",
+                r.backend, r.shards, r.placement,
+                static_cast<unsigned long long>(r.ops), r.seconds,
+                r.ops_per_sec);
+    for (std::size_t k = 0; k < r.shard_load.size(); ++k) {
+      std::printf("%s%llu", k != 0 ? " " : "",
+                  static_cast<unsigned long long>(r.shard_load[k]));
+    }
+    std::printf("]\n");
   }
   std::fflush(stdout);
 
@@ -252,8 +285,13 @@ void run_shards_sweep(const sweep_cfg& cfg) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const sweep_row& r = rows[i];
     out << "    {\"backend\": \"" << r.backend << "\", \"shards\": "
-        << r.shards << ", \"ops\": " << r.ops << ", \"seconds\": "
-        << r.seconds << ", \"ops_per_sec\": " << r.ops_per_sec << "}"
+        << r.shards << ", \"placement\": \"" << r.placement
+        << "\", \"shard_load\": [";
+    for (std::size_t k = 0; k < r.shard_load.size(); ++k) {
+      out << (k != 0 ? ", " : "") << r.shard_load[k];
+    }
+    out << "], \"ops\": " << r.ops << ", \"seconds\": " << r.seconds
+        << ", \"ops_per_sec\": " << r.ops_per_sec << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -9,6 +9,10 @@
 #   scripts/check.sh --fuzz N        # the CI fuzz stage: N bounded iterations
 #   scripts/check.sh --fuzz-sharded N  # the CI sharded-equivalence stage:
 #                                    # N single-vs-sharded diff iterations
+#   scripts/check.sh --fuzz-placement N  # the CI placement-equivalence
+#                                    # stage: N modulo-vs-hash-vs-range
+#                                    # diff iterations (placement must be
+#                                    # semantics-invariant)
 #   scripts/check.sh --fuzz-deep N   # the nightly deep-fuzz lane: N
 #                                    # coverage-steered multi-object
 #                                    # iterations with the equivalence diff
@@ -100,6 +104,13 @@ case "${1:-}" in
     stage_build "$dir" "$build_type"
     stage_fuzz "$dir" "$iters" --sharded-equiv
     ;;
+  --fuzz-placement)
+    iters="${2:-500}"
+    dir="${DETECT_BUILD_DIR:-build-$build_type}"
+    echo "== fuzz-placement: $iters placement-equivalence iterations ($dir) =="
+    stage_build "$dir" "$build_type"
+    stage_fuzz "$dir" "$iters" --placement-equiv
+    ;;
   --fuzz-deep)
     # The nightly deep-fuzz lane (also runnable locally): coverage-steered
     # generation over up-to-4-object scenarios, the full variant diff, and
@@ -133,7 +144,7 @@ case "${1:-}" in
     stage_ctest build-sanitize
     ;;
   *)
-    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-deep N | --bench-smoke]" >&2
+    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-placement N | --fuzz-deep N | --bench-smoke]" >&2
     exit 2
     ;;
 esac

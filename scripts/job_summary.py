@@ -16,17 +16,37 @@ import sys
 
 
 def bench_table(data):
-    yield "### E6 throughput (backend × shards)"
+    yield "### E6 throughput (backend × shards × placement)"
     cfg = data.get("config", {})
     yield ""
     yield (f"{cfg.get('procs', '?')} procs, {cfg.get('objects', '?')} objects, "
            f"{cfg.get('ops_per_proc', '?')} ops/proc")
     yield ""
-    yield "| backend | shards | ops | ops/sec |"
-    yield "|---|---|---|---|"
+    yield "| backend | shards | placement | ops | ops/sec |"
+    yield "|---|---|---|---|---|"
     for row in data["results"]:
-        yield (f"| {row['backend']} | {row['shards']} | {row['ops']} "
-               f"| {row['ops_per_sec']:,.0f} |")
+        # Rows predating the placement sweep carry neither key.
+        placement = row.get("placement", "modulo")
+        yield (f"| {row['backend']} | {row['shards']} | {placement} "
+               f"| {row['ops']} | {row['ops_per_sec']:,.0f} |")
+    # Per-shard op-load distribution: how evenly each placement policy
+    # spreads the scripted workload over the worlds.
+    load_rows = [r for r in data["results"]
+                 if len(r.get("shard_load", [])) > 1]
+    if load_rows:
+        yield ""
+        yield "#### Per-shard op load"
+        yield ""
+        yield "| backend | shards | placement | load per shard | max/ideal |"
+        yield "|---|---|---|---|---|"
+        for row in load_rows:
+            load = row["shard_load"]
+            ideal = sum(load) / len(load) if load else 0
+            ratio = (max(load) / ideal) if ideal else 0
+            cells = " ".join(str(n) for n in load)
+            yield (f"| {row['backend']} | {row['shards']} "
+                   f"| {row.get('placement', 'modulo')} | {cells} "
+                   f"| {ratio:.2f} |")
     yield ""
 
 

@@ -267,13 +267,70 @@ object_handle harness::add_as(std::uint32_t id, const std::string& kind,
                               const object_params& params) {
   const kind_info& info = object_registry::global().at(kind);
   object_env env{nprocs(), *board_, domain()};
-  created_object created = info.make(env, params);
+  hosted_object hosted{kind, params, {}, {}};
+  created_object created = [&] {
+    // Record which cells construction attaches: that cell group, in attach
+    // order, is the object's migratable NVM representation.
+    nvm::attach_recording rec(domain(), hosted.cells);
+    return info.make(env, params);
+  }();
   core::detectable_object& primary = created.primary();
-  for (auto& obj : created.owned) objects_.push_back(std::move(obj));
+  hosted.owned = std::move(created.owned);
   rt_->register_object(id, primary);
+  hosted_.emplace(id, std::move(hosted));
   next_id_ = std::max(next_id_, id + 1);
   specs_.emplace_back(id, info.make_spec(params));
   return object_handle(id, info.family, &primary, kind);
+}
+
+std::string harness::migration_blocker(std::uint32_t id) {
+  if (hosted_.count(id) == 0) {
+    return "harness: object " + std::to_string(id) +
+           " is not a migratable object of this world";
+  }
+  // A valid announcement naming this object with an unfinished operation
+  // means a crash struck mid-op and recovery has not run yet; migrating now
+  // would strand that recovery (the source runtime no longer knows the id).
+  for (int p = 0; p < nprocs(); ++p) {
+    const core::ann_fields& ann = board_->of(p);
+    const hist::op_desc desc = ann.op.peek();
+    if (ann.valid.peek() != 0 && desc.object == id &&
+        desc.client_seq > ann.done_seq.peek()) {
+      return "harness: object " + std::to_string(id) +
+             " has an announced, unrecovered operation of process " +
+             std::to_string(p) + "; run recovery to completion before migrating";
+    }
+  }
+  return {};
+}
+
+nvm::pmem_image harness::extract_object(std::uint32_t id) {
+  const std::string blocker = migration_blocker(id);
+  if (!blocker.empty()) throw std::invalid_argument(blocker);
+  auto it = hosted_.find(id);
+  nvm::pmem_image image = nvm::save_image(it->second.cells);
+  rt_->unregister_object(id);
+  std::erase_if(specs_, [id](const auto& s) { return s.first == id; });
+  hosted_.erase(it);  // destroys the object; its cells detach from the domain
+  return image;
+}
+
+object_handle harness::adopt_object(std::uint32_t id, const std::string& kind,
+                                    const object_params& params,
+                                    const nvm::pmem_image& image) {
+  object_handle handle = add_as(id, kind, params);
+  try {
+    nvm::load_image(hosted_.at(id).cells, image);
+  } catch (const std::invalid_argument& e) {
+    // Unwind the half-adoption so the harness stays consistent.
+    rt_->unregister_object(id);
+    std::erase_if(specs_, [id](const auto& s) { return s.first == id; });
+    hosted_.erase(id);
+    throw std::invalid_argument("harness: cannot adopt object " +
+                                std::to_string(id) + " as '" + kind +
+                                "': " + e.what());
+  }
+  return handle;
 }
 
 object_handle harness::add_object(std::unique_ptr<core::detectable_object> obj,

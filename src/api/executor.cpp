@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <exception>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -49,6 +50,13 @@ void check_pid(int pid, int nprocs) {
   }
 }
 
+/// Uniform migrate()/rebalance() error off the sharded backend.
+[[noreturn]] void no_migration(exec_backend b) {
+  throw std::invalid_argument(
+      std::string("executor: migration needs exec_backend::sharded; the ") +
+      backend_name(b) + " backend runs exactly one world");
+}
+
 /// One harness configured per `p` — the building block of the single backend
 /// (one of them) and the sharded backend (one per shard).
 harness build_harness(const exec_policy& p) {
@@ -78,6 +86,9 @@ class single_executor final : public executor {
   int nprocs() const noexcept override { return pol_.nprocs; }
   int shards() const noexcept override { return 1; }
   int shard_of(std::uint32_t) const noexcept override { return 0; }
+  const placement_policy& placement() const noexcept override {
+    return pol_.placement;
+  }
 
   object_handle add(const std::string& kind,
                     const object_params& params) override {
@@ -89,9 +100,21 @@ class single_executor final : public executor {
   }
   void script(int pid, std::vector<hist::op_desc> ops) override {
     check_pid(pid, pol_.nprocs);
-    h_.script(pid, std::move(ops));
+    // Cumulative program per pid: the runtime's durable program counter
+    // (done_seq) resumes after the already-executed prefix, so a second
+    // script()+run() round executes exactly the newly appended ops.
+    std::vector<hist::op_desc>& prog = programs_[pid];
+    prog.insert(prog.end(), ops.begin(), ops.end());
+    h_.script(pid, prog);
   }
   sim::run_report run() override { return h_.run(); }
+
+  void migrate(std::uint32_t, int) override {
+    no_migration(exec_backend::single);
+  }
+  int rebalance(const placement_policy&) override {
+    no_migration(exec_backend::single);
+  }
 
   std::vector<hist::event> events() const override { return h_.events(); }
   hist::check_result check(std::size_t node_budget) const override {
@@ -101,18 +124,22 @@ class single_executor final : public executor {
  private:
   exec_policy pol_;
   harness h_;
+  std::map<int, std::vector<hist::op_desc>> programs_;
 };
 
 // ---------------------------------------------------------------------------
-// sharded — K one-world harnesses with object-id routing.
+// sharded — K one-world harnesses with placement-policy routing and live
+// object migration between runs.
 
 class sharded_executor final : public executor {
  public:
-  explicit sharded_executor(const exec_policy& p) : pol_(p) {
+  explicit sharded_executor(const exec_policy& p)
+      : pol_(p), placement_(p.placement) {
     shards_.reserve(static_cast<std::size_t>(p.shards));
     for (int k = 0; k < p.shards; ++k) {
       shards_.push_back(std::make_unique<harness>(build_harness(p)));
     }
+    installed_.resize(shards_.size());
   }
 
   exec_backend backend() const noexcept override {
@@ -123,7 +150,13 @@ class sharded_executor final : public executor {
     return static_cast<int>(shards_.size());
   }
   int shard_of(std::uint32_t object_id) const noexcept override {
-    return static_cast<int>(object_id % shards_.size());
+    auto it = placed_.find(object_id);
+    if (it != placed_.end()) return it->second.shard;
+    return placement_.shard_of(object_id, placed_.size(),
+                               static_cast<int>(shards_.size()));
+  }
+  const placement_policy& placement() const noexcept override {
+    return placement_;
   }
 
   object_handle add(const std::string& kind,
@@ -133,32 +166,55 @@ class sharded_executor final : public executor {
 
   object_handle add_as(std::uint32_t id, const std::string& kind,
                        const object_params& params) override {
+    // The executor-level duplicate check: under non-modulo placement the
+    // same id could otherwise land on two different shards (the declaration
+    // index differs) and dodge the per-runtime check.
+    if (placed_.count(id) != 0) {
+      throw std::invalid_argument("executor: duplicate object id " +
+                                  std::to_string(id));
+    }
+    const std::size_t decl_index = placed_.size();
+    const int shard = placement_.shard_of(id, decl_index,
+                                          static_cast<int>(shards_.size()));
+    harness& home = *shards_[static_cast<std::size_t>(shard)];
+    object_handle handle = home.add_as(id, kind, params);
+    placed_.emplace(id, placed_object{kind, params, shard, decl_index,
+                                      home.events().size(),
+                                      {}});
     next_id_ = std::max(next_id_, id + 1);
-    return shards_[static_cast<std::size_t>(shard_of(id))]->add_as(id, kind,
-                                                                   params);
+    return handle;
   }
 
   void script(int pid, std::vector<hist::op_desc> ops) override {
     check_pid(pid, pol_.nprocs);
-    scripts_[pid] = std::move(ops);
+    std::vector<hist::op_desc>& pend = pending_[pid];
+    pend.insert(pend.end(), ops.begin(), ops.end());
+    scripted_pids_.insert(pid);
   }
 
   sim::run_report run() override {
-    // Split every script by the owning shard, preserving per-shard program
-    // order; a pid with no ops on a shard gets no client task there. A pid
-    // whose whole script is empty still gets an (empty) client task on
-    // shard 0, exactly as the single backend submits one — without it the
-    // worlds' task sets differ and single-vs-sharded equivalence breaks on
-    // shrinker-produced scenarios with emptied scripts.
-    for (const auto& [pid, ops] : scripts_) {
-      std::vector<std::vector<hist::op_desc>> per_shard(shards_.size());
+    // Split the newly scheduled ops by the *current* placement, preserving
+    // per-shard program order, and append them to each world's cumulative
+    // program (the per-world durable program counters resume after the
+    // already-executed prefix). A pid with no ops on a shard gets no client
+    // task there. A pid whose whole program is empty still gets an (empty)
+    // client task on shard 0, exactly as the single backend submits one —
+    // without it the worlds' task sets differ and single-vs-sharded
+    // equivalence breaks on shrinker-produced scenarios with emptied
+    // scripts.
+    for (auto& [pid, ops] : pending_) {
       for (const hist::op_desc& d : ops) {
-        per_shard[static_cast<std::size_t>(shard_of(d.object))].push_back(d);
+        installed_[static_cast<std::size_t>(shard_of(d.object))][pid]
+            .push_back(d);
       }
+      ops.clear();
+    }
+    for (int pid : scripted_pids_) {
       bool scripted = false;
       for (std::size_t k = 0; k < shards_.size(); ++k) {
-        if (!per_shard[k].empty()) {
-          shards_[k]->script(pid, std::move(per_shard[k]));
+        auto it = installed_[k].find(pid);
+        if (it != installed_[k].end() && !it->second.empty()) {
+          shards_[k]->script(pid, it->second);
           scripted = true;
         }
       }
@@ -187,6 +243,17 @@ class sharded_executor final : public executor {
       if (e) std::rethrow_exception(e);
     }
 
+    // Remember where each shard's log stood when this run finished: runs are
+    // real-time ordered (run N completes before N+1 starts), so the merged
+    // log orders by (run, shard-local index, shard) — without the run
+    // coordinate, a later run's events on a low shard would merge before an
+    // earlier run's events on a high one.
+    std::vector<std::size_t> mark(shards_.size());
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      mark[k] = shards_[k]->events().size();
+    }
+    round_marks_.push_back(std::move(mark));
+
     sim::run_report total;
     for (const sim::run_report& r : reports) {
       total.steps += r.steps;
@@ -196,40 +263,147 @@ class sharded_executor final : public executor {
     return total;
   }
 
+  void migrate(std::uint32_t object_id, int shard) override {
+    auto it = placed_.find(object_id);
+    if (it == placed_.end()) {
+      throw std::invalid_argument("executor: cannot migrate unknown object " +
+                                  std::to_string(object_id));
+    }
+    if (shard < 0 || shard >= static_cast<int>(shards_.size())) {
+      throw std::invalid_argument(
+          "executor: cannot migrate object " + std::to_string(object_id) +
+          " to shard " + std::to_string(shard) + " — this executor has " +
+          std::to_string(shards_.size()) + " shard(s)");
+    }
+    placed_object& rec = it->second;
+    if (shard == rec.shard) return;  // already home
+
+    // Carry the object's source-shard history (its op events plus the
+    // crashes it lived through) so check() still sees one contiguous
+    // per-object history across the move.
+    harness& src = *shards_[static_cast<std::size_t>(rec.shard)];
+    append_object_slice(rec.prefix, src.events(), rec.arrival, object_id);
+
+    // The transplant proper: NVM image out of the source world, fresh
+    // same-layout object in the target world, image back in.
+    nvm::pmem_image image = src.extract_object(object_id);
+    harness& dst = *shards_[static_cast<std::size_t>(shard)];
+    dst.adopt_object(object_id, rec.kind, rec.params, image);
+    rec.shard = shard;
+    rec.arrival = dst.events().size();
+    rec.moved = true;
+    any_migrated_ = true;
+  }
+
+  int rebalance(const placement_policy& policy) override {
+    policy.validate(static_cast<int>(shards_.size()));
+    // Plan first, move second: if any mover is blocked (an announced,
+    // unrecovered op), nothing moves — a mid-loop throw must not leave the
+    // fleet torn between two policies.
+    std::vector<std::pair<std::uint32_t, int>> moves;
+    for (auto& [id, rec] : placed_) {
+      const int target = policy.shard_of(id, rec.decl_index,
+                                         static_cast<int>(shards_.size()));
+      if (target == rec.shard) continue;
+      const std::string why =
+          shards_[static_cast<std::size_t>(rec.shard)]->migration_blocker(id);
+      if (!why.empty()) {
+        throw std::invalid_argument("executor: rebalance blocked: " + why);
+      }
+      moves.emplace_back(id, target);
+    }
+    for (const auto& [id, target] : moves) migrate(id, target);
+    placement_ = policy;
+    return static_cast<int>(moves.size());
+  }
+
   std::vector<hist::event> events() const override {
     std::vector<std::vector<hist::event>> logs;
     logs.reserve(shards_.size());
-    std::size_t longest = 0;
-    for (const auto& sh : shards_) {
-      logs.push_back(sh->events());
-      longest = std::max(longest, logs.back().size());
-    }
-    // Stable global order: shard-local index, then shard id. Each shard's
-    // log stays a subsequence of the merge.
+    for (const auto& sh : shards_) logs.push_back(sh->events());
+
+    // Stable global order: run, then shard-local index, then shard id. Each
+    // shard's log stays a subsequence of the merge, and a later run's
+    // events never precede an earlier run's (runs are real-time ordered).
+    std::vector<std::vector<std::size_t>> rounds = round_marks_;
+    std::vector<std::size_t> tail(shards_.size());
+    for (std::size_t k = 0; k < shards_.size(); ++k) tail[k] = logs[k].size();
+    rounds.push_back(std::move(tail));  // anything past the last run mark
+
     std::vector<hist::event> out;
-    for (std::size_t i = 0; i < longest; ++i) {
-      for (const auto& lg : logs) {
-        if (i < lg.size()) out.push_back(lg[i]);
+    std::vector<std::size_t> from(shards_.size(), 0);
+    for (const std::vector<std::size_t>& upto : rounds) {
+      for (std::size_t i = 0;; ++i) {
+        bool any = false;
+        for (std::size_t k = 0; k < logs.size(); ++k) {
+          const std::size_t idx = from[k] + i;
+          if (idx < std::min(upto[k], logs[k].size())) {
+            out.push_back(logs[k][idx]);
+            any = true;
+          }
+        }
+        if (!any) break;
+      }
+      for (std::size_t k = 0; k < from.size(); ++k) {
+        from[k] = std::max(from[k], std::min(upto[k], logs[k].size()));
       }
     }
     return out;
   }
 
   hist::check_result check(std::size_t node_budget) const override {
-    // Crash events are per shard (each shard is its own failure domain), so
-    // decompose shard by shard, each against its own objects' specs.
+    if (!any_migrated_) {
+      // Crash events are per shard (each shard is its own failure domain),
+      // so decompose shard by shard, each against its own objects' specs.
+      hist::check_result res;
+      res.ok = true;
+      for (std::size_t k = 0; k < shards_.size(); ++k) {
+        hist::check_result sub = shards_[k]->check_per_object(node_budget);
+        res.nodes += sub.nodes;
+        res.objects += sub.objects;
+        res.synthesized_interval |= sub.synthesized_interval;
+        if (!sub.ok) {
+          res.ok = false;
+          res.inconclusive = sub.inconclusive;
+          res.message =
+              "shard " + std::to_string(k) + ": " + sub.message;
+          return res;
+        }
+      }
+      return res;
+    }
+
+    // Once an object has migrated, its history spans shards, so the
+    // per-shard decomposition no longer lines up with object homes. Assemble
+    // each object's contiguous stream instead: the prefix carried along by
+    // migrate() plus the projection of its current shard's log since
+    // arrival (op events of the object + that world's crash events) — still
+    // one independent linearization per object.
+    std::vector<std::vector<hist::event>> logs;
+    logs.reserve(shards_.size());
+    for (const auto& sh : shards_) logs.push_back(sh->events());
+
+    const object_registry& reg = object_registry::global();
     hist::check_result res;
     res.ok = true;
-    for (std::size_t k = 0; k < shards_.size(); ++k) {
-      hist::check_result sub = shards_[k]->check_per_object(node_budget);
+    for (const auto& [id, rec] : placed_) {
+      std::vector<hist::event> stream = rec.prefix;
+      append_object_slice(stream, logs[static_cast<std::size_t>(rec.shard)],
+                          rec.arrival, id);
+      std::unique_ptr<hist::spec> spec = reg.make_spec(rec.kind, rec.params);
+      hist::object_spec_list specs{{id, spec.get()}};
+      hist::check_result sub =
+          hist::check_durable_linearizability_per_object(stream, specs,
+                                                         node_budget);
       res.nodes += sub.nodes;
       res.objects += sub.objects;
       res.synthesized_interval |= sub.synthesized_interval;
       if (!sub.ok) {
         res.ok = false;
         res.inconclusive = sub.inconclusive;
-        res.message =
-            "shard " + std::to_string(k) + ": " + sub.message;
+        res.message = "shard " + std::to_string(rec.shard) +
+                      (rec.moved ? " (object migrated)" : "") + ": " +
+                      sub.message;
         return res;
       }
     }
@@ -237,10 +411,64 @@ class sharded_executor final : public executor {
   }
 
  private:
+  /// Append `lg[from..)`'s events of object `id` (plus every crash event —
+  /// that world's failure epochs) to `dst`, shifting the op events'
+  /// client_seq past everything already in `dst` for the same pid. Each
+  /// world numbers a process's ops from 1, so without the shift a migrated
+  /// object's stream would repeat (pid, client_seq) pairs across world
+  /// episodes and the checker's duplicate-completion suppression (keyed on
+  /// exactly that pair) could swallow a real completion. All events of one
+  /// episode shift uniformly, so invoke/response/recover stay matched.
+  static void append_object_slice(std::vector<hist::event>& dst,
+                                  const std::vector<hist::event>& lg,
+                                  std::size_t from, std::uint32_t id) {
+    std::map<int, std::uint64_t> base;
+    for (const hist::event& e : dst) {
+      if (e.kind != hist::event_kind::crash) {
+        std::uint64_t& b = base[e.pid];
+        b = std::max(b, e.desc.client_seq);
+      }
+    }
+    for (std::size_t i = from; i < lg.size(); ++i) {
+      hist::event e = lg[i];
+      if (e.kind == hist::event_kind::crash) {
+        dst.push_back(e);
+      } else if (e.desc.object == id) {
+        auto it = base.find(e.pid);
+        if (it != base.end()) e.desc.client_seq += it->second;
+        dst.push_back(e);
+      }
+    }
+  }
+
+  /// Everything the executor tracks per hosted object: how to rebuild it
+  /// (kind/params), where it lives, its declaration index (range placement
+  /// and rebalancing key off it), and the history it carried from previous
+  /// homes.
+  struct placed_object {
+    std::string kind;
+    object_params params;
+    int shard = 0;
+    std::size_t decl_index = 0;
+    std::size_t arrival = 0;  // current shard's log length at arrival
+    std::vector<hist::event> prefix;
+    bool moved = false;  // has this object ever migrated?
+  };
+
   exec_policy pol_;
+  placement_policy placement_;
   std::vector<std::unique_ptr<harness>> shards_;
-  std::map<int, std::vector<hist::op_desc>> scripts_;
+  std::map<std::uint32_t, placed_object> placed_;
+  /// Ops scheduled since the last run(), per pid, in script order.
+  std::map<int, std::vector<hist::op_desc>> pending_;
+  /// Cumulative per-world programs (what each harness has been scripted).
+  std::vector<std::map<int, std::vector<hist::op_desc>>> installed_;
+  std::set<int> scripted_pids_;
+  /// Per-shard log lengths at the end of each run() — the run coordinate of
+  /// the merged-log order.
+  std::vector<std::vector<std::size_t>> round_marks_;
   std::uint32_t next_id_ = 0;
+  bool any_migrated_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -258,6 +486,9 @@ class threads_executor final : public executor {
   int nprocs() const noexcept override { return pol_.nprocs; }
   int shards() const noexcept override { return 1; }
   int shard_of(std::uint32_t) const noexcept override { return 0; }
+  const placement_policy& placement() const noexcept override {
+    return pol_.placement;
+  }
 
   object_handle add(const std::string& kind,
                     const object_params& params) override {
@@ -283,20 +514,36 @@ class threads_executor final : public executor {
 
   void script(int pid, std::vector<hist::op_desc> ops) override {
     check_pid(pid, pol_.nprocs);
-    scripts_[pid] = std::move(ops);
+    std::vector<hist::op_desc>& prog = scripts_[pid];
+    prog.insert(prog.end(), ops.begin(), ops.end());
+  }
+
+  void migrate(std::uint32_t, int) override {
+    no_migration(exec_backend::threads);
+  }
+  int rebalance(const placement_policy&) override {
+    no_migration(exec_backend::threads);
   }
 
   sim::run_report run() override {
+    // Each run executes the ops appended since the previous one (`done_`
+    // tracks each pid's executed prefix), with client sequence numbers
+    // continuing across runs.
     std::vector<std::exception_ptr> errors(scripts_.size());
     std::vector<std::thread> workers;
     workers.reserve(scripts_.size());
     std::uint64_t total_ops = 0;
     std::size_t w = 0;
     for (const auto& [pid, ops] : scripts_) {
-      total_ops += ops.size();
-      workers.emplace_back([this, pid = pid, &ops = ops, ep = &errors[w]] {
+      const std::size_t start = done_[pid];
+      std::vector<hist::op_desc> batch(ops.begin() + static_cast<long>(start),
+                                       ops.end());
+      done_[pid] = ops.size();
+      total_ops += batch.size();
+      workers.emplace_back([this, pid = pid, batch = std::move(batch), start,
+                            ep = &errors[w]] {
         try {
-          client_thread(pid, ops);
+          client_thread(pid, batch, start);
         } catch (...) {
           *ep = std::current_exception();
         }
@@ -327,9 +574,10 @@ class threads_executor final : public executor {
   // invoke event precedes its first step and its response event follows its
   // return, the recorded intervals contain the real ones — precedence derived
   // from the log is sound for the linearizability check.
-  void client_thread(int pid, const std::vector<hist::op_desc>& ops) {
+  void client_thread(int pid, const std::vector<hist::op_desc>& ops,
+                     std::uint64_t start_seq) {
     core::ann_fields& ann = board_.of(pid);
-    std::uint64_t seq = 0;
+    std::uint64_t seq = start_seq;
     for (hist::op_desc desc : ops) {
       desc.client_seq = ++seq;
       core::detectable_object& obj = *by_id_.at(desc.object);
@@ -364,6 +612,7 @@ class threads_executor final : public executor {
   std::map<std::uint32_t, core::detectable_object*> by_id_;
   std::vector<std::pair<std::uint32_t, std::unique_ptr<hist::spec>>> specs_;
   std::map<int, std::vector<hist::op_desc>> scripts_;
+  std::map<int, std::size_t> done_;  // executed prefix per pid
   std::uint32_t next_id_ = 0;
 };
 
@@ -374,7 +623,17 @@ std::unique_ptr<executor> make_executor(const exec_policy& p) {
     throw std::invalid_argument("make_executor: nprocs must be >= 1");
   }
   if (p.shards < 1) {
-    throw std::invalid_argument("make_executor: shards must be >= 1");
+    throw std::invalid_argument("make_executor: shards must be >= 1 (got " +
+                                std::to_string(p.shards) + ")");
+  }
+  if (p.backend != exec_backend::sharded && p.shards > 1) {
+    throw std::invalid_argument(
+        std::string("make_executor: .shards(") + std::to_string(p.shards) +
+        ") needs exec_backend::sharded — the " + backend_name(p.backend) +
+        " backend runs exactly one world");
+  }
+  if (p.backend == exec_backend::sharded) {
+    p.placement.validate(p.shards);
   }
   switch (p.backend) {
     case exec_backend::single:

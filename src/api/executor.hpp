@@ -19,11 +19,17 @@
 //   single   one sim::world driven by one harness — exactly today's harness
 //            semantics, behavior-preserving.
 //   sharded  K independent sim::world/core::runtime shards; objects route by
-//            object_handle::id() % K, scripts split per shard preserving each
-//            process's per-shard program order, shards run on parallel driver
-//            threads (each world is deterministic in isolation, so replays
-//            stay bit-reproducible), and the per-shard event logs merge into
-//            one hist::log by the stable order (shard-local index, shard).
+//            the builder's placement policy (modulo/hash/range/pinned — see
+//            api/placement.hpp; default is the historical id % K), scripts
+//            split per shard preserving each process's per-shard program
+//            order, shards run on parallel driver threads (each world is
+//            deterministic in isolation, so replays stay bit-reproducible),
+//            and the per-shard event logs merge into one hist::log by the
+//            stable order (run, shard-local index, shard). Between runs,
+//            migrate(id, shard) transplants an object to another world
+//            through its persistent NVM image and rebalance(policy) migrates
+//            everything to a new policy's assignment — the per-object
+//            histories stay checkable across moves.
 //   threads  free-running real threads over the emulated NVM domain (the
 //            arena path): no simulator, no crashes, nondeterministic
 //            schedules — post-hoc per-object linearizability checking makes
@@ -46,6 +52,7 @@
 #include <vector>
 
 #include "api/harness.hpp"
+#include "api/placement.hpp"
 
 namespace detect::api {
 
@@ -60,6 +67,8 @@ exec_backend backend_from_name(const std::string& name);
 struct exec_policy {
   exec_backend backend = exec_backend::single;
   int shards = 1;  // sharded backend: number of sim::world shards
+  /// Sharded backend: which shard hosts each object (see api/placement.hpp).
+  placement_policy placement;
   int nprocs = 2;
   core::runtime::fail_policy fail = core::runtime::fail_policy::skip;
   bool shared_cache = false;
@@ -80,8 +89,13 @@ class executor {
   virtual int nprocs() const noexcept = 0;
   /// Shard count (1 off the sharded backend).
   virtual int shards() const noexcept = 0;
-  /// Which shard hosts `object_id` — the id-routing policy (0 off sharded).
+  /// Which shard hosts `object_id` (0 off the sharded backend). For hosted
+  /// objects this is the *current* home — migrations move it; for ids not
+  /// added yet it is the placement policy's prediction for the next
+  /// declaration.
   virtual int shard_of(std::uint32_t object_id) const noexcept = 0;
+  /// The active placement policy (modulo off the sharded backend).
+  virtual const placement_policy& placement() const noexcept = 0;
 
   // ---- object creation -----------------------------------------------------
 
@@ -120,17 +134,38 @@ class executor {
 
   /// Install `pid`'s script (ops may target objects on any shard; the
   /// sharded backend splits them preserving per-shard program order).
+  /// Calling script() again after run() *appends* to the process's program:
+  /// the next run() executes only the newly scheduled ops — the multi-round
+  /// workload shape migration scenarios use (run, migrate, run again).
   virtual void script(int pid, std::vector<hist::op_desc> ops) = 0;
 
   /// Drive every script to completion under the configured policy. Fresh
   /// scheduler/crash-plan instances per call keep runs reproducible.
   virtual sim::run_report run() = 0;
 
+  // ---- live migration (sharded backend only) --------------------------------
+
+  /// Transplant `object_id` to `shard`, between runs: the object's
+  /// base-object state and detectability metadata move to the target world's
+  /// runtime through the persistent (NVM) representation, and its history
+  /// carries over so check() stays sound across the move. A no-op when the
+  /// object already lives on `shard`. Throws std::invalid_argument off the
+  /// sharded backend, for unknown ids, out-of-range shards, or an object
+  /// with an announced-but-unrecovered operation.
+  virtual void migrate(std::uint32_t object_id, int shard) = 0;
+
+  /// Adopt `policy` (validated against shards()) and migrate every hosted
+  /// object to its assignment, preserving each object's original declaration
+  /// index. Returns the number of objects that actually moved. Future add()
+  /// calls route by the new policy.
+  virtual int rebalance(const placement_policy& policy) = 0;
+
   // ---- history & verification ---------------------------------------------
 
   /// The recorded history. Sharded: per-shard logs merged by the stable
-  /// global order (shard-local index, then shard id) — each shard's log is a
-  /// subsequence, so per-object real-time order is intact.
+  /// global order (run, then shard-local index, then shard id) — each
+  /// shard's log is a subsequence, runs stay chronological, so per-object
+  /// real-time order is intact.
   virtual std::vector<hist::event> events() const = 0;
 
   /// Durable linearizability + detectability via per-object decomposition.
@@ -146,9 +181,17 @@ class executor::builder {
     pol_.backend = b;
     return *this;
   }
-  /// Shard count for the sharded backend (ignored elsewhere).
+  /// Shard count for the sharded backend. build() rejects shards > 1 on the
+  /// other backends — they run exactly one world.
   builder& shards(int k) {
     pol_.shards = k;
+    return *this;
+  }
+  /// Shard-placement policy for the sharded backend (default: modulo, the
+  /// historical id % K routing). Pinned maps are validated against the shard
+  /// count at build() time.
+  builder& placement(placement_policy p) {
+    pol_.placement = std::move(p);
     return *this;
   }
   builder& procs(int n) {
@@ -193,8 +236,9 @@ class executor::builder {
 };
 
 /// Instantiate the backend `p` selects. Throws std::invalid_argument on
-/// nonsensical policies (shards < 1, or crash/shared-cache plans on the
-/// threads backend, which cannot deliver simulated crashes).
+/// nonsensical policies: shards < 1, shards > 1 on a non-sharded backend,
+/// pinned placement maps naming out-of-range shards, or crash/shared-cache
+/// plans on the threads backend (which cannot deliver simulated crashes).
 std::unique_ptr<executor> make_executor(const exec_policy& p);
 
 }  // namespace detect::api

@@ -81,6 +81,36 @@ class harness {
                            std::unique_ptr<hist::spec> spec, op_family family,
                            std::string kind = "custom");
 
+  // ---- object migration (executor-level shard rebalancing) ------------------
+
+  /// Is `id` a registry-created object this harness hosts? (add_object
+  /// customs are not migratable: the harness does not know how to rebuild
+  /// them elsewhere.)
+  bool has_object(std::uint32_t id) const { return hosted_.count(id) != 0; }
+
+  /// The extract_object() preconditions, checked without extracting: empty
+  /// when `id` can migrate away right now, else the error message
+  /// extract_object() would throw. Lets callers validate a whole migration
+  /// plan before moving anything.
+  std::string migration_blocker(std::uint32_t id);
+
+  /// Tear `id` out of this harness: unregister it from the runtime, drop its
+  /// spec, destroy the object, and return the NVM image of every cell it
+  /// attached during construction — the portable representation
+  /// adopt_object() rebuilds from. Throws std::invalid_argument when `id` is
+  /// not a migratable object of this harness, or when some process has an
+  /// announced-but-unrecovered operation on it (migrating mid-recovery would
+  /// strand the announcement).
+  nvm::pmem_image extract_object(std::uint32_t id);
+
+  /// Inverse of extract_object(): instantiate `kind` under `id` as add_as()
+  /// would, then overwrite its freshly-initialized cells with `image`.
+  /// Throws std::invalid_argument when the image does not match the layout
+  /// `kind`/`params` construct (migration requires identical declarations).
+  object_handle adopt_object(std::uint32_t id, const std::string& kind,
+                             const object_params& params,
+                             const nvm::pmem_image& image);
+
   // ---- scripting & running -------------------------------------------------
 
   void script(int pid, std::vector<hist::op_desc> ops) {
@@ -179,11 +209,22 @@ class harness {
     if (domain().model() == nvm::cache_model::shared_cache) persist_all();
   }
 
+  /// One registry-created object: everything needed to check it, migrate it
+  /// away (kind/params rebuild the layout, `cells` is the NVM state in
+  /// attach order), and destroy it.
+  struct hosted_object {
+    std::string kind;
+    object_params params;
+    std::vector<std::unique_ptr<core::detectable_object>> owned;
+    std::vector<nvm::persistent_base*> cells;
+  };
+
   std::unique_ptr<sim::world> world_;
   std::unique_ptr<core::announcement_board> board_;
   std::unique_ptr<hist::log> log_;
   std::unique_ptr<core::runtime> rt_;
   std::vector<std::unique_ptr<core::detectable_object>> objects_;
+  std::map<std::uint32_t, hosted_object> hosted_;
   std::vector<std::pair<std::uint32_t, std::unique_ptr<hist::spec>>> specs_;
   std::uint32_t next_id_ = 0;
   run_config rcfg_;

@@ -1,0 +1,137 @@
+#include "api/placement.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace detect::api {
+
+namespace {
+
+/// splitmix64 finalizer — the same mix the fuzzer's iteration_seed uses, so
+/// the hash placement inherits its avalanche quality.
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* placement_name(placement_kind k) noexcept {
+  switch (k) {
+    case placement_kind::modulo: return "modulo";
+    case placement_kind::hash: return "hash";
+    case placement_kind::range: return "range";
+    case placement_kind::pinned: return "pinned";
+  }
+  return "?";
+}
+
+placement_kind placement_from_name(const std::string& name) {
+  if (name == "modulo") return placement_kind::modulo;
+  if (name == "hash") return placement_kind::hash;
+  if (name == "range") return placement_kind::range;
+  if (name == "pinned") return placement_kind::pinned;
+  throw std::invalid_argument("placement_from_name: unknown placement '" +
+                              name + "'");
+}
+
+int placement_policy::shard_of(std::uint32_t id, std::size_t decl_index,
+                               int shards) const {
+  const std::uint64_t k = static_cast<std::uint64_t>(shards);
+  switch (kind) {
+    case placement_kind::modulo:
+      return static_cast<int>(id % k);
+    case placement_kind::hash:
+      return static_cast<int>(splitmix64(id) % k);
+    case placement_kind::range:
+      return static_cast<int>((decl_index / k_range_block_size) % k);
+    case placement_kind::pinned: {
+      auto it = pins.find(id);
+      if (it != pins.end()) return it->second;
+      return static_cast<int>(id % k);  // unpinned ids fall back to modulo
+    }
+  }
+  throw std::logic_error("placement_policy: unhandled kind");
+}
+
+void placement_policy::validate(int shards) const {
+  if (kind != placement_kind::pinned) return;
+  for (const auto& [id, shard] : pins) {
+    if (shard < 0 || shard >= shards) {
+      throw std::invalid_argument(
+          "placement: pinned map routes object " + std::to_string(id) +
+          " to shard " + std::to_string(shard) + ", but the policy has " +
+          std::to_string(shards) + " shard(s) (valid shards are 0.." +
+          std::to_string(shards - 1) + ")");
+    }
+  }
+}
+
+std::string placement_policy::to_string() const {
+  std::ostringstream os;
+  os << placement_name(kind);
+  if (kind == placement_kind::pinned) {
+    for (const auto& [id, shard] : pins) os << " " << id << ":" << shard;
+  }
+  return os.str();
+}
+
+placement_policy placement_policy::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string name;
+  if (!(in >> name)) {
+    throw std::invalid_argument("placement: missing placement name");
+  }
+  placement_policy p;
+  p.kind = placement_from_name(name);
+  std::string tok;
+  while (in >> tok) {
+    if (p.kind != placement_kind::pinned) {
+      throw std::invalid_argument("placement: unexpected token '" + tok +
+                                  "' after '" + name + "'");
+    }
+    const std::size_t colon = tok.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == tok.size()) {
+      throw std::invalid_argument("placement: bad pin token '" + tok +
+                                  "' (want id:shard)");
+    }
+    unsigned long long id = 0;
+    long shard = 0;
+    try {
+      std::size_t used = 0;
+      const std::string id_text = tok.substr(0, colon);
+      id = std::stoull(id_text, &used);
+      if (used != id_text.size() || id_text[0] == '-' || id > 0xFFFFFFFFull) {
+        throw std::invalid_argument(id_text);
+      }
+      const std::string shard_text = tok.substr(colon + 1);
+      shard = std::stol(shard_text, &used);
+      // Negative shards can never validate; reject them here, where the
+      // offending token is known, like the migrate-line parser does.
+      if (used != shard_text.size() || shard < 0) {
+        throw std::invalid_argument(shard_text);
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("placement: bad pin token '" + tok +
+                                  "' (want id:shard)");
+    }
+    auto [it, inserted] =
+        p.pins.emplace(static_cast<std::uint32_t>(id), static_cast<int>(shard));
+    if (!inserted) {
+      throw std::invalid_argument("placement: duplicate pin for object " +
+                                  std::to_string(it->first));
+    }
+  }
+  return p;
+}
+
+placement_policy pinned_placement(std::map<std::uint32_t, int> pins) {
+  placement_policy p;
+  p.kind = placement_kind::pinned;
+  p.pins = std::move(pins);
+  return p;
+}
+
+}  // namespace detect::api

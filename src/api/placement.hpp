@@ -1,0 +1,67 @@
+// detect::api::placement — pluggable shard-placement policies.
+//
+// A placement policy decides which shard of a K-world sharded executor hosts
+// each object. It is a pure, deterministic function of (object id,
+// declaration index, K): scenario dumps carry declared ids and declaration
+// order, so a replayed scenario reproduces its routing exactly, and the
+// fuzzer can replay one scenario under several policies and require the
+// identical verdict — placement is semantics-invariant by construction.
+//
+// Built-ins:
+//   modulo  id % K — the historical default; routing is an accident of the
+//           object id, but dense ids spread perfectly.
+//   hash    splitmix64(id) % K — decorrelates routing from id arithmetic, so
+//           structured id patterns (all-even ids, id blocks) still spread.
+//   range   contiguous blocks by declaration order: declarations fill shard
+//           0, then shard 1, ... in fixed-width blocks of
+//           k_range_block_size, wrapping — co-declared objects co-locate.
+//   pinned  explicit id → shard map; unpinned ids fall back to modulo. The
+//           map is validated against K at executor build time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace detect::api {
+
+enum class placement_kind : std::uint8_t { modulo, hash, range, pinned };
+
+/// Declarations per contiguous range block (see placement_kind::range).
+inline constexpr std::size_t k_range_block_size = 4;
+
+const char* placement_name(placement_kind k) noexcept;
+/// Inverse of placement_name(). Throws std::invalid_argument on unknown
+/// names.
+placement_kind placement_from_name(const std::string& name);
+
+struct placement_policy {
+  placement_kind kind = placement_kind::modulo;
+  /// pinned only: explicit id → shard assignments (unpinned ids fall back to
+  /// modulo). Ignored by the other kinds.
+  std::map<std::uint32_t, int> pins;
+
+  /// The hosting shard of `id`, the `decl_index`-th declared object, among
+  /// `shards` worlds. Pure and deterministic; `shards` must be >= 1.
+  int shard_of(std::uint32_t id, std::size_t decl_index, int shards) const;
+
+  /// Reject policies that cannot route onto `shards` worlds (pinned entries
+  /// naming shards outside [0, shards)). Thrown messages name the offending
+  /// pin — this is the executor builder's build()-time validation.
+  void validate(int shards) const;
+
+  /// One-line form: "modulo", "hash", "range", or "pinned 3:1 7:0" (pins in
+  /// id order) — the scenario dump token and the human-readable policy name.
+  std::string to_string() const;
+
+  /// Inverse of to_string(). Throws std::invalid_argument on malformed
+  /// input (unknown kind, bad pin tokens, duplicate pinned ids).
+  static placement_policy parse(const std::string& text);
+
+  bool operator==(const placement_policy&) const = default;
+};
+
+/// Convenience: the pinned policy holding exactly `pins`.
+placement_policy pinned_placement(std::map<std::uint32_t, int> pins);
+
+}  // namespace detect::api

@@ -35,17 +35,34 @@ std::unique_ptr<executor> build_executor(const scripted_scenario& s) {
   if (s.objects.empty()) {
     throw std::invalid_argument("replay: scenario declares no objects");
   }
+  for (const auto& [id, shard] : s.migrations) {
+    if (s.find_object(id) == nullptr) {
+      throw std::invalid_argument("replay: migration targets undeclared "
+                                  "object " + std::to_string(id));
+    }
+    if (shard < 0 || shard >= std::max(1, s.shards)) {
+      throw std::invalid_argument(
+          "replay: migration of object " + std::to_string(id) +
+          " names shard " + std::to_string(shard) + ", but the scenario has " +
+          std::to_string(std::max(1, s.shards)) + " shard(s)");
+    }
+  }
   executor::builder b;
   b.backend(s.backend)
-      .shards(s.shards)
       .procs(s.nprocs)
       .fail_policy(s.policy)
       .seed(s.sched_seed);
+  // `shards` doubles as the equivalence-diff knob on the one-world backends
+  // (see the field comment), where build() would reject it as a world count.
+  if (s.backend == exec_backend::sharded) {
+    b.shards(s.shards).placement(s.placement);
+  }
   if (!s.crash_steps.empty()) b.crash_at(s.crash_steps);
   if (s.shared_cache) b.shared_cache();
   std::unique_ptr<executor> ex = b.build();
-  // Declared ids are honored verbatim: on the sharded backend they decide
-  // the hosting shard, so routing is part of the scenario's identity.
+  // Declared ids are honored verbatim: on the sharded backend id and
+  // declaration order feed the placement policy, so routing is part of the
+  // scenario's identity.
   for (const scenario_object& o : s.objects) ex->add_as(o.id, o.kind, o.params);
   for (const auto& [pid, ops] : s.scripts) {
     if (pid < 0 || pid >= s.nprocs) {
@@ -69,6 +86,22 @@ scripted_outcome replay_impl(const scripted_scenario& s, bool check) {
   std::unique_ptr<executor> ex = build_executor(s);
   scripted_outcome out;
   out.report = ex->run();
+  if (!s.migrations.empty() && !out.report.hit_step_limit) {
+    // Round two: apply the migration plan (a semantic no-op on one-world
+    // backends, skipped there so cross-backend diffs compare the same op
+    // sequence), then run the same scripts again over the transplanted
+    // state.
+    if (ex->backend() == exec_backend::sharded) {
+      for (const auto& [id, shard] : s.migrations) ex->migrate(id, shard);
+    }
+    for (const auto& [pid, ops] : s.scripts) ex->script(pid, ops);
+    sim::run_report second = ex->run();
+    // Per-world step counters are cumulative across runs, so the second
+    // report's step count already covers round one.
+    out.report.steps = second.steps;
+    out.report.crashes += second.crashes;
+    out.report.hit_step_limit |= second.hit_step_limit;
+  }
   if (check) out.check = ex->check();
   out.events = ex->events();
   out.log_text = ex->log_text();
@@ -173,7 +206,7 @@ core::runtime::fail_policy fail_policy_from_name(const std::string& name) {
 
 std::string dump(const scripted_scenario& s) {
   std::ostringstream os;
-  os << "# detect scripted_scenario v3\n";
+  os << "# detect scripted_scenario v4\n";
   for (const scenario_object& o : s.objects) {
     os << "object " << o.id << " " << o.kind << " " << o.params.init << " "
        << o.params.capacity << "\n";
@@ -184,9 +217,13 @@ std::string dump(const scripted_scenario& s) {
   os << "sched_seed " << s.sched_seed << "\n";
   os << "backend " << backend_name(s.backend) << "\n";
   os << "shards " << s.shards << "\n";
+  os << "placement " << s.placement.to_string() << "\n";
   os << "crash_steps";
   for (std::uint64_t k : s.crash_steps) os << " " << k;
   os << "\n";
+  for (const auto& [id, shard] : s.migrations) {
+    os << "migrate " << id << " " << shard << "\n";
+  }
   const std::uint32_t default_target =
       s.objects.empty() ? 0 : s.objects.front().id;
   for (const auto& [pid, ops] : s.scripts) {
@@ -280,6 +317,21 @@ void parse_line(const std::string& line, int lineno, scripted_scenario& s,
     if (!(ls >> s.shards) || s.shards < 1) {
       malformed_at(lineno, "bad shards line: " + line);
     }
+  } else if (key == "placement") {
+    std::string rest;
+    std::getline(ls, rest);
+    s.placement = placement_policy::parse(rest);
+  } else if (key == "migrate") {
+    std::uint32_t id = 0;
+    int shard = -1;
+    if (!(ls >> id >> shard) || shard < 0) {
+      malformed_at(lineno, "bad migrate line: " + line);
+    }
+    if (s.find_object(id) == nullptr) {
+      malformed_at(lineno, "migrate targets undeclared object " +
+                               std::to_string(id));
+    }
+    s.migrations.emplace_back(id, shard);
   } else if (key == "crash_steps") {
     std::uint64_t k;
     while (ls >> k) s.crash_steps.push_back(k);

@@ -4,19 +4,24 @@
 // A `scripted_scenario` is a fully self-contained run recipe over a set of
 // registry objects: an ordered list of (object id, kind, params)
 // declarations, process count, fail policy, memory model, scheduler seed,
-// crash plan, execution backend + shard count, and the per-process op
-// scripts whose ops each name a target object id. `replay()` builds a fresh
-// executor for it and runs it to completion, so the same value always
-// reproduces the same execution — the currency the fuzzer generates, diffs,
-// shrinks, and dumps. On the sharded backend the declared ids decide the
-// hosting shards (`id % shards`), so a multi-object scenario drives the
-// cross-shard routing and merged-log paths directly.
+// crash plan, execution backend + shard count + placement policy, an
+// optional migration plan, and the per-process op scripts whose ops each
+// name a target object id. `replay()` builds a fresh executor for it and
+// runs it to completion, so the same value always reproduces the same
+// execution — the currency the fuzzer generates, diffs, shrinks, and dumps.
+// On the sharded backend the declared ids and declaration order feed the
+// placement policy, so a multi-object scenario drives the cross-shard
+// routing and merged-log paths directly. A scenario with migrations runs in
+// two rounds: the scripts once, then (on the sharded backend) each
+// `migrate` step, then the same scripts again — the post-migration round
+// exercises the transplanted state.
 //
 // `dump()`/`parse_scenario()` round-trip scenarios through a line-oriented
-// text form (format v3; v1/v2 dumps, which carry a single `kind`/`params`
-// pair instead of `object` lines, still parse as the single-object special
-// case). Failing fuzz runs are persisted as these dumps and replayed with
-// `fuzz_main --replay`.
+// text form (format v4, which adds `placement` and `migrate` lines; v3
+// dumps parse with placement modulo and no migrations, and v1/v2 dumps,
+// which carry a single `kind`/`params` pair instead of `object` lines,
+// still parse as the single-object special case). Failing fuzz runs are
+// persisted as these dumps and replayed with `fuzz_main --replay`.
 //
 // `family_opcodes()` exposes each opcode family's invocable op set so
 // generators can randomize over a kind's full op mix instead of hand-coding
@@ -62,6 +67,15 @@ struct scripted_scenario {
   /// and the shard count fuzz::diff_sharded replays the scenario under for
   /// the single-vs-sharded equivalence diff otherwise (1 = no sharded diff).
   int shards = 1;
+  /// Shard-placement policy (see api/placement.hpp). Semantics-invariant by
+  /// design: fuzz::diff_placement replays scenarios under several policies
+  /// and requires identical verdicts. v3 and older dumps parse as modulo.
+  placement_policy placement;
+  /// Migration plan, applied between the two script rounds on the sharded
+  /// backend (skipped, as the semantic no-op it is, on one-world backends so
+  /// cross-backend diffs stay comparable). Ordered (object id, target
+  /// shard).
+  std::vector<std::pair<std::uint32_t, int>> migrations;
   /// Per-process op scripts; each op's `object` field names a declared id.
   std::map<int, std::vector<hist::op_desc>> scripts;
 
@@ -101,14 +115,15 @@ scripted_outcome replay(const scripted_scenario& s);
 /// `check` is left defaulted.
 scripted_outcome replay_unchecked(const scripted_scenario& s);
 
-/// Line-oriented text form (v3); `parse_scenario(dump(s))` round-trips
+/// Line-oriented text form (v4); `parse_scenario(dump(s))` round-trips
 /// exactly.
 std::string dump(const scripted_scenario& s);
 
-/// Inverse of `dump`; also accepts v1/v2 dumps (single `kind`/`params` pair
-/// → one object with id 0). Throws std::invalid_argument on malformed
-/// input, duplicate object ids, or ops targeting an undeclared object — the
-/// message carries the 1-based line and the offending token.
+/// Inverse of `dump`; also accepts v3 dumps (no placement/migrate lines →
+/// modulo, no migrations) and v1/v2 dumps (single `kind`/`params` pair →
+/// one object with id 0). Throws std::invalid_argument on malformed input,
+/// duplicate object ids, or ops/migrations targeting an undeclared object —
+/// the message carries the 1-based line and the offending token.
 scripted_scenario parse_scenario(const std::string& text);
 
 /// The invocable opcodes of a family — the alphabet generators draw from.

@@ -46,6 +46,15 @@ class runtime {
     return id;
   }
 
+  /// Remove `id`'s registration (live object migration hands the object to
+  /// another runtime). Throws std::invalid_argument when `id` is unknown.
+  void unregister_object(std::uint32_t id) {
+    if (objects_.erase(id) == 0) {
+      throw std::invalid_argument("runtime: cannot unregister unknown object " +
+                                  std::to_string(id));
+    }
+  }
+
   void set_script(int pid, std::vector<hist::op_desc> ops) {
     scripts_[pid] = std::move(ops);
   }

@@ -58,7 +58,8 @@ std::string kinds_of(const api::scripted_scenario& s) {
 std::string bucket_signature::scenario_key() const {
   std::ostringstream os;
   os << "kinds=" << kinds << "|mix=" << op_mix << "|backend=" << backend
-     << "|shards=" << shards;
+     << "|shards=" << shards << "|place=" << placement
+     << "|mig=" << (migrated ? 1 : 0);
   return os.str();
 }
 
@@ -77,6 +78,11 @@ bucket_signature scenario_signature(const api::scripted_scenario& s) {
   b.op_mix = op_mix_of(s);
   b.backend = api::backend_name(s.backend);
   b.shards = s.shards;
+  // Kind only — a pinned policy's map would make nearly every pinned
+  // scenario its own bucket, and a signature that never repeats steers
+  // nothing.
+  b.placement = api::placement_name(s.placement.kind);
+  b.migrated = !s.migrations.empty();
   return b;
 }
 

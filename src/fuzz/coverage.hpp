@@ -2,10 +2,10 @@
 //
 // Every executed scenario is abstracted into a `bucket_signature`: the
 // coarse coordinates of what the execution exercised — the set of object
-// kinds, the per-family opcode mix, backend and shard count, policy and
-// memory-model knobs, how deep the crash plan actually struck, and the
-// checker-path bits (per-object decomposition genuinely taken,
-// recovery-window interval synthesis triggered). Two scenarios with the same
+// kinds, the per-family opcode mix, backend and shard count, the placement
+// policy kind and whether a migration plan ran, how deep the crash plan
+// actually struck, and the checker-path bits (per-object decomposition
+// genuinely taken, recovery-window interval synthesis triggered). Two scenarios with the same
 // signature stress the same region of the state space; a campaign that only
 // counts iterations cannot tell them apart, a campaign that counts buckets
 // can.
@@ -40,6 +40,8 @@ struct bucket_signature {
   std::string op_mix;   // "<family>*|~" per family touched (full/partial mix)
   std::string backend;  // execution backend of the scenario itself
   int shards = 1;
+  std::string placement = "modulo";  // placement policy kind (pins elided)
+  bool migrated = false;             // scenario carries a migration plan
   // Outcome-derived (observed from the replay).
   int crash_phase = 0;  // min(crashes actually delivered, 3) — 0 = none
   bool recovery_seen = false;       // some recovery round ran

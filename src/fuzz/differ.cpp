@@ -191,6 +191,18 @@ diff_report diff_against(const api::scripted_scenario& s,
 
 namespace {
 
+/// When are two same-scenario replays on different shard layouts comparable
+/// response for response? Single-object scenarios are (the object's world
+/// is deterministic wherever it lives) — except that a migration plan with
+/// several processes re-runs the scripts on a world whose announcement
+/// board is fresh, so the per-process recovery scans take different step
+/// counts than the continuing world's and the seeded scheduler's picks
+/// realign; single-proc runs are scheduling-independent, so they stay
+/// exactly comparable even across migrations.
+bool responses_comparable(const api::scripted_scenario& s) {
+  return s.objects.size() == 1 && (s.migrations.empty() || s.nprocs == 1);
+}
+
 /// Core of the sharded-equivalence diff, given the already-replayed
 /// single-backend outcome `a` of `base`. Response streams compare only on
 /// single-object scenarios (see diff_sharded's header comment).
@@ -202,7 +214,7 @@ diff_report diff_sharded_against(const api::scripted_scenario& base,
   api::scripted_outcome b = api::replay(variant);
   return compare_replays(base, a, "single", b,
                          "sharded(" + std::to_string(variant.shards) + ")",
-                         /*compare_responses=*/base.objects.size() == 1);
+                         responses_comparable(base));
 }
 
 }  // namespace
@@ -213,13 +225,65 @@ diff_report diff_sharded(const api::scripted_scenario& s, int shards) {
   return diff_sharded_against(base, api::replay(base), shards);
 }
 
+namespace {
+
+/// Core of the placement-equivalence diff. `cached`, when non-null, is the
+/// already-replayed outcome of the sharded variant carrying `cached_kind`
+/// (check_scenario reuses the primary replay of a sharded-backend
+/// scenario). `replays` counts the fresh replays performed.
+diff_report diff_placement_impl(const api::scripted_scenario& s,
+                                const api::scripted_outcome* cached,
+                                api::placement_kind cached_kind,
+                                std::uint64_t* replays) {
+  diff_report r;
+  if (s.shards < 2) return r;
+  api::scripted_scenario base = s;
+  base.backend = api::exec_backend::sharded;
+
+  const bool compare_responses = responses_comparable(s);
+  std::optional<api::scripted_outcome> first;
+  std::string first_name;
+  for (api::placement_kind kind :
+       {api::placement_kind::modulo, api::placement_kind::hash,
+        api::placement_kind::range}) {
+    api::scripted_scenario variant = base;
+    variant.placement = {};
+    variant.placement.kind = kind;
+    api::scripted_outcome out;
+    if (cached != nullptr && cached_kind == kind) {
+      out = *cached;
+    } else {
+      if (replays != nullptr) ++*replays;
+      out = api::replay(variant);
+    }
+    const std::string name =
+        std::string("sharded/") + api::placement_name(kind);
+    if (!first.has_value()) {
+      first = std::move(out);
+      first_name = name;
+      continue;
+    }
+    diff_report d = compare_replays(variant, *first, first_name, out, name,
+                                    compare_responses);
+    if (!d.ok) return d;
+  }
+  return r;
+}
+
+}  // namespace
+
+diff_report diff_placement(const api::scripted_scenario& s) {
+  return diff_placement_impl(s, nullptr, api::placement_kind::modulo, nullptr);
+}
+
 std::string verify_scenario(const api::scripted_scenario& s) {
   return check_scenario(s, /*diff=*/false);
 }
 
 std::string check_scenario(const api::scripted_scenario& s, bool diff,
                            std::uint64_t* replays,
-                           api::scripted_outcome* primary_out) {
+                           api::scripted_outcome* primary_out,
+                           bool placement) {
   auto count = [replays](std::uint64_t n) {
     if (replays != nullptr) *replays += n;
   };
@@ -253,7 +317,19 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
     diff_report d = compare_replays(
         base, a, "single", primary,
         "sharded(" + std::to_string(s.shards) + ")",
-        /*compare_responses=*/s.objects.size() == 1);
+        responses_comparable(s));
+    if (!d.ok) return d.message;
+  }
+
+  // Placement equivalence (the --placement-equiv campaigns): the identical
+  // scenario under modulo vs hash vs range routing must produce the same
+  // verdicts. A sharded-backend primary whose own placement is one of the
+  // three serves as that variant's replay.
+  if (placement && s.shards > 1) {
+    const bool reuse = s.backend == api::exec_backend::sharded &&
+                       s.placement.kind != api::placement_kind::pinned;
+    diff_report d = diff_placement_impl(s, reuse ? &primary : nullptr,
+                                        s.placement.kind, replays);
     if (!d.ok) return d.message;
   }
   if (!diff) return {};

@@ -59,8 +59,23 @@ diff_report diff_against(const api::scripted_scenario& s,
 /// their per-shard schedules legitimately interleave differently than the
 /// one-world run; there the oracle is verdict equivalence (both executions
 /// must check out), which is exactly what exercises the merged-log and
-/// per-object decomposition paths.
+/// per-object decomposition paths. A migration plan weakens multi-process
+/// scenarios to verdict equivalence too (the post-migration world's fresh
+/// announcement board shifts the seeded schedule); single-proc migration
+/// scenarios keep the exact-response oracle.
 diff_report diff_sharded(const api::scripted_scenario& s, int shards);
+
+/// Placement-equivalence diff: replay `s` on the sharded backend (with its
+/// own shard count) under each of the three parameter-free placement
+/// policies — modulo, hash, range — and require identical run health and
+/// checker verdicts, plus identical response streams for single-object
+/// scenarios (each object's world execution is deterministic regardless of
+/// which shard index hosts it; as with diff_sharded, multi-process
+/// migration scenarios compare verdicts only). Placement decides only
+/// *where* an object
+/// lives, never what its operations return — any divergence is a routing,
+/// merged-log, or migration bug. Trivially ok when `s.shards < 2`.
+diff_report diff_placement(const api::scripted_scenario& s);
 
 /// Non-differential oracle for a single replay of `s`: the run must finish
 /// within the step budget and pass the durable-linearizability +
@@ -75,8 +90,11 @@ std::string verify_scenario(const api::scripted_scenario& s);
 /// accounting). `diff` disables the variant pass (the sharded diff is
 /// governed by `s.shards` alone). `primary_out`, when set, receives the
 /// outcome of the scenario's own replay — the coverage layer's bucket food.
+/// `placement` additionally arms the diff_placement stage on every scenario
+/// with a shard knob (the `--placement-equiv` campaign mode).
 std::string check_scenario(const api::scripted_scenario& s, bool diff = true,
                            std::uint64_t* replays = nullptr,
-                           api::scripted_outcome* primary_out = nullptr);
+                           api::scripted_outcome* primary_out = nullptr,
+                           bool placement = false);
 
 }  // namespace detect::fuzz

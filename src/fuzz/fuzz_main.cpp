@@ -6,6 +6,11 @@
 //   fuzz_main --objects-max K          # up to K objects per scenario
 //   fuzz_main --sharded-equiv          # every iteration diffs single vs
 //                                      # sharded (the CI equivalence stage)
+//   fuzz_main --placement-equiv        # every iteration diffs modulo vs
+//                                      # hash vs range placement (the CI
+//                                      # placement stage)
+//   fuzz_main --placement NAME         # pin the generator's placement knob
+//                                      # (modulo|hash|range|pinned|none)
 //   fuzz_main --shards-max K           # bound the generator's shard knob
 //   fuzz_main --coverage               # coverage-steered generation
 //   fuzz_main --coverage-out FILE      # write coverage.json (buckets,
@@ -38,8 +43,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--iters N] [--seed S] [--kind K]... [--procs-max P]\n"
       "          [--ops-max M] [--objects-max K] [--shards-min K]\n"
-      "          [--shards-max K] [--sharded-equiv] [--coverage]\n"
-      "          [--coverage-out FILE]\n"
+      "          [--shards-max K] [--sharded-equiv] [--placement-equiv]\n"
+      "          [--placement NAME] [--coverage] [--coverage-out FILE]\n"
       "          [--no-diff] [--no-shrink] [--no-crashes]\n"
       "          [--out DIR] [--replay FILE] [--list-kinds] [--quiet]\n",
       argv0);
@@ -60,11 +65,14 @@ int replay_file(const std::string& path) {
     std::printf("%s%u:%s", i != 0 ? " " : "", s.objects[i].id,
                 s.objects[i].kind.c_str());
   }
-  std::printf("] (%d procs, %zu ops, %zu crash steps)\n", s.nprocs,
-              s.total_ops(), s.crash_steps.size());
+  std::printf("] (%d procs, %zu ops, %zu crash steps, placement %s, "
+              "%zu migrations)\n",
+              s.nprocs, s.total_ops(), s.crash_steps.size(),
+              s.placement.to_string().c_str(), s.migrations.size());
   api::scripted_outcome outcome;
   std::string failure =
-      fuzz::check_scenario(s, /*diff=*/true, /*replays=*/nullptr, &outcome);
+      fuzz::check_scenario(s, /*diff=*/true, /*replays=*/nullptr, &outcome,
+                           /*placement=*/s.shards > 1);
   // The bucket signature matches the failure artifact to its coverage.json
   // bucket by hand (outcome bits reflect the replay just performed).
   std::printf("bucket: %s\n", fuzz::bucket_of(s, outcome).key().c_str());
@@ -86,6 +94,7 @@ int main(int argc, char** argv) {
   std::string coverage_out;
   bool quiet = false;
   bool sharded_equiv = false;
+  bool placement_equiv = false;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -138,6 +147,19 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--sharded-equiv") == 0) {
       sharded_equiv = true;
+    } else if (std::strcmp(arg, "--placement-equiv") == 0) {
+      placement_equiv = true;
+    } else if (std::strcmp(arg, "--placement") == 0) {
+      const char* name = need_value(i);
+      if (std::strcmp(name, "none") != 0) {
+        try {
+          api::placement_from_name(name);  // validate before the campaign
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "fuzz_main: %s\n", e.what());
+          return 2;
+        }
+      }
+      opt.gen.placement = name;
     } else if (std::strcmp(arg, "--coverage") == 0) {
       opt.steer = true;
     } else if (std::strcmp(arg, "--coverage-out") == 0) {
@@ -172,6 +194,12 @@ int main(int argc, char** argv) {
   if (sharded_equiv) {
     opt.gen.min_shards = 2;
     if (opt.gen.max_shards < 2) opt.gen.max_shards = 4;
+    opt.diff = false;
+  }
+  if (placement_equiv) {
+    opt.gen.min_shards = 2;
+    if (opt.gen.max_shards < 2) opt.gen.max_shards = 4;
+    opt.placement_equiv = true;
     opt.diff = false;
   }
 

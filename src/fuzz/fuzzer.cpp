@@ -30,7 +30,7 @@ std::string fuzz_one(std::uint64_t seed, const std::string& kind,
                      const fuzz_options& opt, std::uint64_t* replays) {
   api::scripted_scenario s =
       generate(seed, kind, resolved_gen(opt, resolved_kinds(opt)));
-  return check_scenario(s, opt.diff, replays);
+  return check_scenario(s, opt.diff, replays, nullptr, opt.placement_equiv);
 }
 
 namespace {
@@ -154,7 +154,8 @@ fuzz_stats run_fuzz(
     }
 
     api::scripted_outcome primary;
-    std::string failure = check_scenario(s, opt.diff, &stats.replays, &primary);
+    std::string failure = check_scenario(s, opt.diff, &stats.replays, &primary,
+                                         opt.placement_equiv);
     if (failure.empty()) {
       const bucket_signature b = bucket_of(s, primary);
       if (cov.record(b)) {
@@ -174,12 +175,15 @@ fuzz_stats run_fuzz(
     f.shrunk = s;
     if (opt.shrink) {
       f.shrunk = shrink(s, [&](const api::scripted_scenario& c) {
-        return !check_scenario(c, opt.diff, &stats.replays).empty();
+        return !check_scenario(c, opt.diff, &stats.replays, nullptr,
+                               opt.placement_equiv)
+                    .empty();
       });
       // Re-derive the message from the minimized scenario — it is the one
       // a human debugs first.
-      std::string shrunk_msg =
-          check_scenario(f.shrunk, opt.diff, &stats.replays);
+      std::string shrunk_msg = check_scenario(f.shrunk, opt.diff,
+                                              &stats.replays, nullptr,
+                                              opt.placement_equiv);
       if (!shrunk_msg.empty()) f.message = shrunk_msg;
     }
     stats.failure = std::move(f);

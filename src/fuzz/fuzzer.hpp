@@ -40,6 +40,11 @@ struct fuzz_options {
   gen_config gen;
   /// Differentially replay against each declared object's kind variants.
   bool diff = true;
+  /// Placement-equivalence campaign: every scenario with a shard knob also
+  /// replays under modulo vs hash vs range placement, requiring identical
+  /// verdicts (and response streams when single-object). The CI
+  /// `--fuzz-placement` stage arms this with min_shards = 2.
+  bool placement_equiv = false;
   /// Shrink the first failing scenario before reporting it.
   bool shrink = true;
   /// Coverage-steered generation: mutate bucket-novel corpus seeds toward

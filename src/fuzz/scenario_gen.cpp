@@ -103,6 +103,35 @@ void enforce_contracts(api::scripted_scenario& s) {
       s.policy = core::runtime::fail_policy::skip;
     }
   }
+  // Migration plans and crash plans do not mix in *generated* scenarios:
+  // the two script rounds would meet different shard-local crash schedules
+  // on the two sides of the cross-backend equivalence diffs. Crashes win —
+  // they are the harder adversary. Plans must also still fit the scenario's
+  // shard count and declared objects (mutations shrink both).
+  if (!s.crash_steps.empty()) {
+    s.migrations.clear();
+  } else {
+    std::erase_if(s.migrations, [&s](const std::pair<std::uint32_t, int>& m) {
+      return m.second >= std::max(1, s.shards) ||
+             s.find_object(m.first) == nullptr;
+    });
+  }
+  // Placement only means something with a shard knob; mutations that shrink
+  // the shard count (or drop objects) must not leave pins pointing at
+  // worlds or declarations that no longer exist — replay would reject the
+  // policy at build time.
+  if (s.shards <= 1) {
+    s.placement = {};
+    s.migrations.clear();
+  } else if (s.placement.kind == api::placement_kind::pinned) {
+    std::erase_if(s.placement.pins,
+                  [&s](const std::pair<const std::uint32_t, int>& pin) {
+                    return pin.second < 0 || pin.second >= s.shards ||
+                           s.find_object(pin.first) == nullptr;
+                  });
+  } else {
+    s.placement.pins.clear();
+  }
   // The recoverable lock's usage contract (rlock.hpp): under skip, a
   // crash-dropped release leaves holding-state uncertain, so crashy lock
   // scenarios must retry ...
@@ -127,6 +156,17 @@ void enforce_contracts(api::scripted_scenario& s) {
         }
       }
       if (d.code == hist::opcode::lock_release) may_hold[d.object] = false;
+    }
+    // A migration plan replays the scripts a second time, so every lock
+    // script must end not-holding or round two's first try_lock would
+    // re-invoke while possibly held; balance with a trailing release.
+    if (!s.migrations.empty()) {
+      for (const auto& [id, held] : may_hold) {
+        if (held) {
+          ops.push_back({id, hist::opcode::lock_release,
+                         static_cast<hist::value_t>(pid), 0, 0});
+        }
+      }
     }
   }
 }
@@ -203,6 +243,46 @@ api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
       s.backend = api::exec_backend::sharded;
     }
   }
+  // Placement knob: sharded routing is a policy, not an accident of object
+  // ids — scenarios carry one of the four built-ins so the placement-
+  // equivalence diff and the sharded backend's routing paths both get
+  // exercised. Drawn (or pinned via cfg.placement) only when the scenario
+  // has a shard knob at all; the draws stay in the shared xorshift stream.
+  if (s.shards > 1 && cfg.placement != "none") {
+    api::placement_kind kind = api::placement_kind::modulo;
+    if (cfg.placement.empty()) {
+      switch (next_rand(rng) % 4) {
+        case 0: kind = api::placement_kind::modulo; break;
+        case 1: kind = api::placement_kind::hash; break;
+        case 2: kind = api::placement_kind::range; break;
+        default: kind = api::placement_kind::pinned; break;
+      }
+    } else {
+      kind = api::placement_from_name(cfg.placement);
+    }
+    s.placement.kind = kind;
+    if (kind == api::placement_kind::pinned) {
+      for (const api::scenario_object& o : s.objects) {
+        s.placement.pins[o.id] = static_cast<int>(
+            next_rand(rng) % static_cast<std::uint64_t>(s.shards));
+      }
+    }
+  }
+  // Migration knob: crash-free sharded-backend scenarios run their scripts
+  // twice with a live object migration in between (enforce_contracts drops
+  // plans that conflict with later mutations).
+  if (cfg.allow_migrations && s.backend == api::exec_backend::sharded &&
+      s.shards > 1 && s.crash_steps.empty() && next_rand(rng) % 4 == 0) {
+    const std::uint64_t moves = pick(rng, 1, 2);
+    for (std::uint64_t m = 0; m < moves; ++m) {
+      const api::scenario_object& target =
+          s.objects[next_rand(rng) % s.objects.size()];
+      s.migrations.emplace_back(
+          target.id,
+          static_cast<int>(next_rand(rng) %
+                           static_cast<std::uint64_t>(s.shards)));
+    }
+  }
 
   for (int pid = 0; pid < s.nprocs; ++pid) {
     std::uint64_t len = pick(
@@ -242,7 +322,7 @@ api::scripted_scenario mutate(const api::scripted_scenario& base,
   // edit in some dimension just falls through to a knob flip eventually).
   for (int attempt = 0; attempt < 8; ++attempt) {
     bool applied = true;
-    switch (next_rand(rng) % 11) {
+    switch (next_rand(rng) % 13) {
       case 0:
         s.sched_seed = next_rand(rng);
         break;
@@ -368,6 +448,55 @@ api::scripted_scenario mutate(const api::scripted_scenario& base,
           break;
         }
         d.object = candidates[next_rand(rng) % candidates.size()];
+        break;
+      }
+      case 10: {  // placement flip
+        if (s.shards <= 1 || cfg.placement == "none" ||
+            (!cfg.placement.empty() &&
+             s.placement.kind == api::placement_from_name(cfg.placement))) {
+          applied = false;
+          break;
+        }
+        api::placement_policy next;
+        switch (next_rand(rng) % 4) {
+          case 0: next.kind = api::placement_kind::modulo; break;
+          case 1: next.kind = api::placement_kind::hash; break;
+          case 2: next.kind = api::placement_kind::range; break;
+          default: {
+            next.kind = api::placement_kind::pinned;
+            for (const api::scenario_object& o : s.objects) {
+              next.pins[o.id] = static_cast<int>(
+                  next_rand(rng) % static_cast<std::uint64_t>(s.shards));
+            }
+            break;
+          }
+        }
+        if (next == s.placement) {
+          applied = false;
+          break;
+        }
+        s.placement = std::move(next);
+        break;
+      }
+      case 11: {  // migration plan: add a move or drop one
+        const bool can_add = cfg.allow_migrations &&
+                             s.backend == api::exec_backend::sharded &&
+                             s.shards > 1 && s.crash_steps.empty() &&
+                             s.migrations.size() < 3 && !s.objects.empty();
+        if (can_add && (s.migrations.empty() || next_rand(rng) % 2 == 0)) {
+          const api::scenario_object& target =
+              s.objects[next_rand(rng) % s.objects.size()];
+          s.migrations.emplace_back(
+              target.id,
+              static_cast<int>(next_rand(rng) %
+                               static_cast<std::uint64_t>(s.shards)));
+        } else if (!s.migrations.empty()) {
+          s.migrations.erase(
+              s.migrations.begin() +
+              static_cast<long>(next_rand(rng) % s.migrations.size()));
+        } else {
+          applied = false;
+        }
         break;
       }
       default: {  // rewrite or append an op on a random target

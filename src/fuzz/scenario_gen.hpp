@@ -72,6 +72,18 @@ struct gen_config {
   /// about a quarter of the draws (the rest keep backend single, where the
   /// shard knob feeds the single-vs-sharded equivalence diff instead).
   bool allow_sharded_backend = true;
+  /// Placement knob: scenarios with shards > 1 draw a placement policy from
+  /// the same xorshift stream (modulo/hash/range, plus pinned with explicit
+  /// per-object pins). Empty = draw freely; a placement name pins every
+  /// generated scenario to that policy (fuzz_main --placement). "none"
+  /// disables the knob (every scenario keeps modulo).
+  std::string placement;
+  /// Migration knob: crash-free sharded-backend scenarios draw a small
+  /// migration plan (run, migrate, run the scripts again) for about a
+  /// quarter of the draws. Crashy scenarios never carry migrations — the
+  /// second script round would see different (shard-local) crash schedules
+  /// on the two sides of the cross-backend diffs.
+  bool allow_migrations = true;
 };
 
 /// One random operation for `family`, drawn from family_opcodes(). `pid` is
@@ -96,7 +108,10 @@ api::scripted_scenario mutate(const api::scripted_scenario& base,
 /// Contract-repair pass shared by generate() and mutate(): clears the crash
 /// plan when any object is non-detectable, forces fail_policy::retry on
 /// crashy lock scenarios, repairs per-(process, object) try/release
-/// alternation, and de-degenerates Cas(x, x) ops.
+/// alternation, de-degenerates Cas(x, x) ops, drops migration plans from
+/// crashy scenarios (and ones that no longer fit the shard count), and
+/// balances lock scripts (ending not-holding) when a migration plan makes
+/// the scripts run twice.
 void enforce_contracts(api::scripted_scenario& s);
 
 /// The seed of iteration `iter` in a fuzz campaign starting at `base_seed`

@@ -64,6 +64,18 @@ bool respects_contracts(const api::scripted_scenario& s) {
       s.policy != core::runtime::fail_policy::retry) {
     return false;
   }
+  // Migration plans and crash plans do not mix (enforce_contracts never
+  // generates the combination; a shrink candidate must not reintroduce it),
+  // and a migration plan must name declared objects on in-range shards.
+  if (!s.migrations.empty()) {
+    if (!s.crash_steps.empty()) return false;
+    for (const auto& [id, shard] : s.migrations) {
+      if (s.find_object(id) == nullptr || shard < 0 ||
+          shard >= std::max(1, s.shards)) {
+        return false;
+      }
+    }
+  }
   for (const auto& [pid, ops] : s.scripts) {
     // ... and no process may re-invoke try_lock on an object it may still
     // hold (tracked per lock object).
@@ -77,6 +89,14 @@ bool respects_contracts(const api::scripted_scenario& s) {
       } else if (d.code == hist::opcode::cas && d.a == d.b) {
         // Algorithm 2's failed-CAS linearization needs old != new.
         return false;
+      }
+    }
+    // A migration plan replays the scripts a second time, so every lock
+    // script must end not-holding (else round two re-invokes try_lock while
+    // possibly held).
+    if (!s.migrations.empty()) {
+      for (const auto& [object, held] : may_hold) {
+        if (held) return false;
       }
     }
   }
@@ -216,6 +236,21 @@ api::scripted_scenario shrink(api::scripted_scenario s,
       }
     }
 
+    // 2d. Migration steps, back to front, then the whole plan at once (a
+    // plan-free scenario also stops running its scripts twice — a big cut).
+    for (int i = static_cast<int>(s.migrations.size()) - 1; i >= 0; --i) {
+      progress |= try_edit(s, fails, [i](api::scripted_scenario& c) {
+        if (i >= static_cast<int>(c.migrations.size())) return false;
+        c.migrations.erase(c.migrations.begin() + i);
+        return true;
+      });
+    }
+    progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
+      if (c.migrations.empty()) return false;
+      c.migrations.clear();
+      return true;
+    });
+
     // 3. Crash steps, back to front.
     for (int i = static_cast<int>(s.crash_steps.size()) - 1; i >= 0; --i) {
       progress |= try_edit(s, fails, [i](api::scripted_scenario& c) {
@@ -236,7 +271,14 @@ api::scripted_scenario shrink(api::scripted_scenario s,
       c.shared_cache = false;
       return true;
     });
-    // A sharded-backend scenario first tries the single backend (if the
+    // Placement first simplifies to modulo (if the failure survives, the
+    // routing policy is not the culprit) ...
+    progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
+      if (c.placement == api::placement_policy{}) return false;
+      c.placement = {};
+      return true;
+    });
+    // ... then a sharded-backend scenario tries the single backend (if the
     // failure survives, it is not a cross-shard bug) ...
     progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
       if (c.backend != api::exec_backend::sharded) return false;

@@ -6,9 +6,12 @@
 // exhausted). The edit order goes coarse to fine so big cuts land first:
 //
 //   1. drop whole per-process scripts (and renumber pids densely),
-//   2. chop op-suffix halves, then individual ops,
+//   2. chop op-suffix halves, then individual ops, then migration steps
+//      (individually and the whole plan — that also drops the second script
+//      round),
 //   3. drop crash steps,
-//   4. simplify knobs (retry → skip, shared_cache → private, shards → 1),
+//   4. simplify knobs (placement → modulo, retry → skip, shared_cache →
+//      private, sharded backend → single, shards → 1),
 //   5. zero op argument values.
 //
 // Every candidate is produced deterministically from the current scenario,

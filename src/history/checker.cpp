@@ -201,7 +201,12 @@ check_result check_durable_linearizability_per_object(
     if (!sub.ok) {
       res.ok = false;
       res.inconclusive = sub.inconclusive;
-      res.message = "object " + std::to_string(id) + ": " + sub.message;
+      // Name the offender precisely: the object id and the node count its
+      // own sub-check spent (failing or exhausting the budget), so a deep-
+      // fuzz artifact is debuggable without replaying the whole history.
+      res.message = "object " + std::to_string(id) + " (" +
+                    std::to_string(sub.nodes) + " of " +
+                    std::to_string(res.nodes) + " nodes): " + sub.message;
       return res;
     }
   }

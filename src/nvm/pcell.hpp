@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstring>
 #include <type_traits>
 
 #include "nvm/hook.hpp"
@@ -123,6 +124,21 @@ class pcell final : public persistent_base {
   void persist_now() noexcept override {
     persisted_.store(cur_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+  }
+  std::size_t image_size() const noexcept override { return sizeof(T); }
+  void save_raw(std::uint8_t* cur, std::uint8_t* persisted) const override {
+    const T c = cur_.load(std::memory_order_relaxed);
+    const T p = persisted_.load(std::memory_order_relaxed);
+    std::memcpy(cur, &c, sizeof(T));
+    std::memcpy(persisted, &p, sizeof(T));
+  }
+  void load_raw(const std::uint8_t* cur,
+                const std::uint8_t* persisted) override {
+    T c, p;
+    std::memcpy(&c, cur, sizeof(T));
+    std::memcpy(&p, persisted, sizeof(T));
+    cur_.store(c, std::memory_order_relaxed);
+    persisted_.store(p, std::memory_order_relaxed);
   }
 
   mutable std::atomic<T> cur_;

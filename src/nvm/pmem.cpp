@@ -1,6 +1,48 @@
 #include "nvm/pmem.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace detect::nvm {
+
+cell_image persistent_base::save_image() const {
+  cell_image img;
+  img.cur.resize(image_size());
+  img.persisted.resize(image_size());
+  save_raw(img.cur.data(), img.persisted.data());
+  return img;
+}
+
+void persistent_base::load_image(const cell_image& img) {
+  if (img.cur.size() != image_size() || img.persisted.size() != image_size()) {
+    throw std::invalid_argument(
+        "pmem: cell image of " + std::to_string(img.cur.size()) +
+        " bytes does not fit a cell of " + std::to_string(image_size()) +
+        " bytes");
+  }
+  load_raw(img.cur.data(), img.persisted.data());
+}
+
+pmem_image save_image(const std::vector<persistent_base*>& cells) {
+  pmem_image image;
+  image.reserve(cells.size());
+  for (const persistent_base* c : cells) image.push_back(c->save_image());
+  return image;
+}
+
+void load_image(const std::vector<persistent_base*>& cells,
+                const pmem_image& image) {
+  if (cells.size() != image.size()) {
+    throw std::invalid_argument(
+        "pmem: image carries " + std::to_string(image.size()) +
+        " cells but the target object attached " +
+        std::to_string(cells.size()) +
+        " — layouts must come from the same kind and params");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i]->load_image(image[i]);
+  }
+}
 
 pmem_domain& pmem_domain::global() {
   static pmem_domain dom;
@@ -29,6 +71,13 @@ void pmem_domain::attach(persistent_base& cell) {
   cell.next_ = head_;
   if (head_ != nullptr) head_->prev_ = &cell;
   head_ = &cell;
+  if (attach_sink_ != nullptr) attach_sink_->push_back(&cell);
+}
+
+void pmem_domain::set_attach_recorder(
+    std::vector<persistent_base*>* sink) noexcept {
+  std::scoped_lock lock(mu_);
+  attach_sink_ = sink;
 }
 
 void pmem_domain::detach(persistent_base& cell) noexcept {

@@ -19,13 +19,27 @@
 // exposing the persistency-instruction cost (experiment E7).
 #pragma once
 
+#include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "nvm/stats.hpp"
 
 namespace detect::nvm {
 
 enum class cache_model : std::uint8_t { private_cache, shared_cache };
+
+/// Raw snapshot of one persistent cell: its cached value and its persisted
+/// image, as opaque bytes. The unit of the portable NVM representation that
+/// object migration moves between domains (see save_image / load_image).
+struct cell_image {
+  std::vector<std::uint8_t> cur;
+  std::vector<std::uint8_t> persisted;
+};
+
+/// The persistent representation of a group of cells (e.g. every cell one
+/// registry object attached during construction), in attach order.
+using pmem_image = std::vector<cell_image>;
 
 /// Base class for everything that lives in emulated NVM and needs crash /
 /// persist bookkeeping. Cells link themselves into their domain's intrusive
@@ -34,6 +48,15 @@ class persistent_base {
  public:
   persistent_base(const persistent_base&) = delete;
   persistent_base& operator=(const persistent_base&) = delete;
+
+  /// Raw snapshot of this cell (cached value + persisted image). Bypasses
+  /// access hooks and counters: migration runs between executions, outside
+  /// the measured access sequence.
+  cell_image save_image() const;
+
+  /// Inverse of save_image(). Throws std::invalid_argument when the image's
+  /// byte width does not match this cell's value type.
+  void load_image(const cell_image& img);
 
  protected:
   persistent_base() = default;
@@ -45,10 +68,27 @@ class persistent_base {
   virtual void revert_to_persisted() noexcept = 0;
   /// Checkpoint the cached value as persisted (initialization / full sync).
   virtual void persist_now() noexcept = 0;
+  /// Byte width of the cell's value type (one of cur/persisted).
+  virtual std::size_t image_size() const noexcept = 0;
+  /// Copy the cached value / persisted image into `cur` / `persisted`
+  /// (each image_size() bytes).
+  virtual void save_raw(std::uint8_t* cur, std::uint8_t* persisted) const = 0;
+  /// Inverse of save_raw.
+  virtual void load_raw(const std::uint8_t* cur,
+                        const std::uint8_t* persisted) = 0;
 
   persistent_base* prev_ = nullptr;
   persistent_base* next_ = nullptr;
 };
+
+/// Snapshot `cells` (in order) into one portable image.
+pmem_image save_image(const std::vector<persistent_base*>& cells);
+
+/// Load `image` back into `cells`. Throws std::invalid_argument on a layout
+/// mismatch (different cell count or byte widths) — the caller pairs images
+/// with an identically-constructed cell group.
+void load_image(const std::vector<persistent_base*>& cells,
+                const pmem_image& image);
 
 class pmem_domain {
  public:
@@ -83,12 +123,35 @@ class pmem_domain {
   void attach(persistent_base& cell);
   void detach(persistent_base& cell) noexcept;
 
+  /// While set, every attach() also appends the cell to `*sink` (in attach
+  /// order). Harnesses wrap registry factories with this to learn which
+  /// cells a freshly constructed object owns — the cell group whose
+  /// pmem_image migration transplants. Pass nullptr to stop recording.
+  void set_attach_recorder(std::vector<persistent_base*>* sink) noexcept;
+
  private:
   std::mutex mu_;
   persistent_base* head_ = nullptr;
   cache_model model_ = cache_model::private_cache;
   bool auto_persist_ = false;
+  std::vector<persistent_base*>* attach_sink_ = nullptr;
   stats stats_;
+};
+
+/// RAII attach recording over one domain: construction starts recording into
+/// `sink`, destruction stops it.
+class attach_recording {
+ public:
+  attach_recording(pmem_domain& dom, std::vector<persistent_base*>& sink)
+      : dom_(&dom) {
+    dom_->set_attach_recorder(&sink);
+  }
+  ~attach_recording() { dom_->set_attach_recorder(nullptr); }
+  attach_recording(const attach_recording&) = delete;
+  attach_recording& operator=(const attach_recording&) = delete;
+
+ private:
+  pmem_domain* dom_;
 };
 
 }  // namespace detect::nvm

@@ -9,6 +9,7 @@
 // shared cells.
 #pragma once
 
+#include <cstring>
 #include <type_traits>
 
 #include "nvm/hook.hpp"
@@ -60,6 +61,16 @@ class pvar final : public persistent_base {
  private:
   void revert_to_persisted() noexcept override { cur_ = persisted_; }
   void persist_now() noexcept override { persisted_ = cur_; }
+  std::size_t image_size() const noexcept override { return sizeof(T); }
+  void save_raw(std::uint8_t* cur, std::uint8_t* persisted) const override {
+    std::memcpy(cur, &cur_, sizeof(T));
+    std::memcpy(persisted, &persisted_, sizeof(T));
+  }
+  void load_raw(const std::uint8_t* cur,
+                const std::uint8_t* persisted) override {
+    std::memcpy(&cur_, cur, sizeof(T));
+    std::memcpy(&persisted_, persisted, sizeof(T));
+  }
 
   T cur_;
   T persisted_;

@@ -1078,6 +1078,101 @@ TEST(replay_dump, v2_dumps_parse_and_replay_byte_identically) {
   EXPECT_TRUE(fuzz::check_scenario(s).empty());
 }
 
+// The ISSUE-5 acceptance bar, mirroring the v2 test: a pinned v3
+// multi-object dump (the PR-4 format — object lines, no placement/migrate
+// lines) parses as placement modulo with no migrations and replays
+// byte-identically to its v4 round-trip.
+TEST(replay_dump, v3_dumps_parse_and_replay_byte_identically) {
+  const std::string v3_text =
+      "# detect scripted_scenario v3\n"
+      "object 0 cas 0 64\n"
+      "object 1 reg 0 64\n"
+      "procs 2\n"
+      "policy skip\n"
+      "shared_cache 0\n"
+      "sched_seed 77\n"
+      "backend sharded\n"
+      "shards 2\n"
+      "crash_steps\n"
+      "script 0 cas:0:1 reg_write:3:0@1\n"
+      "script 1 cas_read:0:0 reg_read:0:0@1\n";
+  api::scripted_scenario s = api::parse_scenario(v3_text);
+  EXPECT_EQ(s.placement, api::placement_policy{});
+  EXPECT_TRUE(s.migrations.empty());
+  ASSERT_EQ(s.objects.size(), 2u);
+  api::scripted_outcome a = api::replay(s);
+  // The v4 round-trip carries an explicit `placement modulo` line and
+  // preserves the execution byte for byte.
+  const std::string v4_text = api::dump(s);
+  EXPECT_NE(v4_text.find("placement modulo"), std::string::npos) << v4_text;
+  api::scripted_scenario rt = api::parse_scenario(v4_text);
+  api::scripted_outcome b = api::replay(rt);
+  EXPECT_EQ(a.log_text, b.log_text);
+  EXPECT_EQ(a.report.steps, b.report.steps);
+  EXPECT_TRUE(a.check.ok);
+  // And the full oracle (incl. the shards=2 equivalence diff) is clean.
+  EXPECT_TRUE(fuzz::check_scenario(s).empty());
+}
+
+TEST(replay_dump, placement_and_migrations_round_trip) {
+  api::scripted_scenario s = fuzz::generate(33, "counter");
+  s.backend = api::exec_backend::sharded;
+  s.shards = 3;
+  s.placement = api::pinned_placement({{0, 2}});
+  s.crash_steps.clear();
+  s.migrations = {{0, 1}, {0, 2}};
+  std::string text = api::dump(s);
+  EXPECT_NE(text.find("placement pinned 0:2"), std::string::npos) << text;
+  EXPECT_NE(text.find("migrate 0 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("migrate 0 2"), std::string::npos) << text;
+  api::scripted_scenario parsed = api::parse_scenario(text);
+  EXPECT_EQ(parsed.placement, s.placement);
+  EXPECT_EQ(parsed.migrations, s.migrations);
+  EXPECT_EQ(api::dump(parsed), text);
+  // The parsed scenario replays identically to the original.
+  api::scripted_outcome a = api::replay(s);
+  api::scripted_outcome b = api::replay(parsed);
+  EXPECT_EQ(a.log_text, b.log_text);
+  EXPECT_TRUE(a.check.ok) << a.check.message;
+}
+
+TEST(replay_dump, placement_and_migration_parse_errors) {
+  const std::string head =
+      "object 0 reg 0 64\nprocs 1\nscript 0 reg_read:0:0\n";
+  EXPECT_THROW(api::parse_scenario(head + "placement warp\n"),
+               std::invalid_argument);
+  EXPECT_THROW(api::parse_scenario(head + "placement pinned 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(api::parse_scenario(head + "placement pinned 0:-1\n"),
+               std::invalid_argument);  // negative shard, rejected at parse
+  // Placement errors carry the 1-based line like every other key's.
+  try {
+    api::parse_scenario(head + "placement warp\n");
+    FAIL() << "placement warp must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(api::parse_scenario(head + "migrate 9 0\n"),
+               std::invalid_argument);  // undeclared object
+  EXPECT_THROW(api::parse_scenario(head + "migrate 0\n"),
+               std::invalid_argument);  // missing shard
+}
+
+TEST(replay_dump, replay_validates_migration_plans) {
+  api::scripted_scenario s = single_object("reg");
+  s.nprocs = 1;
+  s.backend = api::exec_backend::sharded;
+  s.shards = 2;
+  s.scripts[0] = {{0, hist::opcode::reg_read, 0, 0, 0}};
+  s.migrations = {{0, 5}};  // out of range for 2 shards
+  EXPECT_THROW(api::replay(s), std::invalid_argument);
+  s.migrations = {{9, 1}};  // undeclared object
+  EXPECT_THROW(api::replay(s), std::invalid_argument);
+  s.migrations = {{0, 1}};
+  EXPECT_TRUE(api::replay(s).check.ok);
+}
+
 TEST(replay_dump, backend_and_shards_round_trip) {
   api::scripted_scenario s = fuzz::generate(21, "queue");
   s.backend = api::exec_backend::sharded;
@@ -1101,6 +1196,175 @@ TEST(replay_dump, failure_artifact_parses_back_to_the_shrunk_scenario) {
   f.shrunk = fuzz::generate(1234, "reg", {.min_procs = 1, .max_procs = 1});
   api::scripted_scenario parsed = api::parse_scenario(f.to_artifact());
   EXPECT_EQ(api::dump(parsed), api::dump(f.shrunk));
+}
+
+// ---- placement knob + placement equivalence ---------------------------------
+
+TEST(scenario_gen, placement_knob_is_bounded_and_deterministic) {
+  fuzz::gen_config cfg;
+  cfg.min_shards = 2;  // every scenario carries the knob
+  cfg.max_shards = 4;
+  bool saw_nonmodulo = false;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    api::scripted_scenario a = fuzz::generate(seed, "reg", cfg);
+    api::scripted_scenario b = fuzz::generate(seed, "reg", cfg);
+    EXPECT_EQ(api::dump(a), api::dump(b));
+    saw_nonmodulo |= a.placement.kind != api::placement_kind::modulo;
+    if (a.placement.kind == api::placement_kind::pinned) {
+      // Pins cover exactly the declared objects, each onto a real shard.
+      EXPECT_EQ(a.placement.pins.size(), a.objects.size());
+      for (const auto& [id, shard] : a.placement.pins) {
+        EXPECT_NE(a.find_object(id), nullptr);
+        EXPECT_GE(shard, 0);
+        EXPECT_LT(shard, a.shards);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_nonmodulo) << "the knob never left modulo in 60 draws";
+
+  // Unsharded scenarios carry no placement (nothing to place).
+  fuzz::gen_config unsharded;
+  unsharded.max_shards = 1;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EXPECT_EQ(fuzz::generate(seed, "reg", unsharded).placement,
+              api::placement_policy{});
+  }
+}
+
+TEST(scenario_gen, forced_placement_pins_every_scenario) {
+  fuzz::gen_config cfg;
+  cfg.min_shards = 2;
+  cfg.placement = "range";
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EXPECT_EQ(fuzz::generate(seed, "queue", cfg).placement.kind,
+              api::placement_kind::range);
+  }
+  cfg.placement = "none";
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EXPECT_EQ(fuzz::generate(seed, "queue", cfg).placement,
+              api::placement_policy{});
+  }
+}
+
+TEST(scenario_gen, migrations_only_on_crash_free_sharded_scenarios) {
+  fuzz::gen_config cfg;
+  cfg.min_shards = 2;
+  cfg.max_shards = 4;
+  bool saw_migration = false;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    api::scripted_scenario s = fuzz::generate(seed, "lock", cfg);
+    if (s.migrations.empty()) continue;
+    saw_migration = true;
+    EXPECT_EQ(s.backend, api::exec_backend::sharded) << seed;
+    EXPECT_TRUE(s.crash_steps.empty()) << seed;
+    for (const auto& [id, shard] : s.migrations) {
+      EXPECT_NE(s.find_object(id), nullptr);
+      EXPECT_GE(shard, 0);
+      EXPECT_LT(shard, s.shards);
+    }
+    // Migration scenarios run their scripts twice, so every lock script
+    // must end not-holding.
+    for (const auto& [pid, ops] : s.scripts) {
+      std::map<std::uint32_t, bool> held;
+      for (const hist::op_desc& d : ops) {
+        if (d.code == hist::opcode::lock_try) held[d.object] = true;
+        if (d.code == hist::opcode::lock_release) held[d.object] = false;
+      }
+      for (const auto& [id, h] : held) EXPECT_FALSE(h) << seed;
+    }
+  }
+  EXPECT_TRUE(saw_migration) << "the knob never drew a migration in 200 seeds";
+}
+
+// The ISSUE-5 acceptance bar: for >= 1000 generated seeds, replays under
+// modulo vs hash vs range placement produce identical checker verdicts (and
+// identical response streams for single-object scenarios) — placement is
+// semantics-invariant.
+TEST(differ, placement_equivalence_holds_for_1000_seeds) {
+  const std::vector<std::string> kinds = {"reg",   "cas",   "counter",
+                                          "swap",  "tas",   "queue",
+                                          "stack", "max_reg", "lock"};
+  fuzz::gen_config cfg;
+  cfg.max_procs = 2;
+  cfg.max_ops = 5;
+  cfg.max_crashes = 2;
+  cfg.min_shards = 2;  // every scenario carries the placement diff
+  cfg.max_shards = 4;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t seed =
+        fuzz::iteration_seed(0x91aceULL, static_cast<std::uint64_t>(i));
+    const std::string& kind = kinds[static_cast<std::size_t>(i) % kinds.size()];
+    api::scripted_scenario s = fuzz::generate(seed, kind, cfg);
+    fuzz::diff_report d = fuzz::diff_placement(s);
+    ASSERT_TRUE(d.ok) << "seed " << seed << ":\n"
+                      << d.message << "\n"
+                      << api::dump(s);
+  }
+}
+
+TEST(differ, placement_diff_is_trivially_ok_without_a_shard_knob) {
+  api::scripted_scenario s = fuzz::generate(9, "reg");
+  s.shards = 1;
+  EXPECT_TRUE(fuzz::diff_placement(s).ok);
+}
+
+TEST(run_fuzz, placement_equiv_campaign_is_clean) {
+  fuzz::fuzz_options opt;
+  opt.base_seed = 17;
+  opt.iterations = 150;
+  opt.kinds = g_builtin_kinds;
+  opt.diff = false;
+  opt.placement_equiv = true;
+  opt.gen.min_shards = 2;
+  opt.gen.max_procs = 2;
+  opt.gen.max_ops = 5;
+  fuzz::fuzz_stats stats = fuzz::run_fuzz(opt);
+  EXPECT_FALSE(stats.failure.has_value())
+      << stats.failure->message << "\n"
+      << api::dump(stats.failure->scenario);
+  // The placement stage genuinely replayed extra variants.
+  EXPECT_GT(stats.replays, 2 * stats.iterations);
+}
+
+TEST(shrinker, simplifies_placement_and_drops_migrations) {
+  register_lying_counter_once();
+  api::scripted_scenario s = single_object("test_lying_counter");
+  s.nprocs = 1;
+  s.backend = api::exec_backend::sharded;
+  s.shards = 2;
+  s.placement.kind = api::placement_kind::hash;
+  s.migrations = {{0, 1}};
+  s.scripts[0] = {{0, hist::opcode::ctr_add, 1, 0, 0},
+                  {0, hist::opcode::ctr_read, 0, 0, 0}};
+  auto fails = [](const api::scripted_scenario& c) {
+    return !fuzz::check_scenario(c).empty();
+  };
+  ASSERT_TRUE(fails(s));
+  api::scripted_scenario shrunk = fuzz::shrink(s, fails);
+  EXPECT_TRUE(fails(shrunk));
+  // The failure is the lying read, not the routing: placement simplifies to
+  // modulo and the migration plan drops away.
+  EXPECT_EQ(shrunk.placement, api::placement_policy{});
+  EXPECT_TRUE(shrunk.migrations.empty());
+}
+
+TEST(coverage, signature_carries_placement_and_migration_bits) {
+  api::scripted_scenario s = fuzz::generate(3, "reg");
+  s.backend = api::exec_backend::sharded;
+  s.shards = 2;
+  s.placement = {};
+  s.migrations.clear();
+  const std::string base_key = fuzz::scenario_signature(s).scenario_key();
+  EXPECT_NE(base_key.find("place=modulo"), std::string::npos) << base_key;
+  EXPECT_NE(base_key.find("mig=0"), std::string::npos) << base_key;
+
+  api::scripted_scenario hashed = s;
+  hashed.placement.kind = api::placement_kind::hash;
+  EXPECT_NE(fuzz::scenario_signature(hashed).scenario_key(), base_key);
+
+  api::scripted_scenario migrated = s;
+  migrated.migrations = {{0, 1}};
+  EXPECT_NE(fuzz::scenario_signature(migrated).scenario_key(), base_key);
 }
 
 // ---- campaign engine --------------------------------------------------------
