@@ -13,10 +13,17 @@
 #                                    # stage: N modulo-vs-hash-vs-range
 #                                    # diff iterations (placement must be
 #                                    # semantics-invariant)
+#   scripts/check.sh --fuzz-sched N  # the CI schedule-exploration stage:
+#                                    # N strategy-mixed (round_robin/
+#                                    # uniform_random/pct) + persistency-mixed
+#                                    # (strict/buffered) iterations; writes
+#                                    # coverage.json with the per-strategy
+#                                    # bucket tables
 #   scripts/check.sh --fuzz-deep N   # the nightly deep-fuzz lane: N
 #                                    # coverage-steered multi-object
-#                                    # iterations with the equivalence diff
-#                                    # on every one; writes coverage.json
+#                                    # strategy-mixed iterations with the
+#                                    # equivalence diff on every one; writes
+#                                    # coverage.json
 #   scripts/check.sh --bench-smoke   # the CI bench-smoke stage: every
 #                                    # E-binary with tiny parameters
 #
@@ -111,19 +118,36 @@ case "${1:-}" in
     stage_build "$dir" "$build_type"
     stage_fuzz "$dir" "$iters" --placement-equiv
     ;;
+  --fuzz-sched)
+    # Schedule-exploration stage: the generator draws every scenario's
+    # strategy from the mixed pool (round_robin / uniform_random / pct) and
+    # its persistency model from strict / buffered, so PCT preemption
+    # schedules and buffered-persistency crash states run under the full
+    # oracle side by side with the historical uniform scheduler. The
+    # coverage.json carries per-strategy bucket counts — the numbers the job
+    # summary's PCT-vs-uniform table reads.
+    iters="${2:-500}"
+    dir="${DETECT_BUILD_DIR:-build-$build_type}"
+    echo "== fuzz-sched: $iters strategy-mixed iterations ($dir) =="
+    stage_build "$dir" "$build_type"
+    stage_fuzz "$dir" "$iters" --sched mixed --persist mixed \
+      --coverage-out "${DETECT_COVERAGE_OUT:-coverage.json}"
+    ;;
   --fuzz-deep)
     # The nightly deep-fuzz lane (also runnable locally): coverage-steered
-    # generation over up-to-4-object scenarios, the full variant diff, and
+    # generation over up-to-4-object scenarios, the full variant diff,
     # shards-min 2 so every iteration carries the single-vs-sharded
-    # equivalence diff. Emits coverage.json (buckets, timeline, corpus seed
-    # list) next to the usual failure artifacts.
+    # equivalence diff, and strategy-mixed schedule/persistency generation.
+    # Emits coverage.json (buckets, timeline, per-strategy tables, corpus
+    # seed list) next to the usual failure artifacts.
     iters="${2:-30000}"
     dir="${DETECT_BUILD_DIR:-build-$build_type}"
     echo "== fuzz-deep: $iters coverage-steered multi-object iterations ($dir) =="
     stage_build "$dir" "$build_type"
     stage_fuzz "$dir" "$iters" \
       --coverage --coverage-out "${DETECT_COVERAGE_OUT:-coverage.json}" \
-      --objects-max 4 --shards-min 2 --shards-max 4
+      --objects-max 4 --shards-min 2 --shards-max 4 \
+      --sched mixed --persist mixed
     ;;
   --bench-smoke)
     dir="${DETECT_BUILD_DIR:-build-$build_type}"
@@ -144,7 +168,7 @@ case "${1:-}" in
     stage_ctest build-sanitize
     ;;
   *)
-    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-placement N | --fuzz-deep N | --bench-smoke]" >&2
+    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-placement N | --fuzz-sched N | --fuzz-deep N | --bench-smoke]" >&2
     exit 2
     ;;
 esac

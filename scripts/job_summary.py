@@ -73,6 +73,22 @@ def coverage_table(data):
             count = sum(1 for done, _ in timeline if prev < done <= cutoff)
             yield f"| ≤ {cutoff} | {count} |"
             prev = cutoff
+    # Per-strategy slice (campaigns with schedule-exploration pools): how
+    # many scenarios each strategy drove, how many distinct buckets its
+    # slice reached, and when the last new one landed — the PCT-vs-uniform
+    # comparison at a glance.
+    by_strategy = data.get("by_strategy", [])
+    if by_strategy:
+        yield ""
+        yield "#### Coverage by schedule strategy"
+        yield ""
+        yield "| strategy | executed | distinct buckets | last new bucket at |"
+        yield "|---|---|---|---|"
+        for st in by_strategy:
+            timeline = st.get("new_bucket_timeline", [])
+            last = timeline[-1][0] if timeline else "—"
+            yield (f"| {st['strategy']} | {st['executed']} "
+                   f"| {st['distinct_buckets']} | {last} |")
     yield ""
 
 

@@ -245,13 +245,14 @@ std::vector<hist::op_desc> smoke_script(op_family family,
 
 harness::harness(int nprocs, sim::world_config wcfg,
                  core::runtime::fail_policy policy, bool shared_cache,
-                 bool auto_persist, run_config rcfg)
+                 bool auto_persist, nvm::persist_model persist, run_config rcfg)
     : world_(std::make_unique<sim::world>(nprocs, wcfg)),
       rcfg_(std::move(rcfg)) {
   if (shared_cache) {
     world_->domain().set_model(nvm::cache_model::shared_cache);
     world_->domain().set_auto_persist(auto_persist);
   }
+  world_->domain().set_persist_model(persist);
   board_ = std::make_unique<core::announcement_board>(nprocs, world_->domain());
   log_ = std::make_unique<hist::log>();
   rt_ = std::make_unique<core::runtime>(*world_, *log_, *board_);
@@ -346,12 +347,8 @@ object_handle harness::add_object(std::unique_ptr<core::detectable_object> obj,
 sim::run_report harness::run() {
   prepare_run();
 
-  std::unique_ptr<sim::scheduler> sched;
-  if (rcfg_.sched_seed) {
-    sched = std::make_unique<sim::random_scheduler>(*rcfg_.sched_seed);
-  } else {
-    sched = std::make_unique<sim::round_robin_scheduler>();
-  }
+  std::unique_ptr<sim::scheduler> sched =
+      sched::make_scheduler(rcfg_.sched, rcfg_.sched_seed);
   std::unique_ptr<sim::crash_plan> crashes;
   if (!rcfg_.crash_steps.empty()) {
     crashes = std::make_unique<sim::crash_at_steps>(rcfg_.crash_steps);

@@ -63,6 +63,7 @@ harness build_harness(const exec_policy& p) {
   harness::builder b;
   b.procs(p.nprocs).max_steps(p.wcfg.max_steps).fail_policy(p.fail);
   if (p.sched_seed) b.seed(*p.sched_seed);
+  b.schedule(p.sched).persist(p.persist);
   if (!p.crash_steps.empty()) b.crash_at(p.crash_steps);
   if (p.crash_random) {
     auto [seed, rate, max] = *p.crash_random;
@@ -259,6 +260,8 @@ class sharded_executor final : public executor {
       total.steps += r.steps;
       total.crashes += r.crashes;
       total.hit_step_limit = total.hit_step_limit || r.hit_step_limit;
+      if (total.limit_note.empty()) total.limit_note = r.limit_note;
+      total.lost_persistence = total.lost_persistence || r.lost_persistence;
     }
     return total;
   }
@@ -649,6 +652,17 @@ std::unique_ptr<executor> make_executor(const exec_policy& p) {
       if (p.shared_cache) {
         throw std::invalid_argument(
             "make_executor: the threads backend has no shared-cache "
+            "emulation");
+      }
+      if (p.sched.strat != sched::strategy::uniform_random ||
+          !p.sched.pct_points.empty()) {
+        throw std::invalid_argument(
+            "make_executor: the threads backend runs free — schedule "
+            "strategies need the simulated world");
+      }
+      if (p.persist != nvm::persist_model::strict) {
+        throw std::invalid_argument(
+            "make_executor: the threads backend has no buffered-persistency "
             "emulation");
       }
       return std::make_unique<threads_executor>(p);

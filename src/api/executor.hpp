@@ -73,8 +73,12 @@ struct exec_policy {
   core::runtime::fail_policy fail = core::runtime::fail_policy::skip;
   bool shared_cache = false;
   bool auto_persist = true;
+  /// Persistency-visibility model (strict / buffered; see nvm::persist_model).
+  nvm::persist_model persist = nvm::persist_model::strict;
   sim::world_config wcfg;
   std::optional<std::uint64_t> sched_seed;  // nullopt → round robin
+  /// Schedule-exploration strategy `sched_seed` drives (see detect::sched).
+  sched::sched_policy sched;
   std::vector<std::uint64_t> crash_steps;
   std::optional<std::tuple<std::uint64_t, double, std::uint64_t>> crash_random;
 };
@@ -211,6 +215,18 @@ class executor::builder {
     pol_.sched_seed = s;
     return *this;
   }
+  /// Schedule-exploration strategy the seed drives: round_robin,
+  /// uniform_random (default), or pct with explicit preemption points.
+  builder& schedule(sched::sched_policy p) {
+    pol_.sched = std::move(p);
+    return *this;
+  }
+  /// Persistency-visibility model. Default strict; buffered makes stores
+  /// crash-persistent only at flush/epoch boundaries.
+  builder& persist(nvm::persist_model m) {
+    pol_.persist = m;
+    return *this;
+  }
   /// Crash when the (shard-local) step counter hits each listed value.
   builder& crash_at(std::vector<std::uint64_t> steps) {
     pol_.crash_steps = std::move(steps);
@@ -238,7 +254,9 @@ class executor::builder {
 /// Instantiate the backend `p` selects. Throws std::invalid_argument on
 /// nonsensical policies: shards < 1, shards > 1 on a non-sharded backend,
 /// pinned placement maps naming out-of-range shards, or crash/shared-cache
-/// plans on the threads backend (which cannot deliver simulated crashes).
+/// plans on the threads backend (which cannot deliver simulated crashes);
+/// likewise non-default schedule strategies or buffered persistency on the
+/// threads backend (both need the simulated world).
 std::unique_ptr<executor> make_executor(const exec_policy& p);
 
 }  // namespace detect::api

@@ -39,6 +39,7 @@
 #include "api/registry.hpp"
 #include "core/runtime.hpp"
 #include "history/checker.hpp"
+#include "sched/strategy.hpp"
 
 namespace detect::api {
 
@@ -196,17 +197,23 @@ class harness {
  private:
   struct run_config {
     std::optional<std::uint64_t> sched_seed;  // nullopt → round robin
+    sched::sched_policy sched;                // strategy the seed drives
     std::vector<std::uint64_t> crash_steps;
     std::optional<std::tuple<std::uint64_t, double, std::uint64_t>> crash_random;
   };
 
   harness(int nprocs, sim::world_config wcfg, core::runtime::fail_policy policy,
-          bool shared_cache, bool auto_persist, run_config rcfg);
+          bool shared_cache, bool auto_persist, nvm::persist_model persist,
+          run_config rcfg);
 
-  // Shared-cache setups start from a fully persisted image (the objects'
-  // initialization stores are not part of the measured execution).
+  // Shared-cache and buffered-persistency setups start from a fully
+  // persisted image (the objects' initialization stores are not part of the
+  // measured execution).
   void prepare_run() {
-    if (domain().model() == nvm::cache_model::shared_cache) persist_all();
+    if (domain().model() == nvm::cache_model::shared_cache ||
+        domain().buffered()) {
+      persist_all();
+    }
   }
 
   /// One registry-created object: everything needed to check it, migrate it
@@ -249,6 +256,17 @@ class harness::builder {
     rcfg_.sched_seed = s;
     return *this;
   }
+  /// Schedule-exploration strategy the seed drives (see detect::sched).
+  /// Default: uniform_random, i.e. the historical seeded behavior.
+  builder& schedule(sched::sched_policy p) {
+    rcfg_.sched = std::move(p);
+    return *this;
+  }
+  /// Persistency-visibility model (see nvm::persist_model). Default strict.
+  builder& persist(nvm::persist_model m) {
+    persist_ = m;
+    return *this;
+  }
   /// Crash exactly when the global step counter hits each listed value.
   builder& crash_at(std::vector<std::uint64_t> steps) {
     rcfg_.crash_steps = std::move(steps);
@@ -268,7 +286,8 @@ class harness::builder {
   }
 
   harness build() {
-    return harness(nprocs_, wcfg_, policy_, shared_cache_, auto_persist_, rcfg_);
+    return harness(nprocs_, wcfg_, policy_, shared_cache_, auto_persist_,
+                   persist_, rcfg_);
   }
 
  private:
@@ -277,6 +296,7 @@ class harness::builder {
   core::runtime::fail_policy policy_ = core::runtime::fail_policy::skip;
   bool shared_cache_ = false;
   bool auto_persist_ = false;
+  nvm::persist_model persist_ = nvm::persist_model::strict;
   run_config rcfg_;
 };
 

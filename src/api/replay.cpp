@@ -51,7 +51,9 @@ std::unique_ptr<executor> build_executor(const scripted_scenario& s) {
   b.backend(s.backend)
       .procs(s.nprocs)
       .fail_policy(s.policy)
-      .seed(s.sched_seed);
+      .seed(s.sched_seed)
+      .schedule(s.sched)
+      .persist(s.persist);
   // `shards` doubles as the equivalence-diff knob on the one-world backends
   // (see the field comment), where build() would reject it as a world count.
   if (s.backend == exec_backend::sharded) {
@@ -101,6 +103,8 @@ scripted_outcome replay_impl(const scripted_scenario& s, bool check) {
     out.report.steps = second.steps;
     out.report.crashes += second.crashes;
     out.report.hit_step_limit |= second.hit_step_limit;
+    if (out.report.limit_note.empty()) out.report.limit_note = second.limit_note;
+    out.report.lost_persistence |= second.lost_persistence;
   }
   if (check) out.check = ex->check();
   out.events = ex->events();
@@ -206,7 +210,7 @@ core::runtime::fail_policy fail_policy_from_name(const std::string& name) {
 
 std::string dump(const scripted_scenario& s) {
   std::ostringstream os;
-  os << "# detect scripted_scenario v4\n";
+  os << "# detect scripted_scenario v5\n";
   for (const scenario_object& o : s.objects) {
     os << "object " << o.id << " " << o.kind << " " << o.params.init << " "
        << o.params.capacity << "\n";
@@ -215,6 +219,8 @@ std::string dump(const scripted_scenario& s) {
   os << "policy " << fail_policy_name(s.policy) << "\n";
   os << "shared_cache " << (s.shared_cache ? 1 : 0) << "\n";
   os << "sched_seed " << s.sched_seed << "\n";
+  os << "sched " << s.sched.to_string() << "\n";
+  os << "persist " << nvm::persist_name(s.persist) << "\n";
   os << "backend " << backend_name(s.backend) << "\n";
   os << "shards " << s.shards << "\n";
   os << "placement " << s.placement.to_string() << "\n";
@@ -308,6 +314,18 @@ void parse_line(const std::string& line, int lineno, scripted_scenario& s,
   } else if (key == "sched_seed") {
     if (!(ls >> s.sched_seed)) {
       malformed_at(lineno, "bad sched_seed line: " + line);
+    }
+  } else if (key == "sched") {
+    // Absent in v4 and earlier dumps: those always ran the seeded random
+    // scheduler, which is why the field's default is uniform_random.
+    std::string rest;
+    std::getline(ls, rest);
+    s.sched = sched::sched_policy::parse(rest);
+  } else if (key == "persist") {
+    std::string p;
+    if (!(ls >> p)) malformed_at(lineno, "missing persist value");
+    if (!nvm::persist_from_name(p, s.persist)) {
+      malformed_at(lineno, "unknown persist model '" + p + "'");
     }
   } else if (key == "backend") {
     std::string b;

@@ -59,6 +59,12 @@ struct scripted_scenario {
   core::runtime::fail_policy policy = core::runtime::fail_policy::skip;
   bool shared_cache = false;
   std::uint64_t sched_seed = 0;
+  /// Schedule-exploration strategy `sched_seed` drives (see detect::sched).
+  /// v4 and older dumps carry no `sched` key and parse as uniform_random —
+  /// exactly the scheduler those replays always used.
+  sched::sched_policy sched;
+  /// Persistency-visibility model; dumps predating v5 parse as strict.
+  nvm::persist_model persist = nvm::persist_model::strict;
   std::vector<std::uint64_t> crash_steps;
   /// Which execution backend replays this scenario. Dumps predating the
   /// executor redesign carry neither field and parse as single/1.

@@ -145,8 +145,15 @@ class runtime {
   }
 
   // Events are appended at a scheduler-granted control step so the log order
-  // is the model's real-time order.
-  void log_checkpoint() { nvm::hook_access(nvm::access::control); }
+  // is the model's real-time order. Each event is also an epoch boundary of
+  // the buffered persistency model: the write-behind buffer drains within
+  // the same atomic step, so an operation's effects are durable by the time
+  // its response is observable — a crash can only roll back whole
+  // not-yet-visible suffixes, never a completed operation.
+  void log_checkpoint() {
+    nvm::hook_access(nvm::access::control);
+    world_->domain().epoch_boundary();
+  }
 
   void log_event(hist::event_kind kind, int pid, const hist::op_desc& desc,
                  value_t value = hist::k_bottom) {

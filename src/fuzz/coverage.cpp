@@ -59,7 +59,8 @@ std::string bucket_signature::scenario_key() const {
   std::ostringstream os;
   os << "kinds=" << kinds << "|mix=" << op_mix << "|backend=" << backend
      << "|shards=" << shards << "|place=" << placement
-     << "|mig=" << (migrated ? 1 : 0);
+     << "|mig=" << (migrated ? 1 : 0) << "|sched=" << sched
+     << "|preempt=" << preempt_bucket << "|persist=" << persist;
   return os.str();
 }
 
@@ -68,7 +69,8 @@ std::string bucket_signature::key() const {
   os << scenario_key() << "|crash=" << crash_phase
      << "|rec=" << (recovery_seen ? 1 : 0)
      << "|decomp=" << (decomposed ? 1 : 0)
-     << "|synth=" << (synthesized_interval ? 1 : 0);
+     << "|synth=" << (synthesized_interval ? 1 : 0)
+     << "|lost=" << (lost_persistence ? 1 : 0);
   return os.str();
 }
 
@@ -83,6 +85,12 @@ bucket_signature scenario_signature(const api::scripted_scenario& s) {
   // nothing.
   b.placement = api::placement_name(s.placement.kind);
   b.migrated = !s.migrations.empty();
+  b.sched = sched::strategy_name(s.sched.strat);
+  b.preempt_bucket = s.sched.strat == sched::strategy::pct
+                         ? static_cast<int>(std::min<std::size_t>(
+                               s.sched.pct_points.size(), 3))
+                         : 0;
+  b.persist = nvm::persist_name(s.persist);
   return b;
 }
 
@@ -100,6 +108,7 @@ bucket_signature bucket_of(const api::scripted_scenario& s,
   }
   b.decomposed = out.check.objects > 1;
   b.synthesized_interval = out.check.synthesized_interval;
+  b.lost_persistence = out.report.lost_persistence;
   return b;
 }
 

@@ -42,11 +42,19 @@ struct bucket_signature {
   int shards = 1;
   std::string placement = "modulo";  // placement policy kind (pins elided)
   bool migrated = false;             // scenario carries a migration plan
+  // Schedule-novelty coordinates (scenario-derived, so steerable): which
+  // exploration strategy drove the run, how many preemption points it was
+  // budgeted (bucketed like crash_phase), and the persistency model.
+  std::string sched = "uniform_random";  // schedule strategy name
+  int preempt_bucket = 0;  // min(pct preemption budget, 3) — 0 for non-pct
+  std::string persist = "strict";  // persistency-visibility model name
   // Outcome-derived (observed from the replay).
   int crash_phase = 0;  // min(crashes actually delivered, 3) — 0 = none
   bool recovery_seen = false;       // some recovery round ran
   bool decomposed = false;          // per-object decomposition over > 1 object
   bool synthesized_interval = false;  // announcement-window interval synthesis
+  bool lost_persistence = false;  // a crash discarded buffered stores — a
+                                  // crash state strict mode can never reach
 
   /// The scenario-derived prefix — what steering can aim at before running.
   std::string scenario_key() const;

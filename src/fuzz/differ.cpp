@@ -33,7 +33,9 @@ std::string describe(const api::scripted_scenario& s) {
      << " crashes=" << s.crash_steps.size()
      << " policy=" << api::fail_policy_name(s.policy)
      << " backend=" << api::backend_name(s.backend) << "/" << s.shards
-     << (s.shared_cache ? " shared_cache" : "");
+     << (s.shared_cache ? " shared_cache" : "")
+     << " sched=" << s.sched.to_string()
+     << " persist=" << nvm::persist_name(s.persist);
   return os.str();
 }
 
@@ -58,8 +60,12 @@ diff_report compare_replays(const api::scripted_scenario& base,
     return r;
   };
 
-  if (a.report.hit_step_limit) return fail(a_name + " hit the step limit");
-  if (b.report.hit_step_limit) return fail(b_name + " hit the step limit");
+  if (a.report.hit_step_limit) {
+    return fail(a_name + " hit the step limit (" + a.report.limit_note + ")");
+  }
+  if (b.report.hit_step_limit) {
+    return fail(b_name + " hit the step limit (" + b.report.limit_note + ")");
+  }
   if (!a.check.ok) {
     return fail(a_name + " failed the checker: " + a.check.message);
   }
@@ -293,7 +299,8 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
   const std::string& primary_kind = s.primary().kind;
   if (primary.report.hit_step_limit) {
     return "replay of " + primary_kind + " hit the step limit (" +
-           std::to_string(primary.report.steps) + " steps)";
+           std::to_string(primary.report.steps) + " steps; " +
+           primary.report.limit_note + ")";
   }
   if (!primary.check.ok) {
     return "checker rejected " + primary_kind + ": " + primary.check.message +

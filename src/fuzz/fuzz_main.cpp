@@ -12,6 +12,12 @@
 //   fuzz_main --placement NAME         # pin the generator's placement knob
 //                                      # (modulo|hash|range|pinned|none)
 //   fuzz_main --shards-max K           # bound the generator's shard knob
+//   fuzz_main --sched NAME[:depth]     # schedule-strategy pool: round_robin,
+//                                      # uniform_random, pct, or mixed (all
+//                                      # three); :depth bounds pct preemption
+//                                      # budgets (default 3)
+//   fuzz_main --persist MODE           # persistency pool: strict, buffered,
+//                                      # or mixed
 //   fuzz_main --coverage               # coverage-steered generation
 //   fuzz_main --coverage-out FILE      # write coverage.json (buckets,
 //                                      # timeline, corpus seed list) — the
@@ -44,7 +50,8 @@ int usage(const char* argv0) {
       "usage: %s [--iters N] [--seed S] [--kind K]... [--procs-max P]\n"
       "          [--ops-max M] [--objects-max K] [--shards-min K]\n"
       "          [--shards-max K] [--sharded-equiv] [--placement-equiv]\n"
-      "          [--placement NAME] [--coverage] [--coverage-out FILE]\n"
+      "          [--placement NAME] [--sched NAME[:depth]] [--persist MODE]\n"
+      "          [--coverage] [--coverage-out FILE]\n"
       "          [--no-diff] [--no-shrink] [--no-crashes]\n"
       "          [--out DIR] [--replay FILE] [--list-kinds] [--quiet]\n",
       argv0);
@@ -69,6 +76,10 @@ int replay_file(const std::string& path) {
               "%zu migrations)\n",
               s.nprocs, s.total_ops(), s.crash_steps.size(),
               s.placement.to_string().c_str(), s.migrations.size());
+  std::printf("schedule: %s (seed %llu), persistency: %s\n",
+              s.sched.to_string().c_str(),
+              static_cast<unsigned long long>(s.sched_seed),
+              nvm::persist_name(s.persist));
   api::scripted_outcome outcome;
   std::string failure =
       fuzz::check_scenario(s, /*diff=*/true, /*replays=*/nullptr, &outcome,
@@ -160,6 +171,45 @@ int main(int argc, char** argv) {
         }
       }
       opt.gen.placement = name;
+    } else if (std::strcmp(arg, "--sched") == 0) {
+      // NAME[:depth] — "mixed" pools all three strategies; a single name
+      // pins every scenario to it. The optional :depth bounds pct budgets.
+      std::string spec = need_value(i);
+      if (std::size_t colon = spec.find(':'); colon != std::string::npos) {
+        const std::string depth = spec.substr(colon + 1);
+        char* end = nullptr;
+        errno = 0;
+        const unsigned long long d = std::strtoull(depth.c_str(), &end, 10);
+        if (end == depth.c_str() || *end != '\0' || errno == ERANGE ||
+            d == 0) {
+          std::fprintf(stderr, "fuzz_main: bad pct depth '%s'\n",
+                       depth.c_str());
+          return 2;
+        }
+        opt.gen.pct_depth = static_cast<int>(d);
+        spec.resize(colon);
+      }
+      if (spec == "mixed") {
+        opt.gen.sched_pool = {"round_robin", "uniform_random", "pct"};
+      } else if (sched::strategy_from_name(spec)) {
+        opt.gen.sched_pool = {spec};
+      } else {
+        std::fprintf(stderr, "fuzz_main: unknown schedule strategy '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--persist") == 0) {
+      const std::string spec = need_value(i);
+      nvm::persist_model m;
+      if (spec == "mixed") {
+        opt.gen.persist_pool = {"strict", "buffered"};
+      } else if (nvm::persist_from_name(spec, m)) {
+        opt.gen.persist_pool = {spec};
+      } else {
+        std::fprintf(stderr, "fuzz_main: unknown persist model '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
     } else if (std::strcmp(arg, "--coverage") == 0) {
       opt.steer = true;
     } else if (std::strcmp(arg, "--coverage-out") == 0) {

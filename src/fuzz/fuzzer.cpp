@@ -1,5 +1,7 @@
 #include "fuzz/fuzzer.hpp"
 
+#include <map>
+#include <set>
 #include <sstream>
 
 namespace detect::fuzz {
@@ -75,6 +77,22 @@ std::string coverage_stats::to_json(std::uint64_t base_seed,
     os << "[" << timeline[i].first << ", " << timeline[i].second << "]";
   }
   os << "],\n";
+  os << "  \"by_strategy\": [\n";
+  for (std::size_t i = 0; i < by_strategy.size(); ++i) {
+    const strategy_stats& st = by_strategy[i];
+    os << "    {\"strategy\": \"" << json_escaped(st.strategy)
+       << "\", \"executed\": " << st.executed
+       << ", \"distinct_buckets\": " << st.distinct_buckets
+       << ", \"new_bucket_timeline\": [";
+    for (std::size_t j = 0; j < st.timeline.size(); ++j) {
+      if (j != 0) os << ", ";
+      os << "[" << st.timeline[j].first << ", " << st.timeline[j].second
+         << "]";
+    }
+    os << "]}";
+    os << (i + 1 < by_strategy.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
   os << "  \"corpus\": [\n";
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     const corpus_entry& e = corpus[i];
@@ -115,6 +133,14 @@ fuzz_stats run_fuzz(
 
   coverage_map cov;
   std::vector<api::scripted_scenario> corpus;
+  // Per-strategy coverage slices: each strategy's own bucket set and
+  // new-bucket timeline, keyed by strategy name (std::map → name-sorted).
+  struct strategy_accum {
+    std::uint64_t executed = 0;
+    std::set<std::string> buckets;
+    std::vector<std::pair<std::uint64_t, std::size_t>> timeline;
+  };
+  std::map<std::string, strategy_accum> by_strategy;
 
   fuzz_stats stats;
   stats.coverage.steered = opt.steer;
@@ -162,6 +188,11 @@ fuzz_stats run_fuzz(
         corpus.push_back(s);
         stats.coverage.corpus.push_back({iter, seed, mutated, b.key()});
       }
+      strategy_accum& acc = by_strategy[b.sched];
+      ++acc.executed;
+      if (acc.buckets.insert(b.key()).second) {
+        acc.timeline.emplace_back(cov.executed(), acc.buckets.size());
+      }
       continue;
     }
 
@@ -192,6 +223,10 @@ fuzz_stats run_fuzz(
   stats.coverage.executed = cov.executed();
   stats.coverage.distinct_buckets = cov.distinct();
   stats.coverage.timeline = cov.timeline();
+  for (const auto& [name, acc] : by_strategy) {
+    stats.coverage.by_strategy.push_back(
+        {name, acc.executed, acc.buckets.size(), acc.timeline});
+  }
   return stats;
 }
 

@@ -66,6 +66,19 @@ struct corpus_entry {
   std::string bucket;
 };
 
+/// Per-schedule-strategy slice of the coverage accounting: how many
+/// scenarios each strategy drove and how many distinct buckets they reached
+/// — the numbers the PCT-vs-uniform comparison (and job_summary's
+/// per-strategy table) are built on.
+struct strategy_stats {
+  std::string strategy;
+  std::uint64_t executed = 0;
+  std::size_t distinct_buckets = 0;
+  /// (campaign-executed-so-far, this-strategy's-distinct-so-far), one sample
+  /// per bucket novel *within the strategy's slice*.
+  std::vector<std::pair<std::uint64_t, std::size_t>> timeline;
+};
+
 /// Campaign-level coverage accounting — what `coverage.json` serializes.
 struct coverage_stats {
   std::uint64_t executed = 0;       // scenarios that ran the full oracle
@@ -74,6 +87,8 @@ struct coverage_stats {
   /// (executed-so-far, distinct-so-far), one sample per novel bucket.
   std::vector<std::pair<std::uint64_t, std::size_t>> timeline;
   std::vector<corpus_entry> corpus;
+  /// One entry per strategy that drove at least one scenario (name-sorted).
+  std::vector<strategy_stats> by_strategy;
 
   /// Machine-readable summary (the `fuzz_main --coverage-out` payload).
   std::string to_json(std::uint64_t base_seed, std::uint64_t iterations) const;

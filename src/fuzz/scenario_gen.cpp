@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,69 @@ std::pair<const int, std::vector<hist::op_desc>>* script_at(
   auto it = s.scripts.begin();
   std::advance(it, static_cast<long>(idx % s.scripts.size()));
   return &*it;
+}
+
+/// Has a draw pool been opted into (anything beyond its single default
+/// entry)? Default pools draw nothing, which keeps the historical xorshift
+/// stream — and every pinned campaign count — byte-identical.
+bool pool_enabled(const std::vector<std::string>& pool, const char* dflt) {
+  return !pool.empty() && (pool.size() > 1 || pool[0] != dflt);
+}
+
+/// Step horizon pct preemption points are drawn over: roughly the scenario's
+/// expected run length (announce + op body per scripted op).
+std::uint64_t pct_horizon(const api::scripted_scenario& s) {
+  return 24 + 12 * static_cast<std::uint64_t>(s.total_ops());
+}
+
+/// Draw a pct budget in [1, pct_depth] and that many preemption points from
+/// the shared stream.
+sched::sched_policy draw_pct_policy(std::uint64_t& rng,
+                                    const api::scripted_scenario& s,
+                                    const gen_config& cfg) {
+  sched::sched_policy p;
+  p.strat = sched::strategy::pct;
+  const std::uint64_t depth =
+      pick(rng, 1, static_cast<std::uint64_t>(std::max(1, cfg.pct_depth)));
+  const std::uint64_t horizon = pct_horizon(s);
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    p.pct_points.push_back(1 + next_rand(rng) % horizon);
+  }
+  std::sort(p.pct_points.begin(), p.pct_points.end());
+  p.pct_points.erase(
+      std::unique(p.pct_points.begin(), p.pct_points.end()),
+      p.pct_points.end());
+  return p;
+}
+
+/// Draw one strategy from the pool (after the scripts, so pct horizons see
+/// the final op count).
+sched::sched_policy draw_sched_policy(std::uint64_t& rng,
+                                      const api::scripted_scenario& s,
+                                      const gen_config& cfg) {
+  const std::string& name =
+      cfg.sched_pool[next_rand(rng) % cfg.sched_pool.size()];
+  std::optional<sched::strategy> strat = sched::strategy_from_name(name);
+  if (!strat) {
+    throw std::invalid_argument("scenario_gen: unknown schedule strategy '" +
+                                name + "' in sched_pool");
+  }
+  if (*strat == sched::strategy::pct) return draw_pct_policy(rng, s, cfg);
+  sched::sched_policy p;
+  p.strat = *strat;
+  return p;
+}
+
+nvm::persist_model draw_persist_model(std::uint64_t& rng,
+                                      const gen_config& cfg) {
+  const std::string& name =
+      cfg.persist_pool[next_rand(rng) % cfg.persist_pool.size()];
+  nvm::persist_model m = nvm::persist_model::strict;
+  if (!nvm::persist_from_name(name, m)) {
+    throw std::invalid_argument("scenario_gen: unknown persist model '" +
+                                name + "' in persist_pool");
+  }
+  return m;
 }
 
 }  // namespace
@@ -311,6 +375,15 @@ api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
     }
     s.scripts[pid] = std::move(ops);
   }
+  // Schedule/persistency draws come LAST (pct horizons want the final op
+  // count) and only when the pools are opted in — default pools draw
+  // nothing, so historical (seed, kind) scenarios stay byte-identical.
+  if (pool_enabled(cfg.sched_pool, "uniform_random")) {
+    s.sched = draw_sched_policy(rng, s, cfg);
+  }
+  if (pool_enabled(cfg.persist_pool, "strict")) {
+    s.persist = draw_persist_model(rng, cfg);
+  }
   enforce_contracts(s);
   return s;
 }
@@ -318,11 +391,48 @@ api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
 api::scripted_scenario mutate(const api::scripted_scenario& base,
                               std::uint64_t& rng, const gen_config& cfg) {
   api::scripted_scenario s = base;
+  // Extra mutation cases exist only when their pools are opted in, so the
+  // default-config case distribution (and every pinned campaign count built
+  // on it) is untouched.
+  const bool sched_on = pool_enabled(cfg.sched_pool, "uniform_random");
+  const bool persist_on = pool_enabled(cfg.persist_pool, "strict");
+  const std::uint64_t cases =
+      13 + (sched_on ? 2 : 0) + (persist_on ? 1 : 0);
   // Draw mutations until one applies (bounded — a scenario with nothing to
   // edit in some dimension just falls through to a knob flip eventually).
   for (int attempt = 0; attempt < 8; ++attempt) {
     bool applied = true;
-    switch (next_rand(rng) % 13) {
+    const std::uint64_t c = next_rand(rng) % cases;
+    if (c >= 13) {
+      const std::uint64_t extra = c - 13;
+      if (sched_on && extra == 0) {
+        // Re-draw the whole schedule policy from the pool.
+        s.sched = draw_sched_policy(rng, s, cfg);
+      } else if (sched_on && extra == 1) {
+        // Perturb a pct budget: add a point or drop one.
+        if (s.sched.strat != sched::strategy::pct) {
+          applied = false;
+        } else if (s.sched.pct_points.empty() || next_rand(rng) % 2 == 0) {
+          s.sched.pct_points.push_back(1 + next_rand(rng) % pct_horizon(s));
+          std::sort(s.sched.pct_points.begin(), s.sched.pct_points.end());
+          s.sched.pct_points.erase(std::unique(s.sched.pct_points.begin(),
+                                               s.sched.pct_points.end()),
+                                   s.sched.pct_points.end());
+        } else {
+          s.sched.pct_points.erase(
+              s.sched.pct_points.begin() +
+              static_cast<long>(next_rand(rng) % s.sched.pct_points.size()));
+        }
+      } else {
+        // persist flip
+        s.persist = s.persist == nvm::persist_model::strict
+                        ? nvm::persist_model::buffered
+                        : nvm::persist_model::strict;
+      }
+      if (applied) break;
+      continue;
+    }
+    switch (c) {
       case 0:
         s.sched_seed = next_rand(rng);
         break;

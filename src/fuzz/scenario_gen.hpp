@@ -84,6 +84,17 @@ struct gen_config {
   /// second script round would see different (shard-local) crash schedules
   /// on the two sides of the cross-backend diffs.
   bool allow_migrations = true;
+  /// Schedule-strategy pool: each scenario draws its exploration strategy
+  /// uniformly from this list ("round_robin", "uniform_random", "pct"). The
+  /// default keeps the historical draw stream byte-identical — no schedule
+  /// draw happens at all, and every scenario stays uniform_random. A "pct"
+  /// draw also picks a preemption budget in [1, pct_depth] and materializes
+  /// that many preemption points over the scenario's expected step horizon.
+  std::vector<std::string> sched_pool{"uniform_random"};
+  int pct_depth = 3;
+  /// Persistency-model pool, same shape ("strict", "buffered"); the default
+  /// draws nothing and keeps every scenario strict.
+  std::vector<std::string> persist_pool{"strict"};
 };
 
 /// One random operation for `family`, drawn from family_opcodes(). `pid` is

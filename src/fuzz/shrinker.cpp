@@ -116,6 +116,32 @@ api::scripted_scenario shrink(api::scripted_scenario s,
   for (int round = 0; round < max_rounds; ++round) {
     bool progress = false;
 
+    // 0. Schedule canonicalization — before any structural pass, so
+    // schedule-independent failures shrink on the canonical (round_robin,
+    // strict) schedule and schedule-dependent ones keep only the preemption
+    // points they actually need.
+    progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
+      if (c.sched == sched::sched_policy{.strat =
+                                             sched::strategy::round_robin}) {
+        return false;
+      }
+      c.sched = {.strat = sched::strategy::round_robin};
+      return true;
+    });
+    progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
+      if (c.persist == nvm::persist_model::strict) return false;
+      c.persist = nvm::persist_model::strict;
+      return true;
+    });
+    for (int i = static_cast<int>(s.sched.pct_points.size()) - 1; i >= 0;
+         --i) {
+      progress |= try_edit(s, fails, [i](api::scripted_scenario& c) {
+        if (i >= static_cast<int>(c.sched.pct_points.size())) return false;
+        c.sched.pct_points.erase(c.sched.pct_points.begin() + i);
+        return true;
+      });
+    }
+
     // 1. Whole processes, highest pid first (dropping a later pid leaves the
     // earlier ones unrenumbered, so the pid snapshot stays valid).
     {

@@ -5,6 +5,12 @@
 // failure, until a whole round makes no progress (or the round budget is
 // exhausted). The edit order goes coarse to fine so big cuts land first:
 //
+//   0. canonicalize the schedule (smart minimization): try strategy →
+//      round_robin and persist → strict wholesale, then drop pct preemption
+//      points one at a time — a failure that survives on the canonical
+//      schedule is schedule-independent and every later pass explores the
+//      simpler artifact; one that does not keeps only the preemptions it
+//      actually needs,
 //   1. drop whole per-process scripts (and renumber pids densely),
 //   2. chop op-suffix halves, then individual ops, then migration steps
 //      (individually and the whole plan — that also drops the second script

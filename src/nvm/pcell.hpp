@@ -95,7 +95,12 @@ class pcell final : public persistent_base {
   // Izraelevitz-style automatic transformation: persist the location and
   // fence within the same atomic step as the access itself, so that no other
   // process can observe a value that is not yet durable.
+  //
+  // Under buffered persistency neither path runs: stores sit in the
+  // write-behind buffer until an explicit flush or the domain's next epoch
+  // boundary, so a crash can discard them.
   void after_write(T v) noexcept {
+    if (dom_->buffered()) return;
     if (dom_->model() == cache_model::private_cache) {
       persisted_.store(v, std::memory_order_relaxed);
     } else if (dom_->auto_persist()) {
@@ -104,6 +109,7 @@ class pcell final : public persistent_base {
     }
   }
   void after_read(T) const noexcept {
+    if (dom_->buffered()) return;
     if (dom_->model() == cache_model::shared_cache && dom_->auto_persist()) {
       persisted_.store(cur_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);

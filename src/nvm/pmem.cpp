@@ -52,8 +52,19 @@ pmem_domain& pmem_domain::global() {
 void pmem_domain::crash_reset() noexcept {
   std::scoped_lock lock(mu_);
   stats_.add_crash();
-  if (model_ == cache_model::private_cache) return;  // NVM survives verbatim
+  last_crash_lost_ = false;
+  const bool buffered = persist_ == persist_model::buffered;
+  if (model_ == cache_model::private_cache && !buffered) {
+    return;  // strict private-cache: NVM survives verbatim
+  }
   for (persistent_base* c = head_; c != nullptr; c = c->next_) {
+    if (buffered && !last_crash_lost_) {
+      // Does this crash actually discard a write-behind-buffered store?
+      std::vector<std::uint8_t> cur(c->image_size());
+      std::vector<std::uint8_t> persisted(c->image_size());
+      c->save_raw(cur.data(), persisted.data());
+      if (cur != persisted) last_crash_lost_ = true;
+    }
     c->revert_to_persisted();
   }
 }

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "nvm/stats.hpp"
@@ -28,6 +29,38 @@
 namespace detect::nvm {
 
 enum class cache_model : std::uint8_t { private_cache, shared_cache };
+
+/// Persistency-visibility model, orthogonal to the cache model:
+///   * strict   — every store is crash-persistent the moment it executes
+///     (private-cache) or whenever auto_persist flushes it (shared-cache).
+///     This is the historical behavior.
+///   * buffered — the emulated persistency controller write-behind buffers
+///     stores; they become crash-persistent only at explicit flushes and at
+///     epoch boundaries (`epoch_boundary()`, which the client runtime calls
+///     at every operation-visibility event). A crash discards everything
+///     after the last boundary — whole-operation rollbacks that the strict
+///     model can never produce, while still honoring durable linearizability
+///     because no response is emitted before its epoch is drained.
+enum class persist_model : std::uint8_t { strict, buffered };
+
+/// Stable wire name ("strict" / "buffered").
+inline const char* persist_name(persist_model m) noexcept {
+  return m == persist_model::buffered ? "buffered" : "strict";
+}
+
+/// Inverse of persist_name; false on unknown names (`out` untouched).
+inline bool persist_from_name(const std::string& name,
+                              persist_model& out) noexcept {
+  if (name == "strict") {
+    out = persist_model::strict;
+    return true;
+  }
+  if (name == "buffered") {
+    out = persist_model::buffered;
+    return true;
+  }
+  return false;
+}
 
 /// Raw snapshot of one persistent cell: its cached value and its persisted
 /// image, as opaque bytes. The unit of the portable NVM representation that
@@ -106,9 +139,27 @@ class pmem_domain {
   bool auto_persist() const noexcept { return auto_persist_; }
   void set_auto_persist(bool on) noexcept { auto_persist_ = on; }
 
+  persist_model persist() const noexcept { return persist_; }
+  void set_persist_model(persist_model m) noexcept { persist_ = m; }
+  /// True when stores are write-behind buffered (see persist_model).
+  bool buffered() const noexcept { return persist_ == persist_model::buffered; }
+
+  /// Epoch boundary of the buffered model: drain the write-behind buffer so
+  /// everything stored so far is crash-persistent. No-op under strict
+  /// persistency. The client runtime calls this at every history event
+  /// (invoke/response/recovery), which keeps completed operations durable.
+  void epoch_boundary() noexcept {
+    if (buffered()) persist_all();
+  }
+
   /// Deliver the memory effect of a system-wide crash. Must be called while
   /// no process is mid-access (the simulator quiesces every process first).
   void crash_reset() noexcept;
+
+  /// Did the most recent crash_reset() discard stores that were not yet
+  /// persistent? Only ever true under buffered persistency — the signature
+  /// bit of a crash state the strict model cannot reach.
+  bool last_crash_lost() const noexcept { return last_crash_lost_; }
 
   /// Checkpoint every cell's current value as persisted.
   void persist_all() noexcept;
@@ -133,6 +184,8 @@ class pmem_domain {
   std::mutex mu_;
   persistent_base* head_ = nullptr;
   cache_model model_ = cache_model::private_cache;
+  persist_model persist_ = persist_model::strict;
+  bool last_crash_lost_ = false;
   bool auto_persist_ = false;
   std::vector<persistent_base*>* attach_sink_ = nullptr;
   stats stats_;

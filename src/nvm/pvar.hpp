@@ -39,6 +39,7 @@ class pvar final : public persistent_base {
     hook_access(access::private_store);
     dom_->counters().add_private_store();
     cur_ = v;
+    if (dom_->buffered()) return;  // durable only at flush/epoch boundaries
     if (dom_->model() == cache_model::private_cache) {
       persisted_ = v;
     } else if (dom_->auto_persist()) {

@@ -1,0 +1,147 @@
+#include "sched/strategy.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace detect::sched {
+
+const char* strategy_name(strategy s) noexcept {
+  switch (s) {
+    case strategy::round_robin:
+      return "round_robin";
+    case strategy::uniform_random:
+      return "uniform_random";
+    case strategy::pct:
+      return "pct";
+  }
+  return "unknown";
+}
+
+std::optional<strategy> strategy_from_name(const std::string& name) noexcept {
+  if (name == "round_robin") return strategy::round_robin;
+  if (name == "uniform_random") return strategy::uniform_random;
+  if (name == "pct") return strategy::pct;
+  return std::nullopt;
+}
+
+std::string sched_policy::to_string() const {
+  std::string out = strategy_name(strat);
+  for (std::uint64_t p : pct_points) out += " " + std::to_string(p);
+  return out;
+}
+
+sched_policy sched_policy::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string name;
+  if (!(in >> name)) {
+    throw std::invalid_argument("sched_policy: empty strategy");
+  }
+  std::optional<strategy> s = strategy_from_name(name);
+  if (!s) {
+    throw std::invalid_argument("sched_policy: unknown strategy '" + name +
+                                "'");
+  }
+  sched_policy out;
+  out.strat = *s;
+  std::string tok;
+  while (in >> tok) {
+    if (out.strat != strategy::pct) {
+      throw std::invalid_argument(
+          "sched_policy: preemption points only apply to pct");
+    }
+    std::size_t used = 0;
+    std::uint64_t v = 0;
+    try {
+      v = std::stoull(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != tok.size()) {
+      throw std::invalid_argument("sched_policy: bad preemption point '" +
+                                  tok + "'");
+    }
+    out.pct_points.push_back(v);
+  }
+  std::sort(out.pct_points.begin(), out.pct_points.end());
+  out.pct_points.erase(
+      std::unique(out.pct_points.begin(), out.pct_points.end()),
+      out.pct_points.end());
+  return out;
+}
+
+std::vector<std::uint64_t> draw_pct_points(std::uint64_t seed, int depth,
+                                           std::uint64_t horizon) {
+  if (horizon == 0) horizon = 1;
+  std::uint64_t s = seed | 1;
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(depth > 0 ? depth : 0));
+  for (int i = 0; i < depth; ++i) {
+    out.push_back(1 + sim::next_rand(s) % horizon);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+pct_scheduler::pct_scheduler(std::uint64_t seed,
+                             std::vector<std::uint64_t> points)
+    : state_(seed | 1), seed_(seed), points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end());
+}
+
+std::int64_t pct_scheduler::priority_of(int pid) {
+  auto it = prio_.find(pid);
+  if (it != prio_.end()) return it->second;
+  // Positive initial priorities; demotions go negative, so a demoted process
+  // stays below every late arrival too.
+  std::int64_t p = static_cast<std::int64_t>(sim::next_rand(state_) >> 1);
+  prio_.emplace(pid, p);
+  return p;
+}
+
+int pct_scheduler::top_runnable(const std::vector<int>& runnable) {
+  int best = runnable.front();
+  std::int64_t best_p = priority_of(best);
+  for (std::size_t i = 1; i < runnable.size(); ++i) {
+    std::int64_t p = priority_of(runnable[i]);
+    if (p > best_p) {
+      best = runnable[i];
+      best_p = p;
+    }
+  }
+  return best;
+}
+
+int pct_scheduler::pick(const std::vector<int>& runnable,
+                        std::uint64_t step_no) {
+  while (next_point_ < points_.size() && points_[next_point_] <= step_no) {
+    prio_[top_runnable(runnable)] = demote_floor_--;
+    ++next_point_;
+    ++applied_;
+  }
+  return top_runnable(runnable);
+}
+
+std::string pct_scheduler::describe() const {
+  return "pct(seed=" + std::to_string(seed_) +
+         ", budget=" + std::to_string(points_.size()) +
+         ", applied=" + std::to_string(applied_) + ")";
+}
+
+std::unique_ptr<sim::scheduler> make_scheduler(
+    const sched_policy& policy, std::optional<std::uint64_t> seed) {
+  switch (policy.strat) {
+    case strategy::round_robin:
+      return std::make_unique<sim::round_robin_scheduler>();
+    case strategy::uniform_random:
+      if (seed) return std::make_unique<sim::random_scheduler>(*seed);
+      return std::make_unique<sim::round_robin_scheduler>();
+    case strategy::pct:
+      return std::make_unique<pct_scheduler>(seed.value_or(0),
+                                             policy.pct_points);
+  }
+  return std::make_unique<sim::round_robin_scheduler>();
+}
+
+}  // namespace detect::sched

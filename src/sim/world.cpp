@@ -197,6 +197,7 @@ void world::crash() {
   // thread, so these are direct accesses).
   std::uint64_t e = epoch_.peek();
   domain_.crash_reset();
+  if (domain_.last_crash_lost()) lost_persistence_ = true;
   epoch_.store(e + 1);
   epoch_.flush();
 }
@@ -209,6 +210,8 @@ run_report world::run(scheduler& sched, crash_plan* crashes,
     if (ready.empty()) break;
     if (step_no_ >= cfg_.max_steps) {
       rep.hit_step_limit = true;
+      rep.limit_note = "step limit " + std::to_string(cfg_.max_steps) +
+                       " hit under scheduler " + sched.describe();
       break;
     }
     if (crashes != nullptr && crashes->should_crash(step_no_)) {
@@ -222,6 +225,7 @@ run_report world::run(scheduler& sched, crash_plan* crashes,
     ++rep.steps;
   }
   rep.steps = step_no_;
+  rep.lost_persistence = lost_persistence_;
   return rep;
 }
 

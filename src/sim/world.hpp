@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nvm/pcell.hpp"
@@ -30,6 +31,10 @@ class scheduler {
   virtual ~scheduler() = default;
   /// `runnable` is non-empty and sorted by pid.
   virtual int pick(const std::vector<int>& runnable, std::uint64_t step_no) = 0;
+  /// One-line self-description (strategy, seed, preemption budget) quoted by
+  /// the step-limit diagnostic so a non-terminating schedule is reproducible
+  /// from the failure message alone.
+  virtual std::string describe() const { return "unnamed scheduler"; }
 };
 
 /// Crash policy: consulted before every step.
@@ -49,6 +54,13 @@ struct run_report {
   std::uint64_t steps = 0;
   std::uint64_t crashes = 0;
   bool hit_step_limit = false;
+  /// Set with hit_step_limit: names the limit and the active scheduler
+  /// (strategy, seed, preemption budget) so the schedule is reproducible.
+  std::string limit_note;
+  /// Buffered-persistency mode only: some crash actually discarded stores
+  /// that strict mode would have persisted (a crash state the strict model
+  /// can never produce).
+  bool lost_persistence = false;
 };
 
 class world {
@@ -119,6 +131,7 @@ class world {
   std::condition_variable cv_;
   std::vector<std::unique_ptr<process>> procs_;
   std::uint64_t step_no_ = 0;
+  bool lost_persistence_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -127,6 +140,7 @@ class world {
 class round_robin_scheduler final : public scheduler {
  public:
   int pick(const std::vector<int>& runnable, std::uint64_t step_no) override;
+  std::string describe() const override { return "round_robin"; }
 
  private:
   std::size_t next_ = 0;
@@ -134,11 +148,16 @@ class round_robin_scheduler final : public scheduler {
 
 class random_scheduler final : public scheduler {
  public:
-  explicit random_scheduler(std::uint64_t seed) : state_(seed | 1) {}
+  explicit random_scheduler(std::uint64_t seed)
+      : state_(seed | 1), seed_(seed) {}
   int pick(const std::vector<int>& runnable, std::uint64_t step_no) override;
+  std::string describe() const override {
+    return "uniform_random(seed=" + std::to_string(seed_) + ")";
+  }
 
  private:
   std::uint64_t state_;
+  std::uint64_t seed_;
 };
 
 /// Follows a fixed pid script; falls back to lowest-pid when the scripted pid
