@@ -183,6 +183,10 @@ struct sweep_row {
   std::uint64_t ops;
   double seconds;
   double ops_per_sec;
+  /// Throughput relative to the sharded K=1 row (ops/s at K ÷ ops/s at 1) —
+  /// the scaling trajectory CI's job summary renders. 1.0 for the baseline
+  /// row itself; K rows below 1.0 mean sharding is a net loss at that K.
+  double scaling_efficiency = 0.0;
 };
 
 /// One scripted multi-counter workload, identical across backends and
@@ -257,12 +261,27 @@ void run_shards_sweep(const sweep_cfg& cfg) {
   rows.push_back(run_sweep_config(api::exec_backend::threads, 1,
                                   api::placement_kind::modulo, cfg));
 
+  // Scaling baseline: the sharded K=1 row when the sweep ran one (the
+  // single-backend row otherwise) — efficiency at K is measured against one
+  // world behind the same sharded machinery.
+  double base = 0.0;
+  for (const sweep_row& r : rows) {
+    if (std::strcmp(r.backend, "sharded") == 0 && r.shards == 1) {
+      base = r.ops_per_sec;
+      break;
+    }
+  }
+  if (base <= 0.0) base = rows.front().ops_per_sec;
+  for (sweep_row& r : rows) {
+    r.scaling_efficiency = base > 0.0 ? r.ops_per_sec / base : 0.0;
+  }
+
   for (const sweep_row& r : rows) {
     std::printf("%-8s shards=%-2d %-7s  %10llu ops  %8.3f s  %12.0f ops/s  "
-                "load=[",
+                "scale=%.2fx  load=[",
                 r.backend, r.shards, r.placement,
                 static_cast<unsigned long long>(r.ops), r.seconds,
-                r.ops_per_sec);
+                r.ops_per_sec, r.scaling_efficiency);
     for (std::size_t k = 0; k < r.shard_load.size(); ++k) {
       std::printf("%s%llu", k != 0 ? " " : "",
                   static_cast<unsigned long long>(r.shard_load[k]));
@@ -291,7 +310,8 @@ void run_shards_sweep(const sweep_cfg& cfg) {
       out << (k != 0 ? ", " : "") << r.shard_load[k];
     }
     out << "], \"ops\": " << r.ops << ", \"seconds\": " << r.seconds
-        << ", \"ops_per_sec\": " << r.ops_per_sec << "}"
+        << ", \"ops_per_sec\": " << r.ops_per_sec
+        << ", \"scaling_efficiency\": " << r.scaling_efficiency << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -85,6 +85,28 @@ stage_bench_smoke() {     # $1 = build dir
     echo "bench-smoke: no bench_e* binaries in $1" >&2
     return 1
   fi
+  # Throughput floor on the E6 sweep's single-backend row: the fiber-engine
+  # step loop keeps the single sim backend in the hundreds of thousands of
+  # ops/s even at smoke parameters, so 5x the pre-fiber seed baseline
+  # (~6.7k ops/s) catches a step-loop regression while leaving ample
+  # headroom for slow CI runners.
+  if [[ -f BENCH_e6.json ]]; then
+    python3 - <<'PY'
+import json, sys
+FLOOR = 33_500  # 5x the recorded pre-fiber-engine baseline of ~6.7k ops/s
+with open("BENCH_e6.json") as f:
+    data = json.load(f)
+rows = [r for r in data["results"] if r["backend"] == "single"]
+if not rows:
+    sys.exit("bench-smoke: no single-backend row in BENCH_e6.json")
+ops = rows[0]["ops_per_sec"]
+if ops < FLOOR:
+    sys.exit(f"bench-smoke: single-backend throughput {ops:,.0f} ops/s "
+             f"is below the floor of {FLOOR:,} ops/s — step-loop regression?")
+print(f"bench-smoke: single-backend throughput {ops:,.0f} ops/s "
+      f"clears the {FLOOR:,} ops/s floor")
+PY
+  fi
 }
 
 case "${1:-}" in

@@ -22,13 +22,31 @@ def bench_table(data):
     yield (f"{cfg.get('procs', '?')} procs, {cfg.get('objects', '?')} objects, "
            f"{cfg.get('ops_per_proc', '?')} ops/proc")
     yield ""
-    yield "| backend | shards | placement | ops | ops/sec |"
-    yield "|---|---|---|---|---|"
+    yield "| backend | shards | placement | ops | ops/sec | scale vs K=1 |"
+    yield "|---|---|---|---|---|---|"
+    regressions = []
     for row in data["results"]:
-        # Rows predating the placement sweep carry neither key.
+        # Rows predating the placement sweep carry neither key; rows
+        # predating the scaling column carry no scaling_efficiency.
         placement = row.get("placement", "modulo")
+        eff = row.get("scaling_efficiency")
+        eff_cell = f"{eff:.2f}×" if eff is not None else "—"
+        # A sharded row running below its own K=1 baseline is a scaling
+        # regression worth flagging (single/threads rows use the column as
+        # context only — they are not expected to track the sharded curve).
+        if (eff is not None and row["backend"] == "sharded"
+                and row["shards"] > 1 and eff < 1.0):
+            eff_cell += " ⚠️"
+            regressions.append(
+                f"sharded K={row['shards']}/{placement} runs at {eff:.2f}× "
+                f"the K=1 baseline")
         yield (f"| {row['backend']} | {row['shards']} | {placement} "
-               f"| {row['ops']} | {row['ops_per_sec']:,.0f} |")
+               f"| {row['ops']} | {row['ops_per_sec']:,.0f} | {eff_cell} |")
+    if regressions:
+        yield ""
+        yield "**Scaling regressions:**"
+        for r in regressions:
+            yield f"- ⚠️ {r}"
     # Per-shard op-load distribution: how evenly each placement policy
     # spreads the scripted workload over the worlds.
     load_rows = [r for r in data["results"]

@@ -2,8 +2,12 @@
 #include "api/executor.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <exception>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -118,8 +122,9 @@ class single_executor final : public executor {
   }
 
   std::vector<hist::event> events() const override { return h_.events(); }
-  hist::check_result check(std::size_t node_budget) const override {
-    return h_.check_per_object(node_budget);
+  hist::check_result check(std::size_t node_budget,
+                           hist::lin_memo* memo) const override {
+    return h_.check_per_object(node_budget, memo);
   }
 
  private:
@@ -132,10 +137,87 @@ class single_executor final : public executor {
 // sharded — K one-world harnesses with placement-policy routing and live
 // object migration between runs.
 
+/// Persistent driver pool for the sharded backend. Workers live for the
+/// executor's lifetime, so a fuzz campaign's thousands of run() calls reuse
+/// the same OS threads instead of paying a spawn/join per shard per run.
+/// run_batch() hands every job to the queue and blocks until the whole batch
+/// drains — the per-run barrier the merged-log run coordinate relies on.
+/// With no workers (single shard, or a single-core host where parallel
+/// drivers would only add handoff latency) jobs run inline on the submitting
+/// thread: identical semantics, zero synchronization.
+class shard_pool {
+ public:
+  /// Worker count for `shards` worlds: min(shards, hardware cores), and 0
+  /// (inline mode) when that is not at least 2 — one worker would serialize
+  /// the batch anyway, through a slower path than the submitter's own loop.
+  static int workers_for(int shards) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;  // unknown → assume a lone core
+    int n = std::min(shards, static_cast<int>(hw));
+    return n >= 2 ? n : 0;
+  }
+
+  explicit shard_pool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~shard_pool() {
+    {
+      std::scoped_lock lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  int workers() const noexcept { return static_cast<int>(threads_.size()); }
+
+  /// Run every job to completion. Jobs must not throw (the executor's jobs
+  /// capture exceptions into per-shard slots).
+  void run_batch(std::vector<std::function<void()>>& jobs) {
+    if (threads_.empty()) {
+      for (auto& job : jobs) job();
+      return;
+    }
+    std::unique_lock lock(mu_);
+    outstanding_ += jobs.size();
+    for (auto& job : jobs) queue_.push_back(std::move(job));
+    cv_.notify_all();
+    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      std::function<void()> job = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      job();
+      lock.lock();
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // workers: work available / stop
+  std::condition_variable done_cv_;  // submitter: batch drained
+  std::deque<std::function<void()>> queue_;
+  std::size_t outstanding_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
 class sharded_executor final : public executor {
  public:
   explicit sharded_executor(const exec_policy& p)
-      : pol_(p), placement_(p.placement) {
+      : pol_(p), placement_(p.placement),
+        pool_(shard_pool::workers_for(p.shards)) {
     shards_.reserve(static_cast<std::size_t>(p.shards));
     for (int k = 0; k < p.shards; ++k) {
       shards_.push_back(std::make_unique<harness>(build_harness(p)));
@@ -222,16 +304,17 @@ class sharded_executor final : public executor {
       if (!scripted) shards_[0]->script(pid, {});
     }
 
-    // Worlds are self-contained (own mutex, own processes, own NVM domain,
-    // thread-local access hooks), so shards run on parallel driver threads;
-    // each shard stays internally deterministic, which is all replay
-    // reproducibility needs.
+    // Worlds are self-contained (own processes, own NVM domain, thread-local
+    // access hooks), so shards run as one batch on the persistent driver
+    // pool; each shard stays internally deterministic, which is all replay
+    // reproducibility needs. On a single-core host the pool is empty and the
+    // batch runs inline, sequentially — same results, no thread traffic.
     std::vector<sim::run_report> reports(shards_.size());
     std::vector<std::exception_ptr> errors(shards_.size());
-    std::vector<std::thread> drivers;
-    drivers.reserve(shards_.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(shards_.size());
     for (std::size_t k = 0; k < shards_.size(); ++k) {
-      drivers.emplace_back([this, k, &reports, &errors] {
+      jobs.push_back([this, k, &reports, &errors] {
         try {
           reports[k] = shards_[k]->run();
         } catch (...) {
@@ -239,7 +322,7 @@ class sharded_executor final : public executor {
         }
       });
     }
-    for (std::thread& t : drivers) t.join();
+    pool_.run_batch(jobs);
     for (const std::exception_ptr& e : errors) {
       if (e) std::rethrow_exception(e);
     }
@@ -354,14 +437,16 @@ class sharded_executor final : public executor {
     return out;
   }
 
-  hist::check_result check(std::size_t node_budget) const override {
+  hist::check_result check(std::size_t node_budget,
+                           hist::lin_memo* memo) const override {
     if (!any_migrated_) {
       // Crash events are per shard (each shard is its own failure domain),
       // so decompose shard by shard, each against its own objects' specs.
       hist::check_result res;
       res.ok = true;
       for (std::size_t k = 0; k < shards_.size(); ++k) {
-        hist::check_result sub = shards_[k]->check_per_object(node_budget);
+        hist::check_result sub =
+            shards_[k]->check_per_object(node_budget, memo);
         res.nodes += sub.nodes;
         res.objects += sub.objects;
         res.synthesized_interval |= sub.synthesized_interval;
@@ -395,9 +480,8 @@ class sharded_executor final : public executor {
                           rec.arrival, id);
       std::unique_ptr<hist::spec> spec = reg.make_spec(rec.kind, rec.params);
       hist::object_spec_list specs{{id, spec.get()}};
-      hist::check_result sub =
-          hist::check_durable_linearizability_per_object(stream, specs,
-                                                         node_budget);
+      hist::check_result sub = hist::check_durable_linearizability_per_object(
+          stream, specs, node_budget, memo);
       res.nodes += sub.nodes;
       res.objects += sub.objects;
       res.synthesized_interval |= sub.synthesized_interval;
@@ -472,6 +556,9 @@ class sharded_executor final : public executor {
   std::vector<std::vector<std::size_t>> round_marks_;
   std::uint32_t next_id_ = 0;
   bool any_migrated_ = false;
+  /// Last member: destroyed first, so workers are joined while everything
+  /// they might reference is still alive.
+  shard_pool pool_;
 };
 
 // ---------------------------------------------------------------------------
@@ -564,11 +651,12 @@ class threads_executor final : public executor {
 
   std::vector<hist::event> events() const override { return log_.snapshot(); }
 
-  hist::check_result check(std::size_t node_budget) const override {
+  hist::check_result check(std::size_t node_budget,
+                           hist::lin_memo* memo) const override {
     hist::object_spec_list specs;
     for (const auto& [id, proto] : specs_) specs.emplace_back(id, proto.get());
-    return hist::check_durable_linearizability_per_object(log_.snapshot(),
-                                                          specs, node_budget);
+    return hist::check_durable_linearizability_per_object(
+        log_.snapshot(), specs, node_budget, memo);
   }
 
  private:

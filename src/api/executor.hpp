@@ -173,8 +173,12 @@ class executor {
   virtual std::vector<hist::event> events() const = 0;
 
   /// Durable linearizability + detectability via per-object decomposition.
+  /// With a non-null `memo`, per-object sub-checks are fingerprint-cached
+  /// across calls (see hist::lin_memo) — the differ shares one memo across a
+  /// scenario's variant replays so identical object streams linearize once.
   virtual hist::check_result check(
-      std::size_t node_budget = hist::k_default_node_budget) const = 0;
+      std::size_t node_budget = hist::k_default_node_budget,
+      hist::lin_memo* memo = nullptr) const = 0;
 
   std::string log_text() const;
 };
@@ -208,6 +212,12 @@ class executor::builder {
   }
   builder& fail_policy(core::runtime::fail_policy p) {
     pol_.fail = p;
+    return *this;
+  }
+  /// Strand engine for the simulated worlds (fiber or thread; see
+  /// sim/strand.hpp). Default: the process-global sim::default_engine().
+  builder& engine(sim::engine_kind e) {
+    pol_.wcfg.engine = e;
     return *this;
   }
   /// Seeded random scheduler for run(); default is round robin.

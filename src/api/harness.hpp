@@ -146,9 +146,10 @@ class harness {
   /// object instead of one product-spec search — exponentially cheaper on
   /// multi-object histories (see hist::checker).
   hist::check_result check_per_object(
-      std::size_t node_budget = hist::k_default_node_budget) const {
+      std::size_t node_budget = hist::k_default_node_budget,
+      hist::lin_memo* memo = nullptr) const {
     return hist::check_durable_linearizability_per_object(
-        log_->snapshot(), object_specs(), node_budget);
+        log_->snapshot(), object_specs(), node_budget, memo);
   }
 
   /// (id, spec) of every object added so far; specs stay owned by the

@@ -84,7 +84,8 @@ std::unique_ptr<executor> build_executor(const scripted_scenario& s) {
   return ex;
 }
 
-scripted_outcome replay_impl(const scripted_scenario& s, bool check) {
+scripted_outcome replay_impl(const scripted_scenario& s, bool check,
+                             hist::lin_memo* memo = nullptr) {
   std::unique_ptr<executor> ex = build_executor(s);
   scripted_outcome out;
   out.report = ex->run();
@@ -106,7 +107,7 @@ scripted_outcome replay_impl(const scripted_scenario& s, bool check) {
     if (out.report.limit_note.empty()) out.report.limit_note = second.limit_note;
     out.report.lost_persistence |= second.lost_persistence;
   }
-  if (check) out.check = ex->check();
+  if (check) out.check = ex->check(hist::k_default_node_budget, memo);
   out.events = ex->events();
   out.log_text = ex->log_text();
   return out;
@@ -116,6 +117,10 @@ scripted_outcome replay_impl(const scripted_scenario& s, bool check) {
 
 scripted_outcome replay(const scripted_scenario& s) {
   return replay_impl(s, /*check=*/true);
+}
+
+scripted_outcome replay(const scripted_scenario& s, hist::lin_memo* memo) {
+  return replay_impl(s, /*check=*/true, memo);
 }
 
 scripted_outcome replay_unchecked(const scripted_scenario& s) {

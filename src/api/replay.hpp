@@ -117,6 +117,12 @@ struct scripted_outcome {
 /// undeclared objects.
 scripted_outcome replay(const scripted_scenario& s);
 
+/// Same, with a shared per-object check memo: sub-checks whose (spec,
+/// budget, object stream) fingerprint already ran reuse the recorded verdict
+/// (see hist::lin_memo). The differ threads one memo through a scenario's
+/// whole variant family, so identical object histories linearize once.
+scripted_outcome replay(const scripted_scenario& s, hist::lin_memo* memo);
+
 /// Same, but skip the (potentially expensive) durable-linearizability check;
 /// `check` is left defaulted.
 scripted_outcome replay_unchecked(const scripted_scenario& s);

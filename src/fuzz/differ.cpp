@@ -170,10 +170,11 @@ diff_report compare_variant_outcomes(const api::scripted_scenario& base,
 diff_report diff_object_against(const api::scripted_scenario& base,
                                 const api::scripted_outcome& a,
                                 std::size_t index,
-                                const std::string& variant_kind) {
+                                const std::string& variant_kind,
+                                hist::lin_memo* memo = nullptr) {
   api::scripted_scenario variant = base;
   variant.objects[index].kind = variant_kind;
-  api::scripted_outcome b = api::replay(variant);
+  api::scripted_outcome b = api::replay(variant, memo);
   return compare_variant_outcomes(
       base, a,
       variant_kind + "@object " + std::to_string(base.objects[index].id), b);
@@ -187,7 +188,9 @@ diff_report diff_against(const api::scripted_scenario& s,
   const std::size_t index = index_of_object(s, object_id);
   api::scripted_scenario base =
       crashes_comparable(s, index, variant_kind) ? s : crash_free(s);
-  return diff_object_against(base, api::replay(base), index, variant_kind);
+  hist::lin_memo memo;  // objects untouched by the substitution check once
+  return diff_object_against(base, api::replay(base, &memo), index,
+                             variant_kind, &memo);
 }
 
 diff_report diff_against(const api::scripted_scenario& s,
@@ -213,11 +216,12 @@ bool responses_comparable(const api::scripted_scenario& s) {
 /// single-backend outcome `a` of `base`. Response streams compare only on
 /// single-object scenarios (see diff_sharded's header comment).
 diff_report diff_sharded_against(const api::scripted_scenario& base,
-                                 const api::scripted_outcome& a, int shards) {
+                                 const api::scripted_outcome& a, int shards,
+                                 hist::lin_memo* memo = nullptr) {
   api::scripted_scenario variant = base;
   variant.backend = api::exec_backend::sharded;
   variant.shards = std::max(1, shards);
-  api::scripted_outcome b = api::replay(variant);
+  api::scripted_outcome b = api::replay(variant, memo);
   return compare_replays(base, a, "single", b,
                          "sharded(" + std::to_string(variant.shards) + ")",
                          responses_comparable(base));
@@ -228,7 +232,8 @@ diff_report diff_sharded_against(const api::scripted_scenario& base,
 diff_report diff_sharded(const api::scripted_scenario& s, int shards) {
   api::scripted_scenario base = s;
   base.backend = api::exec_backend::single;
-  return diff_sharded_against(base, api::replay(base), shards);
+  hist::lin_memo memo;  // both layouts produce identical per-object streams
+  return diff_sharded_against(base, api::replay(base, &memo), shards, &memo);
 }
 
 namespace {
@@ -240,7 +245,8 @@ namespace {
 diff_report diff_placement_impl(const api::scripted_scenario& s,
                                 const api::scripted_outcome* cached,
                                 api::placement_kind cached_kind,
-                                std::uint64_t* replays) {
+                                std::uint64_t* replays,
+                                hist::lin_memo* memo = nullptr) {
   diff_report r;
   if (s.shards < 2) return r;
   api::scripted_scenario base = s;
@@ -260,7 +266,7 @@ diff_report diff_placement_impl(const api::scripted_scenario& s,
       out = *cached;
     } else {
       if (replays != nullptr) ++*replays;
-      out = api::replay(variant);
+      out = api::replay(variant, memo);
     }
     const std::string name =
         std::string("sharded/") + api::placement_name(kind);
@@ -279,7 +285,9 @@ diff_report diff_placement_impl(const api::scripted_scenario& s,
 }  // namespace
 
 diff_report diff_placement(const api::scripted_scenario& s) {
-  return diff_placement_impl(s, nullptr, api::placement_kind::modulo, nullptr);
+  hist::lin_memo memo;  // placement is routing-only: object streams repeat
+  return diff_placement_impl(s, nullptr, api::placement_kind::modulo, nullptr,
+                             &memo);
 }
 
 std::string verify_scenario(const api::scripted_scenario& s) {
@@ -293,8 +301,13 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
   auto count = [replays](std::uint64_t n) {
     if (replays != nullptr) *replays += n;
   };
+  // One check memo for the scenario's whole variant family: every replay
+  // below perturbs one dimension (shard layout, placement, one object's
+  // implementation kind), so most per-object event streams repeat verbatim
+  // and their linearizations are fingerprint-cache hits (see hist::lin_memo).
+  hist::lin_memo memo;
   count(1);
-  api::scripted_outcome primary = api::replay(s);
+  api::scripted_outcome primary = api::replay(s, &memo);
   if (primary_out != nullptr) *primary_out = primary;
   const std::string& primary_kind = s.primary().kind;
   if (primary.report.hit_step_limit) {
@@ -314,13 +327,13 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
   // only the sharded side is fresh; when it runs sharded, the roles flip.
   if (s.shards > 1 && s.backend == api::exec_backend::single) {
     count(1);
-    diff_report d = diff_sharded_against(s, primary, s.shards);
+    diff_report d = diff_sharded_against(s, primary, s.shards, &memo);
     if (!d.ok) return d.message;
   } else if (s.shards > 1 && s.backend == api::exec_backend::sharded) {
     api::scripted_scenario base = s;
     base.backend = api::exec_backend::single;
     count(1);
-    api::scripted_outcome a = api::replay(base);
+    api::scripted_outcome a = api::replay(base, &memo);
     diff_report d = compare_replays(
         base, a, "single", primary,
         "sharded(" + std::to_string(s.shards) + ")",
@@ -336,7 +349,7 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
     const bool reuse = s.backend == api::exec_backend::sharded &&
                        s.placement.kind != api::placement_kind::pinned;
     diff_report d = diff_placement_impl(s, reuse ? &primary : nullptr,
-                                        s.placement.kind, replays);
+                                        s.placement.kind, replays, &memo);
     if (!d.ok) return d.message;
   }
   if (!diff) return {};
@@ -360,14 +373,15 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
             cf_primary = primary;  // already crash-free: reuse the replay
           } else {
             count(1);
-            cf_primary = api::replay(*cf_base);
+            cf_primary = api::replay(*cf_base, &memo);
           }
         }
         base = &*cf_base;
         a = &*cf_primary;
       }
       count(1);
-      diff_report d = diff_object_against(*base, *a, index, variant_kind);
+      diff_report d = diff_object_against(*base, *a, index, variant_kind,
+                                          &memo);
       if (!d.ok) return d.message;
     }
   }

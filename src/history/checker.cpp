@@ -3,9 +3,57 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <typeinfo>
 #include <unordered_set>
 
 namespace detect::hist {
+
+namespace {
+
+// Two independent FNV-1a streams over the same field sequence — together the
+// 128-bit sub-check fingerprint lin_memo keys on.
+struct fingerprint {
+  std::uint64_t lo = 14695981039346656037ULL;  // FNV-1a offset basis
+  std::uint64_t hi = 0x9AE16A3B2F90404FULL;    // independent seed
+
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      const std::uint64_t byte = (v >> (8 * i)) & 0xff;
+      lo = (lo ^ byte) * 1099511628211ULL;
+      hi = (hi ^ byte) * 0x100000001B3ULL;
+      hi ^= hi >> 29;
+    }
+  }
+  void str(const std::string& s) noexcept {
+    u64(s.size());
+    for (char c : s) u64(static_cast<std::uint8_t>(c));
+  }
+};
+
+// Field-wise, never memcpy of the struct: event has padding bytes whose
+// contents would poison the fingerprint.
+lin_memo::key memo_key(const spec& sp, std::size_t node_budget,
+                       const std::vector<event>& events) {
+  fingerprint f;
+  f.str(typeid(sp).name());
+  f.str(sp.serialize());
+  f.u64(node_budget);
+  f.u64(events.size());
+  for (const event& e : events) {
+    f.u64(static_cast<std::uint64_t>(e.kind));
+    f.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.pid)));
+    f.u64(e.desc.object);
+    f.u64(static_cast<std::uint64_t>(e.desc.code));
+    f.u64(static_cast<std::uint64_t>(e.desc.a));
+    f.u64(static_cast<std::uint64_t>(e.desc.b));
+    f.u64(e.desc.client_seq);
+    f.u64(static_cast<std::uint64_t>(e.value));
+    f.u64(static_cast<std::uint64_t>(e.verdict));
+  }
+  return {f.lo, f.hi};
+}
+
+}  // namespace
 
 std::vector<op_record> build_records(const std::vector<event>& events,
                                      bool* synthesized_interval) {
@@ -174,7 +222,7 @@ std::vector<event> object_events(const std::vector<event>& events,
 
 check_result check_durable_linearizability_per_object(
     const std::vector<event>& events, const object_spec_list& specs,
-    std::size_t node_budget) {
+    std::size_t node_budget, lin_memo* memo) {
   check_result res;
 
   // Every op event must belong to a spec'd object — a silent skip would
@@ -193,9 +241,26 @@ check_result check_durable_linearizability_per_object(
   res.ok = true;
   res.objects = specs.size();
   for (const auto& [id, sp] : specs) {
-    check_result sub =
-        check_durable_linearizability(object_events(events, id), *sp,
-                                      node_budget);
+    std::vector<event> sub_events = object_events(events, id);
+    lin_memo::key key;
+    check_result sub;
+    bool cached = false;
+    if (memo != nullptr) {
+      key = memo_key(*sp, node_budget, sub_events);
+      auto it = memo->entries_.find(key);
+      if (it != memo->entries_.end()) {
+        sub = it->second;
+        cached = true;
+        ++memo->hits_;
+      }
+    }
+    if (!cached) {
+      sub = check_durable_linearizability(sub_events, *sp, node_budget);
+      if (memo != nullptr) {
+        memo->entries_.emplace(key, sub);
+        ++memo->misses_;
+      }
+    }
     res.nodes += sub.nodes;
     res.synthesized_interval |= sub.synthesized_interval;
     if (!sub.ok) {

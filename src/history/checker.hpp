@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -63,15 +64,59 @@ using object_spec_list = std::vector<std::pair<std::uint32_t, const spec*>>;
 std::vector<event> object_events(const std::vector<event>& events,
                                  std::uint32_t object_id);
 
+/// Cross-run memo for per-object sub-checks. The differ replays one scenario
+/// many times (single vs sharded, placement variants, per-object kind
+/// substitutions); most replays produce byte-identical per-object event
+/// streams for most objects, so their linearizations are pure repeats. The
+/// memo keys each sub-check on a 128-bit fingerprint of (spec dynamic type,
+/// spec serialized state, node budget, the object's projected event stream)
+/// and returns the recorded verdict on a hit. Fingerprints are compared, not
+/// the streams themselves — two independent 64-bit FNV-1a hashes make an
+/// accidental collision (~2^-64 per pair) vanishingly unlikely against the
+/// thousands of sub-checks a fuzz campaign runs. Not thread-safe; share one
+/// memo only across sequential replays of the same scenario family.
+class lin_memo {
+ public:
+  std::size_t hits() const noexcept { return hits_; }
+  std::size_t misses() const noexcept { return misses_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// The 128-bit fingerprint (implementation detail, public so the checker's
+  /// hashing helper can produce one; the entry map itself stays private).
+  struct key {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const key& o) const noexcept {
+      return lo == o.lo && hi == o.hi;
+    }
+  };
+  struct key_hash {
+    std::size_t operator()(const key& k) const noexcept {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9E3779B97F4A7C15ULL));
+    }
+  };
+
+ private:
+  friend check_result check_durable_linearizability_per_object(
+      const std::vector<event>&, const object_spec_list&, std::size_t,
+      lin_memo*);
+
+  std::unordered_map<key, check_result, key_hash> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
 /// Per-object decomposition: run one linearization per object against its own
 /// spec instead of one search against the product spec. Sound and complete —
 /// linearizability is compositional, and every real-time edge between two ops
 /// of the same object survives the projection — while the search space drops
 /// from the product of all objects' interleavings to their sum. Events naming
 /// an object absent from `specs` fail the check. `nodes` accumulates across
-/// objects; each object gets the full `node_budget`.
+/// objects; each object gets the full `node_budget`. With a non-null `memo`,
+/// sub-checks whose (spec, budget, object stream) fingerprint was already
+/// checked reuse the recorded verdict (see lin_memo).
 check_result check_durable_linearizability_per_object(
     const std::vector<event>& events, const object_spec_list& specs,
-    std::size_t node_budget = k_default_node_budget);
+    std::size_t node_budget = k_default_node_budget, lin_memo* memo = nullptr);
 
 }  // namespace detect::hist

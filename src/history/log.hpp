@@ -1,11 +1,19 @@
-// Append-only execution log.
+// Append-only execution log, arena-backed.
 //
 // Under the simulator, appends happen at scheduler-granted steps, so the
 // append order equals the model's real-time order. In free-running mode a
 // mutex provides a consistent (if arbitrary) serialization — free-running is
 // used for performance measurement, not for checking.
+//
+// Storage is a chunked bump arena: fixed-size blocks of POD `event`s,
+// allocated once and reused across runs (`clear()` rewinds the cursor but
+// keeps every block). The hot append path is a cursor bump — no
+// reallocation, no copying of earlier events, and a steady-state run
+// allocates nothing at all. `blocks_allocated()` exposes the block count so
+// tests can pin the allocation behavior.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -15,31 +23,62 @@ namespace detect::hist {
 
 class log {
  public:
+  /// Events per arena block. One block holds most scenario runs whole; long
+  /// crash-torture runs chain more without ever moving earlier events.
+  static constexpr std::size_t k_block_events = 1024;
+
   void append(event e) {
     std::scoped_lock lock(mu_);
-    events_.push_back(e);
+    if (used_ == k_block_events * blocks_used_) grow_locked();
+    blocks_[used_ / k_block_events][used_ % k_block_events] = e;
+    ++used_;
   }
 
   std::vector<event> snapshot() const {
     std::scoped_lock lock(mu_);
-    return events_;
+    std::vector<event> out;
+    out.reserve(used_);
+    for (std::size_t i = 0; i < used_; ++i) {
+      out.push_back(blocks_[i / k_block_events][i % k_block_events]);
+    }
+    return out;
   }
 
   std::size_t size() const {
     std::scoped_lock lock(mu_);
-    return events_.size();
+    return used_;
   }
 
+  /// Rewind to empty. Blocks are retained: the next run appends into the
+  /// same storage without touching the allocator.
   void clear() {
     std::scoped_lock lock(mu_);
-    events_.clear();
+    used_ = 0;
+    blocks_used_ = blocks_.empty() ? 0 : 1;
+  }
+
+  /// Arena blocks ever allocated by this log (monotone; clear() keeps them).
+  std::size_t blocks_allocated() const {
+    std::scoped_lock lock(mu_);
+    return blocks_.size();
   }
 
   std::string to_string() const;
 
  private:
+  void grow_locked() {
+    if (blocks_used_ < blocks_.size()) {
+      ++blocks_used_;  // reuse a block retained by clear()
+      return;
+    }
+    blocks_.push_back(std::make_unique<event[]>(k_block_events));
+    ++blocks_used_;
+  }
+
   mutable std::mutex mu_;
-  std::vector<event> events_;
+  std::vector<std::unique_ptr<event[]>> blocks_;
+  std::size_t blocks_used_ = 0;  // blocks the current contents span
+  std::size_t used_ = 0;         // total events appended since clear()
 };
 
 }  // namespace detect::hist

@@ -97,10 +97,13 @@ class pcell final : public persistent_base {
   // process can observe a value that is not yet durable.
   //
   // Under buffered persistency neither path runs: stores sit in the
-  // write-behind buffer until an explicit flush or the domain's next epoch
+  // write-behind journal until an explicit flush or the domain's next epoch
   // boundary, so a crash can discard them.
   void after_write(T v) noexcept {
-    if (dom_->buffered()) return;
+    if (dom_->buffered()) {
+      dom_->note_dirty(*this);
+      return;
+    }
     if (dom_->model() == cache_model::private_cache) {
       persisted_.store(v, std::memory_order_relaxed);
     } else if (dom_->auto_persist()) {
@@ -145,6 +148,9 @@ class pcell final : public persistent_base {
     std::memcpy(&p, persisted, sizeof(T));
     cur_.store(c, std::memory_order_relaxed);
     persisted_.store(p, std::memory_order_relaxed);
+    // A migrated image may arrive with cur != persisted; keep the buffered
+    // journal's every-divergence-is-journaled invariant.
+    if (dom_->buffered()) dom_->note_dirty(*this);
   }
 
   mutable std::atomic<T> cur_;

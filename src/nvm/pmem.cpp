@@ -1,9 +1,25 @@
 #include "nvm/pmem.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
 namespace detect::nvm {
+
+bool persistent_base::image_clean() const {
+  const std::size_t n = image_size();
+  if (n <= 64) {
+    std::uint8_t cur[64];
+    std::uint8_t persisted[64];
+    save_raw(cur, persisted);
+    return std::memcmp(cur, persisted, n) == 0;
+  }
+  std::vector<std::uint8_t> cur(n);
+  std::vector<std::uint8_t> persisted(n);
+  save_raw(cur.data(), persisted.data());
+  return cur == persisted;
+}
 
 cell_image persistent_base::save_image() const {
   cell_image img;
@@ -53,20 +69,35 @@ void pmem_domain::crash_reset() noexcept {
   std::scoped_lock lock(mu_);
   stats_.add_crash();
   last_crash_lost_ = false;
-  const bool buffered = persist_ == persist_model::buffered;
-  if (model_ == cache_model::private_cache && !buffered) {
+  if (persist_ == persist_model::buffered) {
+    // Journal invariant: under buffered persistency every cell whose cached
+    // value diverges from its persisted image registered via note_dirty()
+    // (stores and migration loads are the only divergence sources, and both
+    // register). Settling the journal alone makes the crash O(dirty cells),
+    // not O(all cells in the domain).
+    for (persistent_base* c : journal_) {
+      if (!last_crash_lost_ && !c->image_clean()) last_crash_lost_ = true;
+      c->revert_to_persisted();
+      c->journaled_ = false;
+    }
+    journal_.clear();
+    return;
+  }
+  if (model_ == cache_model::private_cache) {
     return;  // strict private-cache: NVM survives verbatim
   }
   for (persistent_base* c = head_; c != nullptr; c = c->next_) {
-    if (buffered && !last_crash_lost_) {
-      // Does this crash actually discard a write-behind-buffered store?
-      std::vector<std::uint8_t> cur(c->image_size());
-      std::vector<std::uint8_t> persisted(c->image_size());
-      c->save_raw(cur.data(), persisted.data());
-      if (cur != persisted) last_crash_lost_ = true;
-    }
     c->revert_to_persisted();
   }
+}
+
+void pmem_domain::drain_journal() noexcept {
+  std::scoped_lock lock(mu_);
+  for (persistent_base* c : journal_) {
+    c->persist_now();
+    c->journaled_ = false;
+  }
+  journal_.clear();
 }
 
 void pmem_domain::persist_all() noexcept {
@@ -74,6 +105,8 @@ void pmem_domain::persist_all() noexcept {
   for (persistent_base* c = head_; c != nullptr; c = c->next_) {
     c->persist_now();
   }
+  for (persistent_base* c : journal_) c->journaled_ = false;
+  journal_.clear();
 }
 
 void pmem_domain::attach(persistent_base& cell) {
@@ -93,6 +126,14 @@ void pmem_domain::set_attach_recorder(
 
 void pmem_domain::detach(persistent_base& cell) noexcept {
   std::scoped_lock lock(mu_);
+  if (cell.journaled_) {
+    auto it = std::find(journal_.begin(), journal_.end(), &cell);
+    if (it != journal_.end()) {
+      *it = journal_.back();
+      journal_.pop_back();
+    }
+    cell.journaled_ = false;
+  }
   if (cell.prev_ != nullptr) {
     cell.prev_->next_ = cell.next_;
   } else if (head_ == &cell) {

@@ -97,6 +97,8 @@ class persistent_base {
 
  private:
   friend class pmem_domain;
+  /// True when the cached value byte-equals the persisted image.
+  bool image_clean() const;
   /// Revert cached value to the persisted image (shared-cache crash).
   virtual void revert_to_persisted() noexcept = 0;
   /// Checkpoint the cached value as persisted (initialization / full sync).
@@ -112,6 +114,8 @@ class persistent_base {
 
   persistent_base* prev_ = nullptr;
   persistent_base* next_ = nullptr;
+  /// In the domain's write-behind journal (buffered persistency only).
+  bool journaled_ = false;
 };
 
 /// Snapshot `cells` (in order) into one portable image.
@@ -144,12 +148,27 @@ class pmem_domain {
   /// True when stores are write-behind buffered (see persist_model).
   bool buffered() const noexcept { return persist_ == persist_model::buffered; }
 
-  /// Epoch boundary of the buffered model: drain the write-behind buffer so
+  /// Record that `cell`'s cached value may now diverge from its persisted
+  /// image (a buffered store, or a migration image load). Cells register
+  /// once per boundary interval; the journal is what epoch_boundary() and
+  /// crash_reset() settle instead of walking every cell in the domain.
+  /// Hot path: not locked — buffered persistency only runs under the
+  /// simulator, whose step token already serializes all accesses (the
+  /// free-running threads backend rejects buffered mode).
+  void note_dirty(persistent_base& cell) {
+    if (cell.journaled_) return;
+    cell.journaled_ = true;
+    journal_.push_back(&cell);
+  }
+
+  /// Epoch boundary of the buffered model: drain the write-behind journal so
   /// everything stored so far is crash-persistent. No-op under strict
   /// persistency. The client runtime calls this at every history event
-  /// (invoke/response/recovery), which keeps completed operations durable.
+  /// (invoke/response/recovery), which keeps completed operations durable —
+  /// the journal makes each boundary O(cells dirtied since the last one).
   void epoch_boundary() noexcept {
-    if (buffered()) persist_all();
+    if (!buffered() || journal_.empty()) return;
+    drain_journal();
   }
 
   /// Deliver the memory effect of a system-wide crash. Must be called while
@@ -181,8 +200,13 @@ class pmem_domain {
   void set_attach_recorder(std::vector<persistent_base*>* sink) noexcept;
 
  private:
+  void drain_journal() noexcept;
+
   std::mutex mu_;
   persistent_base* head_ = nullptr;
+  /// Cells whose cached value may diverge from their persisted image since
+  /// the last boundary (buffered persistency only). See note_dirty().
+  std::vector<persistent_base*> journal_;
   cache_model model_ = cache_model::private_cache;
   persist_model persist_ = persist_model::strict;
   bool last_crash_lost_ = false;

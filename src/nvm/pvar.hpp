@@ -39,7 +39,10 @@ class pvar final : public persistent_base {
     hook_access(access::private_store);
     dom_->counters().add_private_store();
     cur_ = v;
-    if (dom_->buffered()) return;  // durable only at flush/epoch boundaries
+    if (dom_->buffered()) {  // durable only at flush/epoch boundaries
+      dom_->note_dirty(*this);
+      return;
+    }
     if (dom_->model() == cache_model::private_cache) {
       persisted_ = v;
     } else if (dom_->auto_persist()) {
@@ -71,6 +74,9 @@ class pvar final : public persistent_base {
                 const std::uint8_t* persisted) override {
     std::memcpy(&cur_, cur, sizeof(T));
     std::memcpy(&persisted_, persisted, sizeof(T));
+    // A migrated image may arrive with cur != persisted; keep the buffered
+    // journal's every-divergence-is-journaled invariant.
+    if (dom_->buffered()) dom_->note_dirty(*this);
   }
 
   T cur_;

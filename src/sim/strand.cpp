@@ -1,0 +1,406 @@
+#include "sim/strand.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+// ---------------------------------------------------------------------------
+// Sanitizer support. Under ASan every stack switch must be bracketed by the
+// fiber annotations or the fake-stack machinery corrupts redzones.
+
+#if defined(__SANITIZE_ADDRESS__)
+#define DETECT_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DETECT_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef DETECT_ASAN_FIBERS
+#define DETECT_ASAN_FIBERS 0
+#endif
+
+#if DETECT_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+// ---------------------------------------------------------------------------
+// Context-switch backend. On x86-64 ELF targets a hand-rolled switch keeps
+// the step cost at a handful of register moves; glibc's swapcontext would
+// add an rt_sigprocmask syscall per switch (~1 µs a pair), most of the
+// budget this engine exists to eliminate. Elsewhere, fall back to ucontext.
+
+#if defined(__x86_64__) && defined(__ELF__)
+#define DETECT_FIBER_ASM 1
+#else
+#define DETECT_FIBER_ASM 0
+#include <ucontext.h>
+#endif
+
+#if DETECT_FIBER_ASM
+
+// detect_ctx_switch(void** save_sp /*rdi*/, void* load_sp /*rsi*/): save the
+// SysV callee-saved set plus the FP control words on the current stack,
+// publish the stack pointer through *save_sp, adopt load_sp, restore, and
+// return on the other stack. Fresh fibers are armed with a frame whose
+// return address is detect_fiber_entry, which forwards the strand pointer
+// (parked in r12) to the C++ trampoline (parked in rbx).
+asm(R"(
+.text
+.globl detect_ctx_switch
+.hidden detect_ctx_switch
+.type detect_ctx_switch, @function
+.align 16
+detect_ctx_switch:
+  .cfi_startproc
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq $8, %rsp
+  stmxcsr 4(%rsp)
+  fnstcw  (%rsp)
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  ldmxcsr 4(%rsp)
+  fldcw   (%rsp)
+  addq $8, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  retq
+  .cfi_endproc
+
+.globl detect_fiber_entry
+.hidden detect_fiber_entry
+.type detect_fiber_entry, @function
+.align 16
+detect_fiber_entry:
+  .cfi_startproc
+  .cfi_undefined rip
+  movq %r12, %rdi
+  callq *%rbx
+  ud2
+  .cfi_endproc
+)");
+
+extern "C" void detect_ctx_switch(void** save_sp, void* load_sp);
+extern "C" void detect_fiber_entry();
+
+#endif  // DETECT_FIBER_ASM
+
+namespace detect::sim {
+
+namespace {
+
+std::atomic<engine_kind> g_default_engine{engine_kind::fiber};
+
+// Object code runs shallow (ops, recovery, logging); the linearizability
+// checker's deep recursion runs on the driving thread, never on a fiber.
+constexpr std::size_t k_fiber_stack_bytes = 256 * 1024;
+
+// ---------------------------------------------------------------------------
+// fiber_strand
+
+class fiber_strand final : public strand {
+ public:
+  fiber_strand() : stack_(std::make_unique<unsigned char[]>(k_fiber_stack_bytes)) {}
+
+  ~fiber_strand() override {
+    // A task may still be parked mid-run (e.g. the world died at a step
+    // limit): unwind it on its own stack before the stack goes away.
+    stopping_ = true;
+    while (status_ == status::at_yield) {
+      crash_me_ = true;
+      enter();
+    }
+  }
+
+  void start(std::function<void()> task) override {
+    task_ = std::move(task);
+    interrupted_ = false;
+    arm();
+    enter();
+  }
+
+  void step() override { enter(); }
+
+  void deliver_crash() override {
+    // Loop: a task that swallows `crashed` and touches memory again is hit
+    // again at its next yield (mirrors the thread engine's sticky flag).
+    while (status_ != status::done) {
+      crash_me_ = true;
+      enter();
+    }
+  }
+
+  // Runs on the fiber, from inside pcell/pvar.
+  void before_access(nvm::access kind) override {
+    if (stopping_) throw nvm::crashed{};
+    pending_kind_ = kind;
+    status_ = status::at_yield;
+    yield_to_driver();
+    if (crash_me_) {
+      crash_me_ = false;
+      // Unwind: volatile local state of the operation is lost here.
+      throw nvm::crashed{};
+    }
+  }
+
+ private:
+  // Build a fresh initial frame on the (reused) stack. The previous task, if
+  // any, has fully returned or unwound, so the stack is dead above the base.
+  void arm() {
+#if DETECT_FIBER_ASM
+    auto top = (reinterpret_cast<std::uintptr_t>(stack_.get()) +
+                k_fiber_stack_bytes) &
+               ~std::uintptr_t{15};
+    auto* sp = reinterpret_cast<std::uint64_t*>(top);
+    *--sp = reinterpret_cast<std::uint64_t>(&detect_fiber_entry);  // ret target
+    *--sp = 0;                                                     // rbp
+    *--sp = reinterpret_cast<std::uint64_t>(&fiber_strand::fiber_main);  // rbx
+    *--sp = reinterpret_cast<std::uint64_t>(this);                 // r12
+    *--sp = 0;                                                     // r13
+    *--sp = 0;                                                     // r14
+    *--sp = 0;                                                     // r15
+    std::uint32_t mxcsr = 0;
+    std::uint16_t fcw = 0;
+    asm volatile("stmxcsr %0" : "=m"(mxcsr));
+    asm volatile("fnstcw %0" : "=m"(fcw));
+    // The switch restores fcw from (%rsp) and mxcsr from 4(%rsp).
+    *--sp = (std::uint64_t{mxcsr} << 32) | fcw;
+    fiber_sp_ = sp;
+#else
+    getcontext(&fiber_ctx_);
+    fiber_ctx_.uc_stack.ss_sp = stack_.get();
+    fiber_ctx_.uc_stack.ss_size = k_fiber_stack_bytes;
+    fiber_ctx_.uc_link = nullptr;
+    auto bits = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&fiber_ctx_, reinterpret_cast<void (*)()>(&fiber_strand::ucontext_entry),
+                2, static_cast<unsigned>(bits >> 32),
+                static_cast<unsigned>(bits & 0xffffffffu));
+#endif
+  }
+
+  // Driver side: run the fiber until it parks or finishes. The strand
+  // installs itself as the NVM hook only while its fiber is live, so direct
+  // accesses from the driving thread between steps stay hook-free.
+  void enter() {
+    nvm::access_hook* prev = nvm::tls_hook();
+    nvm::tls_hook() = this;
+#if DETECT_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(&driver_fake_, stack_.get(),
+                                   k_fiber_stack_bytes);
+#endif
+    switch_to_fiber();
+#if DETECT_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(driver_fake_, nullptr, nullptr);
+#endif
+    nvm::tls_hook() = prev;
+  }
+
+  // Fiber side: park until the driver grants the next step. Re-reads the
+  // driver's stack bounds on every resume — successive steps of one run may
+  // legally be driven from different threads (e.g. a shard worker pool).
+  void yield_to_driver() {
+#if DETECT_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(&fiber_fake_, driver_stack_bottom_,
+                                   driver_stack_size_);
+#endif
+    switch_to_driver();
+#if DETECT_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fiber_fake_, &driver_stack_bottom_,
+                                    &driver_stack_size_);
+#endif
+  }
+
+  static void fiber_main(fiber_strand* self) {
+#if DETECT_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(nullptr, &self->driver_stack_bottom_,
+                                    &self->driver_stack_size_);
+#endif
+    auto task = std::move(self->task_);
+    self->task_ = nullptr;
+    try {
+      task();
+    } catch (const nvm::crashed&) {
+      self->interrupted_ = true;
+    } catch (...) {
+      self->error_ = std::current_exception();
+    }
+    task = nullptr;  // drop captured state while still on the fiber
+    self->status_ = status::done;
+#if DETECT_ASAN_FIBERS
+    // nullptr fake_stack_save: this fiber is exiting for good — free its
+    // fake stack instead of parking it.
+    __sanitizer_start_switch_fiber(nullptr, self->driver_stack_bottom_,
+                                   self->driver_stack_size_);
+#endif
+    self->switch_to_driver();
+    // unreachable: the driver never re-enters a done fiber
+  }
+
+#if DETECT_FIBER_ASM
+  void switch_to_fiber() { detect_ctx_switch(&driver_sp_, fiber_sp_); }
+  void switch_to_driver() { detect_ctx_switch(&fiber_sp_, driver_sp_); }
+#else
+  static void ucontext_entry(unsigned hi, unsigned lo) {
+    auto bits = (static_cast<std::uintptr_t>(hi) << 32) |
+                static_cast<std::uintptr_t>(lo);
+    fiber_main(reinterpret_cast<fiber_strand*>(bits));
+  }
+  void switch_to_fiber() { swapcontext(&driver_ctx_, &fiber_ctx_); }
+  void switch_to_driver() { swapcontext(&fiber_ctx_, &driver_ctx_); }
+#endif
+
+  std::unique_ptr<unsigned char[]> stack_;
+  std::function<void()> task_;
+  bool crash_me_ = false;  // deliver crash at next resume
+  bool stopping_ = false;  // world teardown: fail every further access
+
+#if DETECT_FIBER_ASM
+  void* fiber_sp_ = nullptr;
+  void* driver_sp_ = nullptr;
+#else
+  ucontext_t fiber_ctx_{};
+  ucontext_t driver_ctx_{};
+#endif
+
+#if DETECT_ASAN_FIBERS
+  void* driver_fake_ = nullptr;
+  void* fiber_fake_ = nullptr;
+  const void* driver_stack_bottom_ = nullptr;
+  std::size_t driver_stack_size_ = 0;
+#endif
+};
+
+// ---------------------------------------------------------------------------
+// thread_strand — the original engine: one OS worker per process, parked on
+// a per-strand mutex/CV handshake. The reference implementation for the
+// engine-equivalence pins.
+
+class thread_strand final : public strand {
+ public:
+  thread_strand() : thread_([this] { thread_main(); }) {}
+
+  ~thread_strand() override {
+    {
+      std::scoped_lock lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void start(std::function<void()> task) override {
+    std::unique_lock lock(mu_);
+    task_ = std::move(task);
+    interrupted_ = false;
+    ts_ = tstate::launching;
+    cv_.notify_all();
+    wait_settled(lock);
+  }
+
+  void step() override {
+    std::unique_lock lock(mu_);
+    ts_ = tstate::stepping;
+    cv_.notify_all();
+    wait_settled(lock);
+  }
+
+  void deliver_crash() override {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      crash_me_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] {
+        return ts_ == tstate::done || (ts_ == tstate::at_yield && !crash_me_);
+      });
+      if (ts_ == tstate::done) break;
+      // The task swallowed the crash and yielded again: hit it again.
+    }
+    status_ = status::done;
+  }
+
+  // Runs on the worker thread, from inside pcell/pvar.
+  void before_access(nvm::access kind) override {
+    std::unique_lock lock(mu_);
+    pending_kind_ = kind;
+    ts_ = tstate::at_yield;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return ts_ == tstate::stepping || crash_me_ || stop_; });
+    if (crash_me_ || stop_) {
+      crash_me_ = false;
+      throw nvm::crashed{};
+    }
+  }
+
+ private:
+  enum class tstate : std::uint8_t { idle, launching, at_yield, stepping, done };
+
+  void wait_settled(std::unique_lock<std::mutex>& lock) {
+    cv_.wait(lock, [&] { return ts_ == tstate::at_yield || ts_ == tstate::done; });
+    status_ = ts_ == tstate::done ? status::done : status::at_yield;
+  }
+
+  void thread_main() {
+    nvm::tls_hook() = this;  // all NVM accesses on this thread yield to us
+    std::unique_lock lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || ts_ == tstate::launching; });
+      if (stop_) return;
+      std::function<void()> task = std::move(task_);
+      task_ = nullptr;
+      bool interrupted = false;
+      std::exception_ptr error;
+      lock.unlock();
+      try {
+        task();
+      } catch (const nvm::crashed&) {
+        interrupted = true;
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      interrupted_ = interrupted;
+      error_ = error;
+      ts_ = tstate::done;
+      cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  tstate ts_ = tstate::idle;  // guarded by mu_
+  std::function<void()> task_;
+  bool crash_me_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+const char* engine_name(engine_kind e) noexcept {
+  return e == engine_kind::thread ? "thread" : "fiber";
+}
+
+engine_kind default_engine() noexcept {
+  return g_default_engine.load(std::memory_order_relaxed);
+}
+
+void set_default_engine(engine_kind e) noexcept {
+  g_default_engine.store(e, std::memory_order_relaxed);
+}
+
+std::unique_ptr<strand> make_strand(engine_kind engine) {
+  if (engine == engine_kind::thread) return std::make_unique<thread_strand>();
+  return std::make_unique<fiber_strand>();
+}
+
+}  // namespace detect::sim

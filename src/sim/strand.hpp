@@ -1,0 +1,93 @@
+// Simulated-process execution engines.
+//
+// A `strand` is one crash-prone simulated process: it runs a task under the
+// world's step token, parking at every emulated NVM access until the
+// scheduler grants the next step, and unwinds via `nvm::crashed` when a
+// system-wide crash is delivered. Two interchangeable engines implement the
+// contract:
+//
+//   * `fiber`  — the fast path: the task runs on a stackful fiber that
+//     context-switches to the driving thread at every yield (~tens of ns per
+//     step, no OS involvement). Default.
+//   * `thread` — the original engine: one OS worker thread per process,
+//     parked on a mutex/condition-variable handshake (~10 µs per step, two
+//     OS context switches). Kept as the reference implementation the
+//     determinism pins compare the fiber engine against.
+//
+// Both engines present the same settled-state machine to the world:
+// `start()` runs the task to its first yield (or completion), `step()`
+// advances it one access, `deliver_crash()` unwinds it; on return from any
+// of these the strand is `at_yield` or `done`, never in flight. Schedules,
+// event logs, and checker verdicts are engine-invariant by construction —
+// `tests/engine_test.cpp` pins that across a 500-seed scenario corpus.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "nvm/hook.hpp"
+
+namespace detect::sim {
+
+enum class engine_kind : std::uint8_t { fiber, thread };
+
+const char* engine_name(engine_kind e) noexcept;
+
+/// Process-global default used by worlds whose config doesn't pin an engine.
+/// Initially `fiber`. Scenario replays build their executors internally, so
+/// flipping this is how A/B tests re-run an identical scenario on the other
+/// engine (the engine is deliberately not part of the scenario format).
+engine_kind default_engine() noexcept;
+void set_default_engine(engine_kind e) noexcept;
+
+/// One simulated process. Not thread-safe: the world serializes all calls.
+class strand : public nvm::access_hook {
+ public:
+  enum class status : std::uint8_t {
+    idle,      // no task
+    at_yield,  // parked at an access, eligible for step()
+    done,      // task returned or unwound; outcome not yet absorbed
+  };
+
+  ~strand() override = default;
+  strand(const strand&) = delete;
+  strand& operator=(const strand&) = delete;
+
+  /// Run `task` until its first yield or completion. Valid only when idle.
+  virtual void start(std::function<void()> task) = 0;
+
+  /// Perform the pending access and run to the next yield or completion.
+  /// Valid only when at_yield.
+  virtual void step() = 0;
+
+  /// Deliver a crash at the current yield: the task unwinds via
+  /// `nvm::crashed` (volatile local state is lost). Valid only when
+  /// at_yield; returns once the strand is done.
+  virtual void deliver_crash() = 0;
+
+  status st() const noexcept { return status_; }
+  nvm::access pending() const noexcept { return pending_kind_; }
+  bool interrupted() const noexcept { return interrupted_; }
+
+  /// Absorb a finished task: done → idle. Returns (and clears) any
+  /// non-crash exception the task raised, for the world to rethrow.
+  std::exception_ptr reset_done() noexcept {
+    status_ = status::idle;
+    return std::exchange(error_, nullptr);
+  }
+
+ protected:
+  strand() = default;
+
+  status status_ = status::idle;
+  nvm::access pending_kind_ = nvm::access::control;
+  bool interrupted_ = false;   // last task unwound by crash
+  std::exception_ptr error_;   // non-crash exception from the task
+};
+
+std::unique_ptr<strand> make_strand(engine_kind engine);
+
+}  // namespace detect::sim

@@ -5,193 +5,103 @@
 
 namespace detect::sim {
 
-// ---------------------------------------------------------------------------
-// process
+namespace {
 
-process::process(world& w, int pid, std::string name)
-    : world_(&w), pid_(pid), name_(std::move(name)) {
-  thread_ = std::thread([this] { thread_main(); });
+void insert_sorted(std::vector<int>& v, int pid) {
+  v.insert(std::lower_bound(v.begin(), v.end(), pid), pid);
 }
 
-process::~process() {
-  {
-    std::scoped_lock lock(world_->mu_);
-    stop_ = true;
-  }
-  world_->cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+void erase_sorted(std::vector<int>& v, int pid) {
+  auto it = std::lower_bound(v.begin(), v.end(), pid);
+  if (it != v.end() && *it == pid) v.erase(it);
 }
 
-void process::thread_main() {
-  nvm::tls_hook() = this;  // all NVM accesses on this thread yield to us
-  std::unique_lock lock(world_->mu_);
-  for (;;) {
-    world_->cv_.wait(lock, [&] { return stop_ || state_ == pstate::launching; });
-    if (stop_) {
-      state_ = pstate::stopped;
-      return;
-    }
-    std::function<void()> task = std::move(task_);
-    task_ = nullptr;
-    bool interrupted = false;
-    std::exception_ptr error;
-    lock.unlock();
-    try {
-      task();
-    } catch (const nvm::crashed&) {
-      interrupted = true;
-    } catch (...) {
-      error = std::current_exception();
-    }
-    lock.lock();
-    task_interrupted_ = interrupted;
-    task_error_ = error;
-    state_ = pstate::done_task;
-    world_->cv_.notify_all();
-  }
-}
+}  // namespace
 
-void process::before_access(nvm::access kind) {
-  std::unique_lock lock(world_->mu_);
-  pending_kind_ = kind;
-  state_ = pstate::at_yield;
-  world_->cv_.notify_all();
-  world_->cv_.wait(lock, [&] {
-    return state_ == pstate::stepping || crash_me_ || stop_;
-  });
-  if (crash_me_ || stop_) {
-    crash_me_ = false;
-    // Unwind: volatile local state of the operation is lost here.
-    throw nvm::crashed{};
-  }
-  // state_ == stepping: perform the access and keep running until the next
-  // yield; the scheduler is blocked until we get back here or finish.
-}
-
-// ---------------------------------------------------------------------------
-// world
-
-world::world(int nprocs, world_config cfg) : cfg_(cfg) {
+world::world(int nprocs, world_config cfg)
+    : cfg_(cfg), engine_(cfg.engine.value_or(default_engine())) {
   if (nprocs <= 0) throw std::invalid_argument("world: nprocs must be >= 1");
   procs_.reserve(static_cast<std::size_t>(nprocs));
-  for (int i = 0; i < nprocs; ++i) {
-    procs_.push_back(std::make_unique<process>(*this, i, "p" + std::to_string(i)));
-  }
+  for (int i = 0; i < nprocs; ++i) procs_.push_back(make_strand(engine_));
+  ready_.reserve(static_cast<std::size_t>(nprocs));
 }
 
 world::~world() = default;
 
-void world::absorb_done_locked(process& p) {
-  if (p.state_ != process::pstate::done_task) return;
-  p.state_ = process::pstate::idle;
-  if (p.task_error_) {
-    std::exception_ptr e = p.task_error_;
-    p.task_error_ = nullptr;
-    std::rethrow_exception(e);
+void world::settle() {
+  // Done strands are never in ready_; absorbing them only flips them idle
+  // and surfaces any task exception (first one wins, as before).
+  for (auto& s : procs_) {
+    if (s->st() != strand::status::done) continue;
+    if (std::exception_ptr e = s->reset_done()) std::rethrow_exception(e);
   }
-}
-
-void world::quiesce_locked(std::unique_lock<std::mutex>& lock) {
-  cv_.wait(lock, [&] {
-    for (auto& p : procs_) {
-      if (p->state_ == process::pstate::launching ||
-          p->state_ == process::pstate::stepping) {
-        return false;
-      }
-    }
-    return true;
-  });
-  for (auto& p : procs_) absorb_done_locked(*p);
 }
 
 void world::submit(int pid, std::function<void()> task) {
-  std::unique_lock lock(mu_);
-  process& p = *procs_.at(static_cast<std::size_t>(pid));
-  quiesce_locked(lock);
-  if (p.state_ != process::pstate::idle) {
-    throw std::logic_error("submit: process " + p.name_ + " already has a task");
+  settle();
+  strand& s = *procs_.at(static_cast<std::size_t>(pid));
+  if (s.st() != strand::status::idle) {
+    throw std::logic_error("submit: process p" + std::to_string(pid) +
+                           " already has a task");
   }
-  p.task_ = std::move(task);
-  p.task_interrupted_ = false;
-  p.state_ = process::pstate::launching;
-  cv_.notify_all();
+  s.start(std::move(task));
+  if (s.st() == strand::status::at_yield) insert_sorted(ready_, pid);
+  // A task that finished (or threw) before its first access stays `done`
+  // until the next settle point — the same place the thread engine's
+  // quiesce used to surface it.
 }
 
 std::vector<int> world::runnable() {
-  std::unique_lock lock(mu_);
-  quiesce_locked(lock);
-  std::vector<int> out;
-  for (auto& p : procs_) {
-    if (p->state_ == process::pstate::at_yield) out.push_back(p->pid_);
-  }
-  return out;
+  settle();
+  return ready_;
 }
 
 bool world::busy() {
-  std::unique_lock lock(mu_);
-  quiesce_locked(lock);
-  for (auto& p : procs_) {
-    if (p->state_ == process::pstate::at_yield) return true;
+  settle();
+  return !ready_.empty();
+}
+
+void world::step_ready(int pid) {
+  ++step_no_;
+  strand& s = *procs_[static_cast<std::size_t>(pid)];
+  s.step();
+  if (s.st() == strand::status::done) {
+    erase_sorted(ready_, pid);
+    if (std::exception_ptr e = s.reset_done()) std::rethrow_exception(e);
   }
-  return false;
 }
 
 void world::step(int pid) {
-  std::unique_lock lock(mu_);
-  quiesce_locked(lock);
-  process& p = *procs_.at(static_cast<std::size_t>(pid));
-  if (p.state_ != process::pstate::at_yield) {
-    throw std::logic_error("step: process " + p.name_ + " is not runnable");
+  settle();
+  if (pid < 0 || pid >= nprocs() ||
+      procs_[static_cast<std::size_t>(pid)]->st() != strand::status::at_yield) {
+    throw std::logic_error("step: process p" + std::to_string(pid) +
+                           " is not runnable");
   }
-  ++step_no_;
-  p.state_ = process::pstate::stepping;
-  cv_.notify_all();
-  cv_.wait(lock, [&] {
-    return p.state_ == process::pstate::at_yield ||
-           p.state_ == process::pstate::done_task;
-  });
-  absorb_done_locked(p);
+  step_ready(pid);
 }
 
 nvm::access world::pending_access(int pid) {
-  std::unique_lock lock(mu_);
-  quiesce_locked(lock);
-  process& p = *procs_.at(static_cast<std::size_t>(pid));
-  if (p.state_ != process::pstate::at_yield) {
+  settle();
+  strand& s = *procs_.at(static_cast<std::size_t>(pid));
+  if (s.st() != strand::status::at_yield) {
     throw std::logic_error("pending_access: process is not at a yield");
   }
-  return p.pending_kind_;
+  return s.pending();
 }
 
 bool world::last_task_interrupted(int pid) {
-  std::scoped_lock lock(mu_);
-  return procs_.at(static_cast<std::size_t>(pid))->task_interrupted_;
+  return procs_.at(static_cast<std::size_t>(pid))->interrupted();
 }
 
 void world::crash() {
-  std::unique_lock lock(mu_);
-  quiesce_locked(lock);
-  bool any = false;
-  for (auto& p : procs_) {
-    if (p->state_ == process::pstate::at_yield) {
-      p->crash_me_ = true;
-      any = true;
-    }
-  }
-  if (any) {
-    cv_.notify_all();
-    cv_.wait(lock, [&] {
-      for (auto& p : procs_) {
-        if (p->state_ == process::pstate::at_yield ||
-            p->state_ == process::pstate::stepping ||
-            p->state_ == process::pstate::launching) {
-          return false;
-        }
-      }
-      return true;
-    });
-  }
-  for (auto& p : procs_) absorb_done_locked(*p);
+  settle();
+  // Unwind every parked task. Delivery is sequential in pid order — the
+  // order is unobservable (each unwind only destroys that task's volatile
+  // frames), and determinism beats the old concurrent wakeup.
+  for (int pid : ready_) procs_[static_cast<std::size_t>(pid)]->deliver_crash();
+  ready_.clear();
+  settle();
   // All volatile frames are gone; now apply the memory model's crash rule,
   // then advance the system epoch durably (the hook is null on the driving
   // thread, so these are direct accesses).
@@ -206,8 +116,8 @@ run_report world::run(scheduler& sched, crash_plan* crashes,
                       const std::function<void()>& on_crash_done) {
   run_report rep;
   for (;;) {
-    std::vector<int> ready = runnable();
-    if (ready.empty()) break;
+    settle();
+    if (ready_.empty()) break;
     if (step_no_ >= cfg_.max_steps) {
       rep.hit_step_limit = true;
       rep.limit_note = "step limit " + std::to_string(cfg_.max_steps) +
@@ -220,9 +130,8 @@ run_report world::run(scheduler& sched, crash_plan* crashes,
       if (on_crash_done) on_crash_done();
       continue;
     }
-    int pid = sched.pick(ready, step_no_);
-    step(pid);
-    ++rep.steps;
+    int pid = sched.pick(ready_, step_no_);
+    step_ready(pid);
   }
   rep.steps = step_no_;
   rep.lost_persistence = lost_persistence_;
@@ -246,7 +155,7 @@ int random_scheduler::pick(const std::vector<int>& runnable, std::uint64_t) {
 int scripted_scheduler::pick(const std::vector<int>& runnable, std::uint64_t) {
   if (pos_ < script_.size()) {
     int want = script_[pos_++];
-    if (std::find(runnable.begin(), runnable.end(), want) != runnable.end()) {
+    if (std::binary_search(runnable.begin(), runnable.end(), want)) {
       return want;
     }
   }

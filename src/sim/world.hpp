@@ -11,17 +11,26 @@
 //   * run loop — drive all submitted tasks to completion under a pluggable
 //     scheduling policy and crash plan, invoking a recovery callback after
 //     every crash (the client runtime uses it to resume per Ann_p).
+//
+// Processes execute on pluggable strand engines (see sim/strand.hpp): the
+// default `fiber` engine context-switches in-thread (~50 ns/step), the
+// `thread` engine keeps the original one-OS-thread-per-process handshake as
+// the reference the determinism pins compare against. The world itself is
+// single-threaded either way: every public call returns with all strands
+// settled, and the run loop maintains the sorted runnable set incrementally
+// instead of re-scanning every process per step.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "nvm/pcell.hpp"
 #include "nvm/pmem.hpp"
-#include "sim/process.hpp"
+#include "sim/strand.hpp"
 
 namespace detect::sim {
 
@@ -48,6 +57,10 @@ struct world_config {
   /// Safety valve against non-terminating schedules (e.g. an unfair scheduler
   /// starving Algorithm 3's double collect).
   std::uint64_t max_steps = 1'000'000;
+  /// Strand engine; unset means `default_engine()` at world construction.
+  /// Deliberately not part of the scenario format — engines are
+  /// behavior-identical, and A/B tests flip the process-global default.
+  std::optional<engine_kind> engine;
 };
 
 struct run_report {
@@ -73,13 +86,13 @@ class world {
 
   nvm::pmem_domain& domain() noexcept { return domain_; }
   int nprocs() const noexcept { return static_cast<int>(procs_.size()); }
+  engine_kind engine() const noexcept { return engine_; }
 
-  /// Hand `task` to process `pid`. The task body runs on the worker thread
-  /// with the access hook installed; it must not outlive the world.
+  /// Hand `task` to process `pid`. The task body runs under the strand's
+  /// access hook up to its first yield; it must not outlive the world.
   void submit(int pid, std::function<void()> task);
 
-  /// Pids currently blocked at a yield (eligible for `step`). Waits for any
-  /// launching/stepping process to settle first.
+  /// Pids currently blocked at a yield (eligible for `step`), sorted.
   std::vector<int> runnable();
 
   /// True if any process still has an unfinished task.
@@ -116,20 +129,20 @@ class world {
   std::uint64_t steps_taken() const noexcept { return step_no_; }
 
  private:
-  friend class process;
-
-  // Called under mu_: collect a finished task's outcome.
-  void absorb_done_locked(process& p);
-  // Wait until no process is launching or mid-step.
-  void quiesce_locked(std::unique_lock<std::mutex>& lock);
+  // Absorb finished tasks (done → idle), rethrowing any task exception.
+  void settle();
+  // Grant one step to a pid known to be in ready_; updates ready_.
+  void step_ready(int pid);
 
   world_config cfg_;
+  engine_kind engine_;
   nvm::pmem_domain domain_;
   nvm::pcell<std::uint64_t> epoch_{1, domain_};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::unique_ptr<process>> procs_;
+  std::vector<std::unique_ptr<strand>> procs_;
+  /// Pids currently at a yield, kept sorted; maintained incrementally on
+  /// submit/step/crash so the run loop never re-scans all processes.
+  std::vector<int> ready_;
   std::uint64_t step_no_ = 0;
   bool lost_persistence_ = false;
 };
