@@ -1,0 +1,114 @@
+// Serving quickstart: put durable objects behind the sessioned front-end.
+//
+// The tour opens sessions against a serve::server, pushes an async op stream
+// through batch rounds with crash injection turned on, lets the hot-shard
+// rebalancer spread a deliberately skewed object cluster, and finishes with
+// the durable-linearizability check over everything that was served. Exits
+// non-zero if any invariant breaks — ctest runs this file.
+//
+// Workload-shaping note: the history checker certifies at most 64 operations
+// per object, so a servable workload keeps per-object histories under that
+// cap and scales by object *population* — which is also what makes hot-shard
+// skew meaningful (a hot shard is a cluster of busy objects, and the
+// rebalancer relieves it by moving objects, not ops).
+//
+// Build & run:  cmake --build build --target serve_tour && ./build/serve_tour
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+using namespace detect;
+
+static void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "serve_tour: FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+int main() {
+  // A 4-shard service in deterministic mode: no background thread — the
+  // caller turns the crank with pump()/drain(), and the whole soak replays
+  // bit-identically from the seeds.
+  auto srv = serve::server::builder()
+                 .shards(4)
+                 .procs(8)
+                 .seed(7)                     // seeded random scheduler
+                 .crash_random(11, 0.01, 2)  // up to 2 crashes per round
+                 .batch_max_ops(64)
+                 .rebalance({.enabled = true,
+                             .window = 4,
+                             .check_every = 4,
+                             .hot_ratio = 1.5,
+                             .sustain = 2,
+                             .max_moves = 2})
+                 .build();
+
+  // 32 counters. Ids are sequential, so modulo placement parks ids
+  // {0, 4, 8, ...} on shard 0 — the "hot" cluster this workload hammers.
+  std::vector<api::counter> objs;
+  for (int i = 0; i < 32; ++i) objs.push_back(srv->add_counter());
+  std::vector<api::counter> hot;  // everything homed on shard 0
+  for (int i = 0; i < 32; i += 4) hot.push_back(objs[static_cast<std::size_t>(i)]);
+
+  // Sessions multiplex onto the executor's processes (pid = id % procs).
+  std::vector<serve::session> clients;
+  for (int i = 0; i < 4; ++i) clients.push_back(srv->open_session());
+
+  // Async submission: each admitted op completes later, from a batch round,
+  // with its response value and submit-to-complete latency (in rounds here).
+  std::uint64_t completions = 0;
+  auto on_done = [&completions](const serve::completion&) { ++completions; };
+
+  std::uint64_t sent = 0;
+  for (int round = 0; round < 12; ++round) {
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      // Two hot-cluster ops and one cold op per client per round: shard 0
+      // carries ~2/3 of the load until the rebalancer steps in.
+      const api::counter& h0 = hot[(c * 2) % hot.size()];
+      const api::counter& h1 = hot[(c * 2 + 1) % hot.size()];
+      const api::counter& cold =
+          objs[4 * ((static_cast<std::size_t>(round) + c) % 8) + 1 + c % 3];
+      if (serve::admitted(clients[c].submit(h0.add(1), on_done))) ++sent;
+      if (serve::admitted(clients[c].submit(h1.add(1), on_done))) ++sent;
+      if (serve::admitted(clients[c].submit(cold.add(1), on_done))) ++sent;
+    }
+    srv->pump();  // one batch round: script, run, complete, maybe rebalance
+  }
+  srv->drain();  // finish whatever is still queued
+
+  serve::stats st = srv->snapshot();
+  std::printf("serve_tour: %llu admitted, %llu completed over %llu rounds\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.rounds));
+  std::printf("serve_tour: %llu crashes survived, p99 latency %llu %s, "
+              "%llu nvm cells (%llu bytes)\n",
+              static_cast<unsigned long long>(st.crashes),
+              static_cast<unsigned long long>(st.p99), st.latency_unit.c_str(),
+              static_cast<unsigned long long>(st.nvm_cells),
+              static_cast<unsigned long long>(st.nvm_bytes));
+  for (const serve::move_record& m : st.moves) {
+    std::printf(
+        "serve_tour: round %llu: moved object %u shard %d -> %d (ratio "
+        "%.2f)\n",
+        static_cast<unsigned long long>(m.round), m.object, m.from, m.to,
+        m.ratio_before);
+  }
+
+  require(st.completed == sent, "every admitted op completed");
+  require(st.completed == completions, "every completion callback fired");
+  require(st.inflight == 0, "nothing left inflight after drain");
+  require(!st.moves.empty(), "the skewed workload triggered a rebalance");
+
+  // The merged, migration-spanning history must still be durably
+  // linearizable per object — serving is an execution mode, not a new
+  // correctness regime.
+  hist::check_result cr = srv->check();
+  if (!cr.ok) std::fprintf(stderr, "serve_tour: check: %s\n", cr.message.c_str());
+  require(cr.ok, "per-object durable linearizability");
+  std::printf("serve_tour: check OK over %zu objects\n", cr.objects);
+  return 0;
+}

@@ -25,7 +25,14 @@
 #                                    # equivalence diff on every one; writes
 #                                    # coverage.json
 #   scripts/check.sh --bench-smoke   # the CI bench-smoke stage: every
-#                                    # E-binary with tiny parameters
+#                                    # E-binary with tiny parameters, plus
+#                                    # bench_serve at smoke size
+#   scripts/check.sh --serve-soak N  # the CI serve-soak stage: bench_serve
+#                                    # with N sessions x 2000 ops — the
+#                                    # invariant-enforcing serving soak
+#                                    # (crashes + rebalancing + certificate)
+#                                    # plus the overload and threaded
+#                                    # scenarios; writes BENCH_serve.json
 #
 # Knobs (all respected by CI):
 #   DETECT_BUILD_TYPE   CMake build type for --quick/--fuzz/--bench-smoke
@@ -90,6 +97,13 @@ stage_bench_smoke() {     # $1 = build dir
   # ops/s even at smoke parameters, so 5x the pre-fiber seed baseline
   # (~6.7k ops/s) catches a step-loop regression while leaving ample
   # headroom for slow CI runners.
+  # bench_serve is not an E-binary (no paper experiment number) but belongs
+  # in the smoke sweep: it enforces the serving invariants and exits nonzero
+  # on any violation, so a broken front-end fails this stage.
+  if [[ -x "$1"/bench_serve ]]; then
+    echo "== bench-smoke: bench_serve =="
+    DETECT_SMOKE=1 "$1"/bench_serve
+  fi
   if [[ -f BENCH_e6.json ]]; then
     python3 - <<'PY'
 import json, sys
@@ -177,6 +191,13 @@ case "${1:-}" in
     stage_build "$dir" "$build_type"
     stage_bench_smoke "$dir"
     ;;
+  --serve-soak)
+    sessions="${2:-32}"
+    dir="${DETECT_BUILD_DIR:-build-$build_type}"
+    echo "== serve-soak: $sessions sessions ($dir) =="
+    stage_build "$dir" "$build_type"
+    "$dir"/bench_serve --soak "$sessions" --json BENCH_serve.json
+    ;;
   --fast|"")
     echo "== tier-1: RelWithDebInfo build + ctest =="
     stage_build build RelWithDebInfo
@@ -190,7 +211,7 @@ case "${1:-}" in
     stage_ctest build-sanitize
     ;;
   *)
-    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-placement N | --fuzz-sched N | --fuzz-deep N | --bench-smoke]" >&2
+    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-placement N | --fuzz-sched N | --fuzz-deep N | --bench-smoke | --serve-soak N]" >&2
     exit 2
     ;;
 esac

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Render BENCH_e6.json / coverage.json as GitHub job-summary markdown.
+"""Render BENCH_e6.json / BENCH_serve.json / coverage.json as GitHub
+job-summary markdown.
 
-CI appends the output to $GITHUB_STEP_SUMMARY so coverage and throughput
-trends are readable per run without downloading artifacts:
+CI appends the output to $GITHUB_STEP_SUMMARY so coverage, throughput, and
+serving-soak trends are readable per run without downloading artifacts:
 
-    python3 scripts/job_summary.py BENCH_e6.json coverage.json >> "$GITHUB_STEP_SUMMARY"
+    python3 scripts/job_summary.py BENCH_e6.json BENCH_serve.json coverage.json >> "$GITHUB_STEP_SUMMARY"
 
 Files that do not exist are skipped with a note (the bench and fuzz jobs
 each produce only their own artifact). Unknown JSON shapes fail loudly —
@@ -68,6 +69,53 @@ def bench_table(data):
     yield ""
 
 
+def serve_table(data):
+    yield "### Serve load scenarios"
+    cfg = data.get("config", {})
+    yield ""
+    yield (f"soak sized at {cfg.get('sessions', '?')} sessions × "
+           f"{cfg.get('ops_per_session', '?')} ops")
+    yield ""
+    yield ("| scenario | admitted | completed | rejected | crashes | moves "
+           "| load ratio | p50 | p99 | seconds |")
+    yield "|---|---|---|---|---|---|---|---|---|---|"
+    lost = []
+    for row in data["results"]:
+        st = row["stats"]
+        completed = st["completed"]
+        cell = str(completed)
+        # admitted != completed means the front-end lost (or never finished)
+        # admitted work — bench_serve exits nonzero on it, but flag it here
+        # too so the summary is self-explaining even on a red run.
+        if completed != st["admitted"]:
+            cell += " ⚠️"
+            lost.append(f"{row['scenario']}: {st['admitted']} admitted but "
+                        f"{completed} completed")
+        unit = st.get("latency_unit", "")
+        yield (f"| {row['scenario']} | {st['admitted']} | {cell} "
+               f"| {st.get('rejected', 0)} | {st['crashes']} "
+               f"| {len(st.get('moves', []))} "
+               f"| {st.get('load_ratio_window', 0):.2f} "
+               f"| {st['p50']} {unit} | {st['p99']} {unit} "
+               f"| {row['seconds']:.3f} |")
+    if lost:
+        yield ""
+        yield "**Lost completions:**"
+        for entry in lost:
+            yield f"- ⚠️ {entry}"
+    # The rebalancer's move log for the soak row — which objects left the
+    # hot shard, and at what trigger ratio.
+    for row in data["results"]:
+        moves = row["stats"].get("moves", [])
+        if row["scenario"] == "soak" and moves:
+            yield ""
+            yield (f"soak rebalance: {len(moves)} move(s), first at round "
+                   f"{moves[0]['round']} (trigger ratio "
+                   f"{moves[0]['ratio_before']:.2f}), final window ratio "
+                   f"{row['stats'].get('load_ratio_window', 0):.2f}")
+    yield ""
+
+
 def coverage_table(data):
     yield "### Fuzz coverage"
     yield ""
@@ -112,6 +160,7 @@ def coverage_table(data):
 
 RENDERERS = {
     "e6_backend_shards_sweep": bench_table,
+    "serve_load": serve_table,
 }
 
 

@@ -359,6 +359,10 @@ sim::run_report harness::run() {
   return rt_->run(*sched, crashes.get());
 }
 
+void harness::reseed_crashes(std::uint64_t seed) {
+  if (rcfg_.crash_random) std::get<0>(*rcfg_.crash_random) = seed;
+}
+
 std::unique_ptr<hist::spec> harness::spec() const {
   auto m = std::make_unique<hist::multi_spec>();
   for (const auto& [id, proto] : specs_) m->add_object(id, proto->clone());

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -94,6 +95,10 @@ class single_executor final : public executor {
   const placement_policy& placement() const noexcept override {
     return pol_.placement;
   }
+  int pool_workers() const noexcept override { return 0; }
+  placement_policy current_assignment() const override {
+    return pinned_placement({});
+  }
 
   object_handle add(const std::string& kind,
                     const object_params& params) override {
@@ -113,6 +118,8 @@ class single_executor final : public executor {
     h_.script(pid, prog);
   }
   sim::run_report run() override { return h_.run(); }
+
+  void reseed_crashes(std::uint64_t seed) override { h_.reseed_crashes(seed); }
 
   void migrate(std::uint32_t, int) override {
     no_migration(exec_backend::single);
@@ -147,13 +154,26 @@ class single_executor final : public executor {
 /// thread: identical semantics, zero synchronization.
 class shard_pool {
  public:
-  /// Worker count for `shards` worlds: min(shards, hardware cores), and 0
-  /// (inline mode) when that is not at least 2 — one worker would serialize
-  /// the batch anyway, through a slower path than the submitter's own loop.
-  static int workers_for(int shards) {
-    unsigned hw = std::thread::hardware_concurrency();
-    if (hw == 0) hw = 1;  // unknown → assume a lone core
-    int n = std::min(shards, static_cast<int>(hw));
+  /// Worker count for `shards` worlds given the policy's pool_threads knob:
+  /// an explicit request (builder().pool_threads(n) > 0) wins, then the
+  /// DETECT_POOL_THREADS env override, then auto = hardware cores. The
+  /// result is capped at `shards` (extra workers would idle) and collapses
+  /// to 0 (inline mode) when it is not at least 2 — one worker would
+  /// serialize the batch anyway, through a slower path than the submitter's
+  /// own loop.
+  static int workers_for(int shards, int requested) {
+    int n = requested;
+    if (n <= 0) {
+      if (const char* env = std::getenv("DETECT_POOL_THREADS")) {
+        n = std::atoi(env);
+      }
+    }
+    if (n <= 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      if (hw == 0) hw = 1;  // unknown → assume a lone core
+      n = static_cast<int>(hw);
+    }
+    n = std::min(n, shards);
     return n >= 2 ? n : 0;
   }
 
@@ -217,7 +237,7 @@ class sharded_executor final : public executor {
  public:
   explicit sharded_executor(const exec_policy& p)
       : pol_(p), placement_(p.placement),
-        pool_(shard_pool::workers_for(p.shards)) {
+        pool_(shard_pool::workers_for(p.shards, p.pool_threads)) {
     shards_.reserve(static_cast<std::size_t>(p.shards));
     for (int k = 0; k < p.shards; ++k) {
       shards_.push_back(std::make_unique<harness>(build_harness(p)));
@@ -240,6 +260,12 @@ class sharded_executor final : public executor {
   }
   const placement_policy& placement() const noexcept override {
     return placement_;
+  }
+  int pool_workers() const noexcept override { return pool_.workers(); }
+  placement_policy current_assignment() const override {
+    std::map<std::uint32_t, int> pins;
+    for (const auto& [id, rec] : placed_) pins.emplace(id, rec.shard);
+    return pinned_placement(std::move(pins));
   }
 
   object_handle add(const std::string& kind,
@@ -345,8 +371,19 @@ class sharded_executor final : public executor {
       total.hit_step_limit = total.hit_step_limit || r.hit_step_limit;
       if (total.limit_note.empty()) total.limit_note = r.limit_note;
       total.lost_persistence = total.lost_persistence || r.lost_persistence;
+      total.nvm_cells += r.nvm_cells;
+      total.nvm_bytes += r.nvm_bytes;
     }
     return total;
+  }
+
+  void reseed_crashes(std::uint64_t seed) override {
+    // Golden-ratio odd multiplier per shard: identical seeds would crash
+    // every shard at the same draw positions.
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      shards_[k]->reseed_crashes(seed ^
+                                 (0x9E3779B97F4A7C15ULL * (k + 1)));
+    }
   }
 
   void migrate(std::uint32_t object_id, int shard) override {
@@ -579,6 +616,10 @@ class threads_executor final : public executor {
   const placement_policy& placement() const noexcept override {
     return pol_.placement;
   }
+  int pool_workers() const noexcept override { return 0; }
+  placement_policy current_assignment() const override {
+    return pinned_placement({});
+  }
 
   object_handle add(const std::string& kind,
                     const object_params& params) override {
@@ -646,7 +687,13 @@ class threads_executor final : public executor {
     }
     sim::run_report report;
     report.steps = total_ops;  // no simulator steps; report op count instead
+    report.nvm_cells = dom_.cells_attached();
+    report.nvm_bytes = dom_.bytes_attached();
     return report;
+  }
+
+  void reseed_crashes(std::uint64_t) override {
+    // No crash plan to reseed: build() rejects them on this backend.
   }
 
   std::vector<hist::event> events() const override { return log_.snapshot(); }
@@ -722,6 +769,16 @@ std::unique_ptr<executor> make_executor(const exec_policy& p) {
         std::string("make_executor: .shards(") + std::to_string(p.shards) +
         ") needs exec_backend::sharded — the " + backend_name(p.backend) +
         " backend runs exactly one world");
+  }
+  if (p.pool_threads < 0) {
+    throw std::invalid_argument("make_executor: pool_threads must be >= 0 (0 "
+                                "= auto-size to hardware)");
+  }
+  if (p.backend != exec_backend::sharded && p.pool_threads > 0) {
+    throw std::invalid_argument(
+        std::string("make_executor: .pool_threads(") +
+        std::to_string(p.pool_threads) + ") needs exec_backend::sharded — "
+        "only sharded runs drive worlds on a driver pool");
   }
   if (p.backend == exec_backend::sharded) {
     p.placement.validate(p.shards);

@@ -69,6 +69,12 @@ struct exec_policy {
   int shards = 1;  // sharded backend: number of sim::world shards
   /// Sharded backend: which shard hosts each object (see api/placement.hpp).
   placement_policy placement;
+  /// Sharded backend: driver-pool size for parallel shard runs. 0 = auto
+  /// (min(shards, hardware cores), inline below 2 workers). An explicit
+  /// value wins over auto AND over the DETECT_POOL_THREADS env override;
+  /// 1 means "run shards sequentially inline" (one worker would only add
+  /// handoff latency over the submitter's own loop).
+  int pool_threads = 0;
   int nprocs = 2;
   core::runtime::fail_policy fail = core::runtime::fail_policy::skip;
   bool shared_cache = false;
@@ -100,6 +106,15 @@ class executor {
   virtual int shard_of(std::uint32_t object_id) const noexcept = 0;
   /// The active placement policy (modulo off the sharded backend).
   virtual const placement_policy& placement() const noexcept = 0;
+  /// Driver-pool workers actually running shard batches (0 = inline on the
+  /// submitting thread; always 0 off the sharded backend). See
+  /// builder::pool_threads().
+  virtual int pool_workers() const noexcept = 0;
+  /// The current object→shard assignment as a pinned placement policy
+  /// (sharded backend; trivially empty elsewhere). After migrations this is
+  /// the ground truth the builder's policy no longer describes — feed it to
+  /// rebalance() on a fresh executor to reproduce the layout.
+  virtual placement_policy current_assignment() const = 0;
 
   // ---- object creation -----------------------------------------------------
 
@@ -146,6 +161,13 @@ class executor {
   /// Drive every script to completion under the configured policy. Fresh
   /// scheduler/crash-plan instances per call keep runs reproducible.
   virtual sim::run_report run() = 0;
+
+  /// Reseed the random crash plan for subsequent run() calls (no-op without
+  /// one — including always on the threads backend, which rejects crash
+  /// plans at build time). The sharded backend decorrelates its shards by
+  /// mixing the shard index into the seed. Multi-round drivers (serve) call
+  /// this per round so crash points vary while staying deterministic.
+  virtual void reseed_crashes(std::uint64_t seed) = 0;
 
   // ---- live migration (sharded backend only) --------------------------------
 
@@ -200,6 +222,17 @@ class executor::builder {
   /// count at build() time.
   builder& placement(placement_policy p) {
     pol_.placement = std::move(p);
+    return *this;
+  }
+  /// Driver-pool size for the sharded backend: how many OS threads drive
+  /// shard batches in parallel. 0 (default) = auto-size to
+  /// min(shards, hardware cores); 1 = inline sequential; the
+  /// DETECT_POOL_THREADS environment variable overrides the auto choice
+  /// only, so one-core CI and multi-core hosts bench the same binary.
+  /// build() rejects negative values and any explicit value off the sharded
+  /// backend.
+  builder& pool_threads(int n) {
+    pol_.pool_threads = n;
     return *this;
   }
   builder& procs(int n) {

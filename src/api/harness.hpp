@@ -124,6 +124,13 @@ class harness {
   /// and crash plan (fresh instances per call, so runs are reproducible).
   sim::run_report run();
 
+  /// Replace the random crash plan's seed for subsequent run() calls (no-op
+  /// without a crash_random plan). run() rebuilds the plan from the same
+  /// seed each call, so without this every round of a multi-round driver
+  /// crashes at identical draw positions; round-based services reseed
+  /// deterministically per round to vary the crash points.
+  void reseed_crashes(std::uint64_t seed);
+
   /// Same, under caller-supplied policies.
   sim::run_report run(sim::scheduler& sched, sim::crash_plan* crashes = nullptr) {
     prepare_run();

@@ -134,4 +134,18 @@ placement_policy pinned_placement(std::map<std::uint32_t, int> pins) {
   return p;
 }
 
+double load_ratio(const std::vector<std::uint64_t>& per_shard_load) noexcept {
+  if (per_shard_load.empty()) return 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (std::uint64_t n : per_shard_load) {
+    total += n;
+    if (n > max) max = n;
+  }
+  if (total == 0) return 0.0;
+  const double ideal =
+      static_cast<double>(total) / static_cast<double>(per_shard_load.size());
+  return static_cast<double>(max) / ideal;
+}
+
 }  // namespace detect::api

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace detect::api {
 
@@ -63,5 +64,12 @@ struct placement_policy {
 
 /// Convenience: the pinned policy holding exactly `pins`.
 placement_policy pinned_placement(std::map<std::uint32_t, int> pins);
+
+/// Imbalance of a per-shard load vector: max load ÷ ideal (= mean) load.
+/// 1.0 is a perfect spread, K is everything-on-one-shard of K. Returns 0.0
+/// for an empty or all-zero vector (no load to be imbalanced). This is the
+/// trigger quantity of serve's hot-shard rebalancer and the "max/ideal"
+/// column of the bench job summary.
+double load_ratio(const std::vector<std::uint64_t>& per_shard_load) noexcept;
 
 }  // namespace detect::api

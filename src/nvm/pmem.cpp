@@ -115,6 +115,10 @@ void pmem_domain::attach(persistent_base& cell) {
   cell.next_ = head_;
   if (head_ != nullptr) head_->prev_ = &cell;
   head_ = &cell;
+  // attach() runs from the concrete cell's constructor body (pcell/pvar),
+  // so the image_size() dispatch is safe here — and symmetric in detach().
+  cells_attached_.fetch_add(1, std::memory_order_relaxed);
+  bytes_attached_.fetch_add(cell.image_size(), std::memory_order_relaxed);
   if (attach_sink_ != nullptr) attach_sink_->push_back(&cell);
 }
 
@@ -126,6 +130,8 @@ void pmem_domain::set_attach_recorder(
 
 void pmem_domain::detach(persistent_base& cell) noexcept {
   std::scoped_lock lock(mu_);
+  cells_attached_.fetch_sub(1, std::memory_order_relaxed);
+  bytes_attached_.fetch_sub(cell.image_size(), std::memory_order_relaxed);
   if (cell.journaled_) {
     auto it = std::find(journal_.begin(), journal_.end(), &cell);
     if (it != journal_.end()) {

@@ -193,6 +193,16 @@ class pmem_domain {
   void attach(persistent_base& cell);
   void detach(persistent_base& cell) noexcept;
 
+  /// Persistent cells currently attached to this domain.
+  std::uint64_t cells_attached() const noexcept {
+    return cells_attached_.load(std::memory_order_relaxed);
+  }
+  /// Persisted-image bytes of the attached cells (one image per cell — the
+  /// crash-surviving footprint, the quantity the paper's space bounds count).
+  std::uint64_t bytes_attached() const noexcept {
+    return bytes_attached_.load(std::memory_order_relaxed);
+  }
+
   /// While set, every attach() also appends the cell to `*sink` (in attach
   /// order). Harnesses wrap registry factories with this to learn which
   /// cells a freshly constructed object owns — the cell group whose
@@ -212,6 +222,10 @@ class pmem_domain {
   bool last_crash_lost_ = false;
   bool auto_persist_ = false;
   std::vector<persistent_base*>* attach_sink_ = nullptr;
+  /// Footprint counters (relaxed atomics: metrics only, readable without the
+  /// mutex; attach/detach already serialize the updates under mu_).
+  std::atomic<std::uint64_t> cells_attached_{0};
+  std::atomic<std::uint64_t> bytes_attached_{0};
   stats stats_;
 };
 

@@ -1,0 +1,12 @@
+// detect::serve — umbrella header for the serving front-end.
+//
+// One include gives clients the full surface: sessions and submit statuses
+// (serve/session.hpp), the server and its builder (serve/server.hpp), the
+// hot-shard rebalancer policy (serve/rebalancer.hpp), and the metrics
+// snapshot (serve/stats.hpp). See docs/serving.md for the tour.
+#pragma once
+
+#include "serve/rebalancer.hpp"  // IWYU pragma: export
+#include "serve/server.hpp"      // IWYU pragma: export
+#include "serve/session.hpp"     // IWYU pragma: export
+#include "serve/stats.hpp"       // IWYU pragma: export

@@ -1,0 +1,90 @@
+// detect::serve::session — a client's handle into the serving front-end.
+//
+// Clients open sessions against a serve::server and submit asynchronous
+// operation streams: each submit() carries a typed op_desc (built with the
+// usual api handles — `ctr.add(1)`, `q.enq(7)`) plus an optional completion
+// callback. Admission is decided synchronously — the returned submit_status
+// says whether the op entered the ingest queues — while execution and the
+// completion callback happen later, when a batch round drains the op's
+// shard queue through the executor.
+//
+// Ordering contract: ops of one session targeting objects on the same shard
+// execute in submission order (sessions map onto runtime processes, and the
+// executor preserves per-process per-shard program order). Ops of one
+// session on *different* shards may overlap — that concurrency is the point
+// of sharding, and per-object linearizability is what check() certifies.
+//
+// `overloaded` is retryable by contract: it means a backpressure limit (shard
+// queue high-water, the session's token bucket, or the global inflight cap)
+// said "not now", never that the op was half-accepted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "history/event.hpp"
+
+namespace detect::serve {
+
+class server;
+
+enum class submit_status : std::uint8_t {
+  admitted,       // queued; a completion callback will eventually fire
+  overloaded,     // backpressure — retry later (nothing was enqueued)
+  shutting_down,  // server is draining; no new work accepted
+  invalid_op,     // op targets an object the server does not host
+};
+
+const char* submit_status_name(submit_status s) noexcept;
+
+inline bool admitted(submit_status s) noexcept {
+  return s == submit_status::admitted;
+}
+
+/// Delivered to the submitter's callback when an admitted op completes.
+struct completion {
+  std::uint64_t ticket = 0;   // the submit's admission ticket
+  std::uint64_t session = 0;  // submitting session id
+  std::uint32_t object = 0;   // target object
+  hist::value_t value = 0;    // the op's response value
+  /// Submit → completion, in the server's latency unit (batch rounds in
+  /// deterministic mode, microseconds in threaded mode).
+  std::uint64_t latency = 0;
+};
+
+using completion_fn = std::function<void(const completion&)>;
+
+/// Copyable handle; all state lives in the server's session record. Valid
+/// only while the issuing server is alive.
+class session {
+ public:
+  session() = default;
+
+  std::uint64_t id() const noexcept { return id_; }
+  /// The runtime process this session multiplexes onto (sessions map onto
+  /// the executor's nprocs by id % nprocs).
+  int pid() const noexcept { return pid_; }
+
+  /// Submit one op. On `admitted`, `on_complete` (if any) fires exactly once
+  /// from a later batch round — from pump()/drain() in deterministic mode,
+  /// from the dispatcher thread in threaded mode. Any other status means the
+  /// op was not enqueued and no callback will fire.
+  submit_status submit(const hist::op_desc& op, completion_fn on_complete = {});
+
+  // Per-session counters (snapshots; the server owns the live values).
+  std::uint64_t submitted() const;
+  std::uint64_t admitted() const;
+  std::uint64_t rejected() const;
+  std::uint64_t completed() const;
+
+ private:
+  friend class server;
+  session(server* srv, std::uint64_t id, int pid)
+      : srv_(srv), id_(id), pid_(pid) {}
+
+  server* srv_ = nullptr;
+  std::uint64_t id_ = 0;
+  int pid_ = 0;
+};
+
+}  // namespace detect::serve

@@ -1,0 +1,185 @@
+// detect::serve metrics — the observable surface of the serving front-end.
+//
+// Everything the server measures lands in one copyable `stats` snapshot:
+// admission outcomes, batch shapes, per-shard queue depth and served load,
+// the rebalancer's move log, submit-to-complete latency quantiles, and the
+// persistent-cell footprint of the executor's NVM domains. `bench_serve`
+// serializes snapshots into BENCH_serve.json via `stats_json()` so the CI
+// job summary and the JSON artifact can never disagree on field names.
+//
+// Latencies are recorded in the server's tick unit — batch rounds in
+// deterministic mode (a replayable logical clock), microseconds in threaded
+// mode — into a log-bucketed histogram: 8 linear sub-buckets per power of
+// two, so quantiles carry at most ~12% relative error at fixed memory, the
+// usual HDR-histogram trade.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace detect::serve {
+
+/// Fixed-memory log-bucketed histogram of latency ticks.
+class latency_histogram {
+ public:
+  void record(std::uint64_t ticks) noexcept {
+    ++buckets_[index_of(ticks)];
+    ++count_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+
+  /// Smallest bucket lower bound with cumulative count ≥ q·count. 0 when
+  /// empty. q outside [0,1] is clamped.
+  std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double want = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < k_buckets; ++i) {
+      seen += buckets_[i];
+      if (static_cast<double>(seen) >= want && buckets_[i] != 0) {
+        return lower_bound_of(i);
+      }
+    }
+    return lower_bound_of(k_buckets - 1);
+  }
+
+ private:
+  static constexpr int k_sub_bits = 3;
+  static constexpr int k_sub = 1 << k_sub_bits;  // linear buckets per octave
+  static constexpr int k_buckets = (64 - k_sub_bits + 1) * k_sub;
+
+  static int index_of(std::uint64_t v) noexcept {
+    if (v < k_sub) return static_cast<int>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int sub =
+        static_cast<int>((v >> (msb - k_sub_bits)) & (k_sub - 1));
+    return (msb - k_sub_bits + 1) * k_sub + sub;
+  }
+
+  static std::uint64_t lower_bound_of(int idx) noexcept {
+    if (idx < k_sub) return static_cast<std::uint64_t>(idx);
+    const int group = idx / k_sub;
+    const int sub = idx % k_sub;
+    const int msb = group + k_sub_bits - 1;
+    return static_cast<std::uint64_t>(k_sub + sub) << (msb - k_sub_bits);
+  }
+
+  std::uint64_t buckets_[k_buckets] = {};
+  std::uint64_t count_ = 0;
+};
+
+/// Per-shard slice of the snapshot.
+struct shard_stats {
+  std::uint64_t queue_depth = 0;      // pending ops right now
+  std::uint64_t max_queue_depth = 0;  // deepest the queue ever got
+  std::uint64_t served = 0;           // ops this shard executed
+  std::uint64_t batches = 0;          // rounds with ≥1 op on this shard
+  std::uint64_t rejected_queue = 0;   // submits bounced off the high-water
+};
+
+/// One rebalancer move, as logged when it happened.
+struct move_record {
+  std::uint64_t round = 0;
+  std::uint32_t object = 0;
+  int from = 0;
+  int to = 0;
+  /// The window load ratio (max/ideal) that triggered the cycle this move
+  /// belongs to.
+  double ratio_before = 0.0;
+};
+
+struct stats {
+  std::uint64_t sessions_opened = 0;
+
+  // Admission.
+  std::uint64_t submitted = 0;  // every submit() call
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t inflight = 0;  // admitted, not yet completed
+  std::uint64_t rejected_queue = 0;           // shard high-water mark
+  std::uint64_t rejected_session_tokens = 0;  // per-session token bucket
+  std::uint64_t rejected_global = 0;          // global inflight limit
+  std::uint64_t rejected_shutdown = 0;        // submitted after shutdown()
+  std::uint64_t rejected_invalid = 0;         // unknown object id
+
+  // Batching.
+  std::uint64_t rounds = 0;        // executor batch rounds run
+  std::uint64_t batches = 0;       // per-shard non-empty batches
+  std::uint64_t max_batch_ops = 0; // largest single per-shard batch
+  double mean_batch_ops = 0.0;
+
+  // Execution (summed over rounds / read from the last run_report).
+  std::uint64_t steps = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t nvm_cells = 0;
+  std::uint64_t nvm_bytes = 0;
+
+  // Rebalancing.
+  double load_ratio_window = 0.0;  // last evaluated window's max/ideal
+  std::vector<move_record> moves;
+
+  std::vector<shard_stats> shards;
+
+  // Latency (submit → completion callback), in `latency_unit` ticks.
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::string latency_unit;  // "rounds" (deterministic) or "us" (threaded)
+
+  std::uint64_t rejected_total() const noexcept {
+    return rejected_queue + rejected_session_tokens + rejected_global +
+           rejected_shutdown + rejected_invalid;
+  }
+};
+
+/// The snapshot as one JSON object — the row format of BENCH_serve.json.
+inline std::string stats_json(const stats& s) {
+  std::ostringstream os;
+  os << "{\"sessions\": " << s.sessions_opened
+     << ", \"submitted\": " << s.submitted << ", \"admitted\": " << s.admitted
+     << ", \"completed\": " << s.completed << ", \"inflight\": " << s.inflight
+     << ", \"rejected\": " << s.rejected_total()
+     << ", \"rejected_queue\": " << s.rejected_queue
+     << ", \"rejected_session_tokens\": " << s.rejected_session_tokens
+     << ", \"rejected_global\": " << s.rejected_global
+     << ", \"rejected_shutdown\": " << s.rejected_shutdown
+     << ", \"rejected_invalid\": " << s.rejected_invalid
+     << ", \"rounds\": " << s.rounds << ", \"batches\": " << s.batches
+     << ", \"mean_batch_ops\": " << s.mean_batch_ops
+     << ", \"max_batch_ops\": " << s.max_batch_ops
+     << ", \"steps\": " << s.steps << ", \"crashes\": " << s.crashes
+     << ", \"nvm_cells\": " << s.nvm_cells
+     << ", \"nvm_bytes\": " << s.nvm_bytes
+     << ", \"load_ratio_window\": " << s.load_ratio_window
+     << ", \"p50\": " << s.p50 << ", \"p99\": " << s.p99
+     << ", \"latency_unit\": \"" << s.latency_unit << "\""
+     << ", \"queue_depth\": [";
+  for (std::size_t k = 0; k < s.shards.size(); ++k) {
+    os << (k != 0 ? ", " : "") << s.shards[k].queue_depth;
+  }
+  os << "], \"max_queue_depth\": [";
+  for (std::size_t k = 0; k < s.shards.size(); ++k) {
+    os << (k != 0 ? ", " : "") << s.shards[k].max_queue_depth;
+  }
+  os << "], \"served\": [";
+  for (std::size_t k = 0; k < s.shards.size(); ++k) {
+    os << (k != 0 ? ", " : "") << s.shards[k].served;
+  }
+  os << "], \"moves\": [";
+  for (std::size_t i = 0; i < s.moves.size(); ++i) {
+    const move_record& m = s.moves[i];
+    os << (i != 0 ? ", " : "") << "{\"round\": " << m.round
+       << ", \"object\": " << m.object << ", \"from\": " << m.from
+       << ", \"to\": " << m.to << ", \"ratio_before\": " << m.ratio_before
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace detect::serve

@@ -135,6 +135,8 @@ run_report world::run(scheduler& sched, crash_plan* crashes,
   }
   rep.steps = step_no_;
   rep.lost_persistence = lost_persistence_;
+  rep.nvm_cells = domain_.cells_attached();
+  rep.nvm_bytes = domain_.bytes_attached();
   return rep;
 }
 

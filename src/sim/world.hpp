@@ -74,6 +74,12 @@ struct run_report {
   /// that strict mode would have persisted (a crash state the strict model
   /// can never produce).
   bool lost_persistence = false;
+  /// Persistent-cell footprint of the world's NVM domain when the run
+  /// finished: cells attached and their persisted-image bytes — the space
+  /// quantity the paper's bounds count. Sharded executors sum the fields
+  /// across shards.
+  std::uint64_t nvm_cells = 0;
+  std::uint64_t nvm_bytes = 0;
 };
 
 class world {

@@ -1,6 +1,7 @@
 // detect::api::executor — backend policies, shard routing, log merging,
 // per-object checker decomposition, and the real-thread backend.
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -697,6 +698,197 @@ TEST(migration, state_transplant_round_trips_for_every_registry_kind) {
     hist::check_result check = ex->check();
     EXPECT_TRUE(check.ok) << kind << ": " << check.message;
   }
+}
+
+// ---- driver pool sizing -----------------------------------------------------
+
+TEST(pool_threads, explicit_size_wins_and_one_collapses_to_inline) {
+  auto four = api::executor::builder()
+                  .backend(exec_backend::sharded)
+                  .shards(4)
+                  .pool_threads(4)
+                  .build();
+  EXPECT_EQ(four->pool_workers(), 4);
+
+  // One worker would only add handoff latency over the submitting thread's
+  // own loop, so it collapses to inline mode.
+  auto one = api::executor::builder()
+                 .backend(exec_backend::sharded)
+                 .shards(4)
+                 .pool_threads(1)
+                 .build();
+  EXPECT_EQ(one->pool_workers(), 0);
+
+  // More workers than shards is wasted threads; capped.
+  auto surplus = api::executor::builder()
+                     .backend(exec_backend::sharded)
+                     .shards(2)
+                     .pool_threads(8)
+                     .build();
+  EXPECT_EQ(surplus->pool_workers(), 2);
+}
+
+TEST(pool_threads, env_override_applies_only_to_auto) {
+  ::setenv("DETECT_POOL_THREADS", "1", 1);
+  auto autod = api::executor::builder()
+                   .backend(exec_backend::sharded)
+                   .shards(4)
+                   .build();
+  EXPECT_EQ(autod->pool_workers(), 0);  // env says 1 → inline
+
+  // An explicit builder value beats the environment.
+  auto expl = api::executor::builder()
+                  .backend(exec_backend::sharded)
+                  .shards(4)
+                  .pool_threads(2)
+                  .build();
+  EXPECT_EQ(expl->pool_workers(), 2);
+  ::unsetenv("DETECT_POOL_THREADS");
+}
+
+TEST(pool_threads, validates_at_build_time) {
+  api::exec_policy negative;
+  negative.backend = exec_backend::sharded;
+  negative.shards = 2;
+  negative.pool_threads = -1;
+  EXPECT_THROW(api::make_executor(negative), std::invalid_argument);
+
+  api::exec_policy off_backend;
+  off_backend.pool_threads = 2;  // single backend has no driver pool
+  EXPECT_THROW(api::make_executor(off_backend), std::invalid_argument);
+}
+
+TEST(pool_threads, pool_size_does_not_change_results) {
+  auto run_with = [](int pool) {
+    auto ex = api::executor::builder()
+                  .backend(exec_backend::sharded)
+                  .shards(2)
+                  .procs(2)
+                  .seed(9)
+                  .pool_threads(pool)
+                  .build();
+    api::counter c0 = ex->add_counter();
+    api::counter c1 = ex->add_counter();
+    ex->script(0, {c0.add(1), c1.add(10), c0.add(2)});
+    ex->script(1, {c1.add(20), c0.add(3)});
+    ex->run();
+    std::string text;
+    for (const hist::event& e : ex->events()) text += e.to_string() + "\n";
+    return text;
+  };
+  // Worlds are deterministic in isolation, so inline vs parallel drivers
+  // must merge to the identical log.
+  EXPECT_EQ(run_with(1), run_with(2));
+}
+
+// ---- persistent-cell footprint ----------------------------------------------
+
+TEST(run_report, carries_the_nvm_footprint) {
+  auto ex = api::executor::builder()
+                .backend(exec_backend::sharded)
+                .shards(2)
+                .procs(2)
+                .build();
+  api::counter c0 = ex->add_counter();
+  api::counter c1 = ex->add_counter();
+  ex->script(0, {c0.add(1)});
+  ex->script(1, {c1.add(1)});
+  sim::run_report rep = ex->run();
+  EXPECT_GT(rep.nvm_cells, 0u);
+  EXPECT_GT(rep.nvm_bytes, 0u);
+  // A cell's persisted image is at least one byte; bytes dominate cells.
+  EXPECT_GE(rep.nvm_bytes, rep.nvm_cells);
+}
+
+TEST(run_report, threads_backend_reports_the_arena_footprint) {
+  auto ex = api::executor::builder()
+                .backend(exec_backend::threads)
+                .procs(2)
+                .build();
+  api::counter c = ex->add_counter();
+  ex->script(0, {c.add(1)});
+  ex->script(1, {c.add(1)});
+  sim::run_report rep = ex->run();
+  EXPECT_GT(rep.nvm_cells, 0u);
+  EXPECT_GT(rep.nvm_bytes, 0u);
+}
+
+// ---- current assignment -----------------------------------------------------
+
+TEST(current_assignment, tracks_migrations) {
+  auto ex = api::executor::builder()
+                .backend(exec_backend::sharded)
+                .shards(3)
+                .procs(1)
+                .build();
+  api::counter c0 = ex->add_counter();  // id 0 → shard 0
+  api::counter c1 = ex->add_counter();  // id 1 → shard 1
+  ex->script(0, {c0.add(1), c1.add(1)});
+  ex->run();
+  ex->migrate(c0.id(), 2);
+
+  api::placement_policy assign = ex->current_assignment();
+  ASSERT_EQ(assign.kind, api::placement_kind::pinned);
+  EXPECT_EQ(assign.pins.at(c0.id()), 2);
+  EXPECT_EQ(assign.pins.at(c1.id()), 1);
+
+  // Ground truth is reusable: a fresh executor under the returned pins
+  // routes the same ids to the same shards.
+  auto fresh = api::executor::builder()
+                   .backend(exec_backend::sharded)
+                   .shards(3)
+                   .placement(assign)
+                   .build();
+  EXPECT_EQ(fresh->shard_of(c0.id()), 2);
+  EXPECT_EQ(fresh->shard_of(c1.id()), 1);
+}
+
+// ---- load_ratio -------------------------------------------------------------
+
+TEST(load_ratio, measures_imbalance_against_the_ideal_spread) {
+  EXPECT_DOUBLE_EQ(api::load_ratio({}), 0.0);
+  EXPECT_DOUBLE_EQ(api::load_ratio({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(api::load_ratio({5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(api::load_ratio({8, 0}), 2.0);       // all on one of two
+  EXPECT_DOUBLE_EQ(api::load_ratio({12, 0, 0, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(api::load_ratio({6, 2}), 1.5);
+}
+
+// ---- crash-plan reseeding ---------------------------------------------------
+
+TEST(reseed_crashes, varies_the_crash_points_between_rounds) {
+  auto build = [] {
+    return api::executor::builder()
+        .backend(exec_backend::sharded)
+        .shards(1)
+        .procs(2)
+        .fail_policy(core::runtime::fail_policy::retry)
+        .crash_random(3, 0.05, 2)
+        .build();
+  };
+  // Unreseeded rounds rebuild the same plan: identical crash draw positions.
+  auto fixed = build();
+  auto reseeded = build();
+  api::counter cf = fixed->add_counter();
+  api::counter cr = reseeded->add_counter();
+  std::uint64_t fixed_crashes = 0;
+  std::uint64_t reseeded_crashes = 0;
+  for (int round = 0; round < 6; ++round) {
+    fixed->script(0, {cf.add(1), cf.add(1)});
+    fixed->script(1, {cf.add(1)});
+    fixed_crashes += fixed->run().crashes;
+
+    reseeded->reseed_crashes(1000 + static_cast<std::uint64_t>(round));
+    reseeded->script(0, {cr.add(1), cr.add(1)});
+    reseeded->script(1, {cr.add(1)});
+    reseeded_crashes += reseeded->run().crashes;
+  }
+  // Both histories must still check out; the reseeded one stays correct
+  // under varied crash points (the actual counts are seed-dependent).
+  EXPECT_TRUE(fixed->check().ok);
+  EXPECT_TRUE(reseeded->check().ok);
+  (void)fixed_crashes;
+  (void)reseeded_crashes;
 }
 
 }  // namespace
