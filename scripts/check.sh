@@ -19,11 +19,16 @@
 #                                    # (strict/buffered) iterations; writes
 #                                    # coverage.json with the per-strategy
 #                                    # bucket tables
-#   scripts/check.sh --fuzz-deep N   # the nightly deep-fuzz lane: N
+#   scripts/check.sh --fuzz-deep N [--jobs J]
+#                                    # the nightly deep-fuzz lane: N
 #                                    # coverage-steered multi-object
 #                                    # strategy-mixed iterations with the
 #                                    # equivalence diff on every one; writes
-#                                    # coverage.json
+#                                    # coverage.json. --jobs J forks J worker
+#                                    # processes over the iteration range
+#                                    # (per-worker summaries + shared corpus
+#                                    # land in the artifact dir, coverage.json
+#                                    # is the merged union)
 #   scripts/check.sh --bench-smoke   # the CI bench-smoke stage: every
 #                                    # E-binary with tiny parameters, plus
 #                                    # bench_serve at smoke size
@@ -177,13 +182,20 @@ case "${1:-}" in
     # Emits coverage.json (buckets, timeline, per-strategy tables, corpus
     # seed list) next to the usual failure artifacts.
     iters="${2:-30000}"
+    # Optional campaign fan-out: `--fuzz-deep N --jobs J` forks J workers
+    # (DETECT_FUZZ_JOBS works too; the flag wins). J > 1 turns the N-budget
+    # lane into an N-per-worker-wall-clock campaign on a J-core runner.
+    fuzz_jobs="${DETECT_FUZZ_JOBS:-1}"
+    if [[ "${3:-}" == "--jobs" ]]; then
+      fuzz_jobs="${4:?--jobs needs a worker count}"
+    fi
     dir="${DETECT_BUILD_DIR:-build-$build_type}"
-    echo "== fuzz-deep: $iters coverage-steered multi-object iterations ($dir) =="
+    echo "== fuzz-deep: $iters coverage-steered multi-object iterations, $fuzz_jobs worker(s) ($dir) =="
     stage_build "$dir" "$build_type"
     stage_fuzz "$dir" "$iters" \
       --coverage --coverage-out "${DETECT_COVERAGE_OUT:-coverage.json}" \
       --objects-max 4 --shards-min 2 --shards-max 4 \
-      --sched mixed --persist mixed
+      --sched mixed --persist mixed --jobs "$fuzz_jobs"
     ;;
   --bench-smoke)
     dir="${DETECT_BUILD_DIR:-build-$build_type}"
@@ -211,7 +223,7 @@ case "${1:-}" in
     stage_ctest build-sanitize
     ;;
   *)
-    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-placement N | --fuzz-sched N | --fuzz-deep N | --bench-smoke | --serve-soak N]" >&2
+    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-placement N | --fuzz-sched N | --fuzz-deep N [--jobs J] | --bench-smoke | --serve-soak N]" >&2
     exit 2
     ;;
 esac

@@ -126,6 +126,38 @@ def coverage_table(data):
     yield f"| steered | {data['steered']} |"
     yield f"| corpus size | {len(data['corpus'])} |"
     yield f"| base seed | {data['base_seed']} |"
+    if "jobs" in data:
+        yield f"| worker processes | {data['jobs']} |"
+    # Multi-process campaigns (fuzz_main --jobs N): one row per forked
+    # worker. A lost worker (died without reporting — signal, OOM) is a red
+    # flag even when every surviving slice passed: its iterations never ran.
+    workers = data.get("workers", [])
+    if workers:
+        lost = []
+        yield ""
+        yield "#### Campaign workers"
+        yield ""
+        yield ("| worker | slice | executed | replays | new buckets "
+               "| status |")
+        yield "|---|---|---|---|---|---|"
+        for w in workers:
+            first = w["first_iteration"]
+            span = f"[{first}, {first + w['iterations']})"
+            if w.get("lost"):
+                status = "⚠️ LOST"
+                lost.append(f"worker {w['worker']} ({span}) died without "
+                            "reporting")
+            elif w.get("failed"):
+                status = "❌ failed"
+            else:
+                status = "ok"
+            yield (f"| {w['worker']} | {span} | {w['executed']} "
+                   f"| {w['replays']} | {w['new_buckets']} | {status} |")
+        if lost:
+            yield ""
+            yield "**Lost workers:**"
+            for entry in lost:
+                yield f"- ⚠️ {entry}"
     timeline = data["new_bucket_timeline"]
     if timeline:
         # New-bucket rate per quarter of the campaign: is discovery drying up?

@@ -1,6 +1,8 @@
 // The three execution backends behind detect::api::executor.
 #include "api/executor.hpp"
 
+#include "util/task_pool.hpp"
+
 #include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
@@ -129,9 +131,8 @@ class single_executor final : public executor {
   }
 
   std::vector<hist::event> events() const override { return h_.events(); }
-  hist::check_result check(std::size_t node_budget,
-                           hist::lin_memo* memo) const override {
-    return h_.check_per_object(node_budget, memo);
+  hist::check_result check(const hist::check_options& opt) const override {
+    return h_.check_per_object(opt);
   }
 
  private:
@@ -144,100 +145,35 @@ class single_executor final : public executor {
 // sharded — K one-world harnesses with placement-policy routing and live
 // object migration between runs.
 
-/// Persistent driver pool for the sharded backend. Workers live for the
-/// executor's lifetime, so a fuzz campaign's thousands of run() calls reuse
-/// the same OS threads instead of paying a spawn/join per shard per run.
-/// run_batch() hands every job to the queue and blocks until the whole batch
-/// drains — the per-run barrier the merged-log run coordinate relies on.
-/// With no workers (single shard, or a single-core host where parallel
-/// drivers would only add handoff latency) jobs run inline on the submitting
-/// thread: identical semantics, zero synchronization.
-class shard_pool {
- public:
-  /// Worker count for `shards` worlds given the policy's pool_threads knob:
-  /// an explicit request (builder().pool_threads(n) > 0) wins, then the
-  /// DETECT_POOL_THREADS env override, then auto = hardware cores. The
-  /// result is capped at `shards` (extra workers would idle) and collapses
-  /// to 0 (inline mode) when it is not at least 2 — one worker would
-  /// serialize the batch anyway, through a slower path than the submitter's
-  /// own loop.
-  static int workers_for(int shards, int requested) {
-    int n = requested;
-    if (n <= 0) {
-      if (const char* env = std::getenv("DETECT_POOL_THREADS")) {
-        n = std::atoi(env);
-      }
-    }
-    if (n <= 0) {
-      unsigned hw = std::thread::hardware_concurrency();
-      if (hw == 0) hw = 1;  // unknown → assume a lone core
-      n = static_cast<int>(hw);
-    }
-    n = std::min(n, shards);
-    return n >= 2 ? n : 0;
-  }
-
-  explicit shard_pool(int workers) {
-    threads_.reserve(static_cast<std::size_t>(workers));
-    for (int i = 0; i < workers; ++i) {
-      threads_.emplace_back([this] { worker_loop(); });
+/// Worker count for the sharded backend's driver pool (a util::task_pool
+/// instance owned per executor, so a fuzz campaign's thousands of run()
+/// calls reuse the same OS threads): an explicit request
+/// (builder().pool_threads(n) > 0) wins, then the DETECT_POOL_THREADS env
+/// override, then auto = hardware cores. The result is capped at `shards`
+/// (extra workers would idle) and collapses to 0 (inline mode) when it is
+/// not at least 2 — one worker would serialize the batch anyway, through a
+/// slower path than the submitter's own loop.
+int shard_pool_workers(int shards, int requested) {
+  int n = requested;
+  if (n <= 0) {
+    if (const char* env = std::getenv("DETECT_POOL_THREADS")) {
+      n = std::atoi(env);
     }
   }
-
-  ~shard_pool() {
-    {
-      std::scoped_lock lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    for (std::thread& t : threads_) t.join();
+  if (n <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;  // unknown → assume a lone core
+    n = static_cast<int>(hw);
   }
-
-  int workers() const noexcept { return static_cast<int>(threads_.size()); }
-
-  /// Run every job to completion. Jobs must not throw (the executor's jobs
-  /// capture exceptions into per-shard slots).
-  void run_batch(std::vector<std::function<void()>>& jobs) {
-    if (threads_.empty()) {
-      for (auto& job : jobs) job();
-      return;
-    }
-    std::unique_lock lock(mu_);
-    outstanding_ += jobs.size();
-    for (auto& job : jobs) queue_.push_back(std::move(job));
-    cv_.notify_all();
-    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
-  }
-
- private:
-  void worker_loop() {
-    std::unique_lock lock(mu_);
-    for (;;) {
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_) return;
-      std::function<void()> job = std::move(queue_.front());
-      queue_.pop_front();
-      lock.unlock();
-      job();
-      lock.lock();
-      if (--outstanding_ == 0) done_cv_.notify_all();
-    }
-  }
-
-  std::mutex mu_;
-  std::condition_variable cv_;       // workers: work available / stop
-  std::condition_variable done_cv_;  // submitter: batch drained
-  std::deque<std::function<void()>> queue_;
-  std::size_t outstanding_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
-};
+  n = std::min(n, shards);
+  return n >= 2 ? n : 0;
+}
 
 class sharded_executor final : public executor {
  public:
   explicit sharded_executor(const exec_policy& p)
       : pol_(p), placement_(p.placement),
-        pool_(shard_pool::workers_for(p.shards, p.pool_threads)) {
+        pool_(shard_pool_workers(p.shards, p.pool_threads)) {
     shards_.reserve(static_cast<std::size_t>(p.shards));
     for (int k = 0; k < p.shards; ++k) {
       shards_.push_back(std::make_unique<harness>(build_harness(p)));
@@ -474,22 +410,22 @@ class sharded_executor final : public executor {
     return out;
   }
 
-  hist::check_result check(std::size_t node_budget,
-                           hist::lin_memo* memo) const override {
+  hist::check_result check(const hist::check_options& opt) const override {
     if (!any_migrated_) {
       // Crash events are per shard (each shard is its own failure domain),
-      // so decompose shard by shard, each against its own objects' specs.
+      // so decompose shard by shard, each against its own objects' specs —
+      // the per-object fan-out (opt.jobs) applies within each shard's call.
       hist::check_result res;
       res.ok = true;
       for (std::size_t k = 0; k < shards_.size(); ++k) {
-        hist::check_result sub =
-            shards_[k]->check_per_object(node_budget, memo);
+        hist::check_result sub = shards_[k]->check_per_object(opt);
         res.nodes += sub.nodes;
         res.objects += sub.objects;
         res.synthesized_interval |= sub.synthesized_interval;
         if (!sub.ok) {
           res.ok = false;
           res.inconclusive = sub.inconclusive;
+          res.failed_object = sub.failed_object;
           res.message =
               "shard " + std::to_string(k) + ": " + sub.message;
           return res;
@@ -503,32 +439,32 @@ class sharded_executor final : public executor {
     // each object's contiguous stream instead: the prefix carried along by
     // migrate() plus the projection of its current shard's log since
     // arrival (op events of the object + that world's crash events) — still
-    // one independent linearization per object.
+    // one independent linearization per object, all handed to the hist
+    // driver in one batch so the jobs fan-out and worst-offender selection
+    // apply here exactly as on the unmigrated paths.
     std::vector<std::vector<hist::event>> logs;
     logs.reserve(shards_.size());
     for (const auto& sh : shards_) logs.push_back(sh->events());
 
     const object_registry& reg = object_registry::global();
-    hist::check_result res;
-    res.ok = true;
+    std::vector<std::unique_ptr<hist::spec>> spec_store;
+    std::vector<hist::object_stream> streams;
+    streams.reserve(placed_.size());
     for (const auto& [id, rec] : placed_) {
       std::vector<hist::event> stream = rec.prefix;
       append_object_slice(stream, logs[static_cast<std::size_t>(rec.shard)],
                           rec.arrival, id);
-      std::unique_ptr<hist::spec> spec = reg.make_spec(rec.kind, rec.params);
-      hist::object_spec_list specs{{id, spec.get()}};
-      hist::check_result sub = hist::check_durable_linearizability_per_object(
-          stream, specs, node_budget, memo);
-      res.nodes += sub.nodes;
-      res.objects += sub.objects;
-      res.synthesized_interval |= sub.synthesized_interval;
-      if (!sub.ok) {
-        res.ok = false;
-        res.inconclusive = sub.inconclusive;
-        res.message = "shard " + std::to_string(rec.shard) +
-                      (rec.moved ? " (object migrated)" : "") + ": " +
-                      sub.message;
-        return res;
+      spec_store.push_back(reg.make_spec(rec.kind, rec.params));
+      streams.push_back({id, spec_store.back().get(), std::move(stream)});
+    }
+    hist::check_result res = hist::check_object_streams(streams, opt);
+    if (!res.ok && res.failed_object >= 0) {
+      const auto it = placed_.find(
+          static_cast<std::uint32_t>(res.failed_object));
+      if (it != placed_.end()) {
+        res.message = "shard " + std::to_string(it->second.shard) +
+                      (it->second.moved ? " (object migrated)" : "") + ": " +
+                      res.message;
       }
     }
     return res;
@@ -595,7 +531,7 @@ class sharded_executor final : public executor {
   bool any_migrated_ = false;
   /// Last member: destroyed first, so workers are joined while everything
   /// they might reference is still alive.
-  shard_pool pool_;
+  util::task_pool pool_;
 };
 
 // ---------------------------------------------------------------------------
@@ -698,12 +634,11 @@ class threads_executor final : public executor {
 
   std::vector<hist::event> events() const override { return log_.snapshot(); }
 
-  hist::check_result check(std::size_t node_budget,
-                           hist::lin_memo* memo) const override {
+  hist::check_result check(const hist::check_options& opt) const override {
     hist::object_spec_list specs;
     for (const auto& [id, proto] : specs_) specs.emplace_back(id, proto.get());
-    return hist::check_durable_linearizability_per_object(
-        log_.snapshot(), specs, node_budget, memo);
+    return hist::check_durable_linearizability_per_object(log_.snapshot(),
+                                                          specs, opt);
   }
 
  private:

@@ -195,12 +195,22 @@ class executor {
   virtual std::vector<hist::event> events() const = 0;
 
   /// Durable linearizability + detectability via per-object decomposition.
-  /// With a non-null `memo`, per-object sub-checks are fingerprint-cached
-  /// across calls (see hist::lin_memo) — the differ shares one memo across a
-  /// scenario's variant replays so identical object streams linearize once.
+  /// All knobs ride in one hist::check_options: the node budget, an optional
+  /// shared sub-check memo (the differ threads one across a scenario's
+  /// variant replays so identical object streams linearize once), and the
+  /// per-object fan-out (`jobs`) — verdicts, messages, and node counts are
+  /// byte-identical for every jobs value (see docs/checking.md).
   virtual hist::check_result check(
-      std::size_t node_budget = hist::k_default_node_budget,
-      hist::lin_memo* memo = nullptr) const = 0;
+      const hist::check_options& opt = {}) const = 0;
+
+  /// Deprecated pre-check_options form (thin shim; prefer check(options)).
+  hist::check_result check(std::size_t node_budget,
+                           hist::lin_memo* memo = nullptr) const {
+    hist::check_options opt;
+    opt.node_budget = node_budget;
+    opt.memo = memo;
+    return check(opt);
+  }
 
   std::string log_text() const;
 };

@@ -151,12 +151,21 @@ class harness {
 
   /// Same verdict via per-object decomposition: one linearization per added
   /// object instead of one product-spec search — exponentially cheaper on
-  /// multi-object histories (see hist::checker).
-  hist::check_result check_per_object(
-      std::size_t node_budget = hist::k_default_node_budget,
-      hist::lin_memo* memo = nullptr) const {
+  /// multi-object histories (see hist::checker). Budget, shared memo, and
+  /// the per-object fan-out all ride in one hist::check_options.
+  hist::check_result check_per_object(const hist::check_options& opt = {}) const {
     return hist::check_durable_linearizability_per_object(
-        log_->snapshot(), object_specs(), node_budget, memo);
+        log_->snapshot(), object_specs(), opt);
+  }
+
+  /// Deprecated pre-check_options form (thin shim; prefer the overload
+  /// above).
+  hist::check_result check_per_object(std::size_t node_budget,
+                                      hist::lin_memo* memo = nullptr) const {
+    hist::check_options opt;
+    opt.node_budget = node_budget;
+    opt.memo = memo;
+    return check_per_object(opt);
   }
 
   /// (id, spec) of every object added so far; specs stay owned by the

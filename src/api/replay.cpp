@@ -85,7 +85,7 @@ std::unique_ptr<executor> build_executor(const scripted_scenario& s) {
 }
 
 scripted_outcome replay_impl(const scripted_scenario& s, bool check,
-                             hist::lin_memo* memo = nullptr) {
+                             const hist::check_options& opt = {}) {
   std::unique_ptr<executor> ex = build_executor(s);
   scripted_outcome out;
   out.report = ex->run();
@@ -107,7 +107,7 @@ scripted_outcome replay_impl(const scripted_scenario& s, bool check,
     if (out.report.limit_note.empty()) out.report.limit_note = second.limit_note;
     out.report.lost_persistence |= second.lost_persistence;
   }
-  if (check) out.check = ex->check(hist::k_default_node_budget, memo);
+  if (check) out.check = ex->check(opt);
   out.events = ex->events();
   out.log_text = ex->log_text();
   return out;
@@ -119,8 +119,15 @@ scripted_outcome replay(const scripted_scenario& s) {
   return replay_impl(s, /*check=*/true);
 }
 
+scripted_outcome replay(const scripted_scenario& s,
+                        const hist::check_options& opt) {
+  return replay_impl(s, /*check=*/true, opt);
+}
+
 scripted_outcome replay(const scripted_scenario& s, hist::lin_memo* memo) {
-  return replay_impl(s, /*check=*/true, memo);
+  hist::check_options opt;
+  opt.memo = memo;
+  return replay_impl(s, /*check=*/true, opt);
 }
 
 scripted_outcome replay_unchecked(const scripted_scenario& s) {

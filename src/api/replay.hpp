@@ -117,10 +117,14 @@ struct scripted_outcome {
 /// undeclared objects.
 scripted_outcome replay(const scripted_scenario& s);
 
-/// Same, with a shared per-object check memo: sub-checks whose (spec,
-/// budget, object stream) fingerprint already ran reuse the recorded verdict
-/// (see hist::lin_memo). The differ threads one memo through a scenario's
-/// whole variant family, so identical object histories linearize once.
+/// Same, with explicit check knobs: node budget, a shared per-object check
+/// memo (the differ threads one through a scenario's whole variant family so
+/// identical object histories linearize once), and the per-object fan-out
+/// (`jobs` — see hist::check_options).
+scripted_outcome replay(const scripted_scenario& s,
+                        const hist::check_options& opt);
+
+/// Deprecated memo-only form (thin shim; prefer replay(s, options)).
 scripted_outcome replay(const scripted_scenario& s, hist::lin_memo* memo);
 
 /// Same, but skip the (potentially expensive) durable-linearizability check;

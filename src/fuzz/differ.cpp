@@ -171,10 +171,10 @@ diff_report diff_object_against(const api::scripted_scenario& base,
                                 const api::scripted_outcome& a,
                                 std::size_t index,
                                 const std::string& variant_kind,
-                                hist::lin_memo* memo = nullptr) {
+                                const hist::check_options& copt = {}) {
   api::scripted_scenario variant = base;
   variant.objects[index].kind = variant_kind;
-  api::scripted_outcome b = api::replay(variant, memo);
+  api::scripted_outcome b = api::replay(variant, copt);
   return compare_variant_outcomes(
       base, a,
       variant_kind + "@object " + std::to_string(base.objects[index].id), b);
@@ -189,8 +189,10 @@ diff_report diff_against(const api::scripted_scenario& s,
   api::scripted_scenario base =
       crashes_comparable(s, index, variant_kind) ? s : crash_free(s);
   hist::lin_memo memo;  // objects untouched by the substitution check once
-  return diff_object_against(base, api::replay(base, &memo), index,
-                             variant_kind, &memo);
+  hist::check_options copt;
+  copt.memo = &memo;
+  return diff_object_against(base, api::replay(base, copt), index,
+                             variant_kind, copt);
 }
 
 diff_report diff_against(const api::scripted_scenario& s,
@@ -217,11 +219,11 @@ bool responses_comparable(const api::scripted_scenario& s) {
 /// single-object scenarios (see diff_sharded's header comment).
 diff_report diff_sharded_against(const api::scripted_scenario& base,
                                  const api::scripted_outcome& a, int shards,
-                                 hist::lin_memo* memo = nullptr) {
+                                 const hist::check_options& copt = {}) {
   api::scripted_scenario variant = base;
   variant.backend = api::exec_backend::sharded;
   variant.shards = std::max(1, shards);
-  api::scripted_outcome b = api::replay(variant, memo);
+  api::scripted_outcome b = api::replay(variant, copt);
   return compare_replays(base, a, "single", b,
                          "sharded(" + std::to_string(variant.shards) + ")",
                          responses_comparable(base));
@@ -233,7 +235,9 @@ diff_report diff_sharded(const api::scripted_scenario& s, int shards) {
   api::scripted_scenario base = s;
   base.backend = api::exec_backend::single;
   hist::lin_memo memo;  // both layouts produce identical per-object streams
-  return diff_sharded_against(base, api::replay(base, &memo), shards, &memo);
+  hist::check_options copt;
+  copt.memo = &memo;
+  return diff_sharded_against(base, api::replay(base, copt), shards, copt);
 }
 
 namespace {
@@ -246,7 +250,7 @@ diff_report diff_placement_impl(const api::scripted_scenario& s,
                                 const api::scripted_outcome* cached,
                                 api::placement_kind cached_kind,
                                 std::uint64_t* replays,
-                                hist::lin_memo* memo = nullptr) {
+                                const hist::check_options& copt = {}) {
   diff_report r;
   if (s.shards < 2) return r;
   api::scripted_scenario base = s;
@@ -266,7 +270,7 @@ diff_report diff_placement_impl(const api::scripted_scenario& s,
       out = *cached;
     } else {
       if (replays != nullptr) ++*replays;
-      out = api::replay(variant, memo);
+      out = api::replay(variant, copt);
     }
     const std::string name =
         std::string("sharded/") + api::placement_name(kind);
@@ -286,8 +290,10 @@ diff_report diff_placement_impl(const api::scripted_scenario& s,
 
 diff_report diff_placement(const api::scripted_scenario& s) {
   hist::lin_memo memo;  // placement is routing-only: object streams repeat
+  hist::check_options copt;
+  copt.memo = &memo;
   return diff_placement_impl(s, nullptr, api::placement_kind::modulo, nullptr,
-                             &memo);
+                             copt);
 }
 
 std::string verify_scenario(const api::scripted_scenario& s) {
@@ -297,7 +303,7 @@ std::string verify_scenario(const api::scripted_scenario& s) {
 std::string check_scenario(const api::scripted_scenario& s, bool diff,
                            std::uint64_t* replays,
                            api::scripted_outcome* primary_out,
-                           bool placement) {
+                           bool placement, int check_jobs) {
   auto count = [replays](std::uint64_t n) {
     if (replays != nullptr) *replays += n;
   };
@@ -305,9 +311,13 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
   // below perturbs one dimension (shard layout, placement, one object's
   // implementation kind), so most per-object event streams repeat verbatim
   // and their linearizations are fingerprint-cache hits (see hist::lin_memo).
+  // The memo's internal lock also makes it sound under check_jobs > 1.
   hist::lin_memo memo;
+  hist::check_options copt;
+  copt.memo = &memo;
+  copt.jobs = check_jobs;
   count(1);
-  api::scripted_outcome primary = api::replay(s, &memo);
+  api::scripted_outcome primary = api::replay(s, copt);
   if (primary_out != nullptr) *primary_out = primary;
   const std::string& primary_kind = s.primary().kind;
   if (primary.report.hit_step_limit) {
@@ -327,13 +337,13 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
   // only the sharded side is fresh; when it runs sharded, the roles flip.
   if (s.shards > 1 && s.backend == api::exec_backend::single) {
     count(1);
-    diff_report d = diff_sharded_against(s, primary, s.shards, &memo);
+    diff_report d = diff_sharded_against(s, primary, s.shards, copt);
     if (!d.ok) return d.message;
   } else if (s.shards > 1 && s.backend == api::exec_backend::sharded) {
     api::scripted_scenario base = s;
     base.backend = api::exec_backend::single;
     count(1);
-    api::scripted_outcome a = api::replay(base, &memo);
+    api::scripted_outcome a = api::replay(base, copt);
     diff_report d = compare_replays(
         base, a, "single", primary,
         "sharded(" + std::to_string(s.shards) + ")",
@@ -349,7 +359,7 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
     const bool reuse = s.backend == api::exec_backend::sharded &&
                        s.placement.kind != api::placement_kind::pinned;
     diff_report d = diff_placement_impl(s, reuse ? &primary : nullptr,
-                                        s.placement.kind, replays, &memo);
+                                        s.placement.kind, replays, copt);
     if (!d.ok) return d.message;
   }
   if (!diff) return {};
@@ -373,7 +383,7 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
             cf_primary = primary;  // already crash-free: reuse the replay
           } else {
             count(1);
-            cf_primary = api::replay(*cf_base, &memo);
+            cf_primary = api::replay(*cf_base, copt);
           }
         }
         base = &*cf_base;
@@ -381,7 +391,7 @@ std::string check_scenario(const api::scripted_scenario& s, bool diff,
       }
       count(1);
       diff_report d = diff_object_against(*base, *a, index, variant_kind,
-                                          &memo);
+                                          copt);
       if (!d.ok) return d.message;
     }
   }

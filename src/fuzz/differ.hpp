@@ -91,10 +91,13 @@ std::string verify_scenario(const api::scripted_scenario& s);
 /// governed by `s.shards` alone). `primary_out`, when set, receives the
 /// outcome of the scenario's own replay — the coverage layer's bucket food.
 /// `placement` additionally arms the diff_placement stage on every scenario
-/// with a shard knob (the `--placement-equiv` campaign mode).
+/// with a shard knob (the `--placement-equiv` campaign mode). `check_jobs`
+/// is the per-object checker fan-out threaded (as hist::check_options) into
+/// every replay of the variant family — verdict-identical to serial by the
+/// parallel driver's determinism guarantee.
 std::string check_scenario(const api::scripted_scenario& s, bool diff = true,
                            std::uint64_t* replays = nullptr,
                            api::scripted_outcome* primary_out = nullptr,
-                           bool placement = false);
+                           bool placement = false, int check_jobs = 1);
 
 }  // namespace detect::fuzz

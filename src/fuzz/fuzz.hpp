@@ -8,12 +8,16 @@
 //   shrinker.hpp      greedy minimization of failing scenarios
 //   fuzzer.hpp        the campaign engine (generate/mutate → check → diff →
 //                     bucket → shrink)
+//   campaign.hpp      campaign_config + the multi-process (--jobs N)
+//                     supervisor that partitions an iteration range over
+//                     forked workers and merges their coverage
 //
 // The standing adversary for every registry kind: tests/fuzz_test.cpp runs
 // it over the whole registry, fuzz_main drives long budgeted campaigns, and
 // CI replays a bounded campaign on every push.
 #pragma once
 
+#include "fuzz/campaign.hpp"      // IWYU pragma: export
 #include "fuzz/coverage.hpp"      // IWYU pragma: export
 #include "fuzz/differ.hpp"        // IWYU pragma: export
 #include "fuzz/fuzzer.hpp"        // IWYU pragma: export

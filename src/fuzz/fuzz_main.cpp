@@ -18,18 +18,29 @@
 //                                      # budgets (default 3)
 //   fuzz_main --persist MODE           # persistency pool: strict, buffered,
 //                                      # or mixed
+//   fuzz_main --jobs N                 # fork N worker processes over a
+//                                      # partition of the iteration range
+//                                      # (the 300k nightly at 30k wall-clock)
+//   fuzz_main --check-jobs N           # per-object checker threads inside
+//                                      # every oracle replay (0 = auto)
+//   fuzz_main --corpus-dir DIR         # shared on-disk corpus: dump novel
+//                                      # scenarios, ingest siblings'
 //   fuzz_main --coverage               # coverage-steered generation
 //   fuzz_main --coverage-out FILE      # write coverage.json (buckets,
-//                                      # timeline, corpus seed list) — the
+//                                      # timeline, corpus seed list; merged
+//                                      # across workers under --jobs) — the
 //                                      # nightly deep-fuzz lane's artifact
-//   fuzz_main --out artifacts/         # write failure artifact on failure
+//   fuzz_main --out artifacts/         # failure artifacts + per-worker
+//                                      # summaries (default fuzz-artifacts
+//                                      # under --jobs)
 //   fuzz_main --replay failure.txt     # re-run a dumped scenario and print
 //                                      # its coverage bucket signature
 //   fuzz_main --list-kinds             # print the registry kind pool
 //
 // Exit status: 0 clean, 1 failure found (artifact written when --out is
-// set), 2 usage/IO error. The same binary backs the CI fuzz stages
-// (`scripts/check.sh --fuzz N` / `--fuzz-sharded N` / `--fuzz-deep N`).
+// set), 2 usage/IO error or lost worker. The same binary backs the CI fuzz
+// stages (`scripts/check.sh --fuzz N` / `--fuzz-sharded N` /
+// `--fuzz-deep N [--jobs J]`).
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +62,7 @@ int usage(const char* argv0) {
       "          [--ops-max M] [--objects-max K] [--shards-min K]\n"
       "          [--shards-max K] [--sharded-equiv] [--placement-equiv]\n"
       "          [--placement NAME] [--sched NAME[:depth]] [--persist MODE]\n"
+      "          [--jobs N] [--check-jobs N] [--corpus-dir DIR]\n"
       "          [--coverage] [--coverage-out FILE]\n"
       "          [--no-diff] [--no-shrink] [--no-crashes]\n"
       "          [--out DIR] [--replay FILE] [--list-kinds] [--quiet]\n",
@@ -58,7 +70,7 @@ int usage(const char* argv0) {
   return 2;
 }
 
-int replay_file(const std::string& path) {
+int replay_file(const std::string& path, int check_jobs) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "fuzz_main: cannot open '%s'\n", path.c_str());
@@ -83,7 +95,7 @@ int replay_file(const std::string& path) {
   api::scripted_outcome outcome;
   std::string failure =
       fuzz::check_scenario(s, /*diff=*/true, /*replays=*/nullptr, &outcome,
-                           /*placement=*/s.shards > 1);
+                           /*placement=*/s.shards > 1, check_jobs);
   // The bucket signature matches the failure artifact to its coverage.json
   // bucket by hand (outcome bits reflect the replay just performed).
   std::printf("bucket: %s\n", fuzz::bucket_of(s, outcome).key().c_str());
@@ -98,12 +110,10 @@ int replay_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  fuzz::fuzz_options opt;
+  fuzz::campaign_config cfg;
+  fuzz::fuzz_options& opt = cfg.options;
   opt.iterations = 200;
-  std::string out_dir;
   std::string replay_path;
-  std::string coverage_out;
-  bool quiet = false;
   bool sharded_equiv = false;
   bool placement_equiv = false;
 
@@ -131,15 +141,25 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--iters") == 0) {
-      opt.iterations = need_u64(i);
+      cfg.iterations(need_u64(i));
       if (opt.iterations == 0) {
         std::fprintf(stderr, "fuzz_main: --iters must be positive\n");
         return 2;
       }
     } else if (std::strcmp(arg, "--seed") == 0) {
-      opt.base_seed = need_u64(i);
+      cfg.seed(need_u64(i));
     } else if (std::strcmp(arg, "--kind") == 0) {
       opt.kinds.emplace_back(need_value(i));
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      cfg.jobs(static_cast<int>(need_u64(i)));
+      if (cfg.jobs() < 1) {
+        std::fprintf(stderr, "fuzz_main: --jobs must be positive\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--check-jobs") == 0) {
+      cfg.check_jobs(static_cast<int>(need_u64(i)));
+    } else if (std::strcmp(arg, "--corpus-dir") == 0) {
+      cfg.corpus_dir(need_value(i));
     } else if (std::strcmp(arg, "--procs-max") == 0) {
       opt.gen.max_procs = static_cast<int>(need_u64(i));
     } else if (std::strcmp(arg, "--ops-max") == 0) {
@@ -211,12 +231,12 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (std::strcmp(arg, "--coverage") == 0) {
-      opt.steer = true;
+      cfg.steer(true);
     } else if (std::strcmp(arg, "--coverage-out") == 0) {
       // Coverage is tracked on every campaign; this only chooses to write
       // it out. Steering stays governed by --coverage, so a plain campaign
       // can still report its buckets without changing how it generates.
-      coverage_out = need_value(i);
+      cfg.coverage_out(need_value(i));
     } else if (std::strcmp(arg, "--no-diff") == 0) {
       opt.diff = false;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -224,11 +244,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--no-crashes") == 0) {
       opt.gen.crashes = false;
     } else if (std::strcmp(arg, "--out") == 0) {
-      out_dir = need_value(i);
+      cfg.artifact_dir(need_value(i));
     } else if (std::strcmp(arg, "--replay") == 0) {
       replay_path = need_value(i);
     } else if (std::strcmp(arg, "--quiet") == 0) {
-      quiet = true;
+      cfg.quiet(true);
     } else if (std::strcmp(arg, "--list-kinds") == 0) {
       for (const std::string& k : api::object_registry::global().kinds()) {
         std::printf("%s\n", k.c_str());
@@ -254,7 +274,9 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (!replay_path.empty()) return replay_file(replay_path);
+    if (!replay_path.empty()) {
+      return replay_file(replay_path, opt.check_jobs);
+    }
 
     for (const std::string& k : opt.kinds) {
       if (!api::object_registry::global().contains(k)) {
@@ -264,11 +286,11 @@ int main(int argc, char** argv) {
     }
 
     std::uint64_t last_reported = 0;
-    fuzz::fuzz_stats stats = fuzz::run_fuzz(
-        opt, [&](std::uint64_t iter, std::uint64_t seed,
+    fuzz::campaign_result r = fuzz::run_campaign(
+        cfg, [&](std::uint64_t iter, std::uint64_t seed,
                  const std::string& kind) {
-          if (quiet) return;
-          // One progress line every ~5% of the campaign.
+          // One progress line every ~5% of the campaign (inline path only;
+          // forked workers print their own prefixed lines).
           std::uint64_t stride = opt.iterations / 20 + 1;
           if (iter == 0 || iter - last_reported >= stride) {
             last_reported = iter;
@@ -280,46 +302,74 @@ int main(int argc, char** argv) {
           }
         });
 
-    if (!coverage_out.empty()) {
-      std::ofstream out(coverage_out);
-      if (!out) {
-        std::fprintf(stderr, "fuzz_main: cannot write '%s'\n",
-                     coverage_out.c_str());
-        return 2;
-      }
-      out << stats.coverage.to_json(opt.base_seed, opt.iterations);
-      std::printf("coverage written to %s\n", coverage_out.c_str());
+    if (!cfg.coverage_out().empty() && r.exit_code != 2) {
+      std::printf("coverage written to %s\n", cfg.coverage_out().c_str());
     }
 
-    if (!stats.failure) {
+    if (r.forked) {
+      // Per-worker roll call, then the merged verdict.
+      for (const fuzz::worker_report& w : r.workers) {
+        std::printf(
+            "worker %d: iterations [%llu, %llu): %s"
+            " (%llu executed, %llu replays, %zu new buckets)\n",
+            w.worker, static_cast<unsigned long long>(w.first_iteration),
+            static_cast<unsigned long long>(w.first_iteration + w.iterations),
+            w.lost ? "LOST" : (w.error ? "ERROR" : (w.failed ? "FAIL" : "ok")),
+            static_cast<unsigned long long>(w.executed),
+            static_cast<unsigned long long>(w.replays),
+            w.distinct_buckets);
+        if (w.failed) {
+          std::printf("  failure at iteration %llu, artifact: %s\n",
+                      static_cast<unsigned long long>(w.failure_iteration),
+                      w.failure_artifact.empty() ? "(unwritable)"
+                                                 : w.failure_artifact.c_str());
+        }
+      }
+      if (r.exit_code == 0) {
+        std::printf(
+            "PASS: %llu iterations across %zu workers, %llu replays, "
+            "%zu coverage buckets%s, base seed %llu\n",
+            static_cast<unsigned long long>(r.stats.coverage.executed),
+            r.workers.size(), static_cast<unsigned long long>(r.stats.replays),
+            r.stats.coverage.distinct_buckets,
+            r.stats.coverage.steered ? " (steered)" : "",
+            static_cast<unsigned long long>(opt.base_seed));
+      } else if (r.exit_code == 1) {
+        std::printf("FAIL: see worker artifacts above "
+                    "(fuzz_main --replay <artifact>)\n");
+      } else {
+        std::fprintf(stderr, "fuzz_main: campaign infrastructure error "
+                             "(lost worker or unwritable output)\n");
+      }
+      return r.exit_code;
+    }
+
+    if (r.exit_code == 2) {
+      std::fprintf(stderr, "fuzz_main: cannot write campaign outputs\n");
+      return 2;
+    }
+    if (!r.stats.failure) {
       std::printf(
           "PASS: %llu iterations, %llu replays, %zu coverage buckets%s, "
           "base seed %llu\n",
-          static_cast<unsigned long long>(stats.iterations),
-          static_cast<unsigned long long>(stats.replays),
-          stats.coverage.distinct_buckets,
-          stats.coverage.steered ? " (steered)" : "",
+          static_cast<unsigned long long>(r.stats.iterations),
+          static_cast<unsigned long long>(r.stats.replays),
+          r.stats.coverage.distinct_buckets,
+          r.stats.coverage.steered ? " (steered)" : "",
           static_cast<unsigned long long>(opt.base_seed));
       return 0;
     }
 
-    const fuzz::fuzz_failure& f = *stats.failure;
+    const fuzz::fuzz_failure& f = *r.stats.failure;
     std::printf("FAIL at iteration %llu (kind %s, seed %llu):\n%s\n",
                 static_cast<unsigned long long>(f.iteration), f.kind.c_str(),
                 static_cast<unsigned long long>(f.seed), f.message.c_str());
     std::printf("\nshrunk scenario (%zu ops, %zu crash steps):\n%s",
                 f.shrunk.total_ops(), f.shrunk.crash_steps.size(),
                 api::dump(f.shrunk).c_str());
-    if (!out_dir.empty()) {
-      std::string path = out_dir + "/fuzz-failure-" + std::to_string(f.seed) +
-                         ".txt";
-      std::ofstream out(path);
-      if (!out) {
-        std::fprintf(stderr, "fuzz_main: cannot write '%s'\n", path.c_str());
-        return 2;
-      }
-      out << f.to_artifact();
-      std::printf("\nartifact written to %s\n", path.c_str());
+    const fuzz::worker_report& w = r.workers.front();
+    if (!w.failure_artifact.empty()) {
+      std::printf("\nartifact written to %s\n", w.failure_artifact.c_str());
     }
     return 1;
   } catch (const std::exception& e) {

@@ -1,5 +1,8 @@
 #include "fuzz/fuzzer.hpp"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -32,7 +35,8 @@ std::string fuzz_one(std::uint64_t seed, const std::string& kind,
                      const fuzz_options& opt, std::uint64_t* replays) {
   api::scripted_scenario s =
       generate(seed, kind, resolved_gen(opt, resolved_kinds(opt)));
-  return check_scenario(s, opt.diff, replays, nullptr, opt.placement_equiv);
+  return check_scenario(s, opt.diff, replays, nullptr, opt.placement_equiv,
+                        opt.check_jobs);
 }
 
 namespace {
@@ -142,13 +146,73 @@ fuzz_stats run_fuzz(
   };
   std::map<std::string, strategy_accum> by_strategy;
 
+  // Shared on-disk corpus (multi-worker campaigns / resumed nightlies):
+  // dumps we have already seen — our own or ingested — by filename.
+  namespace fs = std::filesystem;
+  std::set<std::string> corpus_seen;
+  const bool disk_corpus = !opt.corpus_dir.empty();
+  if (disk_corpus) {
+    std::error_code ec;
+    fs::create_directories(opt.corpus_dir, ec);  // best-effort; scan below
+  }
+  auto ingest_corpus = [&] {
+    if (!disk_corpus) return;
+    std::error_code ec;
+    // Directory-sorted scan keeps ingest order deterministic per snapshot.
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(opt.corpus_dir, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      std::string name = entry.path().filename().string();
+      if (name.size() < 4 || name.substr(name.size() - 4) != ".scn") continue;
+      if (corpus_seen.count(name) != 0) continue;
+      names.push_back(std::move(name));
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      corpus_seen.insert(name);
+      std::ifstream in(fs::path(opt.corpus_dir) / name);
+      if (!in) continue;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      try {
+        corpus.push_back(api::parse_scenario(buf.str()));
+      } catch (const std::exception&) {
+        // Foreign or truncated dump (writers rename atomically, so this is
+        // a hand-dropped file): skip, never poison the campaign.
+      }
+    }
+  };
+  auto dump_to_corpus = [&](const api::scripted_scenario& s,
+                            std::uint64_t iter) {
+    if (!disk_corpus) return;
+    const std::string name = "w" + std::to_string(opt.worker_index) + "-i" +
+                             std::to_string(iter) + ".scn";
+    corpus_seen.insert(name);  // our own dump: never re-ingest
+    const fs::path dir(opt.corpus_dir);
+    const fs::path tmp = dir / ("." + name + ".tmp");
+    std::ofstream out(tmp);
+    if (!out) return;
+    out << api::dump(s);
+    out.close();
+    std::error_code ec;
+    fs::rename(tmp, dir / name, ec);  // atomic publish: readers see whole files
+  };
+  ingest_corpus();
+
   fuzz_stats stats;
   stats.coverage.steered = opt.steer;
-  for (std::uint64_t iter = 0; iter < opt.iterations; ++iter) {
+  const std::uint64_t end_iteration = opt.first_iteration + opt.iterations;
+  for (std::uint64_t iter = opt.first_iteration; iter < end_iteration;
+       ++iter) {
     const std::uint64_t seed = iteration_seed(opt.base_seed, iter);
     const std::string& kind = kinds[iter % kinds.size()];
     if (progress) progress(iter, seed, kind);
     ++stats.iterations;
+    // Cross-pollinate from sibling workers' discoveries at a coarse stride —
+    // a directory scan per iteration would swamp the oracle.
+    if (disk_corpus && iter != opt.first_iteration && iter % 64 == 0) {
+      ingest_corpus();
+    }
 
     // Steering stream: decorrelated from generate()'s own stream so mutating
     // and generating from the same iteration seed stay independent.
@@ -181,12 +245,13 @@ fuzz_stats run_fuzz(
 
     api::scripted_outcome primary;
     std::string failure = check_scenario(s, opt.diff, &stats.replays, &primary,
-                                         opt.placement_equiv);
+                                         opt.placement_equiv, opt.check_jobs);
     if (failure.empty()) {
       const bucket_signature b = bucket_of(s, primary);
       if (cov.record(b)) {
         corpus.push_back(s);
         stats.coverage.corpus.push_back({iter, seed, mutated, b.key()});
+        dump_to_corpus(s, iter);
       }
       strategy_accum& acc = by_strategy[b.sched];
       ++acc.executed;
@@ -207,14 +272,15 @@ fuzz_stats run_fuzz(
     if (opt.shrink) {
       f.shrunk = shrink(s, [&](const api::scripted_scenario& c) {
         return !check_scenario(c, opt.diff, &stats.replays, nullptr,
-                               opt.placement_equiv)
+                               opt.placement_equiv, opt.check_jobs)
                     .empty();
       });
       // Re-derive the message from the minimized scenario — it is the one
       // a human debugs first.
       std::string shrunk_msg = check_scenario(f.shrunk, opt.diff,
                                               &stats.replays, nullptr,
-                                              opt.placement_equiv);
+                                              opt.placement_equiv,
+                                              opt.check_jobs);
       if (!shrunk_msg.empty()) f.message = shrunk_msg;
     }
     stats.failure = std::move(f);

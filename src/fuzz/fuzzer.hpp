@@ -32,6 +32,14 @@ namespace detect::fuzz {
 struct fuzz_options {
   std::uint64_t base_seed = 1;
   std::uint64_t iterations = 100;
+  /// First iteration index of this run's slice. A campaign's iteration
+  /// stream is a pure function of (base_seed, iteration), so a worker
+  /// running [first_iteration, first_iteration + iterations) executes
+  /// exactly that slice of the serial campaign — the partition
+  /// run_campaign() hands each forked worker. Kind rotation and iteration
+  /// seeds both key on the absolute index, keeping a partitioned campaign's
+  /// scenario set identical to the serial one.
+  std::uint64_t first_iteration = 0;
   /// Kinds to fuzz; empty → every registry kind (non-detectable kinds get
   /// crash-free scenarios, see scenario_gen). Also the default
   /// object_kind_pool extra objects draw from when the gen config leaves it
@@ -53,6 +61,22 @@ struct fuzz_options {
   /// either way — this knob only changes where scenarios come from, which
   /// is what the steered-vs-random acceptance test compares.
   bool steer = false;
+  /// Per-object checker fan-out threaded into every oracle replay (see
+  /// hist::check_options::jobs). Verdict-identical to serial; 1 = serial.
+  int check_jobs = 1;
+  /// Shared on-disk corpus directory. When non-empty, every scenario that
+  /// discovers a new coverage bucket is dumped there (atomic write-then-
+  /// rename), and the campaign periodically ingests dumps written by
+  /// *other* workers into its steering corpus — how the forked workers of a
+  /// `--jobs N` campaign cross-pollinate, and how consecutive nightly runs
+  /// resume from each other's discoveries. With steering off the directory
+  /// only accumulates dumps. Note: cross-worker ingest order depends on
+  /// real-time file visibility, so a steered multi-worker campaign is not
+  /// bit-reproducible — failures still are, via the dumped artifact.
+  std::string corpus_dir;
+  /// This worker's index within a multi-process campaign (names its corpus
+  /// dumps; 0 for inline runs).
+  int worker_index = 0;
 };
 
 /// One corpus entry: the iteration that discovered a new bucket. The

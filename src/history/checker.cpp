@@ -1,10 +1,16 @@
 #include "history/checker.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <typeinfo>
 #include <unordered_set>
+
+#include "util/task_pool.hpp"
 
 namespace detect::hist {
 
@@ -54,6 +60,21 @@ lin_memo::key memo_key(const spec& sp, std::size_t node_budget,
 }
 
 }  // namespace
+
+bool lin_memo::lookup(const key& k, check_result* out) {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(k);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  ++hits_;
+  return true;
+}
+
+void lin_memo::store(const key& k, const check_result& r) {
+  std::scoped_lock lock(mu_);
+  entries_.emplace(k, r);
+  ++misses_;
+}
 
 std::vector<op_record> build_records(const std::vector<event>& events,
                                      bool* synthesized_interval) {
@@ -220,11 +241,108 @@ std::vector<event> object_events(const std::vector<event>& events,
   return out;
 }
 
+namespace {
+
+/// One object's sub-check: project nothing (the stream is pre-built), consult
+/// the memo, compute, record. Pure function of its inputs — the property the
+/// parallel driver's determinism rests on.
+check_result run_sub_check(const object_stream& os, const check_options& opt) {
+  lin_memo::key key;
+  check_result sub;
+  if (opt.memo != nullptr) {
+    key = memo_key(*os.sp, opt.node_budget, os.events);
+    if (opt.memo->lookup(key, &sub)) return sub;
+  }
+  sub = check_durable_linearizability(os.events, *os.sp, opt.node_budget);
+  if (opt.memo != nullptr) opt.memo->store(key, sub);
+  return sub;
+}
+
+/// Lanes actually used for `count` independent sub-checks given opt.jobs:
+/// jobs == 1 (or fewer than two sub-checks) is serial; an explicit jobs > 1
+/// always gets real workers (even on a one-core host — tests rely on true
+/// concurrency); jobs == 0 auto-sizes to the hardware and collapses to
+/// serial when the host cannot run two lanes at once.
+int lanes_for(int jobs, std::size_t count) {
+  if (count < 2) return 1;
+  int n = jobs;
+  if (n == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  n = std::min<int>(n, static_cast<int>(
+                           std::min<std::size_t>(count, util::task_pool::k_max_workers)));
+  return n >= 2 ? n : 1;
+}
+
+}  // namespace
+
+check_result check_object_streams(const std::vector<object_stream>& streams,
+                                  const check_options& opt) {
+  check_result res;
+  res.ok = true;
+  res.objects = streams.size();
+
+  // Every sub-check runs — no early exit — into a per-object slot, either
+  // serially or on pool lanes pulling indices from a shared counter (no work
+  // stealing, no order sensitivity: slot i holds object i's verdict however
+  // lanes interleave).
+  std::vector<check_result> subs(streams.size());
+  const int lanes = lanes_for(opt.jobs, streams.size());
+  if (lanes <= 1) {
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      subs[i] = run_sub_check(streams[i], opt);
+    }
+  } else {
+    util::task_pool& pool = util::task_pool::shared();
+    pool.ensure_workers(lanes);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(static_cast<std::size_t>(lanes));
+    for (int lane = 0; lane < lanes; ++lane) {
+      jobs.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= streams.size()) return;
+          subs[i] = run_sub_check(streams[i], opt);
+        }
+      });
+    }
+    pool.run_batch(jobs);
+  }
+
+  // Merge in declaration order — byte-identical whatever `lanes` was. On
+  // failure name the *worst offender*: the failing object whose own
+  // sub-check expanded the most nodes (ties toward the smallest object id),
+  // and the node count it spent against the full-history total, so a deep-
+  // fuzz artifact is debuggable without replaying the whole history.
+  std::size_t worst = streams.size();
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const check_result& sub = subs[i];
+    res.nodes += sub.nodes;
+    res.synthesized_interval |= sub.synthesized_interval;
+    if (sub.ok) continue;
+    res.ok = false;
+    if (worst == streams.size() || sub.nodes > subs[worst].nodes ||
+        (sub.nodes == subs[worst].nodes &&
+         streams[i].id < streams[worst].id)) {
+      worst = i;
+    }
+  }
+  if (!res.ok) {
+    const check_result& sub = subs[worst];
+    res.inconclusive = sub.inconclusive;
+    res.failed_object = static_cast<std::int64_t>(streams[worst].id);
+    res.message = "object " + std::to_string(streams[worst].id) + " (" +
+                  std::to_string(sub.nodes) + " of " +
+                  std::to_string(res.nodes) + " nodes): " + sub.message;
+  }
+  return res;
+}
+
 check_result check_durable_linearizability_per_object(
     const std::vector<event>& events, const object_spec_list& specs,
-    std::size_t node_budget, lin_memo* memo) {
-  check_result res;
-
+    const check_options& opt) {
   // Every op event must belong to a spec'd object — a silent skip would
   // vacuously pass histories the caller thought were being checked.
   std::unordered_set<std::uint32_t> known;
@@ -232,50 +350,28 @@ check_result check_durable_linearizability_per_object(
   for (const auto& [id, sp] : specs) known.insert(id);
   for (const event& e : events) {
     if (e.kind != event_kind::crash && known.count(e.desc.object) == 0) {
+      check_result res;
       res.message = "per-object check: no spec for object id " +
                     std::to_string(e.desc.object);
       return res;
     }
   }
 
-  res.ok = true;
-  res.objects = specs.size();
+  std::vector<object_stream> streams;
+  streams.reserve(specs.size());
   for (const auto& [id, sp] : specs) {
-    std::vector<event> sub_events = object_events(events, id);
-    lin_memo::key key;
-    check_result sub;
-    bool cached = false;
-    if (memo != nullptr) {
-      key = memo_key(*sp, node_budget, sub_events);
-      auto it = memo->entries_.find(key);
-      if (it != memo->entries_.end()) {
-        sub = it->second;
-        cached = true;
-        ++memo->hits_;
-      }
-    }
-    if (!cached) {
-      sub = check_durable_linearizability(sub_events, *sp, node_budget);
-      if (memo != nullptr) {
-        memo->entries_.emplace(key, sub);
-        ++memo->misses_;
-      }
-    }
-    res.nodes += sub.nodes;
-    res.synthesized_interval |= sub.synthesized_interval;
-    if (!sub.ok) {
-      res.ok = false;
-      res.inconclusive = sub.inconclusive;
-      // Name the offender precisely: the object id and the node count its
-      // own sub-check spent (failing or exhausting the budget), so a deep-
-      // fuzz artifact is debuggable without replaying the whole history.
-      res.message = "object " + std::to_string(id) + " (" +
-                    std::to_string(sub.nodes) + " of " +
-                    std::to_string(res.nodes) + " nodes): " + sub.message;
-      return res;
-    }
+    streams.push_back({id, sp, object_events(events, id)});
   }
-  return res;
+  return check_object_streams(streams, opt);
+}
+
+check_result check_durable_linearizability_per_object(
+    const std::vector<event>& events, const object_spec_list& specs,
+    std::size_t node_budget, lin_memo* memo) {
+  check_options opt;
+  opt.node_budget = node_budget;
+  opt.memo = memo;
+  return check_durable_linearizability_per_object(events, specs, opt);
 }
 
 }  // namespace detect::hist

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -39,6 +40,12 @@ struct check_result {
   /// invoke was lost to an announcement-window crash.
   std::size_t objects = 0;
   bool synthesized_interval = false;
+  /// Per-object path only: the object id `message` reports (the worst
+  /// offender — see check_durable_linearizability_per_object), -1 when the
+  /// check passed or did not take the per-object path. Lets callers (the
+  /// sharded executor's migrated-object path, serve triage) annotate the
+  /// failure without parsing the message.
+  std::int64_t failed_object = -1;
   std::string message;
 };
 
@@ -73,13 +80,32 @@ std::vector<event> object_events(const std::vector<event>& events,
 /// and returns the recorded verdict on a hit. Fingerprints are compared, not
 /// the streams themselves — two independent 64-bit FNV-1a hashes make an
 /// accidental collision (~2^-64 per pair) vanishingly unlikely against the
-/// thousands of sub-checks a fuzz campaign runs. Not thread-safe; share one
-/// memo only across sequential replays of the same scenario family.
+/// thousands of sub-checks a fuzz campaign runs.
+///
+/// Externally synchronized for the parallel driver: lookup()/store() take an
+/// internal mutex, so one memo may be shared across the concurrent sub-check
+/// lanes of a jobs > 1 check (and across whole concurrent checks). Two lanes
+/// that race on the same fingerprint at worst both compute it and store
+/// byte-identical results — a benign duplicate, never a wrong answer,
+/// because entries are pure functions of their key.
 class lin_memo {
  public:
-  std::size_t hits() const noexcept { return hits_; }
-  std::size_t misses() const noexcept { return misses_; }
-  std::size_t size() const noexcept { return entries_.size(); }
+  lin_memo() = default;
+  lin_memo(const lin_memo&) = delete;
+  lin_memo& operator=(const lin_memo&) = delete;
+
+  std::size_t hits() const noexcept {
+    std::scoped_lock lock(mu_);
+    return hits_;
+  }
+  std::size_t misses() const noexcept {
+    std::scoped_lock lock(mu_);
+    return misses_;
+  }
+  std::size_t size() const noexcept {
+    std::scoped_lock lock(mu_);
+    return entries_.size();
+  }
 
   /// The 128-bit fingerprint (implementation detail, public so the checker's
   /// hashing helper can produce one; the entry map itself stays private).
@@ -96,14 +122,39 @@ class lin_memo {
     }
   };
 
- private:
-  friend check_result check_durable_linearizability_per_object(
-      const std::vector<event>&, const object_spec_list&, std::size_t,
-      lin_memo*);
+  /// Checker-internal: copy the recorded verdict for `k` into `*out` and
+  /// count a hit; false (and no count) on a miss.
+  bool lookup(const key& k, check_result* out);
+  /// Checker-internal: record a freshly computed verdict and count the
+  /// compute as a miss. First store of a racing pair wins; the loser's
+  /// byte-identical result is dropped.
+  void store(const key& k, const check_result& r);
 
+ private:
+  mutable std::mutex mu_;
   std::unordered_map<key, check_result, key_hash> entries_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+};
+
+/// Knobs of a durable-linearizability check, threaded as one struct through
+/// executor::check → harness::check_per_object → the hist driver (and
+/// api::replay / the differ's variant families) instead of a growing
+/// positional parameter list. Designated initializers keep call sites
+/// self-describing: `check({.node_budget = 1'000'000, .jobs = 4})`.
+struct check_options {
+  std::size_t node_budget = k_default_node_budget;
+  /// Shared fingerprint cache for per-object sub-checks (see lin_memo).
+  lin_memo* memo = nullptr;
+  /// Per-object sub-check fan-out. 1 (default) runs sub-checks serially on
+  /// the calling thread. N > 1 drives them on N lanes of the process-global
+  /// util::task_pool — the pool grows to N real workers even on a one-core
+  /// host, so an explicit request always exercises true concurrency.
+  /// 0 = auto: min(hardware cores, object count), which collapses to inline
+  /// serial when the host cannot actually run two lanes at once. Verdicts,
+  /// messages, and node counts are byte-identical across every jobs value
+  /// (results merge in declaration order; see docs/checking.md).
+  int jobs = 1;
 };
 
 /// Per-object decomposition: run one linearization per object against its own
@@ -111,12 +162,34 @@ class lin_memo {
 /// linearizability is compositional, and every real-time edge between two ops
 /// of the same object survives the projection — while the search space drops
 /// from the product of all objects' interleavings to their sum. Events naming
-/// an object absent from `specs` fail the check. `nodes` accumulates across
-/// objects; each object gets the full `node_budget`. With a non-null `memo`,
-/// sub-checks whose (spec, budget, object stream) fingerprint was already
-/// checked reuse the recorded verdict (see lin_memo).
+/// an object absent from `specs` fail the check. Every object is checked
+/// (`nodes` sums over all of them; each gets the full node budget); on
+/// failure the message names the *worst offender* — the failing object whose
+/// own sub-check expanded the most nodes, ties broken toward the smallest
+/// object id — a deterministic choice regardless of `opt.jobs`.
+check_result check_durable_linearizability_per_object(
+    const std::vector<event>& events, const object_spec_list& specs,
+    const check_options& opt);
+
+/// Deprecated pre-check_options form (thin shim; prefer the overload above).
 check_result check_durable_linearizability_per_object(
     const std::vector<event>& events, const object_spec_list& specs,
     std::size_t node_budget = k_default_node_budget, lin_memo* memo = nullptr);
+
+/// One object's pre-projected sub-history with its spec — what the sharded
+/// executor's migrated-object path assembles by hand (prefix carried across
+/// shards + the hosting shard's slice), where no single event vector exists
+/// to project from.
+struct object_stream {
+  std::uint32_t id = 0;
+  const spec* sp = nullptr;  // borrowed; cloned internally, never mutated
+  std::vector<event> events;
+};
+
+/// The same parallel driver over pre-projected streams: one independent
+/// linearization per stream, fanned out per `opt.jobs`, merged in `streams`
+/// order with the worst-offender failure rule above.
+check_result check_object_streams(const std::vector<object_stream>& streams,
+                                  const check_options& opt);
 
 }  // namespace detect::hist

@@ -416,9 +416,9 @@ stats server::snapshot() const {
   return s;
 }
 
-hist::check_result server::check(std::size_t node_budget) const {
+hist::check_result server::check(const hist::check_options& opt) const {
   std::lock_guard exec_lk(exec_mu_);
-  return ex_->check(node_budget);
+  return ex_->check(opt);
 }
 
 api::placement_policy server::current_assignment() const {

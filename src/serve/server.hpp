@@ -162,8 +162,17 @@ class server {
 
   /// Durable linearizability + detectability of everything served so far,
   /// per object, including across migrations. Blocks while a round runs.
-  hist::check_result check(
-      std::size_t node_budget = hist::k_default_node_budget) const;
+  /// The options carry the node budget and the per-object check fan-out
+  /// (hist::check_options::jobs) — a long soak's certificate can use the
+  /// same parallel driver the fuzzer does.
+  hist::check_result check(const hist::check_options& opt = {}) const;
+
+  /// Deprecated pre-check_options form (thin shim; prefer check(options)).
+  hist::check_result check(std::size_t node_budget) const {
+    hist::check_options opt;
+    opt.node_budget = node_budget;
+    return check(opt);
+  }
 
   /// The executor's current object→shard assignment (reflects rebalancer
   /// moves).

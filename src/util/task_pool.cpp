@@ -1,0 +1,83 @@
+#include "util/task_pool.hpp"
+
+#include <algorithm>
+
+namespace detect::util {
+
+task_pool::task_pool(int workers) {
+  workers = std::clamp(workers, 0, k_max_workers);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+task_pool::~task_pool() {
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int task_pool::workers() const noexcept {
+  std::scoped_lock lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void task_pool::ensure_workers(int n) {
+  n = std::min(n, k_max_workers);
+  std::scoped_lock lock(mu_);
+  while (static_cast<int>(threads_.size()) < n) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void task_pool::run_batch(std::vector<std::function<void()>>& jobs) {
+  bool inline_mode;
+  {
+    std::scoped_lock lock(mu_);
+    inline_mode = threads_.empty();
+  }
+  if (inline_mode) {
+    // Inline fallback, outside the lock: a batch racing ensure_workers() may
+    // still run on the submitter — same semantics, and jobs never execute
+    // under the pool mutex.
+    for (auto& job : jobs) job();
+    return;
+  }
+  batch b;
+  b.remaining = jobs.size();
+  {
+    std::scoped_lock lock(mu_);
+    for (auto& job : jobs) queue_.push_back({std::move(job), &b});
+  }
+  cv_.notify_all();
+  std::unique_lock lock(b.mu);
+  b.done_cv.wait(lock, [&b] { return b.remaining == 0; });
+}
+
+void task_pool::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    queued_job job = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    job.fn();
+    {
+      std::scoped_lock done_lock(job.owner->mu);
+      if (--job.owner->remaining == 0) job.owner->done_cv.notify_all();
+    }
+    lock.lock();
+  }
+}
+
+task_pool& task_pool::shared() {
+  static task_pool pool(0);
+  return pool;
+}
+
+}  // namespace detect::util

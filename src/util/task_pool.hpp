@@ -1,0 +1,83 @@
+// util::task_pool — a persistent batch-draining worker pool.
+//
+// Generalized from the sharded executor's driver pool so the per-object
+// checker can fan sub-checks onto the same machinery. Workers live for the
+// pool's lifetime (thousands of run_batch() calls reuse the same OS threads
+// instead of paying a spawn/join per batch), and — unlike the original
+// executor-private pool — batches are independently tracked, so *concurrent*
+// run_batch() calls from different submitter threads interleave safely on the
+// shared workers: each batch carries its own completion counter and the
+// submitter blocks only on its own jobs.
+//
+// With zero workers the pool degrades to inline execution on the submitting
+// thread — identical semantics, zero synchronization — which is the graceful
+// fallback on one-core hosts where parallel drivers would only add handoff
+// latency.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace detect::util {
+
+class task_pool {
+ public:
+  /// Hard cap on pool growth: far above any real shard count or per-object
+  /// fan-out, small enough that a buggy jobs value cannot fork-bomb threads.
+  static constexpr int k_max_workers = 64;
+
+  explicit task_pool(int workers);
+  ~task_pool();
+
+  task_pool(const task_pool&) = delete;
+  task_pool& operator=(const task_pool&) = delete;
+
+  int workers() const noexcept;
+
+  /// Grow the pool to at least `n` workers (capped at k_max_workers;
+  /// shrinking is not supported — idle workers cost one parked thread each).
+  /// Thread-safe against concurrent run_batch() calls.
+  void ensure_workers(int n);
+
+  /// Run every job to completion. Jobs must not throw (callers capture
+  /// exceptions into per-job result slots). Inline on the submitting thread
+  /// when the pool has no workers. Safe to call from several threads at
+  /// once; each call blocks until exactly its own jobs drain.
+  void run_batch(std::vector<std::function<void()>>& jobs);
+
+  /// Process-global pool, lazily created with zero workers. Consumers that
+  /// want parallelism call ensure_workers() first; until someone does, every
+  /// shared batch runs inline. The per-object checker drives its jobs > 1
+  /// fan-out through this instance so repeated check calls reuse one set of
+  /// threads.
+  static task_pool& shared();
+
+ private:
+  // Submitted jobs point back at their batch so any worker can retire work
+  // from any batch; the batch outlives the queue entries because the
+  // submitting run_batch() call keeps it alive on its stack until all of its
+  // jobs report done.
+  struct batch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t remaining = 0;
+  };
+  struct queued_job {
+    std::function<void()> fn;
+    batch* owner = nullptr;
+  };
+
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // workers: work available / stop
+  std::deque<queued_job> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace detect::util

@@ -1,0 +1,230 @@
+// Pins of the parallel per-object checking driver (hist::check_options).
+//
+// The contract under test: `jobs` is a pure mechanism knob. Whatever the
+// fan-out, check_durable_linearizability_per_object must return the same
+// verdict, the same worst-offender message, and the same node accounting as
+// the serial walk — byte for byte — because every consumer (the differ's
+// verdict comparisons, coverage bucketing, failure artifacts) assumes
+// checker output is a function of the history alone. The 500-seed corpus
+// here is the same generator slice the engine A/B test replays.
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/api.hpp"
+#include "fuzz/scenario_gen.hpp"
+#include "history/checker.hpp"
+
+namespace {
+
+using namespace detect;
+
+void expect_same_check(const hist::check_result& a, const hist::check_result& b,
+                       std::uint64_t seed) {
+  ASSERT_EQ(a.ok, b.ok) << "seed " << seed;
+  ASSERT_EQ(a.inconclusive, b.inconclusive) << "seed " << seed;
+  ASSERT_EQ(a.nodes, b.nodes) << "seed " << seed;
+  ASSERT_EQ(a.objects, b.objects) << "seed " << seed;
+  ASSERT_EQ(a.synthesized_interval, b.synthesized_interval) << "seed " << seed;
+  ASSERT_EQ(a.failed_object, b.failed_object) << "seed " << seed;
+  ASSERT_EQ(a.message, b.message) << "seed " << seed;
+}
+
+// 500 generated scenarios — multi-object, sharded, crashy, strategy- and
+// persistency-mixed — each checked serially and with a 4-lane fan-out
+// sharing one memo. Verdicts, messages, and node counts must match exactly.
+TEST(check_parallel, jobs4_matches_serial_on_500_seed_corpus) {
+  fuzz::gen_config cfg;
+  cfg.max_procs = 3;
+  cfg.max_ops = 6;
+  cfg.max_shards = 3;
+  cfg.max_objects = 3;
+  cfg.object_kind_pool = {"reg", "cas", "counter", "queue", "stack"};
+  cfg.sched_pool = {"round_robin", "uniform_random", "pct"};
+  cfg.persist_pool = {"strict", "buffered"};
+  const std::vector<std::string> kinds = {"reg",   "cas",     "counter",
+                                          "queue", "stack",   "swap",
+                                          "tas",   "max_reg", "lock"};
+  hist::lin_memo memo;
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    api::scripted_scenario s =
+        fuzz::generate(seed, kinds[seed % kinds.size()], cfg);
+
+    hist::check_options serial;
+    serial.jobs = 1;
+    api::scripted_outcome one = api::replay(s, serial);
+
+    hist::check_options fanout;
+    fanout.jobs = 4;
+    fanout.memo = &memo;  // cross-scenario sharing, under concurrent lanes
+    api::scripted_outcome four = api::replay(s, fanout);
+
+    ASSERT_EQ(one.log_text, four.log_text) << "seed " << seed;
+    expect_same_check(one.check, four.check, seed);
+  }
+  // The shared memo genuinely absorbed repeat sub-histories across the
+  // corpus — the fan-out did not bypass it.
+  EXPECT_GT(memo.hits(), 0u);
+}
+
+// jobs = 0 (auto) must agree with serial too, whatever lane count the host
+// resolves it to (a 1-core host collapses it back to the inline walk).
+TEST(check_parallel, jobs_auto_matches_serial) {
+  fuzz::gen_config cfg;
+  cfg.max_objects = 3;
+  cfg.object_kind_pool = {"reg", "counter", "queue"};
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    api::scripted_scenario s = fuzz::generate(seed, "cas", cfg);
+    hist::check_options serial;
+    serial.jobs = 1;
+    hist::check_options auto_jobs;
+    auto_jobs.jobs = 0;
+    expect_same_check(api::replay(s, serial).check,
+                      api::replay(s, auto_jobs).check, seed);
+  }
+}
+
+void push_event(std::vector<hist::event>& events, hist::event_kind kind,
+                int pid, std::uint32_t obj, hist::opcode code, hist::value_t a,
+                hist::value_t value) {
+  hist::event e;
+  e.kind = kind;
+  e.pid = pid;
+  e.desc.object = obj;
+  e.desc.code = code;
+  e.desc.a = a;
+  e.value = value;
+  events.push_back(e);
+}
+
+// Worst-offender selection is pinned: when several objects fail, the
+// reported one is the failure with the most linearizer nodes — the
+// hardest-to-refute witness — independent of jobs and of completion order.
+TEST(check_parallel, worst_offender_is_max_nodes) {
+  using hist::event_kind;
+  using hist::opcode;
+  std::vector<hist::event> events;
+  // Object 0: fine. Object 1: fails after one op (tiny search). Object 2:
+  // several successful writes before the impossible read — strictly more
+  // nodes expanded than object 1's search.
+  push_event(events, event_kind::invoke, 0, 0, opcode::reg_write, 7, 0);
+  push_event(events, event_kind::response, 0, 0, opcode::reg_write, 7,
+             hist::k_ack);
+  push_event(events, event_kind::invoke, 0, 1, opcode::reg_read, 0, 0);
+  push_event(events, event_kind::response, 0, 1, opcode::reg_read, 0, 42);
+  for (hist::value_t v = 1; v <= 4; ++v) {
+    push_event(events, event_kind::invoke, 0, 2, opcode::reg_write, v, 0);
+    push_event(events, event_kind::response, 0, 2, opcode::reg_write, v,
+               hist::k_ack);
+  }
+  push_event(events, event_kind::invoke, 0, 2, opcode::reg_read, 0, 0);
+  push_event(events, event_kind::response, 0, 2, opcode::reg_read, 0, 42);
+
+  hist::register_spec spec0(0);
+  hist::register_spec spec1(0);
+  hist::register_spec spec2(0);
+  const hist::object_spec_list specs = {{0, &spec0}, {1, &spec1}, {2, &spec2}};
+
+  for (int jobs : {1, 4}) {
+    hist::check_options opt;
+    opt.jobs = jobs;
+    hist::check_result res =
+        hist::check_durable_linearizability_per_object(events, specs, opt);
+    EXPECT_FALSE(res.ok) << "jobs " << jobs;
+    EXPECT_EQ(res.failed_object, 2) << "jobs " << jobs << ": " << res.message;
+    EXPECT_NE(res.message.find("object 2"), std::string::npos) << res.message;
+    // Node accounting covers ALL sub-checks, not just the reported one.
+    EXPECT_EQ(res.objects, 3u);
+  }
+}
+
+// Equal node counts tie-break to the smallest object id, so the verdict
+// stays deterministic when two objects fail identically.
+TEST(check_parallel, worst_offender_ties_break_to_smallest_id) {
+  using hist::event_kind;
+  using hist::opcode;
+  std::vector<hist::event> events;
+  // Objects 3 and 5: byte-identical impossible histories (same search, same
+  // node count). Declaration order puts 5 first to rule out "first seen".
+  for (std::uint32_t obj : {5u, 3u}) {
+    push_event(events, event_kind::invoke, 0, obj, opcode::reg_read, 0, 0);
+    push_event(events, event_kind::response, 0, obj, opcode::reg_read, 0, 42);
+  }
+  hist::register_spec spec_a(0);
+  hist::register_spec spec_b(0);
+  const hist::object_spec_list specs = {{5, &spec_a}, {3, &spec_b}};
+  for (int jobs : {1, 4}) {
+    hist::check_options opt;
+    opt.jobs = jobs;
+    hist::check_result res =
+        hist::check_durable_linearizability_per_object(events, specs, opt);
+    EXPECT_FALSE(res.ok) << "jobs " << jobs;
+    EXPECT_EQ(res.failed_object, 3) << "jobs " << jobs << ": " << res.message;
+    EXPECT_NE(res.message.find("object 3"), std::string::npos) << res.message;
+  }
+}
+
+// Hammer one shared memo from several threads, each running 4-lane parallel
+// checks — the synchronized lookup/store path the differ's variant families
+// rely on. Run under the Sanitize preset this is the race regression test.
+TEST(check_parallel, shared_memo_is_thread_safe_under_parallel_checks) {
+  fuzz::gen_config cfg;
+  cfg.max_objects = 3;
+  cfg.object_kind_pool = {"reg", "cas", "counter"};
+  std::vector<api::scripted_scenario> corpus;
+  std::vector<hist::check_result> expected;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    corpus.push_back(fuzz::generate(seed, "reg", cfg));
+    hist::check_options serial;
+    serial.jobs = 1;
+    expected.push_back(api::replay(corpus.back(), serial).check);
+  }
+
+  hist::lin_memo memo;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+          hist::check_options opt;
+          opt.jobs = 4;
+          opt.memo = &memo;
+          hist::check_result got = api::replay(corpus[i], opt).check;
+          if (got.ok != expected[i].ok || got.nodes != expected[i].nodes ||
+              got.message != expected[i].message) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  EXPECT_GT(memo.hits(), 0u);
+}
+
+// The deprecated two-arg entry points must stay exact aliases of the
+// options form — downstream callers migrate at their own pace.
+TEST(check_parallel, deprecated_shims_alias_the_options_form) {
+  fuzz::gen_config cfg;
+  cfg.max_objects = 2;
+  cfg.object_kind_pool = {"reg", "queue"};
+  api::scripted_scenario s = fuzz::generate(77, "queue", cfg);
+  api::scripted_outcome base = api::replay(s);
+
+  hist::lin_memo memo;
+  api::scripted_outcome via_memo_shim = api::replay(s, &memo);
+  expect_same_check(base.check, via_memo_shim.check, 77);
+
+  hist::check_options opt;
+  opt.memo = &memo;
+  api::scripted_outcome via_options = api::replay(s, opt);
+  expect_same_check(base.check, via_options.check, 77);
+  EXPECT_GT(memo.hits() + memo.misses(), 0u);
+}
+
+}  // namespace
