@@ -19,6 +19,13 @@
 #                                    # (strict/buffered) iterations; writes
 #                                    # coverage.json with the per-strategy
 #                                    # bucket tables
+#   scripts/check.sh --fuzz-wmm N   # the CI memory-model stage: N
+#                                    # visibility-mixed (sc/tso/pso)
+#                                    # iterations — store-buffer drains
+#                                    # scheduled alongside process steps,
+#                                    # composed with mixed persistency;
+#                                    # writes coverage.json with the
+#                                    # per-visibility-model bucket table
 #   scripts/check.sh --fuzz-deep N [--jobs J]
 #                                    # the nightly deep-fuzz lane: N
 #                                    # coverage-steered multi-object
@@ -174,6 +181,20 @@ case "${1:-}" in
     stage_fuzz "$dir" "$iters" --sched mixed --persist mixed \
       --coverage-out "${DETECT_COVERAGE_OUT:-coverage.json}"
     ;;
+  --fuzz-wmm)
+    # Memory-model stage: the generator draws every scenario's store-buffer
+    # visibility model from the mixed pool (sc / tso / pso) — non-sc draws
+    # also script up to three full-drain points — composed with mixed
+    # persistency, so relaxed-visibility runs face the full oracle. The
+    # coverage.json carries the per-visibility-model bucket counts the job
+    # summary renders.
+    iters="${2:-500}"
+    dir="${DETECT_BUILD_DIR:-build-$build_type}"
+    echo "== fuzz-wmm: $iters visibility-mixed iterations ($dir) =="
+    stage_build "$dir" "$build_type"
+    stage_fuzz "$dir" "$iters" --visibility mixed --persist mixed \
+      --coverage-out "${DETECT_COVERAGE_OUT:-coverage.json}"
+    ;;
   --fuzz-deep)
     # The nightly deep-fuzz lane (also runnable locally): coverage-steered
     # generation over up-to-4-object scenarios, the full variant diff,
@@ -195,7 +216,7 @@ case "${1:-}" in
     stage_fuzz "$dir" "$iters" \
       --coverage --coverage-out "${DETECT_COVERAGE_OUT:-coverage.json}" \
       --objects-max 4 --shards-min 2 --shards-max 4 \
-      --sched mixed --persist mixed --jobs "$fuzz_jobs"
+      --sched mixed --persist mixed --visibility mixed --jobs "$fuzz_jobs"
     ;;
   --bench-smoke)
     dir="${DETECT_BUILD_DIR:-build-$build_type}"
@@ -223,7 +244,7 @@ case "${1:-}" in
     stage_ctest build-sanitize
     ;;
   *)
-    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-placement N | --fuzz-sched N | --fuzz-deep N [--jobs J] | --bench-smoke | --serve-soak N]" >&2
+    echo "usage: $0 [--fast | --quick | --fuzz N | --fuzz-sharded N | --fuzz-placement N | --fuzz-sched N | --fuzz-wmm N | --fuzz-deep N [--jobs J] | --bench-smoke | --serve-soak N]" >&2
     exit 2
     ;;
 esac

@@ -187,6 +187,23 @@ def coverage_table(data):
             last = timeline[-1][0] if timeline else "—"
             yield (f"| {st['strategy']} | {st['executed']} "
                    f"| {st['distinct_buckets']} | {last} |")
+    # Per-visibility-model slice (campaigns with a mixed wmm pool): the
+    # sc-vs-tso-vs-pso comparison — relaxed models should keep reaching
+    # buckets (pending-store depths, drain placements) sc structurally
+    # cannot.
+    by_visibility = data.get("by_visibility", [])
+    if by_visibility:
+        yield ""
+        yield "#### Coverage by visibility model"
+        yield ""
+        yield ("| visibility | executed | distinct buckets "
+               "| last new bucket at |")
+        yield "|---|---|---|---|"
+        for vm in by_visibility:
+            timeline = vm.get("new_bucket_timeline", [])
+            last = timeline[-1][0] if timeline else "—"
+            yield (f"| {vm['visibility']} | {vm['executed']} "
+                   f"| {vm['distinct_buckets']} | {last} |")
     yield ""
 
 

@@ -68,7 +68,7 @@ void check_pid(int pid, int nprocs) {
 /// (one of them) and the sharded backend (one per shard).
 harness build_harness(const exec_policy& p) {
   harness::builder b;
-  b.procs(p.nprocs).max_steps(p.wcfg.max_steps).fail_policy(p.fail);
+  b.procs(p.nprocs).world(p.wcfg).fail_policy(p.fail);
   if (p.sched_seed) b.seed(*p.sched_seed);
   b.schedule(p.sched).persist(p.persist);
   if (!p.crash_steps.empty()) b.crash_at(p.crash_steps);
@@ -309,6 +309,9 @@ class sharded_executor final : public executor {
       total.lost_persistence = total.lost_persistence || r.lost_persistence;
       total.nvm_cells += r.nvm_cells;
       total.nvm_bytes += r.nvm_bytes;
+      total.drain_steps += r.drain_steps;
+      total.max_pending_stores =
+          std::max(total.max_pending_stores, r.max_pending_stores);
     }
     return total;
   }
@@ -744,6 +747,11 @@ std::unique_ptr<executor> make_executor(const exec_policy& p) {
         throw std::invalid_argument(
             "make_executor: the threads backend has no buffered-persistency "
             "emulation");
+      }
+      if (p.wcfg.visibility != wmm::visibility_model::sc) {
+        throw std::invalid_argument(
+            "make_executor: the threads backend runs on real cores — "
+            "store-buffer visibility models need the simulated world");
       }
       return std::make_unique<threads_executor>(p);
   }

@@ -280,6 +280,21 @@ class executor::builder {
     pol_.persist = m;
     return *this;
   }
+  /// Store-buffer visibility model between live processes (sc / tso / pso;
+  /// see wmm::visibility_model). Default sc. Orthogonal to persist():
+  /// buffered stores drain before they persist or journal. build() rejects
+  /// tso/pso on the threads backend (store buffers need the simulated
+  /// world's step token).
+  builder& visibility(wmm::visibility_model m) {
+    pol_.wcfg.visibility = m;
+    return *this;
+  }
+  /// Scripted full-drain steps under tso/pso, keyed on the (shard-local)
+  /// step counter like crash_at (see sim::world_config::drain_points).
+  builder& drain_at(std::vector<std::uint64_t> steps) {
+    pol_.wcfg.drain_points = std::move(steps);
+    return *this;
+  }
   /// Crash when the (shard-local) step counter hits each listed value.
   builder& crash_at(std::vector<std::uint64_t> steps) {
     pol_.crash_steps = std::move(steps);
@@ -308,8 +323,9 @@ class executor::builder {
 /// nonsensical policies: shards < 1, shards > 1 on a non-sharded backend,
 /// pinned placement maps naming out-of-range shards, or crash/shared-cache
 /// plans on the threads backend (which cannot deliver simulated crashes);
-/// likewise non-default schedule strategies or buffered persistency on the
-/// threads backend (both need the simulated world).
+/// likewise non-default schedule strategies, buffered persistency, or a
+/// tso/pso visibility model on the threads backend (all need the simulated
+/// world).
 std::unique_ptr<executor> make_executor(const exec_policy& p);
 
 }  // namespace detect::api

@@ -264,6 +264,12 @@ class harness::builder {
     wcfg_.max_steps = n;
     return *this;
   }
+  /// Wholesale world_config (max_steps, engine, visibility, drain points) —
+  /// how the executor layer forwards its assembled config per shard.
+  builder& world(sim::world_config w) {
+    wcfg_ = std::move(w);
+    return *this;
+  }
   builder& fail_policy(core::runtime::fail_policy p) {
     policy_ = p;
     return *this;
@@ -282,6 +288,18 @@ class harness::builder {
   /// Persistency-visibility model (see nvm::persist_model). Default strict.
   builder& persist(nvm::persist_model m) {
     persist_ = m;
+    return *this;
+  }
+  /// Store-buffer visibility model between live processes (see
+  /// wmm::visibility_model). Default sc — the historical interleaving
+  /// semantics. Orthogonal to persist(): drains order before persists.
+  builder& visibility(wmm::visibility_model m) {
+    wcfg_.visibility = m;
+    return *this;
+  }
+  /// Scripted full-drain steps (tso/pso only; see world_config::drain_points).
+  builder& drain_at(std::vector<std::uint64_t> steps) {
+    wcfg_.drain_points = std::move(steps);
     return *this;
   }
   /// Crash exactly when the global step counter hits each listed value.

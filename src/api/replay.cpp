@@ -53,7 +53,9 @@ std::unique_ptr<executor> build_executor(const scripted_scenario& s) {
       .fail_policy(s.policy)
       .seed(s.sched_seed)
       .schedule(s.sched)
-      .persist(s.persist);
+      .persist(s.persist)
+      .visibility(s.visibility);
+  if (!s.drain_steps.empty()) b.drain_at(s.drain_steps);
   // `shards` doubles as the equivalence-diff knob on the one-world backends
   // (see the field comment), where build() would reject it as a world count.
   if (s.backend == exec_backend::sharded) {
@@ -102,12 +104,24 @@ scripted_outcome replay_impl(const scripted_scenario& s, bool check,
     // Per-world step counters are cumulative across runs, so the second
     // report's step count already covers round one.
     out.report.steps = second.steps;
+    out.report.drain_steps = second.drain_steps;
+    out.report.max_pending_stores = second.max_pending_stores;
     out.report.crashes += second.crashes;
     out.report.hit_step_limit |= second.hit_step_limit;
     if (out.report.limit_note.empty()) out.report.limit_note = second.limit_note;
     out.report.lost_persistence |= second.lost_persistence;
   }
-  if (check) out.check = ex->check(opt);
+  if (check) {
+    // Memo entries must never cross memory-model pairs: the differ shares
+    // one memo over a scenario's variant family, and a verdict computed
+    // under (sc, strict) is not a verdict about the same stream replayed
+    // under (tso, buffered) — see check_options::model_salt.
+    hist::check_options salted = opt;
+    salted.model_salt =
+        (static_cast<std::uint64_t>(s.visibility) << 8) |
+        static_cast<std::uint64_t>(s.persist);
+    out.check = ex->check(salted);
+  }
   out.events = ex->events();
   out.log_text = ex->log_text();
   return out;
@@ -222,7 +236,7 @@ core::runtime::fail_policy fail_policy_from_name(const std::string& name) {
 
 std::string dump(const scripted_scenario& s) {
   std::ostringstream os;
-  os << "# detect scripted_scenario v5\n";
+  os << "# detect scripted_scenario v6\n";
   for (const scenario_object& o : s.objects) {
     os << "object " << o.id << " " << o.kind << " " << o.params.init << " "
        << o.params.capacity << "\n";
@@ -233,6 +247,10 @@ std::string dump(const scripted_scenario& s) {
   os << "sched_seed " << s.sched_seed << "\n";
   os << "sched " << s.sched.to_string() << "\n";
   os << "persist " << nvm::persist_name(s.persist) << "\n";
+  os << "visibility " << wmm::visibility_name(s.visibility) << "\n";
+  os << "drain_steps";
+  for (std::uint64_t k : s.drain_steps) os << " " << k;
+  os << "\n";
   os << "backend " << backend_name(s.backend) << "\n";
   os << "shards " << s.shards << "\n";
   os << "placement " << s.placement.to_string() << "\n";
@@ -339,6 +357,17 @@ void parse_line(const std::string& line, int lineno, scripted_scenario& s,
     if (!nvm::persist_from_name(p, s.persist)) {
       malformed_at(lineno, "unknown persist model '" + p + "'");
     }
+  } else if (key == "visibility") {
+    // Absent in v5 and earlier dumps: those always ran sequentially
+    // consistent, which is why the field's default is sc.
+    std::string v;
+    if (!(ls >> v)) malformed_at(lineno, "missing visibility value");
+    if (!wmm::visibility_from_name(v, s.visibility)) {
+      malformed_at(lineno, "unknown visibility model '" + v + "'");
+    }
+  } else if (key == "drain_steps") {
+    std::uint64_t k;
+    while (ls >> k) s.drain_steps.push_back(k);
   } else if (key == "backend") {
     std::string b;
     if (!(ls >> b)) malformed_at(lineno, "missing backend value");

@@ -17,11 +17,12 @@
 // exercises the transplanted state.
 //
 // `dump()`/`parse_scenario()` round-trip scenarios through a line-oriented
-// text form (format v4, which adds `placement` and `migrate` lines; v3
-// dumps parse with placement modulo and no migrations, and v1/v2 dumps,
-// which carry a single `kind`/`params` pair instead of `object` lines,
-// still parse as the single-object special case). Failing fuzz runs are
-// persisted as these dumps and replayed with `fuzz_main --replay`.
+// text form (format v6, which adds `visibility` and `drain_steps` lines; v5
+// dumps parse with visibility sc and no drain steps, v4 and older dumps
+// additionally without sched/persist/placement/migrate lines, and v1/v2
+// dumps, which carry a single `kind`/`params` pair instead of `object`
+// lines, still parse as the single-object special case). Failing fuzz runs
+// are persisted as these dumps and replayed with `fuzz_main --replay`.
 //
 // `family_opcodes()` exposes each opcode family's invocable op set so
 // generators can randomize over a kind's full op mix instead of hand-coding
@@ -65,6 +66,16 @@ struct scripted_scenario {
   sched::sched_policy sched;
   /// Persistency-visibility model; dumps predating v5 parse as strict.
   nvm::persist_model persist = nvm::persist_model::strict;
+  /// Store-buffer visibility model between live processes (sc / tso / pso;
+  /// see wmm::visibility_model); dumps predating v6 parse as sc — exactly
+  /// the interleaving semantics those replays always had. Orthogonal to
+  /// `persist`: a buffered store drains (becomes globally visible) before
+  /// it persists or journals.
+  wmm::visibility_model visibility = wmm::visibility_model::sc;
+  /// Scripted full-drain steps under tso/pso (sim::world_config's
+  /// drain_points, keyed on the shard-local step counter like crash_steps).
+  /// Meaningless — and kept empty by the generator/shrinker — under sc.
+  std::vector<std::uint64_t> drain_steps;
   std::vector<std::uint64_t> crash_steps;
   /// Which execution backend replays this scenario. Dumps predating the
   /// executor redesign carry neither field and parse as single/1.
@@ -131,15 +142,17 @@ scripted_outcome replay(const scripted_scenario& s, hist::lin_memo* memo);
 /// `check` is left defaulted.
 scripted_outcome replay_unchecked(const scripted_scenario& s);
 
-/// Line-oriented text form (v4); `parse_scenario(dump(s))` round-trips
+/// Line-oriented text form (v6); `parse_scenario(dump(s))` round-trips
 /// exactly.
 std::string dump(const scripted_scenario& s);
 
-/// Inverse of `dump`; also accepts v3 dumps (no placement/migrate lines →
-/// modulo, no migrations) and v1/v2 dumps (single `kind`/`params` pair →
-/// one object with id 0). Throws std::invalid_argument on malformed input,
-/// duplicate object ids, or ops/migrations targeting an undeclared object —
-/// the message carries the 1-based line and the offending token.
+/// Inverse of `dump`; also accepts v5 dumps (no visibility/drain_steps
+/// lines → sc, no drains), v4 dumps (additionally no sched/persist lines →
+/// uniform_random/strict), v3 dumps (no placement/migrate lines → modulo,
+/// no migrations) and v1/v2 dumps (single `kind`/`params` pair → one object
+/// with id 0). Throws std::invalid_argument on malformed input, duplicate
+/// object ids, or ops/migrations targeting an undeclared object — the
+/// message carries the 1-based line and the offending token.
 scripted_scenario parse_scenario(const std::string& text);
 
 /// The invocable opcodes of a family — the alphabet generators draw from.

@@ -54,15 +54,14 @@ std::string json_escaped(const std::string& s) {
   return out;
 }
 
-/// The `sched=` coordinate of a bucket key. The merged per-strategy table
-/// recomputes distinct counts from the bucket *union* — each worker only
-/// knows its own slice's buckets, so its per-strategy distinct counts don't
-/// sum across workers.
-std::string sched_of_bucket(const std::string& key) {
-  const std::string tag = "sched=";
-  std::size_t at = key.find("|" + tag);
+/// One `tag=` coordinate of a bucket key (tag without the '='). The merged
+/// per-strategy and per-visibility tables recompute distinct counts from the
+/// bucket *union* — each worker only knows its own slice's buckets, so its
+/// per-slice distinct counts don't sum across workers.
+std::string coord_of_bucket(const std::string& key, const std::string& tag) {
+  std::size_t at = key.find("|" + tag + "=");
   if (at == std::string::npos) return "?";
-  at += 1 + tag.size();
+  at += 2 + tag.size();
   const std::size_t end = key.find('|', at);
   return key.substr(at, end == std::string::npos ? end : end - at);
 }
@@ -80,6 +79,7 @@ struct worker_summary {
   std::string failure_artifact;
   std::vector<corpus_entry> corpus;  // this slice's novel buckets
   std::vector<std::pair<std::string, std::uint64_t>> strategy_executed;
+  std::vector<std::pair<std::string, std::uint64_t>> visibility_executed;
 };
 
 std::string summary_path(const std::string& artifact_dir, int worker) {
@@ -100,6 +100,9 @@ void write_summary(const std::string& path, const worker_summary& ws) {
   }
   for (const auto& [name, executed] : ws.strategy_executed) {
     out << "strategy " << name << " " << executed << "\n";
+  }
+  for (const auto& [name, executed] : ws.visibility_executed) {
+    out << "visibility " << name << " " << executed << "\n";
   }
   for (const corpus_entry& e : ws.corpus) {
     out << "bucket " << e.iteration << " " << e.seed << " "
@@ -134,6 +137,11 @@ bool read_summary(const std::string& path, worker_summary* ws) {
       std::uint64_t executed = 0;
       ls >> name >> executed;
       ws->strategy_executed.emplace_back(name, executed);
+    } else if (tag == "visibility") {
+      std::string name;
+      std::uint64_t executed = 0;
+      ls >> name >> executed;
+      ws->visibility_executed.emplace_back(name, executed);
     } else if (tag == "bucket") {
       corpus_entry e;
       int mutated = 0;
@@ -155,6 +163,9 @@ worker_summary summary_from_stats(const fuzz_stats& stats,
   ws.corpus = stats.coverage.corpus;
   for (const strategy_stats& st : stats.coverage.by_strategy) {
     ws.strategy_executed.emplace_back(st.strategy, st.executed);
+  }
+  for (const strategy_stats& st : stats.coverage.by_visibility) {
+    ws.visibility_executed.emplace_back(st.strategy, st.executed);
   }
   if (stats.failure) {
     ws.failed = true;
@@ -191,7 +202,10 @@ std::string merged_coverage_json(
     std::uint64_t executed,
     const std::vector<
         std::pair<std::string, std::pair<std::uint64_t, std::size_t>>>&
-        by_strategy) {
+        by_strategy,
+    const std::vector<
+        std::pair<std::string, std::pair<std::uint64_t, std::size_t>>>&
+        by_visibility) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"base_seed\": " << cfg.options.base_seed << ",\n";
@@ -221,6 +235,15 @@ std::string merged_coverage_json(
        << ", \"distinct_buckets\": " << by_strategy[i].second.second
        << ", \"new_bucket_timeline\": []}";
     os << (i + 1 < by_strategy.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+  os << "  \"by_visibility\": [\n";
+  for (std::size_t i = 0; i < by_visibility.size(); ++i) {
+    os << "    {\"visibility\": \"" << json_escaped(by_visibility[i].first)
+       << "\", \"executed\": " << by_visibility[i].second.first
+       << ", \"distinct_buckets\": " << by_visibility[i].second.second
+       << ", \"new_bucket_timeline\": []}";
+    os << (i + 1 < by_visibility.size() ? ",\n" : "\n");
   }
   os << "  ],\n";
   os << "  \"corpus\": [\n";
@@ -422,6 +445,7 @@ campaign_result run_campaign(
   std::vector<std::pair<corpus_entry, int>> merged;
   std::map<std::string, std::size_t> by_key;
   std::map<std::string, std::uint64_t> strategy_executed;
+  std::map<std::string, std::uint64_t> visibility_executed;
   for (const child& c : children) {
     if (c.report.lost || c.report.error) continue;
     worker_summary ws;
@@ -431,6 +455,9 @@ campaign_result run_campaign(
     }
     for (const auto& [name, executed] : ws.strategy_executed) {
       strategy_executed[name] += executed;
+    }
+    for (const auto& [name, executed] : ws.visibility_executed) {
+      visibility_executed[name] += executed;
     }
     for (const corpus_entry& e : ws.corpus) {
       auto it = by_key.find(e.bucket);
@@ -446,8 +473,10 @@ campaign_result run_campaign(
     return a.first.iteration < b.first.iteration;
   });
   std::map<std::string, std::size_t> strategy_distinct;
+  std::map<std::string, std::size_t> visibility_distinct;
   for (const auto& [e, worker] : merged) {
-    ++strategy_distinct[sched_of_bucket(e.bucket)];
+    ++strategy_distinct[coord_of_bucket(e.bucket, "sched")];
+    ++visibility_distinct[coord_of_bucket(e.bucket, "vis")];
     r.stats.coverage.corpus.push_back(e);
   }
   r.stats.coverage.distinct_buckets = merged.size();
@@ -459,6 +488,14 @@ campaign_result run_campaign(
                              std::make_pair(executed, strategy_distinct[name]));
     r.stats.coverage.by_strategy.push_back(
         {name, executed, strategy_distinct[name], {}});
+  }
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::size_t>>>
+      by_visibility;
+  for (const auto& [name, executed] : visibility_executed) {
+    by_visibility.emplace_back(
+        name, std::make_pair(executed, visibility_distinct[name]));
+    r.stats.coverage.by_visibility.push_back(
+        {name, executed, visibility_distinct[name], {}});
   }
 
   for (child& c : children) r.workers.push_back(std::move(c.report));
@@ -477,7 +514,8 @@ campaign_result run_campaign(
       r.exit_code = 2;
     } else {
       out << merged_coverage_json(effective, r.workers, merged,
-                                  r.stats.coverage.executed, by_strategy);
+                                  r.stats.coverage.executed, by_strategy,
+                                  by_visibility);
     }
   }
   return r;

@@ -60,7 +60,8 @@ std::string bucket_signature::scenario_key() const {
   os << "kinds=" << kinds << "|mix=" << op_mix << "|backend=" << backend
      << "|shards=" << shards << "|place=" << placement
      << "|mig=" << (migrated ? 1 : 0) << "|sched=" << sched
-     << "|preempt=" << preempt_bucket << "|persist=" << persist;
+     << "|preempt=" << preempt_bucket << "|persist=" << persist
+     << "|vis=" << vis;
   return os.str();
 }
 
@@ -70,7 +71,8 @@ std::string bucket_signature::key() const {
      << "|rec=" << (recovery_seen ? 1 : 0)
      << "|decomp=" << (decomposed ? 1 : 0)
      << "|synth=" << (synthesized_interval ? 1 : 0)
-     << "|lost=" << (lost_persistence ? 1 : 0);
+     << "|lost=" << (lost_persistence ? 1 : 0)
+     << "|pend=" << pending_bucket;
   return os.str();
 }
 
@@ -91,6 +93,7 @@ bucket_signature scenario_signature(const api::scripted_scenario& s) {
                                s.sched.pct_points.size(), 3))
                          : 0;
   b.persist = nvm::persist_name(s.persist);
+  b.vis = wmm::visibility_name(s.visibility);
   return b;
 }
 
@@ -109,6 +112,8 @@ bucket_signature bucket_of(const api::scripted_scenario& s,
   b.decomposed = out.check.objects > 1;
   b.synthesized_interval = out.check.synthesized_interval;
   b.lost_persistence = out.report.lost_persistence;
+  b.pending_bucket = static_cast<int>(
+      std::min<std::uint64_t>(out.report.max_pending_stores, 3));
   return b;
 }
 

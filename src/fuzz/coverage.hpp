@@ -48,8 +48,17 @@ struct bucket_signature {
   std::string sched = "uniform_random";  // schedule strategy name
   int preempt_bucket = 0;  // min(pct preemption budget, 3) — 0 for non-pct
   std::string persist = "strict";  // persistency-visibility model name
+  // Store-buffer visibility coordinate (scenario-derived). Together with
+  // `persist` this spans the vis×persist cross — each of the six model
+  // pairs is its own scenario-key region, so steering pushes campaigns
+  // toward unexplored pairs instead of re-rolling (sc, strict).
+  std::string vis = "sc";  // visibility model name
   // Outcome-derived (observed from the replay).
   int crash_phase = 0;  // min(crashes actually delivered, 3) — 0 = none
+  // min(max store-buffer depth the run ever reached, 3) — 0 under sc (and
+  // for tso/pso runs whose buffers never held a store). How hard the run
+  // actually leaned on delayed visibility, not just which model was armed.
+  int pending_bucket = 0;
   bool recovery_seen = false;       // some recovery round ran
   bool decomposed = false;          // per-object decomposition over > 1 object
   bool synthesized_interval = false;  // announcement-window interval synthesis

@@ -18,6 +18,8 @@
 //                                      # budgets (default 3)
 //   fuzz_main --persist MODE           # persistency pool: strict, buffered,
 //                                      # or mixed
+//   fuzz_main --visibility MODE        # store-buffer visibility pool: sc,
+//                                      # tso, pso, or mixed (all three)
 //   fuzz_main --jobs N                 # fork N worker processes over a
 //                                      # partition of the iteration range
 //                                      # (the 300k nightly at 30k wall-clock)
@@ -36,6 +38,9 @@
 //   fuzz_main --replay failure.txt     # re-run a dumped scenario and print
 //                                      # its coverage bucket signature
 //   fuzz_main --list-kinds             # print the registry kind pool
+//   fuzz_main --list-models            # print every schedule strategy,
+//                                      # persistency model, and visibility
+//                                      # model with one-line descriptions
 //
 // Exit status: 0 clean, 1 failure found (artifact written when --out is
 // set), 2 usage/IO error or lost worker. The same binary backs the CI fuzz
@@ -62,10 +67,11 @@ int usage(const char* argv0) {
       "          [--ops-max M] [--objects-max K] [--shards-min K]\n"
       "          [--shards-max K] [--sharded-equiv] [--placement-equiv]\n"
       "          [--placement NAME] [--sched NAME[:depth]] [--persist MODE]\n"
-      "          [--jobs N] [--check-jobs N] [--corpus-dir DIR]\n"
-      "          [--coverage] [--coverage-out FILE]\n"
+      "          [--visibility MODE] [--jobs N] [--check-jobs N]\n"
+      "          [--corpus-dir DIR] [--coverage] [--coverage-out FILE]\n"
       "          [--no-diff] [--no-shrink] [--no-crashes]\n"
-      "          [--out DIR] [--replay FILE] [--list-kinds] [--quiet]\n",
+      "          [--out DIR] [--replay FILE] [--list-kinds] [--list-models]\n"
+      "          [--quiet]\n",
       argv0);
   return 2;
 }
@@ -88,10 +94,12 @@ int replay_file(const std::string& path, int check_jobs) {
               "%zu migrations)\n",
               s.nprocs, s.total_ops(), s.crash_steps.size(),
               s.placement.to_string().c_str(), s.migrations.size());
-  std::printf("schedule: %s (seed %llu), persistency: %s\n",
+  std::printf("schedule: %s (seed %llu), persistency: %s, visibility: %s"
+              " (%zu scripted drains)\n",
               s.sched.to_string().c_str(),
               static_cast<unsigned long long>(s.sched_seed),
-              nvm::persist_name(s.persist));
+              nvm::persist_name(s.persist), wmm::visibility_name(s.visibility),
+              s.drain_steps.size());
   api::scripted_outcome outcome;
   std::string failure =
       fuzz::check_scenario(s, /*diff=*/true, /*replays=*/nullptr, &outcome,
@@ -230,6 +238,18 @@ int main(int argc, char** argv) {
                      spec.c_str());
         return 2;
       }
+    } else if (std::strcmp(arg, "--visibility") == 0) {
+      const std::string spec = need_value(i);
+      wmm::visibility_model m;
+      if (spec == "mixed") {
+        opt.gen.visibility_pool = {"sc", "tso", "pso"};
+      } else if (wmm::visibility_from_name(spec, m)) {
+        opt.gen.visibility_pool = {spec};
+      } else {
+        std::fprintf(stderr, "fuzz_main: unknown visibility model '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
     } else if (std::strcmp(arg, "--coverage") == 0) {
       cfg.steer(true);
     } else if (std::strcmp(arg, "--coverage-out") == 0) {
@@ -253,6 +273,28 @@ int main(int argc, char** argv) {
       for (const std::string& k : api::object_registry::global().kinds()) {
         std::printf("%s\n", k.c_str());
       }
+      return 0;
+    } else if (std::strcmp(arg, "--list-models") == 0) {
+      std::printf("schedule strategies (--sched):\n");
+      std::printf("  round_robin     deterministic rotation over ready"
+                  " processes — the canonical baseline schedule\n");
+      std::printf("  uniform_random  every step picks a ready process"
+                  " uniformly from the seeded stream\n");
+      std::printf("  pct             priority-based exploration with a"
+                  " budget of seeded preemption points\n");
+      std::printf("persistency models (--persist):\n");
+      std::printf("  strict          every drained store is persistent"
+                  " immediately — crashes lose nothing\n");
+      std::printf("  buffered        drained stores persist lazily via the"
+                  " journal — a crash can discard them\n");
+      std::printf("visibility models (--visibility):\n");
+      std::printf("  sc              every store is globally visible the"
+                  " moment it executes (no store buffers)\n");
+      std::printf("  tso             per-process FIFO store buffers; the"
+                  " scheduler picks when the head drains\n");
+      std::printf("  pso             per-process per-cell store buffers;"
+                  " stores to different cells drain in any order\n");
+      std::printf("registry kinds: run --list-kinds\n");
       return 0;
     } else {
       return usage(argv[0]);

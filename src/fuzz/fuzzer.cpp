@@ -97,6 +97,22 @@ std::string coverage_stats::to_json(std::uint64_t base_seed,
     os << (i + 1 < by_strategy.size() ? ",\n" : "\n");
   }
   os << "  ],\n";
+  os << "  \"by_visibility\": [\n";
+  for (std::size_t i = 0; i < by_visibility.size(); ++i) {
+    const strategy_stats& st = by_visibility[i];
+    os << "    {\"visibility\": \"" << json_escaped(st.strategy)
+       << "\", \"executed\": " << st.executed
+       << ", \"distinct_buckets\": " << st.distinct_buckets
+       << ", \"new_bucket_timeline\": [";
+    for (std::size_t j = 0; j < st.timeline.size(); ++j) {
+      if (j != 0) os << ", ";
+      os << "[" << st.timeline[j].first << ", " << st.timeline[j].second
+         << "]";
+    }
+    os << "]}";
+    os << (i + 1 < by_visibility.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
   os << "  \"corpus\": [\n";
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     const corpus_entry& e = corpus[i];
@@ -145,6 +161,8 @@ fuzz_stats run_fuzz(
     std::vector<std::pair<std::uint64_t, std::size_t>> timeline;
   };
   std::map<std::string, strategy_accum> by_strategy;
+  // Same slicing by visibility model (sc/tso/pso) — the per-model table.
+  std::map<std::string, strategy_accum> by_visibility;
 
   // Shared on-disk corpus (multi-worker campaigns / resumed nightlies):
   // dumps we have already seen — our own or ingested — by filename.
@@ -258,6 +276,11 @@ fuzz_stats run_fuzz(
       if (acc.buckets.insert(b.key()).second) {
         acc.timeline.emplace_back(cov.executed(), acc.buckets.size());
       }
+      strategy_accum& vacc = by_visibility[b.vis];
+      ++vacc.executed;
+      if (vacc.buckets.insert(b.key()).second) {
+        vacc.timeline.emplace_back(cov.executed(), vacc.buckets.size());
+      }
       continue;
     }
 
@@ -291,6 +314,10 @@ fuzz_stats run_fuzz(
   stats.coverage.timeline = cov.timeline();
   for (const auto& [name, acc] : by_strategy) {
     stats.coverage.by_strategy.push_back(
+        {name, acc.executed, acc.buckets.size(), acc.timeline});
+  }
+  for (const auto& [name, acc] : by_visibility) {
+    stats.coverage.by_visibility.push_back(
         {name, acc.executed, acc.buckets.size(), acc.timeline});
   }
   return stats;

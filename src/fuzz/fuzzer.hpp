@@ -113,6 +113,10 @@ struct coverage_stats {
   std::vector<corpus_entry> corpus;
   /// One entry per strategy that drove at least one scenario (name-sorted).
   std::vector<strategy_stats> by_strategy;
+  /// Same accounting sliced by store-buffer visibility model (sc/tso/pso,
+  /// name-sorted; reuses strategy_stats with `strategy` holding the model
+  /// name) — the numbers job_summary's per-visibility-model table reads.
+  std::vector<strategy_stats> by_visibility;
 
   /// Machine-readable summary (the `fuzz_main --coverage-out` payload).
   std::string to_json(std::uint64_t base_seed, std::uint64_t iterations) const;

@@ -99,6 +99,31 @@ nvm::persist_model draw_persist_model(std::uint64_t& rng,
   return m;
 }
 
+wmm::visibility_model draw_visibility_model(std::uint64_t& rng,
+                                            const gen_config& cfg) {
+  const std::string& name =
+      cfg.visibility_pool[next_rand(rng) % cfg.visibility_pool.size()];
+  wmm::visibility_model m = wmm::visibility_model::sc;
+  if (!wmm::visibility_from_name(name, m)) {
+    throw std::invalid_argument("scenario_gen: unknown visibility model '" +
+                                name + "' in visibility_pool");
+  }
+  return m;
+}
+
+/// Draw a small scripted full-drain plan (0–3 points) over the scenario's
+/// step horizon. Only called for tso/pso scenarios; under sc the plan stays
+/// empty (enforce_contracts clears strays).
+void draw_drain_points(std::uint64_t& rng, api::scripted_scenario& s) {
+  const std::uint64_t n = pick(rng, 0, 3);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    s.drain_steps.push_back(1 + next_rand(rng) % pct_horizon(s));
+  }
+  std::sort(s.drain_steps.begin(), s.drain_steps.end());
+  s.drain_steps.erase(std::unique(s.drain_steps.begin(), s.drain_steps.end()),
+                      s.drain_steps.end());
+}
+
 }  // namespace
 
 std::uint64_t iteration_seed(std::uint64_t base_seed, std::uint64_t iter) {
@@ -148,6 +173,10 @@ hist::op_desc random_op(std::uint64_t& rng, api::op_family family, int pid,
 
 void enforce_contracts(api::scripted_scenario& s) {
   const api::object_registry& reg = api::object_registry::global();
+  // Drain points only mean something when there are store buffers to drain;
+  // under sc a mutation that flipped visibility back must not leave a stale
+  // plan behind (the v6 dump would suggest semantics the run does not have).
+  if (s.visibility == wmm::visibility_model::sc) s.drain_steps.clear();
   bool all_detectable = true;
   bool any_lock = false;
   std::map<std::uint32_t, api::op_family> families;
@@ -384,6 +413,10 @@ api::scripted_scenario generate(std::uint64_t seed, const std::string& kind,
   if (pool_enabled(cfg.persist_pool, "strict")) {
     s.persist = draw_persist_model(rng, cfg);
   }
+  if (pool_enabled(cfg.visibility_pool, "sc")) {
+    s.visibility = draw_visibility_model(rng, cfg);
+    if (s.visibility != wmm::visibility_model::sc) draw_drain_points(rng, s);
+  }
   enforce_contracts(s);
   return s;
 }
@@ -396,15 +429,21 @@ api::scripted_scenario mutate(const api::scripted_scenario& base,
   // on it) is untouched.
   const bool sched_on = pool_enabled(cfg.sched_pool, "uniform_random");
   const bool persist_on = pool_enabled(cfg.persist_pool, "strict");
+  const bool vis_on = pool_enabled(cfg.visibility_pool, "sc");
   const std::uint64_t cases =
-      13 + (sched_on ? 2 : 0) + (persist_on ? 1 : 0);
+      13 + (sched_on ? 2 : 0) + (persist_on ? 1 : 0) + (vis_on ? 2 : 0);
   // Draw mutations until one applies (bounded — a scenario with nothing to
   // edit in some dimension just falls through to a knob flip eventually).
   for (int attempt = 0; attempt < 8; ++attempt) {
     bool applied = true;
     const std::uint64_t c = next_rand(rng) % cases;
     if (c >= 13) {
+      // Extra cases in fixed order: sched redraw, pct perturb, persist
+      // flip, visibility redraw, drain-point edit — each present only when
+      // its pool is opted in, so indices shift but never reorder.
       const std::uint64_t extra = c - 13;
+      const std::uint64_t persist_at = sched_on ? 2 : 0;
+      const std::uint64_t vis_at = persist_at + (persist_on ? 1 : 0);
       if (sched_on && extra == 0) {
         // Re-draw the whole schedule policy from the pool.
         s.sched = draw_sched_policy(rng, s, cfg);
@@ -423,11 +462,35 @@ api::scripted_scenario mutate(const api::scripted_scenario& base,
               s.sched.pct_points.begin() +
               static_cast<long>(next_rand(rng) % s.sched.pct_points.size()));
         }
-      } else {
+      } else if (persist_on && extra == persist_at) {
         // persist flip
         s.persist = s.persist == nvm::persist_model::strict
                         ? nvm::persist_model::buffered
                         : nvm::persist_model::strict;
+      } else if (vis_on && extra == vis_at) {
+        // Re-draw visibility (with a fresh drain plan for a non-sc draw;
+        // enforce_contracts clears the plan when the draw lands on sc).
+        s.visibility = draw_visibility_model(rng, cfg);
+        s.drain_steps.clear();
+        if (s.visibility != wmm::visibility_model::sc) {
+          draw_drain_points(rng, s);
+        }
+      } else {
+        // Perturb the drain plan: add a point or drop one. Only meaningful
+        // with live store buffers.
+        if (s.visibility == wmm::visibility_model::sc) {
+          applied = false;
+        } else if (s.drain_steps.empty() || next_rand(rng) % 2 == 0) {
+          s.drain_steps.push_back(1 + next_rand(rng) % pct_horizon(s));
+          std::sort(s.drain_steps.begin(), s.drain_steps.end());
+          s.drain_steps.erase(
+              std::unique(s.drain_steps.begin(), s.drain_steps.end()),
+              s.drain_steps.end());
+        } else {
+          s.drain_steps.erase(
+              s.drain_steps.begin() +
+              static_cast<long>(next_rand(rng) % s.drain_steps.size()));
+        }
       }
       if (applied) break;
       continue;

@@ -95,6 +95,12 @@ struct gen_config {
   /// Persistency-model pool, same shape ("strict", "buffered"); the default
   /// draws nothing and keeps every scenario strict.
   std::vector<std::string> persist_pool{"strict"};
+  /// Store-buffer visibility-model pool, same shape ("sc", "tso", "pso");
+  /// the default draws nothing and keeps every scenario sc — historic seed
+  /// streams stay byte-identical. A non-sc draw also draws up to three
+  /// scripted full-drain points over the scenario's step horizon
+  /// (drain_steps), on top of the drain steps the scheduler explores freely.
+  std::vector<std::string> visibility_pool{"sc"};
 };
 
 /// One random operation for `family`, drawn from family_opcodes(). `pid` is

@@ -52,6 +52,11 @@ std::vector<int> pids_of(const api::scripted_scenario& s) {
 /// predicate runs.
 bool respects_contracts(const api::scripted_scenario& s) {
   const api::object_registry& reg = api::object_registry::global();
+  // Drain plans only mean something with live store buffers; an sc
+  // candidate carrying one is non-canonical (enforce_contracts clears it).
+  if (s.visibility == wmm::visibility_model::sc && !s.drain_steps.empty()) {
+    return false;
+  }
   bool any_lock = false;
   for (const api::scenario_object& o : s.objects) {
     if (!reg.contains(o.kind)) continue;  // custom kind: nothing to check
@@ -133,6 +138,23 @@ api::scripted_scenario shrink(api::scripted_scenario s,
       c.persist = nvm::persist_model::strict;
       return true;
     });
+    // Visibility canonicalization: failures that do not need delayed store
+    // visibility shrink back to sc (dropping the drain plan with it), and
+    // ones that do keep only the explicit drain points they actually need —
+    // the repro then reads as "these specific drains, nothing else".
+    progress |= try_edit(s, fails, [](api::scripted_scenario& c) {
+      if (c.visibility == wmm::visibility_model::sc) return false;
+      c.visibility = wmm::visibility_model::sc;
+      c.drain_steps.clear();
+      return true;
+    });
+    for (int i = static_cast<int>(s.drain_steps.size()) - 1; i >= 0; --i) {
+      progress |= try_edit(s, fails, [i](api::scripted_scenario& c) {
+        if (i >= static_cast<int>(c.drain_steps.size())) return false;
+        c.drain_steps.erase(c.drain_steps.begin() + i);
+        return true;
+      });
+    }
     for (int i = static_cast<int>(s.sched.pct_points.size()) - 1; i >= 0;
          --i) {
       progress |= try_edit(s, fails, [i](api::scripted_scenario& c) {

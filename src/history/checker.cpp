@@ -39,11 +39,13 @@ struct fingerprint {
 // Field-wise, never memcpy of the struct: event has padding bytes whose
 // contents would poison the fingerprint.
 lin_memo::key memo_key(const spec& sp, std::size_t node_budget,
+                       std::uint64_t model_salt,
                        const std::vector<event>& events) {
   fingerprint f;
   f.str(typeid(sp).name());
   f.str(sp.serialize());
   f.u64(node_budget);
+  f.u64(model_salt);
   f.u64(events.size());
   for (const event& e : events) {
     f.u64(static_cast<std::uint64_t>(e.kind));
@@ -250,7 +252,7 @@ check_result run_sub_check(const object_stream& os, const check_options& opt) {
   lin_memo::key key;
   check_result sub;
   if (opt.memo != nullptr) {
-    key = memo_key(*os.sp, opt.node_budget, os.events);
+    key = memo_key(*os.sp, opt.node_budget, opt.model_salt, os.events);
     if (opt.memo->lookup(key, &sub)) return sub;
   }
   sub = check_durable_linearizability(os.events, *os.sp, opt.node_budget);

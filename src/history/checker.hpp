@@ -146,6 +146,15 @@ struct check_options {
   std::size_t node_budget = k_default_node_budget;
   /// Shared fingerprint cache for per-object sub-checks (see lin_memo).
   lin_memo* memo = nullptr;
+  /// Memory-model tag mixed into every lin_memo fingerprint — callers that
+  /// share one memo across replays under different (visibility, persist)
+  /// pairs set it so a verdict recorded under one model pair can never
+  /// satisfy a lookup under another. Two model pairs can produce
+  /// byte-identical projected event streams for an object while the
+  /// surrounding run differs, and a memo keyed on the stream alone would
+  /// silently launder the sc verdict into the tso check. api::replay packs
+  /// (visibility << 8 | persist) here; 0 is the pre-model-salt legacy value.
+  std::uint64_t model_salt = 0;
   /// Per-object sub-check fan-out. 1 (default) runs sub-checks serially on
   /// the calling thread. N > 1 drives them on N lanes of the process-global
   /// util::task_pool — the pool grows to N real workers even on a one-core

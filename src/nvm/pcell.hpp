@@ -21,6 +21,7 @@
 
 #include "nvm/hook.hpp"
 #include "nvm/pmem.hpp"
+#include "wmm/visibility.hpp"
 
 namespace detect::nvm {
 
@@ -36,19 +37,36 @@ class pcell final : public persistent_base {
   }
   ~pcell() { dom_->detach(*this); }
 
-  /// Atomic read. One step.
+  /// Atomic read. One step. Under a relaxed visibility model the issuing
+  /// process's own buffered store wins (store-to-load forwarding); a
+  /// forwarded value is not globally visible yet, so the auto-persist
+  /// after-read path is skipped for it (drain → persist ordering).
   T load() const {
     hook_access(access::shared_load);
     dom_->counters().add_shared_load();
+    if constexpr (sizeof(T) <= wmm::store_buffer::k_max_value) {
+      if (const wmm::store_buffer* b = dom_->active_store_buffer()) {
+        T fwd;
+        if (b->forward(*this, &fwd, sizeof(T))) return fwd;
+      }
+    }
     T v = cur_.load(std::memory_order_seq_cst);
     after_read(v);
     return v;
   }
 
-  /// Atomic write. One step.
+  /// Atomic write. One step. Under a relaxed visibility model the store
+  /// enters the process's FIFO buffer instead of the cell; it applies (and
+  /// only then persists) at its drain step.
   void store(T v) {
     hook_access(access::shared_store);
     dom_->counters().add_shared_store();
+    if constexpr (sizeof(T) <= wmm::store_buffer::k_max_value) {
+      if (wmm::store_buffer* b = dom_->active_store_buffer()) {
+        b->push(*this, &pcell::apply_buffered, &v, sizeof(T));
+        return;
+      }
+    }
     cur_.store(v, std::memory_order_seq_cst);
     after_write(v);
   }
@@ -92,6 +110,17 @@ class pcell final : public persistent_base {
   pmem_domain& domain() const noexcept { return *dom_; }
 
  private:
+  /// Drain-time replay of a buffered store: apply the raw value to the cell
+  /// with the same memory order and persistency side effects the direct
+  /// store path would have had (wmm::store_buffer::apply_fn).
+  static void apply_buffered(persistent_base& cell, const unsigned char* raw) {
+    auto& self = static_cast<pcell&>(cell);
+    T v;
+    std::memcpy(&v, raw, sizeof(T));
+    self.cur_.store(v, std::memory_order_seq_cst);
+    self.after_write(v);
+  }
+
   // Izraelevitz-style automatic transformation: persist the location and
   // fence within the same atomic step as the access itself, so that no other
   // process can observe a value that is not yet durable.

@@ -26,6 +26,10 @@
 
 #include "nvm/stats.hpp"
 
+namespace detect::wmm {
+class store_buffer;
+}
+
 namespace detect::nvm {
 
 enum class cache_model : std::uint8_t { private_cache, shared_cache };
@@ -209,6 +213,19 @@ class pmem_domain {
   /// pmem_image migration transplants. Pass nullptr to stop recording.
   void set_attach_recorder(std::vector<persistent_base*>* sink) noexcept;
 
+  /// Store buffer of the process currently holding the step token, under a
+  /// relaxed visibility model (wmm::visibility_model tso/pso). Null — the
+  /// default, and always the case under sc — means stores apply directly
+  /// and loads read the cell, the historical sequentially consistent path.
+  /// `sim::world` points this at the stepping process's buffer for exactly
+  /// the duration of its step; pcell routes stores/loads through it.
+  wmm::store_buffer* active_store_buffer() const noexcept {
+    return active_buffer_;
+  }
+  void set_active_store_buffer(wmm::store_buffer* b) noexcept {
+    active_buffer_ = b;
+  }
+
  private:
   void drain_journal() noexcept;
 
@@ -222,6 +239,7 @@ class pmem_domain {
   bool last_crash_lost_ = false;
   bool auto_persist_ = false;
   std::vector<persistent_base*>* attach_sink_ = nullptr;
+  wmm::store_buffer* active_buffer_ = nullptr;
   /// Footprint counters (relaxed atomics: metrics only, readable without the
   /// mutex; attach/detach already serialize the updates under mu_).
   std::atomic<std::uint64_t> cells_attached_{0};

@@ -52,6 +52,7 @@ server::server(serve_config cfg)
       // admitted op that never completes breaks the serving contract.
       .fail_policy(core::runtime::fail_policy::retry)
       .persist(cfg_.persist)
+      .visibility(cfg_.visibility)
       .schedule(cfg_.sched);
   if (cfg_.sched_seed) b.seed(*cfg_.sched_seed);
   if (cfg_.crash_random) {

@@ -77,6 +77,13 @@ struct serve_config {
   std::optional<std::uint64_t> sched_seed;  // nullopt → round robin
   sched::sched_policy sched;
   nvm::persist_model persist = nvm::persist_model::strict;
+  /// Store-buffer visibility model the serving worlds run under (sc / tso /
+  /// pso; see wmm::visibility_model). Non-sc serving is a stress mode: the
+  /// scheduler interleaves buffered-store drains with op steps, so durably
+  /// linearizable objects get exercised under delayed cross-process
+  /// visibility while the serving contract (every admitted op completes)
+  /// stays intact.
+  wmm::visibility_model visibility = wmm::visibility_model::sc;
   /// Crash injection: a fresh plan per batch round crashing with `rate`
   /// before each step, at most `max` times per round.
   std::optional<std::tuple<std::uint64_t, double, std::uint64_t>> crash_random;
@@ -291,6 +298,10 @@ class server::builder {
     return *this;
   }
   builder& persist(nvm::persist_model m) { cfg_.persist = m; return *this; }
+  builder& visibility(wmm::visibility_model m) {
+    cfg_.visibility = m;
+    return *this;
+  }
   builder& crash_random(std::uint64_t s, double rate, std::uint64_t max) {
     cfg_.crash_random = {s, rate, max};
     return *this;

@@ -19,11 +19,15 @@ void erase_sorted(std::vector<int>& v, int pid) {
 }  // namespace
 
 world::world(int nprocs, world_config cfg)
-    : cfg_(cfg), engine_(cfg.engine.value_or(default_engine())) {
+    : cfg_(std::move(cfg)), engine_(cfg_.engine.value_or(default_engine())) {
   if (nprocs <= 0) throw std::invalid_argument("world: nprocs must be >= 1");
   procs_.reserve(static_cast<std::size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i) procs_.push_back(make_strand(engine_));
   ready_.reserve(static_cast<std::size_t>(nprocs));
+  if (cfg_.visibility != wmm::visibility_model::sc) {
+    bufs_.resize(static_cast<std::size_t>(nprocs));
+    drains_left_ = cfg_.drain_points;
+  }
 }
 
 world::~world() = default;
@@ -64,11 +68,55 @@ bool world::busy() {
 void world::step_ready(int pid) {
   ++step_no_;
   strand& s = *procs_[static_cast<std::size_t>(pid)];
+  // Point the domain at the stepping process's store buffer for exactly the
+  // duration of its access (relaxed visibility only; the strand handshake
+  // serializes, so the thread engine sees the pointer too).
+  if (!bufs_.empty()) {
+    domain_.set_active_store_buffer(&bufs_[static_cast<std::size_t>(pid)]);
+  }
   s.step();
+  if (!bufs_.empty()) domain_.set_active_store_buffer(nullptr);
   if (s.st() == strand::status::done) {
     erase_sorted(ready_, pid);
     if (std::exception_ptr e = s.reset_done()) std::rethrow_exception(e);
   }
+}
+
+bool world::needs_drained_buffer(nvm::access a) noexcept {
+  // Real-TSO fence semantics: atomic RMWs, persistency instructions, and
+  // the runtime's control checkpoints (invoke/response logging) do not
+  // execute past a non-empty store buffer. Private NVM stores (Ann_p and
+  // friends) act as release fences too — recoverability bookkeeping must
+  // never lead the data stores it describes. Only plain shared loads,
+  // shared stores, and private loads may overtake the buffer.
+  switch (a) {
+    case nvm::access::shared_cas:
+    case nvm::access::shared_exchange:
+    case nvm::access::private_store:
+    case nvm::access::flush:
+    case nvm::access::fence:
+    case nvm::access::control:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t world::pending_stores() const noexcept {
+  std::size_t total = 0;
+  for (const wmm::store_buffer& b : bufs_) total += b.size();
+  return total;
+}
+
+void world::drain_one(int pid, std::size_t slot) {
+  ++step_no_;
+  ++drain_steps_;
+  bufs_[static_cast<std::size_t>(pid)].drain_slot(cfg_.visibility, slot);
+}
+
+void world::drain_fully(int pid) {
+  if (bufs_.empty()) return;
+  while (!bufs_[static_cast<std::size_t>(pid)].empty()) drain_one(pid, 0);
 }
 
 void world::step(int pid) {
@@ -77,6 +125,12 @@ void world::step(int pid) {
       procs_[static_cast<std::size_t>(pid)]->st() != strand::status::at_yield) {
     throw std::logic_error("step: process p" + std::to_string(pid) +
                            " is not runnable");
+  }
+  // Low-level single-step API: honor the fence rule inline (the run loop
+  // instead withholds the fenced pid and lets the scheduler order drains).
+  if (!bufs_.empty() &&
+      needs_drained_buffer(procs_[static_cast<std::size_t>(pid)]->pending())) {
+    drain_fully(pid);
   }
   step_ready(pid);
 }
@@ -102,6 +156,10 @@ void world::crash() {
   for (int pid : ready_) procs_[static_cast<std::size_t>(pid)]->deliver_crash();
   ready_.clear();
   settle();
+  // Store buffers are volatile: undrained stores never happened. Discard
+  // them before the persistency crash rule runs (drain → persist order
+  // means none of them can have touched the crash image).
+  for (wmm::store_buffer& b : bufs_) b.discard();
   // All volatile frames are gone; now apply the memory model's crash rule,
   // then advance the system epoch durably (the hook is null on the driving
   // thread, so these are direct accesses).
@@ -115,6 +173,8 @@ void world::crash() {
 run_report world::run(scheduler& sched, crash_plan* crashes,
                       const std::function<void()>& on_crash_done) {
   run_report rep;
+  active_sched_desc_ = sched.describe();
+  const int n = nprocs();
   for (;;) {
     settle();
     if (ready_.empty()) break;
@@ -122,7 +182,32 @@ run_report world::run(scheduler& sched, crash_plan* crashes,
       rep.hit_step_limit = true;
       rep.limit_note = "step limit " + std::to_string(cfg_.max_steps) +
                        " hit under scheduler " + sched.describe();
+      if (cfg_.visibility != wmm::visibility_model::sc) {
+        rep.limit_note += ", visibility " +
+                          std::string(wmm::visibility_name(cfg_.visibility)) +
+                          ", " + std::to_string(pending_stores()) +
+                          " pending stores";
+      }
       break;
+    }
+    // Scenario-scripted drain point: every buffer retires completely as one
+    // step. Checked before the crash plan so a same-step crash sees the
+    // drained (persistable) state.
+    if (!bufs_.empty()) {
+      bool fired = false;
+      for (std::uint64_t& a : drains_left_) {
+        if (a == step_no_) {
+          a = static_cast<std::uint64_t>(-1);  // fire once
+          fired = true;
+          break;
+        }
+      }
+      if (fired) {
+        ++step_no_;
+        ++drain_steps_;
+        for (wmm::store_buffer& b : bufs_) b.drain_all();
+        continue;
+      }
     }
     if (crashes != nullptr && crashes->should_crash(step_no_)) {
       crash();
@@ -130,14 +215,67 @@ run_report world::run(scheduler& sched, crash_plan* crashes,
       if (on_crash_done) on_crash_done();
       continue;
     }
-    int pid = sched.pick(ready_, step_no_);
-    step_ready(pid);
+    if (bufs_.empty()) {  // sc: the historical loop, byte-identical
+      int pid = sched.pick(ready_, step_no_);
+      step_ready(pid);
+      continue;
+    }
+    // Relaxed visibility: the scheduler picks among real steps and drain
+    // pseudo-pids `n*(1+slot)+pid`, one per drainable slot (tso: the FIFO
+    // head; pso: each distinct buffered cell). A pid whose pending access
+    // fences (needs_drained_buffer) is withheld until its buffer drains —
+    // its drain slots keep the candidate set non-empty, so progress holds.
+    cand_.clear();
+    for (int pid : ready_) {
+      if (bufs_[static_cast<std::size_t>(pid)].empty() ||
+          !needs_drained_buffer(
+              procs_[static_cast<std::size_t>(pid)]->pending())) {
+        cand_.push_back(pid);
+      }
+    }
+    for (std::size_t slot = 0;; ++slot) {
+      bool any = false;
+      for (int p = 0; p < n; ++p) {
+        if (bufs_[static_cast<std::size_t>(p)].slots(cfg_.visibility) > slot) {
+          cand_.push_back(n * static_cast<int>(1 + slot) + p);
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+    int pick = sched.pick(cand_, step_no_);
+    if (pick < n) {
+      step_ready(pick);
+    } else {
+      drain_one(pick % n, static_cast<std::size_t>(pick / n) - 1);
+    }
+  }
+  // Quiescence: with no runnable process left, remaining buffered stores
+  // can no longer be observed out of order — retire them (counted drain
+  // steps) so the post-run NVM state matches what sc would have reached.
+  for (int p = 0; p < n && !bufs_.empty(); ++p) drain_fully(p);
+  for (const wmm::store_buffer& b : bufs_) {
+    max_pending_ = std::max(max_pending_,
+                            static_cast<std::uint64_t>(b.high_water()));
   }
   rep.steps = step_no_;
   rep.lost_persistence = lost_persistence_;
   rep.nvm_cells = domain_.cells_attached();
   rep.nvm_bytes = domain_.bytes_attached();
+  rep.drain_steps = drain_steps_;
+  rep.max_pending_stores = max_pending_;
   return rep;
+}
+
+std::string world::describe_schedule() const {
+  std::string s =
+      !active_sched_desc_.empty() ? active_sched_desc_ : "(no scheduler)";
+  s += " | visibility ";
+  s += wmm::visibility_name(cfg_.visibility);
+  if (cfg_.visibility != wmm::visibility_model::sc) {
+    s += " | " + std::to_string(pending_stores()) + " pending stores";
+  }
+  return s;
 }
 
 // ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@
 #include "nvm/pcell.hpp"
 #include "nvm/pmem.hpp"
 #include "sim/strand.hpp"
+#include "wmm/visibility.hpp"
 
 namespace detect::sim {
 
@@ -61,6 +62,18 @@ struct world_config {
   /// Deliberately not part of the scenario format — engines are
   /// behavior-identical, and A/B tests flip the process-global default.
   std::optional<engine_kind> engine;
+  /// Visibility order between live processes (see wmm/visibility.hpp).
+  /// Under tso/pso each process gets a FIFO store buffer whose drain slots
+  /// appear in the run loop's candidate set as pseudo-pids
+  /// `nprocs*(1+slot)+pid`, schedulable like any real step. sc — the
+  /// default — buffers nothing and leaves every historical replay
+  /// byte-identical.
+  wmm::visibility_model visibility = wmm::visibility_model::sc;
+  /// Scenario-scripted full drains (tso/pso only): when the global step
+  /// counter hits a listed value, every process's buffer drains completely
+  /// as one step. Fires once per value; the shrinker's minimization drops
+  /// them one at a time.
+  std::vector<std::uint64_t> drain_points;
 };
 
 struct run_report {
@@ -80,6 +93,12 @@ struct run_report {
   /// across shards.
   std::uint64_t nvm_cells = 0;
   std::uint64_t nvm_bytes = 0;
+  /// Relaxed visibility only (always 0 under sc): store-buffer drains the
+  /// run performed (scheduled pseudo-pid picks, explicit drain points, and
+  /// end-of-run quiescence) and the deepest any process's buffer got.
+  /// Sharded executors take max of the depth, sum of the drains.
+  std::uint64_t drain_steps = 0;
+  std::uint64_t max_pending_stores = 0;
 };
 
 class world {
@@ -134,11 +153,28 @@ class world {
 
   std::uint64_t steps_taken() const noexcept { return step_no_; }
 
+  /// Active visibility model (world_config.visibility).
+  wmm::visibility_model visibility() const noexcept { return cfg_.visibility; }
+
+  /// One-line description of how this world is being scheduled: the active
+  /// scheduler (while/after a run), the visibility model, and the current
+  /// total pending-store-buffer depth — what differ step-limit diffs quote
+  /// to attribute divergence to the memory model.
+  std::string describe_schedule() const;
+
  private:
   // Absorb finished tasks (done → idle), rethrowing any task exception.
   void settle();
   // Grant one step to a pid known to be in ready_; updates ready_.
   void step_ready(int pid);
+  // Relaxed visibility only: total stores currently buffered, and one
+  // entry's drain as a counted step.
+  std::size_t pending_stores() const noexcept;
+  void drain_one(int pid, std::size_t slot);
+  // Drain `pid`'s whole buffer as counted steps (fences via direct step()).
+  void drain_fully(int pid);
+  // True when `a` must not execute past a non-empty store buffer.
+  static bool needs_drained_buffer(nvm::access a) noexcept;
 
   world_config cfg_;
   engine_kind engine_;
@@ -151,6 +187,22 @@ class world {
   std::vector<int> ready_;
   std::uint64_t step_no_ = 0;
   bool lost_persistence_ = false;
+  /// Per-process store buffers; sized nprocs iff visibility != sc (empty
+  /// vector == the zero-overhead sc fast path throughout).
+  std::vector<wmm::store_buffer> bufs_;
+  /// Scratch candidate vector for the run loop (real pids + drain
+  /// pseudo-pids), reused across steps.
+  std::vector<int> cand_;
+  /// cfg_.drain_points with fired entries tombstoned — like crash_at_steps,
+  /// each point fires once over the world's whole lifetime (recovery rounds
+  /// share one global step counter).
+  std::vector<std::uint64_t> drains_left_;
+  std::uint64_t drain_steps_ = 0;
+  std::uint64_t max_pending_ = 0;
+  /// describe() string of the in-progress (or most recent) run()'s
+  /// scheduler, captured at run() start so describe_schedule() never holds a
+  /// pointer to a scheduler that may have been destroyed after run() returned.
+  std::string active_sched_desc_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,86 @@
+#include "wmm/visibility.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace detect::wmm {
+
+void store_buffer::push(nvm::persistent_base& cell, apply_fn apply,
+                        const void* bytes, std::size_t n) {
+  entry e;
+  e.cell = &cell;
+  e.apply = apply;
+  e.size = static_cast<std::uint8_t>(n);
+  std::memcpy(e.raw, bytes, n);
+  q_.push_back(e);
+  high_water_ = std::max(high_water_, q_.size());
+}
+
+bool store_buffer::forward(const nvm::persistent_base& cell, void* out,
+                           std::size_t n) const noexcept {
+  for (auto it = q_.rbegin(); it != q_.rend(); ++it) {
+    if (it->cell == &cell) {
+      std::memcpy(out, it->raw, n);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t store_buffer::slots(visibility_model m) const noexcept {
+  if (q_.empty()) return 0;
+  if (m != visibility_model::pso) return 1;
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (q_[j].cell == q_[i].cell) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++distinct;
+  }
+  return distinct;
+}
+
+void store_buffer::drain_slot(visibility_model m, std::size_t slot) {
+  std::size_t pick = 0;
+  if (m == visibility_model::pso) {
+    // The slot-th distinct cell in first-occurrence order; drain its oldest
+    // store (same-cell stores stay FIFO — that is pso's remaining order).
+    std::size_t distinct = 0;
+    std::size_t i = 0;
+    for (;; ++i) {
+      if (i >= q_.size()) throw std::out_of_range("store_buffer: bad slot");
+      bool seen = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (q_[j].cell == q_[i].cell) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      if (distinct == slot) break;
+      ++distinct;
+    }
+    pick = i;
+  } else {
+    if (slot != 0 || q_.empty()) {
+      throw std::out_of_range("store_buffer: bad slot");
+    }
+  }
+  entry e = q_[pick];
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(pick));
+  e.apply(*e.cell, e.raw);
+}
+
+void store_buffer::drain_all() {
+  while (!q_.empty()) {
+    entry e = q_.front();
+    q_.erase(q_.begin());
+    e.apply(*e.cell, e.raw);
+  }
+}
+
+}  // namespace detect::wmm

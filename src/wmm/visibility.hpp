@@ -1,0 +1,136 @@
+// detect::wmm — relaxed store-buffer visibility between live processes,
+// orthogonal to the nvm persistency axis.
+//
+// The paper's constructions are proved under interleaving (sequentially
+// consistent) semantics; real hardware is weaker. This layer models the two
+// classic store-buffer relaxations on the simulated shared cells:
+//
+//   * sc  — no buffering; every store is globally visible the step it
+//     executes. The historical behavior, and the default everywhere.
+//   * tso — one FIFO store buffer per process. A buffered store is visible
+//     to its own process immediately (store-to-load forwarding) but reaches
+//     the other processes only when the buffer head *drains*. Drains retire
+//     in program order.
+//   * pso — like tso, but stores to *different* cells may drain out of
+//     order: each distinct buffered cell is its own drainable slot (stores
+//     to the same cell still retire FIFO).
+//
+// Drains are first-class schedulable steps: `sim::world` exposes one
+// pseudo-pid per drainable slot alongside the real pids, so any
+// `sched::strategy` (round_robin / uniform_random / pct / scripted replay)
+// interleaves drains like ordinary steps and the shrinker can canonicalize
+// them away. Composition with `nvm::persist_model` is drain → persist: a
+// store becomes crash-persistent (strict) or journal-pending (buffered)
+// only when it drains, never while it sits in a store buffer — a crash
+// discards undrained stores outright, exactly like real hardware losing its
+// store buffers.
+//
+// Atomic read-modify-writes (CAS / exchange), flushes, fences, and the
+// runtime's control checkpoints behave as on real TSO: they do not execute
+// past a non-empty store buffer. The world drains the issuing process's
+// buffer before granting such a step (see sim::world), which also keeps
+// every response-logging event ordered after the stores it reports — the
+// property that lets all SC-crash-correct objects stay correct under tso
+// and pso.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace detect::nvm {
+class persistent_base;
+}
+
+namespace detect::wmm {
+
+/// Visibility order between live processes. See file comment.
+enum class visibility_model : std::uint8_t { sc, tso, pso };
+
+/// Stable wire name ("sc" / "tso" / "pso").
+inline const char* visibility_name(visibility_model m) noexcept {
+  switch (m) {
+    case visibility_model::tso:
+      return "tso";
+    case visibility_model::pso:
+      return "pso";
+    default:
+      return "sc";
+  }
+}
+
+/// Inverse of visibility_name; false on unknown names (`out` untouched).
+inline bool visibility_from_name(const std::string& name,
+                                 visibility_model& out) noexcept {
+  if (name == "sc") {
+    out = visibility_model::sc;
+    return true;
+  }
+  if (name == "tso") {
+    out = visibility_model::tso;
+    return true;
+  }
+  if (name == "pso") {
+    out = visibility_model::pso;
+    return true;
+  }
+  return false;
+}
+
+/// One per-process FIFO store buffer. Entries are type-erased: the cell,
+/// the raw value bytes, and an apply function the owning pcell<T> provides
+/// (drain = replay the store against the cell with full persistency
+/// semantics). Values are capped at 16 bytes — the widest atomic cell the
+/// simulator supports (x86-64 cmpxchg16b).
+class store_buffer {
+ public:
+  static constexpr std::size_t k_max_value = 16;
+
+  using apply_fn = void (*)(nvm::persistent_base&, const unsigned char*);
+
+  struct entry {
+    nvm::persistent_base* cell;
+    apply_fn apply;
+    std::uint8_t size;
+    unsigned char raw[k_max_value];
+  };
+
+  bool empty() const noexcept { return q_.empty(); }
+  std::size_t size() const noexcept { return q_.size(); }
+  /// Deepest the buffer has ever been (until discard/reset).
+  std::size_t high_water() const noexcept { return high_water_; }
+
+  /// Append a store. `n` must be <= k_max_value (the pcell caller
+  /// static_asserts this).
+  void push(nvm::persistent_base& cell, apply_fn apply, const void* bytes,
+            std::size_t n);
+
+  /// Store-to-load forwarding: copy the *newest* buffered value for `cell`
+  /// into `out` (n bytes) and return true; false when no store to `cell` is
+  /// buffered (the caller reads the globally visible value instead).
+  bool forward(const nvm::persistent_base& cell, void* out,
+               std::size_t n) const noexcept;
+
+  /// Number of independently drainable slots under `m`: tso exposes only
+  /// the FIFO head (0 or 1), pso one slot per distinct buffered cell.
+  std::size_t slots(visibility_model m) const noexcept;
+
+  /// Drain one store of slot `slot` (see slots()): apply it to its cell and
+  /// pop it. tso: the FIFO head. pso: the oldest store to the slot-th
+  /// distinct cell, distinct cells enumerated in first-occurrence order.
+  void drain_slot(visibility_model m, std::size_t slot);
+
+  /// Drain everything, oldest first (fences, explicit drain points, and
+  /// end-of-run quiescence).
+  void drain_all();
+
+  /// Crash: undrained stores never happened. Keeps the high-water mark.
+  void discard() noexcept { q_.clear(); }
+
+ private:
+  std::vector<entry> q_;  // front = oldest; tiny in practice
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace detect::wmm

@@ -145,7 +145,7 @@ TEST(replay_v5, schedule_and_persistency_round_trip) {
   s.sched.pct_points = {7, 31};
   s.persist = nvm::persist_model::buffered;
   const std::string text = api::dump(s);
-  EXPECT_NE(text.find("# detect scripted_scenario v5"), std::string::npos);
+  EXPECT_NE(text.find("# detect scripted_scenario v6"), std::string::npos);
   EXPECT_NE(text.find("sched pct 7 31"), std::string::npos) << text;
   EXPECT_NE(text.find("persist buffered"), std::string::npos) << text;
   api::scripted_scenario rt = api::parse_scenario(text);
